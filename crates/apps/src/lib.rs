@@ -1,0 +1,16 @@
+//! # laqa-apps
+//!
+//! Host crate for the workspace's top-level `examples/` (runnable binaries
+//! exercising the public API) and `tests/` (integration tests spanning
+//! crates). It has no library code of its own — see the examples:
+//!
+//! * `quickstart` — drive a [`laqa_core::QaController`] by hand;
+//! * `streaming_session` — real tokio/UDP streaming through the loopback
+//!   bottleneck shaper;
+//! * `congested_backbone` — the paper's T1 workload in the simulator;
+//! * `smoothing_tradeoff` — sweep the smoothing factor `K_max`.
+//!
+//! Run one with `cargo run -p laqa-apps --example quickstart`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]

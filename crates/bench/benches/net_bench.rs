@@ -1,0 +1,42 @@
+//! Criterion benchmarks for the wire codec used by the tokio endpoints —
+//! the per-datagram cost of the real-socket experiments.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use laqa_net::Message;
+use laqa_rap::AckInfo;
+
+fn bench_wire(c: &mut Criterion) {
+    let data = Message::Data {
+        flow: 1,
+        seq: 123456,
+        layer: 2,
+        n_active: 4,
+        send_ts_us: 42_000_000,
+        payload: bytes::Bytes::from(vec![0xAB; 1_000]),
+    };
+    let ack = Message::Ack {
+        flow: 1,
+        info: AckInfo {
+            ack_seq: 99,
+            cum_seq: 95,
+            highest: 99,
+            mask: 0xF7,
+        },
+    };
+    let data_bytes = data.encode();
+    let ack_bytes = ack.encode();
+
+    let mut g = c.benchmark_group("wire");
+    g.bench_function("encode_data_1k", |b| b.iter(|| black_box(&data).encode()));
+    g.bench_function("decode_data_1k", |b| {
+        b.iter(|| Message::decode(black_box(data_bytes.clone())).unwrap())
+    });
+    g.bench_function("encode_ack", |b| b.iter(|| black_box(&ack).encode()));
+    g.bench_function("decode_ack", |b| {
+        b.iter(|| Message::decode(black_box(ack_bytes.clone())).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

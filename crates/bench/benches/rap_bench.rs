@@ -1,0 +1,62 @@
+//! Criterion benchmarks for the RAP protocol machinery (per-packet and
+//! per-ACK costs of figure 1's sender and the streaming endpoints).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use laqa_rap::{RapConfig, RapReceiverState, RapSender};
+
+fn bench_receiver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rap_receiver");
+    g.bench_function("on_data_in_order", |b| {
+        let mut rx = RapReceiverState::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            let ack = rx.on_data(black_box(seq));
+            seq += 1;
+            ack
+        })
+    });
+    g.bench_function("on_data_with_gaps", |b| {
+        let mut rx = RapReceiverState::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            // every 7th packet missing
+            seq += if seq % 7 == 6 { 2 } else { 1 };
+            rx.on_data(black_box(seq))
+        })
+    });
+    g.finish();
+}
+
+fn bench_sender(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rap_sender");
+    g.bench_function("register_send", |b| {
+        let mut s = RapSender::new(RapConfig::default(), 0.0);
+        let mut rx = RapReceiverState::new();
+        let mut now = 0.0;
+        b.iter(|| {
+            let seq = s.register_send(now, 1_000.0, 0);
+            // keep the history bounded: ack immediately
+            s.on_ack(now + 0.01, rx.on_data(seq));
+            s.take_events();
+            now += 0.001;
+            seq
+        })
+    });
+    g.bench_function("ack_round_trip", |b| {
+        let mut s = RapSender::new(RapConfig::default(), 0.0);
+        let mut rx = RapReceiverState::new();
+        let mut now = 0.0;
+        b.iter(|| {
+            now += 0.001;
+            s.poll_timers(now);
+            let seq = s.register_send(now, 1_000.0, 0);
+            let ack = rx.on_data(black_box(seq));
+            s.on_ack(now + 0.04, ack);
+            s.take_events().len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_receiver, bench_sender);
+criterion_main!(benches);

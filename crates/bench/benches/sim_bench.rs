@@ -1,0 +1,21 @@
+//! Criterion benchmarks for the discrete-event simulator: engine
+//! throughput and the cost of the paper's scenario runs (figures 11–13,
+//! tables 1–2) per simulated second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laqa_sim::{run_scenario, ScenarioConfig};
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenarios");
+    g.sample_size(10);
+    g.bench_function("t1_10s", |b| {
+        b.iter(|| run_scenario(&ScenarioConfig::t1(2, 10.0, 7)))
+    });
+    g.bench_function("t2_10s", |b| {
+        b.iter(|| run_scenario(&ScenarioConfig::t2(2, 10.0, 7)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! **Ablation (DESIGN.md §7.2)** — optimal band allocation vs the two §2.3
+//! strawmen: *equal share* and *base-layer-only* buffer distributions.
+//!
+//! For a sweep of draining scenarios (same total buffering, different
+//! splits), simulate the draining phase and measure: could the
+//! distribution deliver the deficit (no forced drop), and how many layers
+//! survive? The optimal banding should dominate both strawmen, reproducing
+//! the failure modes the paper describes in prose.
+
+use laqa_bench::outdir;
+use laqa_core::draining::plan_draining;
+use laqa_core::geometry::band_allocation;
+use laqa_core::StateSequence;
+use laqa_trace::{RunSummary, Table};
+
+/// Simulate a complete draining phase (rate recovering at slope `s`) with
+/// per-period planning against `bufs`; returns the number of periods that
+/// had an uncovered shortfall.
+fn shortfall_periods(
+    seq: &StateSequence,
+    mut bufs: Vec<f64>,
+    mut rate: f64,
+    n: usize,
+    c: f64,
+    s: f64,
+) -> usize {
+    let dt = 0.05;
+    let mut bad = 0;
+    while rate < n as f64 * c {
+        let plan = plan_draining(seq, &bufs, rate, dt, 1.0);
+        if plan.shortfall > 1.0 {
+            bad += 1;
+        }
+        for (buf, drain) in bufs.iter_mut().zip(&plan.drain) {
+            *buf = (*buf - drain).max(0.0);
+        }
+        rate += s * dt;
+    }
+    bad
+}
+
+fn main() {
+    let c = 10_000.0;
+    let s = 12_500.0;
+    let mut tbl = Table::new(
+        "Ablation: buffer distribution vs draining success",
+        &["n_a", "R", "total buf", "optimal", "equal", "base-only"],
+    );
+    let dir = outdir("ablation_allocation");
+    let mut opt_wins = 0;
+    let mut cases = 0;
+
+    for n in [3usize, 4, 5] {
+        for rate_mult in [1.2f64, 1.5, 1.9] {
+            let rate = rate_mult * n as f64 * c;
+            let post = rate / 2.0;
+            let deficit = (n as f64 * c - post).max(0.0);
+            if deficit <= 0.0 {
+                continue;
+            }
+            let optimal = band_allocation(deficit, c, s, n);
+            let total: f64 = optimal.iter().sum();
+            let equal = vec![total / n as f64; n];
+            let mut base_only = vec![0.0; n];
+            base_only[0] = total;
+            let seq = StateSequence::build(rate, n, c, s, 1);
+
+            let r_opt = shortfall_periods(&seq, optimal, post, n, c, s);
+            let r_eq = shortfall_periods(&seq, equal, post, n, c, s);
+            let r_base = shortfall_periods(&seq, base_only, post, n, c, s);
+            cases += 1;
+            if r_opt <= r_eq && r_opt <= r_base {
+                opt_wins += 1;
+            }
+            tbl.row(vec![
+                n.to_string(),
+                format!("{rate:.0}"),
+                format!("{total:.0}"),
+                format!("{r_opt} bad periods"),
+                format!("{r_eq} bad periods"),
+                format!("{r_base} bad periods"),
+            ]);
+        }
+    }
+
+    println!("{}", tbl.render());
+    println!("optimal allocation never loses: {opt_wins}/{cases} cases");
+    println!("expected shape: the optimal banding always covers the draining");
+    println!("phase; base-only fails whenever the deficit spans >1 layer's");
+    println!("drain-rate cap (§2.3's 'insufficient distribution' example).");
+
+    let mut summary = RunSummary::new("ablation_allocation");
+    summary
+        .metric("cases", cases as f64)
+        .metric("optimal_wins", opt_wins as f64);
+    summary
+        .write_json(dir.join("summary.json"))
+        .expect("summary");
+    std::fs::write(dir.join("table.csv"), tbl.to_csv()).expect("csv");
+    println!("wrote {}", dir.display());
+}

@@ -1,0 +1,98 @@
+//! **Ablation (DESIGN.md §7.1)** — the figure-10 monotone clamp vs the
+//! naive sort-by-total state order.
+//!
+//! The naive order requires *draining* some layer's buffer while still in
+//! the filling phase (the paper shows `{S2,k2} → {S1,k2}` and
+//! `{S1,k4} → {S2,k3}` doing so). We sweep operating points, count those
+//! inversions, and measure the extra buffering the clamp costs in
+//! exchange.
+
+use laqa_bench::outdir;
+use laqa_core::StateSequence;
+use laqa_trace::{RunSummary, Table};
+
+fn main() {
+    let c = 10_000.0;
+    let mut tbl = Table::new(
+        "Ablation: naive state order vs monotone clamp",
+        &[
+            "n_a",
+            "R/nC",
+            "S",
+            "naive drain transitions",
+            "clamp overhead",
+        ],
+    );
+    let mut total_points = 0usize;
+    let mut points_with_inversions = 0usize;
+    let mut worst_overhead = 0.0f64;
+
+    for n in [2usize, 3, 4, 5, 6] {
+        for rate_mult in [1.1f64, 1.4, 1.8, 2.5] {
+            for s in [6_250.0f64, 12_500.0, 50_000.0] {
+                let rate = rate_mult * n as f64 * c;
+                let seq = StateSequence::build(rate, n, c, s, 6);
+                if seq.states.is_empty() {
+                    continue;
+                }
+                total_points += 1;
+                let mut inversions = 0;
+                for w in seq.states.windows(2) {
+                    if (0..n).any(|i| w[1].raw_per_layer[i] < w[0].raw_per_layer[i] - 1e-6) {
+                        inversions += 1;
+                    }
+                }
+                if inversions > 0 {
+                    points_with_inversions += 1;
+                }
+                // Clamp overhead: extra bytes the monotone targets require
+                // at the final state vs the raw optimum.
+                let last = seq.states.last().unwrap();
+                let overhead = if last.raw_total() > 0.0 {
+                    (last.total() - last.raw_total()) / last.raw_total()
+                } else {
+                    0.0
+                };
+                worst_overhead = worst_overhead.max(overhead);
+                if inversions > 0 || overhead > 0.01 {
+                    tbl.row(vec![
+                        n.to_string(),
+                        format!("{rate_mult:.1}"),
+                        format!("{s:.0}"),
+                        inversions.to_string(),
+                        format!("{:.1}%", 100.0 * overhead),
+                    ]);
+                }
+            }
+        }
+    }
+
+    println!("{}", tbl.render());
+    println!(
+        "operating points with naive-order drain transitions: {points_with_inversions}/{total_points}"
+    );
+    println!(
+        "worst clamp overhead at the final state: {:.1}%",
+        100.0 * worst_overhead
+    );
+    println!("expected shape: inversions are common (the fig-9 phenomenon is");
+    println!("not a corner case), and the clamp's cost — a few percent of");
+    println!("extra protective buffering — buys a drain-free filling path.");
+
+    let dir = outdir("ablation_monotone");
+    let mut summary = RunSummary::new("ablation_monotone");
+    summary
+        .metric("points", total_points as f64)
+        .metric("points_with_inversions", points_with_inversions as f64)
+        .metric("worst_overhead", worst_overhead);
+    summary
+        .write_json(dir.join("summary.json"))
+        .expect("summary");
+    std::fs::write(dir.join("table.csv"), tbl.to_csv()).expect("csv");
+    println!("wrote {}", dir.display());
+
+    assert!(
+        points_with_inversions > 0,
+        "the fig-9 phenomenon must appear"
+    );
+}

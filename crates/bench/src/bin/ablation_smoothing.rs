@@ -1,0 +1,116 @@
+//! **Ablation (DESIGN.md §7.3)** — the paper's buffer-based add rule vs
+//! the rejected *average-bandwidth* rule, on §3.1's "2.9-layer modem
+//! link".
+//!
+//! A clean AIMD sawtooth whose long-run average sits between 2 and 3
+//! layers: the average-bandwidth rule never adds the third layer; the
+//! buffer-based rule streams it most of the time. We drive the controller
+//! with the sawtooth directly (both rules see identical bandwidth).
+
+use laqa_bench::outdir;
+use laqa_core::{QaConfig, QaController};
+use laqa_trace::{RunSummary, Table};
+
+/// Drive a sawtooth between `lo` and `hi` at slope `s`; returns the
+/// fraction of (post-warm-up) time spent at ≥ 3 layers under the
+/// buffer-based rule, plus the sawtooth's long-run average rate.
+fn run_buffer_rule(lo: f64, hi: f64, s: f64, c: f64, dur: f64) -> (f64, f64) {
+    let cfg = QaConfig {
+        layer_rate: c,
+        max_layers: 4,
+        k_max: 2,
+        underflow_slack_bytes: 1_500.0,
+        ..QaConfig::default()
+    };
+    let mut qa = QaController::new(cfg).unwrap();
+    qa.set_slope(s);
+    let dt = 0.05;
+    let mut rate = lo;
+    let mut now = 0.0;
+    let mut rate_sum = 0.0;
+    let mut steps = 0u64;
+    let mut three_time = 0.0;
+    let mut total_time = 0.0;
+    while now < dur {
+        if rate >= hi {
+            rate /= 2.0;
+            qa.on_backoff(now, rate);
+        }
+        let report = qa.tick(now, rate, dt);
+        for (layer, &r) in report.per_layer_rate.iter().enumerate() {
+            qa.on_packet_delivered(layer, r * dt);
+        }
+        rate_sum += rate;
+        steps += 1;
+        if now > 20.0 {
+            total_time += dt;
+            if report.n_active >= 3 {
+                three_time += dt;
+            }
+        }
+        rate += s * dt;
+        now += dt;
+    }
+    (three_time / total_time.max(1e-9), rate_sum / steps as f64)
+}
+
+fn main() {
+    let c = 10_000.0;
+    let s = 25_000.0;
+    // Sawtooth 19..38 KB/s: average 28.5 KB/s = 2.85 layers.
+    let (lo, hi) = (19_000.0, 38_000.0);
+    let dur = 300.0;
+    let (three_frac, avg_rate) = run_buffer_rule(lo, hi, s, c, dur);
+
+    // The average-bandwidth rule: add layer n+1 only when the *average*
+    // bandwidth exceeds (n+1)·C. With avg = 2.85·C it never reaches 3·C.
+    let avg_rule_adds_third = avg_rate >= 3.0 * c;
+
+    let mut tbl = Table::new(
+        "Ablation: add-rule comparison on a 2.85-layer link",
+        &["rule", "third layer streamed", "notes"],
+    );
+    tbl.row(vec![
+        "buffer-based (paper)".into(),
+        format!("{:.0}% of time", 100.0 * three_frac),
+        "adds at sawtooth peaks, buffers sustain it".into(),
+    ]);
+    tbl.row(vec![
+        "average-bandwidth".into(),
+        if avg_rule_adds_third {
+            "yes".into()
+        } else {
+            "never".into()
+        },
+        format!("avg rate {avg_rate:.0} < 3C = {:.0}", 3.0 * c),
+    ]);
+    println!("{}", tbl.render());
+    println!("paper's claim (§3.1): on a 2.9-layer link the buffer-based rule");
+    println!("sends 3 layers ~90% of the time; the average rule, never.");
+    println!("expected shape: the buffer rule streams the third layer a large");
+    println!("fraction of the time; the average rule cannot add it at all.");
+
+    let dir = outdir("ablation_smoothing");
+    let mut summary = RunSummary::new("ablation_smoothing");
+    summary
+        .param("avg_rate", avg_rate)
+        .metric("three_layer_fraction_buffer_rule", three_frac)
+        .metric(
+            "avg_rule_adds_third",
+            f64::from(u8::from(avg_rule_adds_third)),
+        );
+    summary
+        .write_json(dir.join("summary.json"))
+        .expect("summary");
+    std::fs::write(dir.join("table.csv"), tbl.to_csv()).expect("csv");
+    println!("wrote {}", dir.display());
+
+    assert!(
+        three_frac > 0.2,
+        "buffer rule should stream the third layer"
+    );
+    assert!(
+        !avg_rule_adds_third,
+        "average rule must never add the third layer"
+    );
+}

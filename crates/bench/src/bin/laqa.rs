@@ -1,0 +1,212 @@
+//! `laqa` — command-line driver for the quality-adaptation toolkit.
+//!
+//! ```text
+//! laqa sim    [--test t1|t2] [--kmax N] [--duration S] [--seed N]
+//!             [--red] [--loss P] [--retransmit N] [--csv DIR]
+//! laqa net    [--bandwidth B] [--duration S] [--burst-frac F]
+//!             [--loss P] [--retransmit N]
+//! laqa states [--rate R] [--layers N] [--c C] [--slope S] [--kmax K]
+//! laqa bands  [--deficit D] [--layers N] [--c C] [--slope S]
+//!             [--exp-base B --exp-factor F]
+//! ```
+
+use laqa_bench::cli::Args;
+use laqa_bench::{ascii_plot, window_mean};
+use laqa_core::geometry::band_allocation;
+use laqa_core::nonlinear::{nl_band_allocation, LayerRates};
+use laqa_core::StateSequence;
+use laqa_net::{run_session, SessionConfig};
+use laqa_sim::{run_scenario, QueueKind, RedConfig, ScenarioConfig};
+use laqa_trace::{Recorder, Table};
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            usage();
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "sim" => cmd_sim(&args),
+        "net" => cmd_net(&args),
+        "states" => cmd_states(&args),
+        "bands" => cmd_bands(&args),
+        "help" | "--help" => {
+            usage();
+            Ok(())
+        }
+        other => {
+            eprintln!("error: unknown subcommand '{other}'\n");
+            usage();
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "laqa — layered quality adaptation toolkit
+
+subcommands:
+  sim     run the paper's T1/T2 workload in the simulator
+  net     run a real-socket loopback streaming session
+  states  print the monotone buffer-state path for an operating point
+  bands   print the optimal per-layer buffer bands for a deficit"
+    );
+}
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn cmd_sim(args: &Args) -> Result<(), AnyError> {
+    let test: String = args.get("test", "t1".to_string())?;
+    let k_max: u32 = args.get("kmax", 2)?;
+    let duration: f64 = args.get("duration", 40.0)?;
+    let seed: u64 = args.get("seed", 7)?;
+    let mut cfg = match test.as_str() {
+        "t1" => ScenarioConfig::t1(k_max, duration, seed),
+        "t2" => ScenarioConfig::t2(k_max, duration, seed),
+        other => return Err(format!("unknown --test '{other}' (t1|t2)").into()),
+    };
+    if args.flag("red") {
+        cfg.dumbbell.queue_kind = QueueKind::Red(RedConfig::for_queue(cfg.dumbbell.queue_packets));
+    }
+    cfg.dumbbell.loss_rate = args.get("loss", 0.0)?;
+    cfg.retransmit_protect = args.get("retransmit", 0)?;
+
+    println!(
+        "running {test} for {duration:.0}s (K_max={k_max}, seed={seed}, {:?})...",
+        cfg.dumbbell.queue_kind
+    );
+    let out = run_scenario(&cfg);
+    println!("tx rate : {}", ascii_plot(&out.traces.tx_rate, 64));
+    println!("layers  : {}", ascii_plot(&out.traces.n_active, 64));
+    println!("queue   : {}", ascii_plot(&out.queue_trace, 64));
+    println!();
+    println!(
+        "mean layers (steady) : {:.2}",
+        window_mean(&out.traces.n_active, duration * 0.3, duration).unwrap_or(0.0)
+    );
+    println!("quality changes      : {}", out.metrics.quality_changes());
+    println!("backoffs             : {}", out.backoffs);
+    println!("efficiency           : {:?}", out.metrics.efficiency());
+    println!("base stalls          : {}", out.metrics.stalls());
+    println!("bottleneck drops     : {}", out.bottleneck.dropped);
+
+    if let Some(dir) = args.options.get("csv") {
+        let mut rec = Recorder::new();
+        rec.insert(out.traces.tx_rate.clone());
+        rec.insert(out.traces.n_active.clone());
+        rec.insert(out.queue_trace.clone());
+        for ts in &out.traces.buffer {
+            rec.insert(ts.clone());
+        }
+        rec.write_csv_dir(dir)?;
+        println!("wrote CSVs to {dir}");
+    }
+    Ok(())
+}
+
+fn cmd_net(args: &Args) -> Result<(), AnyError> {
+    let mut cfg = SessionConfig::default();
+    cfg.shaper.bandwidth = args.get("bandwidth", cfg.shaper.bandwidth)?;
+    cfg.shaper.loss_rate = args.get("loss", 0.0)?;
+    cfg.duration = args.get("duration", 10.0)?;
+    cfg.retransmit_protect = args.get("retransmit", 0)?;
+    let burst_frac: f64 = args.get("burst-frac", 0.0)?;
+    if burst_frac > 0.0 {
+        cfg.cross_traffic = Some((burst_frac * cfg.shaper.bandwidth, 500, 1.0 / 3.0, 2.0 / 3.0));
+    }
+    println!(
+        "streaming {:.0}s over a {:.0} B/s loopback bottleneck...",
+        cfg.duration, cfg.shaper.bandwidth
+    );
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(2)
+        .enable_all()
+        .build()?;
+    let report = rt.block_on(run_session(cfg))?;
+    println!("tx rate : {}", ascii_plot(&report.server.rate_trace, 64));
+    println!(
+        "layers  : {}",
+        ascii_plot(&report.server.n_active_trace, 64)
+    );
+    println!();
+    println!(
+        "sent / received  : {} / {}",
+        report.server.sent_packets, report.client.received
+    );
+    println!("drops            : {}", report.bottleneck_drops);
+    println!("retransmissions  : {}", report.server.retransmissions);
+    println!("corrupt payloads : {}", report.client.corrupt);
+    println!(
+        "quality changes  : {}",
+        report.server.metrics.quality_changes()
+    );
+    Ok(())
+}
+
+fn cmd_states(args: &Args) -> Result<(), AnyError> {
+    let rate: f64 = args.get("rate", 60_000.0)?;
+    let n: usize = args.get("layers", 5)?;
+    let c: f64 = args.get("c", 10_000.0)?;
+    let slope: f64 = args.get("slope", 12_500.0)?;
+    let k_max: u32 = args.get("kmax", 5)?;
+    let seq = StateSequence::build(rate, n, c, slope, k_max);
+    println!("k1 = {}", seq.k1);
+    let mut headers = vec!["state".to_string(), "k".to_string(), "total".to_string()];
+    for i in 0..n {
+        headers.push(format!("L{i}"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut tbl = Table::new("monotone buffer-state path", &header_refs);
+    for st in &seq.states {
+        let mut row = vec![
+            format!("{}", st.scenario),
+            st.k.to_string(),
+            format!("{:.0}", st.total()),
+        ];
+        for i in 0..n {
+            row.push(format!("{:.0}", st.per_layer[i]));
+        }
+        tbl.row(row);
+    }
+    println!("{}", tbl.render());
+    Ok(())
+}
+
+fn cmd_bands(args: &Args) -> Result<(), AnyError> {
+    let d0: f64 = args.get("deficit", 25_000.0)?;
+    let n: usize = args.get("layers", 5)?;
+    let c: f64 = args.get("c", 10_000.0)?;
+    let slope: f64 = args.get("slope", 12_500.0)?;
+    let exp_base: f64 = args.get("exp-base", 0.0)?;
+    let shares = if exp_base > 0.0 {
+        let factor: f64 = args.get("exp-factor", 2.0)?;
+        let rates =
+            LayerRates::exponential(n, exp_base, factor).ok_or("invalid exponential spacing")?;
+        println!("layer rates: {:?}", rates.rates());
+        nl_band_allocation(&rates, n, d0, slope)
+    } else {
+        band_allocation(d0, c, slope, n)
+    };
+    let total: f64 = shares.iter().sum();
+    let mut tbl = Table::new(
+        format!("optimal bands for deficit {d0:.0} B/s"),
+        &["layer", "bytes", "% of total"],
+    );
+    for (i, &s) in shares.iter().enumerate() {
+        tbl.row(vec![
+            format!("L{i}"),
+            format!("{s:.0}"),
+            format!("{:.1}%", 100.0 * s / total.max(1e-9)),
+        ]);
+    }
+    println!("{}", tbl.render());
+    Ok(())
+}

@@ -1,0 +1,137 @@
+//! Tiny dependency-free argument parsing for the `laqa` CLI binary.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag` options.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Args {
+    /// First positional argument.
+    pub command: String,
+    /// `--key value` pairs; bare `--flag`s map to `"true"`.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A positional argument appeared after options.
+    UnexpectedPositional(String),
+    /// An option value failed to parse.
+    BadValue {
+        /// Option name.
+        key: String,
+        /// Raw value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing subcommand"),
+            ArgError::UnexpectedPositional(p) => write!(f, "unexpected argument '{p}'"),
+            ArgError::BadValue { key, value } => {
+                write!(f, "invalid value '{value}' for --{key}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse an iterator of arguments (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, ArgError> {
+        let mut iter = args.into_iter().peekable();
+        let command = iter.next().ok_or(ArgError::MissingCommand)?;
+        if command.starts_with("--") {
+            return Err(ArgError::MissingCommand);
+        }
+        let mut options = BTreeMap::new();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                    _ => "true".to_string(),
+                };
+                options.insert(key.to_string(), value);
+            } else {
+                return Err(ArgError::UnexpectedPositional(arg));
+            }
+        }
+        Ok(Args { command, options })
+    }
+
+    /// Typed option lookup with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: key.to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+
+    /// Whether a bare flag is present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.get(key).map(|v| v == "true").unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = parse("sim --test t2 --kmax 4 --red").unwrap();
+        assert_eq!(a.command, "sim");
+        assert_eq!(a.get::<String>("test", "t1".into()).unwrap(), "t2");
+        assert_eq!(a.get::<u32>("kmax", 2).unwrap(), 4);
+        assert!(a.flag("red"));
+        assert!(!a.flag("loss"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse("sim").unwrap();
+        assert_eq!(a.get::<f64>("duration", 30.0).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn rejects_missing_command() {
+        assert_eq!(parse("").unwrap_err(), ArgError::MissingCommand);
+        assert_eq!(parse("--kmax 2").unwrap_err(), ArgError::MissingCommand);
+    }
+
+    #[test]
+    fn rejects_bad_value() {
+        let a = parse("sim --kmax banana").unwrap();
+        assert!(matches!(
+            a.get::<u32>("kmax", 2),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_stray_positional() {
+        assert!(matches!(
+            parse("sim extra"),
+            Err(ArgError::UnexpectedPositional(_))
+        ));
+    }
+
+    #[test]
+    fn flag_followed_by_option() {
+        let a = parse("net --verbose --rate 100").unwrap();
+        assert!(a.flag("verbose"));
+        assert_eq!(a.get::<f64>("rate", 0.0).unwrap(), 100.0);
+    }
+}

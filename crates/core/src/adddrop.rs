@@ -1,0 +1,143 @@
+//! Coarse-grain layer add/drop conditions (§2.1, §2.2, §3.1).
+//!
+//! **Adding** (§2.1 refined by §3.1): a new layer may start only when
+//!
+//! 1. the *instantaneous* transmission rate exceeds the consumption rate of
+//!    the existing layers plus the new one (`R ≥ (n_a+1)·C`), so the new
+//!    layer can play out immediately with no inter-layer timing guesswork,
+//!    and
+//! 2. the receiver buffers satisfy every optimal state with `k ≤ K_max` on
+//!    the monotone path — the smoothing condition that replaces the naive
+//!    "survive one backoff" rule and prevents layers flapping with every
+//!    sawtooth cycle.
+//!
+//! **Dropping** (§2.2): after a backoff, iteratively drop the highest layer
+//! while the total buffering is below the recovery deficit at the current
+//! (post-backoff) rate. The base layer is never dropped.
+
+use crate::geometry::{recovery_buffer, sustainable_layers};
+use crate::states::StateSequence;
+
+/// Result of evaluating the add conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddCheck {
+    /// Condition 1: instantaneous rate covers existing + new layer.
+    pub bandwidth_ok: bool,
+    /// Condition 2 (smoothed): buffers satisfy all `k ≤ K_max` states.
+    pub buffer_ok: bool,
+    /// Room left in the encoding (below `max_layers`).
+    pub capacity_ok: bool,
+}
+
+impl AddCheck {
+    /// All conditions hold.
+    pub fn all_ok(&self) -> bool {
+        self.bandwidth_ok && self.buffer_ok && self.capacity_ok
+    }
+}
+
+/// Evaluate the add conditions for growing from `n_active` to `n_active+1`
+/// layers. `seq` must be the current filling-phase state sequence (built for
+/// `n_active` layers at the current rate).
+pub fn check_add(
+    seq: &StateSequence,
+    bufs: &[f64],
+    rate: f64,
+    n_active: usize,
+    max_layers: usize,
+    k_max: u32,
+    eps: f64,
+) -> AddCheck {
+    let c = seq.layer_rate;
+    AddCheck {
+        bandwidth_ok: rate >= (n_active as f64 + 1.0) * c,
+        buffer_ok: seq.satisfied_up_to_k(bufs, k_max, eps),
+        capacity_ok: n_active < max_layers,
+    }
+}
+
+/// Number of layers to drop right now (0 when none): the §2.2 rule at the
+/// current post-backoff rate. Never drops the base layer.
+pub fn drop_count(
+    n_active: usize,
+    layer_rate: f64,
+    current_rate: f64,
+    slope: f64,
+    total_buffer: f64,
+) -> usize {
+    n_active - sustainable_layers(n_active, layer_rate, current_rate, slope, total_buffer)
+}
+
+/// The recovery buffer the §2.2 rule compares against when `n` layers are
+/// playing and the *current* rate is `rate` (post-backoff, so no further
+/// halving is applied — the deficit is `n·C − rate`).
+pub fn required_recovery_buffer(n: usize, layer_rate: f64, rate: f64, slope: f64) -> f64 {
+    // recovery_buffer halves its rate argument (it models a future backoff
+    // from a filling-phase rate); here the backoff already happened.
+    recovery_buffer(n as f64 * layer_rate, rate * 2.0, slope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::states::StateSequence;
+
+    const C: f64 = 10_000.0;
+    const S: f64 = 25_000.0;
+
+    #[test]
+    fn add_requires_instantaneous_headroom() {
+        let seq = StateSequence::build(35_000.0, 3, C, S, 8);
+        let check = check_add(&seq, &[1e9; 3], 35_000.0, 3, 10, 2, 1.0);
+        assert!(!check.bandwidth_ok, "35 KB/s cannot carry 4 layers");
+        assert!(check.buffer_ok);
+        assert!(!check.all_ok());
+
+        let seq = StateSequence::build(41_000.0, 3, C, S, 8);
+        let check = check_add(&seq, &[1e9; 3], 41_000.0, 3, 10, 2, 1.0);
+        assert!(check.all_ok());
+    }
+
+    #[test]
+    fn add_requires_buffer_condition() {
+        let seq = StateSequence::build(50_000.0, 3, C, S, 8);
+        let check = check_add(&seq, &[0.0; 3], 50_000.0, 3, 10, 2, 1.0);
+        assert!(check.bandwidth_ok);
+        assert!(!check.buffer_ok);
+        assert!(!check.all_ok());
+    }
+
+    #[test]
+    fn add_blocked_at_max_layers() {
+        let seq = StateSequence::build(50_000.0, 3, C, S, 8);
+        let check = check_add(&seq, &[1e9; 3], 50_000.0, 3, 3, 2, 1.0);
+        assert!(!check.capacity_ok);
+        assert!(!check.all_ok());
+    }
+
+    #[test]
+    fn drop_count_zero_with_sufficient_buffer() {
+        // 3 layers at 15 KB/s: deficit 15 KB/s needs 4500 B.
+        assert_eq!(drop_count(3, C, 15_000.0, S, 5_000.0), 0);
+    }
+
+    #[test]
+    fn drop_count_sheds_layers_without_buffer() {
+        // 3 layers, rate 15 KB/s, no buffer: only rate-covered layers and
+        // one partially-covered survive the while-loop: 3C-15k=15k>0 →
+        // drop to 2; 2C-15k=5k>0 → drop to 1? sqrt(0)=0, 5k>0 → n=1.
+        assert_eq!(drop_count(3, C, 15_000.0, S, 0.0), 2);
+    }
+
+    #[test]
+    fn required_recovery_buffer_matches_triangle() {
+        // 3 layers, current rate 10 KB/s: deficit 20 KB/s → 20k²/(2·25k).
+        let req = required_recovery_buffer(3, C, 10_000.0, S);
+        assert!((req - 8_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn required_recovery_buffer_zero_when_rate_covers() {
+        assert_eq!(required_recovery_buffer(2, C, 25_000.0, S), 0.0);
+    }
+}

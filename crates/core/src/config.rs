@@ -1,0 +1,262 @@
+//! Configuration for the quality-adaptation controller.
+//!
+//! The paper's analysis (§2) assumes linearly spaced layers: every layer is
+//! consumed at the same constant rate `C`. That assumption is captured by
+//! [`QaConfig::layer_rate`]. Non-linear layer spacing (listed as future work
+//! in §7) is supported by the `laqa-layered` crate's encodings and by the
+//! generalized band geometry in [`crate::geometry`], but the controller's
+//! closed-form buffer states use the linear model, exactly as the paper does.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors produced when validating a [`QaConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `layer_rate` must be a finite, strictly positive number of bytes/s.
+    NonPositiveLayerRate,
+    /// `max_layers` must be at least 1 (the base layer always exists).
+    ZeroMaxLayers,
+    /// `k_max` (the smoothing factor) must be at least 1; `K_max = 1` is the
+    /// un-smoothed single-backoff mechanism of §2.
+    ZeroKMax,
+    /// `initial_layers` must be between 1 and `max_layers`.
+    BadInitialLayers,
+    /// `fill_horizon_backoffs` must be at least `k_max`.
+    HorizonBelowKMax,
+    /// `min_slope` must be finite and strictly positive.
+    NonPositiveMinSlope,
+    /// `startup_buffer_secs` must be finite and non-negative.
+    NegativeStartupBuffer,
+    /// `underflow_slack_bytes` must be finite and non-negative.
+    NegativeUnderflowSlack,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NonPositiveLayerRate => {
+                write!(f, "layer_rate must be finite and > 0 bytes/s")
+            }
+            ConfigError::ZeroMaxLayers => write!(f, "max_layers must be >= 1"),
+            ConfigError::ZeroKMax => write!(f, "k_max (smoothing factor) must be >= 1"),
+            ConfigError::BadInitialLayers => {
+                write!(f, "initial_layers must be in 1..=max_layers")
+            }
+            ConfigError::HorizonBelowKMax => {
+                write!(f, "fill_horizon_backoffs must be >= k_max")
+            }
+            ConfigError::NonPositiveMinSlope => {
+                write!(f, "min_slope must be finite and > 0 bytes/s^2")
+            }
+            ConfigError::NegativeStartupBuffer => {
+                write!(f, "startup_buffer_secs must be finite and >= 0")
+            }
+            ConfigError::NegativeUnderflowSlack => {
+                write!(f, "underflow_slack_bytes must be finite and >= 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Parameters of the quality-adaptation mechanism.
+///
+/// Rates are in **bytes per second**, buffer amounts in **bytes**, times in
+/// **seconds**, and the additive-increase slope `S` in **bytes per second
+/// per second** — the units used throughout the paper's Appendix A once its
+/// "one packet per RTT" increase is expressed as a rate slope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QaConfig {
+    /// Per-layer consumption rate `C` (bytes/s). The paper's simulations use
+    /// `C = 10 KB/s` (figure 11's consumption-rate gridlines).
+    pub layer_rate: f64,
+    /// Hard cap on the number of encoded layers available at the server.
+    pub max_layers: usize,
+    /// Smoothing factor `K_max` (§3.1): the number of backoffs the receiver
+    /// buffer must be able to absorb, in both extremal scenarios, before a
+    /// new layer may be added.
+    pub k_max: u32,
+    /// Number of layers transmitted at session start (the paper starts with
+    /// the base layer only; figure 2 shows layers coming up one at a time).
+    pub initial_layers: usize,
+    /// When every `k <= k_max` state is satisfied but the add conditions do
+    /// not hold (e.g. the 2.9-layer modem link of §3.1), filling continues
+    /// toward states with `k` up to this horizon so spare bandwidth is still
+    /// invested in protective buffering rather than discarded.
+    pub fill_horizon_backoffs: u32,
+    /// Lower bound applied to the estimated additive-increase slope `S`
+    /// before it is used in the deficit geometry. Guards against division by
+    /// a near-zero slope when the RTT estimate spikes (§2.2 lists a wrong
+    /// slope estimate as a source of "critical situations").
+    pub min_slope: f64,
+    /// Slack (bytes) used when comparing a buffer level against a target, so
+    /// floating-point dust does not flap add/drop decisions.
+    pub epsilon_bytes: f64,
+    /// Playout starts once the base layer has buffered this many seconds of
+    /// data (the paper's target environment demands low startup latency,
+    /// §1.1; a fraction of a second of base-layer data is enough to ride
+    /// out packetization jitter).
+    pub startup_buffer_secs: f64,
+    /// How far (bytes) a layer's sender-side buffer estimate may go
+    /// negative before it is declared a real underflow. The estimate is a
+    /// fluid model of a packetized stream: a layer fed exactly at its
+    /// consumption rate oscillates by up to a couple of packets around
+    /// zero, which is jitter, not starvation. Typically 2–4 packet sizes.
+    pub underflow_slack_bytes: f64,
+}
+
+impl Default for QaConfig {
+    fn default() -> Self {
+        // The paper's simulation setup: C = 10 KB/s per layer, K_max = 2,
+        // and enough layers that the 800 Kb/s bottleneck is never the cap.
+        QaConfig {
+            layer_rate: 10_000.0,
+            max_layers: 10,
+            k_max: 2,
+            initial_layers: 1,
+            fill_horizon_backoffs: 16,
+            min_slope: 1.0,
+            epsilon_bytes: 1.0,
+            startup_buffer_secs: 0.5,
+            underflow_slack_bytes: 2_000.0,
+        }
+    }
+}
+
+impl QaConfig {
+    /// Validate the configuration, returning it unchanged on success.
+    pub fn validated(self) -> Result<Self, ConfigError> {
+        if !(self.layer_rate.is_finite() && self.layer_rate > 0.0) {
+            return Err(ConfigError::NonPositiveLayerRate);
+        }
+        if self.max_layers == 0 {
+            return Err(ConfigError::ZeroMaxLayers);
+        }
+        if self.k_max == 0 {
+            return Err(ConfigError::ZeroKMax);
+        }
+        if self.initial_layers == 0 || self.initial_layers > self.max_layers {
+            return Err(ConfigError::BadInitialLayers);
+        }
+        if self.fill_horizon_backoffs < self.k_max {
+            return Err(ConfigError::HorizonBelowKMax);
+        }
+        if !(self.min_slope.is_finite() && self.min_slope > 0.0) {
+            return Err(ConfigError::NonPositiveMinSlope);
+        }
+        if !(self.startup_buffer_secs.is_finite() && self.startup_buffer_secs >= 0.0) {
+            return Err(ConfigError::NegativeStartupBuffer);
+        }
+        if !(self.underflow_slack_bytes.is_finite() && self.underflow_slack_bytes >= 0.0) {
+            return Err(ConfigError::NegativeUnderflowSlack);
+        }
+        Ok(self)
+    }
+
+    /// Aggregate consumption rate `n_a * C` for `n_active` layers.
+    pub fn consumption(&self, n_active: usize) -> f64 {
+        n_active as f64 * self.layer_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        QaConfig::default()
+            .validated()
+            .expect("default must validate");
+    }
+
+    #[test]
+    fn rejects_zero_layer_rate() {
+        let cfg = QaConfig {
+            layer_rate: 0.0,
+            ..QaConfig::default()
+        };
+        assert_eq!(
+            cfg.validated().unwrap_err(),
+            ConfigError::NonPositiveLayerRate
+        );
+    }
+
+    #[test]
+    fn rejects_nan_layer_rate() {
+        let cfg = QaConfig {
+            layer_rate: f64::NAN,
+            ..QaConfig::default()
+        };
+        assert_eq!(
+            cfg.validated().unwrap_err(),
+            ConfigError::NonPositiveLayerRate
+        );
+    }
+
+    #[test]
+    fn rejects_zero_k_max() {
+        let cfg = QaConfig {
+            k_max: 0,
+            ..QaConfig::default()
+        };
+        assert_eq!(cfg.validated().unwrap_err(), ConfigError::ZeroKMax);
+    }
+
+    #[test]
+    fn rejects_zero_max_layers() {
+        let cfg = QaConfig {
+            max_layers: 0,
+            initial_layers: 0,
+            ..QaConfig::default()
+        };
+        assert_eq!(cfg.validated().unwrap_err(), ConfigError::ZeroMaxLayers);
+    }
+
+    #[test]
+    fn rejects_initial_layers_above_max() {
+        let cfg = QaConfig {
+            max_layers: 3,
+            initial_layers: 4,
+            ..QaConfig::default()
+        };
+        assert_eq!(cfg.validated().unwrap_err(), ConfigError::BadInitialLayers);
+    }
+
+    #[test]
+    fn rejects_horizon_below_k_max() {
+        let cfg = QaConfig {
+            k_max: 8,
+            fill_horizon_backoffs: 4,
+            ..QaConfig::default()
+        };
+        assert_eq!(cfg.validated().unwrap_err(), ConfigError::HorizonBelowKMax);
+    }
+
+    #[test]
+    fn consumption_scales_linearly() {
+        let cfg = QaConfig::default();
+        assert_eq!(cfg.consumption(0), 0.0);
+        assert_eq!(cfg.consumption(3), 3.0 * cfg.layer_rate);
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn config_json_round_trip() {
+        let cfg = QaConfig {
+            layer_rate: 1_250.0,
+            max_layers: 7,
+            k_max: 3,
+            ..QaConfig::default()
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: QaConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

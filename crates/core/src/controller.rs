@@ -1,0 +1,859 @@
+//! The quality-adaptation controller: the server-side state machine that
+//! ties together the coarse-grain add/drop rules and the fine-grain
+//! inter-layer bandwidth allocation (§2–§4).
+//!
+//! The controller is transport-agnostic. A congestion-controlled sender (the
+//! simulator's RAP agent, or the tokio RAP sender) drives it with:
+//!
+//! * [`QaController::tick`] once per allocation period (typically one RTT or
+//!   a fixed short period) with the current transmission rate — the
+//!   controller settles buffer accounting, applies add/drop decisions and
+//!   produces per-layer send rates;
+//! * [`QaController::on_backoff`] whenever the congestion controller halves
+//!   its rate — the controller runs the §2.2 drop rule and switches to the
+//!   draining allocator;
+//! * [`QaController::next_packet_layer`] for every packet transmission — a
+//!   byte-credit scheduler realizes the per-period rates at per-packet
+//!   granularity (the paper's `SendPacket` assigns each packet to a layer);
+//! * [`QaController::on_packet_delivered`] to keep the sender-side estimate
+//!   of the receiver's per-layer buffers honest.
+//!
+//! Buffer accounting is a sender-side estimate of the receiver's buffers:
+//! bytes are credited when the transport confirms their delivery (ACK) and
+//! debited by the layer's consumption rate once playout has started. Lost
+//! packets are simply never credited.
+
+use crate::adddrop::{check_add, drop_count, required_recovery_buffer};
+use crate::config::{ConfigError, QaConfig};
+use crate::draining::plan_draining;
+use crate::filling::allocate_filling;
+use crate::metrics::{DropReason, MetricsCollector, QaEvent};
+use crate::states::StateSequence;
+use serde::{Deserialize, Serialize};
+
+/// Which side of the sawtooth the flow is on (figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Transmission rate at or above aggregate consumption: buffers fill.
+    Filling,
+    /// Transmission rate below aggregate consumption: buffers drain.
+    Draining,
+}
+
+/// Outcome of one allocation period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickReport {
+    /// Phase after this tick's decisions.
+    pub phase: Phase,
+    /// Active layer count after add/drop decisions.
+    pub n_active: usize,
+    /// Per-layer send rates (bytes/s) for the coming period; length
+    /// `n_active`. Sums to (approximately) the offered rate.
+    pub per_layer_rate: Vec<f64>,
+    /// Layers added this tick (0 or 1; the add conditions re-arm only after
+    /// the new layer's states are satisfied).
+    pub added: usize,
+    /// Layers dropped this tick.
+    pub dropped: usize,
+    /// True when the base layer's buffer ran dry while rate was below its
+    /// consumption — a playback stall.
+    pub stalled: bool,
+}
+
+/// Server-side quality-adaptation state machine. See module docs.
+#[derive(Debug, Clone)]
+pub struct QaController {
+    cfg: QaConfig,
+    n_active: usize,
+    /// Sender-side estimate of receiver buffer per active layer (bytes).
+    bufs: Vec<f64>,
+    /// Bytes handed to the transport per layer since the last tick.
+    sent_acc: Vec<f64>,
+    /// Additive-increase slope estimate `S` (bytes/s²).
+    slope: f64,
+    /// Transmission rate at the most recent tick (sawtooth peak tracker).
+    last_rate: f64,
+    /// Rate from which the latest backoff fell; parameterizes the draining
+    /// state path.
+    peak_rate: f64,
+    phase: Phase,
+    drain_seq: Option<StateSequence>,
+    /// Byte credits per layer for the packet scheduler.
+    credits: Vec<f64>,
+    /// Current per-layer allocation (bytes/s).
+    alloc_rates: Vec<f64>,
+    /// True once `now >= playout_delay`: consumption is being charged.
+    playing: bool,
+    metrics: MetricsCollector,
+}
+
+impl QaController {
+    /// Build a controller from a validated configuration.
+    pub fn new(cfg: QaConfig) -> Result<Self, ConfigError> {
+        let cfg = cfg.validated()?;
+        let n = cfg.initial_layers;
+        Ok(QaController {
+            slope: cfg.min_slope,
+            cfg,
+            n_active: n,
+            bufs: vec![0.0; n],
+            sent_acc: vec![0.0; n],
+            last_rate: 0.0,
+            peak_rate: 0.0,
+            phase: Phase::Filling,
+            drain_seq: None,
+            credits: vec![0.0; n],
+            alloc_rates: vec![0.0; n],
+            playing: false,
+            metrics: MetricsCollector::new(),
+        })
+    }
+
+    /// Active layer count.
+    pub fn n_active(&self) -> usize {
+        self.n_active
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Sender-side per-layer buffer estimates (bytes).
+    pub fn buffers(&self) -> &[f64] {
+        &self.bufs
+    }
+
+    /// Total *drainable* receiver buffering (bytes): negative per-layer
+    /// debts (fluid-model jitter) do not subtract from what other layers
+    /// can contribute to recovery.
+    pub fn total_buffer(&self) -> f64 {
+        self.bufs.iter().map(|b| b.max(0.0)).sum()
+    }
+
+    /// Current per-layer allocation (bytes/s) from the last tick.
+    pub fn allocation(&self) -> &[f64] {
+        &self.alloc_rates
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &QaConfig {
+        &self.cfg
+    }
+
+    /// Event log and derived metrics.
+    pub fn metrics(&self) -> &MetricsCollector {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics collector (for draining events into an
+    /// exporter).
+    pub fn metrics_mut(&mut self) -> &mut MetricsCollector {
+        &mut self.metrics
+    }
+
+    /// Update the additive-increase slope estimate `S` (bytes/s²). RAP's
+    /// slope is one packet per RTT per RTT: `S = packet_size / srtt²`.
+    pub fn set_slope(&mut self, slope: f64) {
+        self.slope = if slope.is_finite() {
+            slope.max(self.cfg.min_slope)
+        } else {
+            self.cfg.min_slope
+        };
+    }
+
+    /// Record `bytes` confirmed **delivered** to the receiver for `layer`
+    /// (the transport reports this on ACK). Crediting at delivery rather
+    /// than at send keeps bytes sitting in the bottleneck queue — up to a
+    /// bandwidth-delay product — out of the buffer estimate; a send-time
+    /// estimate is systematically optimistic by exactly that amount.
+    pub fn on_packet_delivered(&mut self, layer: usize, bytes: f64) {
+        if let Some(acc) = self.sent_acc.get_mut(layer) {
+            *acc += bytes;
+        }
+    }
+
+    /// Record a detected loss of `bytes` that had been sent for `layer`.
+    /// With delivery-based crediting a lost packet was never credited, so
+    /// no debit is needed; the hook exists for transports that credit
+    /// optimistically (none of the bundled ones do) and for symmetry.
+    pub fn on_packet_lost(&mut self, _layer: usize, _bytes: f64) {}
+
+    /// Congestion-control backoff: the transmission rate fell to
+    /// `post_rate`. Runs the §2.2 drop rule and arms the draining path.
+    pub fn on_backoff(&mut self, now: f64, post_rate: f64) {
+        self.peak_rate = self.last_rate.max(post_rate);
+        self.drain_seq = None; // floors must be re-derived at the new peak
+        let total = self.total_buffer();
+        let n_drop = drop_count(
+            self.n_active,
+            self.cfg.layer_rate,
+            post_rate,
+            self.slope,
+            total,
+        );
+        for _ in 0..n_drop {
+            self.drop_top_layer(now, post_rate, DropReason::InsufficientTotalBuffer);
+        }
+        if post_rate < self.cfg.consumption(self.n_active) {
+            self.phase = Phase::Draining;
+        }
+        self.last_rate = post_rate;
+    }
+
+    /// Choose the layer for the next packet of `pkt_bytes` bytes and charge
+    /// its credit. Ties favour the lowest layer, so with equal allocations
+    /// the base layer is served first.
+    pub fn next_packet_layer(&mut self, pkt_bytes: f64) -> usize {
+        let mut best = 0usize;
+        let mut best_credit = f64::NEG_INFINITY;
+        for (i, &c) in self.credits.iter().enumerate().take(self.n_active) {
+            if c > best_credit {
+                best_credit = c;
+                best = i;
+            }
+        }
+        self.credits[best] -= pkt_bytes;
+        best
+    }
+
+    /// Run one allocation period: settle the accounting for the `dt`
+    /// seconds that just elapsed, make add/drop decisions, and compute the
+    /// per-layer rates for the next period at transmission rate `rate`.
+    pub fn tick(&mut self, now: f64, rate: f64, dt: f64) -> TickReport {
+        let c = self.cfg.layer_rate;
+        if !self.playing {
+            // Playout begins once the base layer has banked the configured
+            // startup buffer (sent bytes count: they are in flight or
+            // already delivered).
+            let base = self.bufs[0] + self.sent_acc[0];
+            if base >= c * self.cfg.startup_buffer_secs {
+                self.playing = true;
+            }
+        }
+        let mut stalled = false;
+        let mut dropped = 0usize;
+
+        // 1. Settle buffer accounting for the elapsed period. The estimate
+        // is a fluid model of a packetized stream and is allowed to carry a
+        // small *debt* (down to −underflow_slack) before an underflow is
+        // declared; clamping small negatives to zero every tick would mint
+        // phantom buffer at exactly the layer consumption rate.
+        let consume = if self.playing { c * dt } else { 0.0 };
+        let slack = self.cfg.underflow_slack_bytes;
+        let mut top_underflow = false;
+        for i in 0..self.n_active {
+            self.bufs[i] += self.sent_acc[i] - consume;
+            self.sent_acc[i] = 0.0;
+            if self.bufs[i] < -slack - self.cfg.epsilon_bytes {
+                if i == 0 {
+                    stalled = true;
+                    self.metrics.record(QaEvent::BaseStall { time: now });
+                } else {
+                    top_underflow = true;
+                }
+                // The missed data is skipped; the debt is written off.
+                self.bufs[i] = 0.0;
+            }
+        }
+        if top_underflow && self.n_active > 1 {
+            self.drop_top_layer(now, rate, DropReason::Underflow);
+            dropped += 1;
+        }
+
+        // 2. Phase and decisions.
+        let mut added = 0usize;
+        let consumption = self.cfg.consumption(self.n_active);
+        if rate >= consumption {
+            self.phase = Phase::Filling;
+            // Build the filling path at the current rate and allocate.
+            let mut seq = self.fill_sequence(rate);
+            let mut alloc = allocate_filling(
+                &seq,
+                &self.bufs,
+                rate,
+                dt,
+                self.cfg.k_max,
+                self.cfg.epsilon_bytes,
+            );
+            // Add at most one layer per tick (the paper adds layers one at
+            // a time; rationing the ramp also keeps a startup rate
+            // overestimate from instantiating the whole encoding at once).
+            let check = check_add(
+                &seq,
+                &self.bufs,
+                rate,
+                self.n_active,
+                self.cfg.max_layers,
+                self.cfg.k_max,
+                self.cfg.epsilon_bytes,
+            );
+            if check.all_ok() {
+                self.add_layer(now);
+                added += 1;
+                if rate >= self.cfg.consumption(self.n_active) {
+                    seq = self.fill_sequence(rate);
+                    alloc = allocate_filling(
+                        &seq,
+                        &self.bufs,
+                        rate,
+                        dt,
+                        self.cfg.k_max,
+                        self.cfg.epsilon_bytes,
+                    );
+                }
+            }
+            self.alloc_rates = alloc.per_layer_rate;
+        } else {
+            self.phase = Phase::Draining;
+            // §2.2 drop rule re-checked during the draining phase (rate may
+            // keep falling, or the slope estimate may have changed).
+            let n_drop = drop_count(self.n_active, c, rate, self.slope, self.total_buffer());
+            for _ in 0..n_drop {
+                self.drop_top_layer(now, rate, DropReason::InsufficientTotalBuffer);
+                dropped += 1;
+            }
+            // Plan the period's draining; a shortfall is a critical
+            // situation (§2.2) resolved by dropping more layers. Shortfalls
+            // below half a layer-period are packetization slivers (a layer
+            // whose fluid estimate is a few bytes in debt), absorbed by the
+            // receiver's real buffer — only a miss of at least half a
+            // band's worth of data is a genuine distribution failure.
+            let critical = (0.5 * c * dt).max(self.cfg.epsilon_bytes);
+            loop {
+                let seq = self.drain_sequence();
+                let plan = plan_draining(&seq, &self.bufs, rate, dt, self.cfg.epsilon_bytes);
+                if plan.shortfall <= critical || self.n_active == 1 {
+                    self.alloc_rates = plan.per_layer_rate;
+                    break;
+                }
+                self.drop_top_layer(now, rate, DropReason::DistributionShortfall);
+                dropped += 1;
+            }
+        }
+
+        // 3. Refill the packet scheduler's credits.
+        self.credits.resize(self.n_active, 0.0);
+        for (credit, &r) in self.credits.iter_mut().zip(self.alloc_rates.iter()) {
+            // Cap accumulated credit at two periods' worth so a transport
+            // that sends slower than allocated cannot bank unbounded credit.
+            *credit = (*credit + r * dt).min(2.0 * r.max(c) * dt);
+        }
+
+        self.last_rate = rate;
+        if self.phase == Phase::Filling {
+            self.peak_rate = self.peak_rate.max(rate);
+        }
+        TickReport {
+            phase: self.phase,
+            n_active: self.n_active,
+            per_layer_rate: self.alloc_rates.clone(),
+            added,
+            dropped,
+            stalled,
+        }
+    }
+
+    fn fill_sequence(&self, rate: f64) -> StateSequence {
+        StateSequence::build(
+            rate,
+            self.n_active,
+            self.cfg.layer_rate,
+            self.slope,
+            self.cfg.fill_horizon_backoffs,
+        )
+    }
+
+    fn drain_sequence(&mut self) -> StateSequence {
+        let peak = self.peak_rate.max(self.cfg.consumption(self.n_active));
+        let rebuild = match &self.drain_seq {
+            Some(seq) => seq.n_active != self.n_active || (seq.rate - peak).abs() > 1e-9,
+            None => true,
+        };
+        if rebuild {
+            self.drain_seq = Some(StateSequence::build(
+                peak,
+                self.n_active,
+                self.cfg.layer_rate,
+                self.slope,
+                self.cfg.fill_horizon_backoffs,
+            ));
+        }
+        self.drain_seq.clone().expect("just built")
+    }
+
+    fn add_layer(&mut self, now: f64) {
+        self.n_active += 1;
+        self.bufs.push(0.0);
+        self.sent_acc.push(0.0);
+        self.credits.push(0.0);
+        self.drain_seq = None;
+        self.metrics.record(QaEvent::LayerAdded {
+            time: now,
+            n_active: self.n_active,
+        });
+    }
+
+    fn drop_top_layer(&mut self, now: f64, rate: f64, reason: DropReason) {
+        if self.n_active <= 1 {
+            return;
+        }
+        let layer = self.n_active - 1;
+        let buf_total = self.total_buffer();
+        let buf_drop = self.bufs[layer].max(0.0);
+        let required =
+            required_recovery_buffer(self.n_active, self.cfg.layer_rate, rate, self.slope);
+        self.n_active -= 1;
+        // The stranded data still plays out, but it no longer contributes
+        // to recovery; account it out of the buffer pool (§5 efficiency).
+        self.bufs.truncate(self.n_active);
+        self.sent_acc.truncate(self.n_active);
+        self.credits.truncate(self.n_active);
+        self.drain_seq = None;
+        self.metrics.record(QaEvent::LayerDropped {
+            time: now,
+            layer,
+            n_active: self.n_active,
+            buf_total,
+            buf_drop,
+            required,
+            reason,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: f64 = 10_000.0;
+
+    fn cfg() -> QaConfig {
+        QaConfig {
+            layer_rate: C,
+            max_layers: 8,
+            k_max: 2,
+            ..QaConfig::default()
+        }
+    }
+
+    fn controller() -> QaController {
+        QaController::new(cfg()).unwrap()
+    }
+
+    /// Drive the controller like a transport would: ticks at `dt`, sending
+    /// exactly the allocated bytes per layer.
+    fn drive(ctl: &mut QaController, now: &mut f64, rate: f64, dt: f64) -> TickReport {
+        let report = ctl.tick(*now, rate, dt);
+        for (layer, &r) in report.per_layer_rate.iter().enumerate() {
+            ctl.on_packet_delivered(layer, r * dt);
+        }
+        *now += dt;
+        report
+    }
+
+    #[test]
+    fn starts_with_initial_layers() {
+        let ctl = controller();
+        assert_eq!(ctl.n_active(), 1);
+        assert_eq!(ctl.phase(), Phase::Filling);
+        assert_eq!(ctl.total_buffer(), 0.0);
+    }
+
+    #[test]
+    fn filling_builds_buffers() {
+        let mut ctl = controller();
+        ctl.set_slope(25_000.0);
+        let mut now = 0.0;
+        for _ in 0..20 {
+            drive(&mut ctl, &mut now, 15_000.0, 0.1);
+        }
+        assert!(
+            ctl.total_buffer() > 0.0,
+            "buffers should grow in filling phase"
+        );
+        assert_eq!(ctl.phase(), Phase::Filling);
+    }
+
+    #[test]
+    fn adds_layer_when_conditions_met() {
+        let mut ctl = controller();
+        ctl.set_slope(25_000.0);
+        let mut now = 0.0;
+        let mut added_total = 0;
+        // Plenty of bandwidth for two layers; buffers will fill and the
+        // second layer should be added.
+        for _ in 0..600 {
+            let r = drive(&mut ctl, &mut now, 25_000.0, 0.1);
+            added_total += r.added;
+            if added_total > 0 {
+                break;
+            }
+        }
+        assert!(added_total >= 1, "expected a layer add");
+        assert_eq!(ctl.n_active(), 2);
+        assert_eq!(ctl.metrics().adds(), added_total);
+    }
+
+    #[test]
+    fn no_add_without_bandwidth_headroom() {
+        let mut ctl = controller();
+        ctl.set_slope(25_000.0);
+        let mut now = 0.0;
+        // 15 KB/s: enough to fill base-layer buffers forever but never
+        // enough instantaneous rate for a second layer (needs 20 KB/s).
+        for _ in 0..1000 {
+            let r = drive(&mut ctl, &mut now, 15_000.0, 0.1);
+            assert_eq!(r.added, 0);
+        }
+        assert_eq!(ctl.n_active(), 1);
+    }
+
+    #[test]
+    fn backoff_with_no_buffer_drops_layers() {
+        let mut ctl = controller();
+        ctl.set_slope(25_000.0);
+        let mut now = 0.0;
+        // Force three active layers with a generous rate.
+        for _ in 0..3000 {
+            drive(&mut ctl, &mut now, 35_000.0, 0.1);
+            if ctl.n_active() == 3 {
+                break;
+            }
+        }
+        assert_eq!(ctl.n_active(), 3);
+        // Artificially wipe the buffers, then back off hard: the §2.2 rule
+        // must shed layers.
+        for b in ctl.bufs.iter_mut() {
+            *b = 0.0;
+        }
+        ctl.on_backoff(now, 10_000.0);
+        assert!(ctl.n_active() < 3, "drop rule should shed layers");
+        assert!(ctl.metrics().drops() > 0);
+    }
+
+    #[test]
+    fn backoff_with_ample_buffer_keeps_layers() {
+        let mut ctl = controller();
+        ctl.set_slope(25_000.0);
+        let mut now = 0.0;
+        for _ in 0..3000 {
+            drive(&mut ctl, &mut now, 35_000.0, 0.1);
+            if ctl.n_active() == 3 {
+                break;
+            }
+        }
+        assert_eq!(ctl.n_active(), 3);
+        // Long filling at high rate banks plenty of buffering.
+        for _ in 0..400 {
+            drive(&mut ctl, &mut now, 35_000.0, 0.1);
+        }
+        ctl.on_backoff(now, 22_500.0);
+        assert_eq!(ctl.n_active(), 3, "buffers should absorb a single backoff");
+        assert_eq!(ctl.phase(), Phase::Draining);
+    }
+
+    #[test]
+    fn draining_consumes_buffers_and_recovers() {
+        let mut ctl = controller();
+        ctl.set_slope(25_000.0);
+        let mut now = 0.0;
+        for _ in 0..3000 {
+            drive(&mut ctl, &mut now, 35_000.0, 0.1);
+            if ctl.n_active() == 3 {
+                break;
+            }
+        }
+        for _ in 0..400 {
+            drive(&mut ctl, &mut now, 35_000.0, 0.1);
+        }
+        let buf_before = ctl.total_buffer();
+        ctl.on_backoff(now, 22_500.0);
+        // Linear recovery at S = 25 KB/s²; consumption 30 KB/s.
+        let mut rate = 22_500.0;
+        let dt = 0.1;
+        while rate < 30_000.0 {
+            let r = drive(&mut ctl, &mut now, rate, dt);
+            assert_eq!(r.phase, Phase::Draining);
+            assert!(!r.stalled, "must not stall with ample buffers");
+            rate += 25_000.0 * dt;
+        }
+        assert!(ctl.total_buffer() < buf_before, "draining must use buffer");
+        assert_eq!(ctl.n_active(), 3);
+        let r = drive(&mut ctl, &mut now, rate, dt);
+        assert_eq!(r.phase, Phase::Filling);
+    }
+
+    #[test]
+    fn credit_scheduler_tracks_allocation() {
+        let mut ctl = controller();
+        ctl.set_slope(25_000.0);
+        let mut now = 0.0;
+        for _ in 0..3000 {
+            drive(&mut ctl, &mut now, 35_000.0, 0.1);
+            if ctl.n_active() == 3 {
+                break;
+            }
+        }
+        // One tick, then draw packets: per-layer counts should approximate
+        // the allocation proportions.
+        let report = ctl.tick(now, 35_000.0, 1.0);
+        let pkt = 500.0;
+        let mut counts = vec![0usize; ctl.n_active()];
+        let total_bytes: f64 = report.per_layer_rate.iter().sum::<f64>() * 1.0;
+        let n_pkts = (total_bytes / pkt) as usize;
+        for _ in 0..n_pkts {
+            let layer = ctl.next_packet_layer(pkt);
+            counts[layer] += 1;
+        }
+        for (i, &cnt) in counts.iter().enumerate() {
+            let want = report.per_layer_rate[i] * 1.0 / pkt;
+            assert!(
+                (cnt as f64 - want).abs() <= 2.0,
+                "layer {i}: {cnt} packets vs allocation {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn only_delivered_bytes_are_credited() {
+        // Losses are never credited: a transport that sends X but only has
+        // Y < X confirmed delivered yields a buffer estimate based on Y.
+        let mut ctl = controller();
+        ctl.set_slope(25_000.0);
+        let mut now = 0.0;
+        for _ in 0..50 {
+            let report = ctl.tick(now, 20_000.0, 0.1);
+            for (layer, &r) in report.per_layer_rate.iter().enumerate() {
+                // 10% of the bytes are lost in transit: never delivered.
+                ctl.on_packet_delivered(layer, 0.9 * r * 0.1);
+                ctl.on_packet_lost(layer, 0.1 * r * 0.1);
+            }
+            now += 0.1;
+        }
+        // Compare to a lossless twin.
+        let mut clean = controller();
+        clean.set_slope(25_000.0);
+        let mut now2 = 0.0;
+        for _ in 0..50 {
+            drive(&mut clean, &mut now2, 20_000.0, 0.1);
+        }
+        assert!(
+            ctl.total_buffer() < clean.total_buffer(),
+            "lossy path must credit less: {} vs {}",
+            ctl.total_buffer(),
+            clean.total_buffer()
+        );
+    }
+
+    #[test]
+    fn base_layer_stall_recorded_not_dropped() {
+        let mut ctl = controller();
+        ctl.set_slope(25_000.0);
+        // Bank just past the startup buffer, then starve the base layer:
+        // one second of consumption against ~0.6 s of data must stall.
+        ctl.on_packet_delivered(0, 6_000.0);
+        let _ = ctl.tick(0.0, 0.0, 0.0);
+        let r = ctl.tick(1.0, 0.0, 1.0);
+        assert!(r.stalled);
+        assert_eq!(ctl.n_active(), 1);
+        assert_eq!(ctl.metrics().stalls(), 1);
+        assert_eq!(ctl.buffers()[0], 0.0);
+    }
+
+    #[test]
+    fn playout_waits_for_startup_buffer() {
+        let mut ctl = controller();
+        ctl.set_slope(25_000.0);
+        // Tiny trickle below the startup threshold: no consumption charged,
+        // buffers only grow.
+        ctl.on_packet_delivered(0, 1_000.0);
+        let r = ctl.tick(0.5, 2_000.0, 0.5);
+        assert!(!r.stalled);
+        assert!((ctl.buffers()[0] - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drop_events_capture_efficiency_inputs() {
+        let mut ctl = controller();
+        ctl.set_slope(25_000.0);
+        let mut now = 0.0;
+        for _ in 0..3000 {
+            drive(&mut ctl, &mut now, 35_000.0, 0.1);
+            if ctl.n_active() == 3 {
+                break;
+            }
+        }
+        for b in ctl.bufs.iter_mut() {
+            *b = 0.0;
+        }
+        ctl.bufs[0] = 1_000.0;
+        ctl.on_backoff(now, 5_000.0);
+        let drops: Vec<_> = ctl
+            .metrics()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, QaEvent::LayerDropped { .. }))
+            .collect();
+        assert!(!drops.is_empty());
+        if let QaEvent::LayerDropped {
+            buf_total,
+            buf_drop,
+            ..
+        } = drops[0]
+        {
+            assert!(*buf_total >= *buf_drop);
+        }
+        assert!(ctl.metrics().efficiency().is_some());
+    }
+
+    #[test]
+    fn never_drops_base_layer() {
+        let mut ctl = controller();
+        ctl.set_slope(25_000.0);
+        ctl.on_backoff(0.0, 0.0);
+        assert_eq!(ctl.n_active(), 1);
+        let r = ctl.tick(0.1, 0.0, 0.1);
+        assert_eq!(r.n_active, 1);
+    }
+
+    #[test]
+    fn sawtooth_cycles_keep_quality_stable_once_buffered() {
+        // A clean periodic sawtooth between 14 and 28 KB/s: two layers
+        // (20 KB/s) are sustainable — each cycle banks more excess than a
+        // backoff drains — while a third layer can never be added (peaks
+        // stay below 30 KB/s). After warm-up the layer count must freeze.
+        let mut ctl = controller();
+        ctl.set_slope(25_000.0);
+        let mut now = 0.0;
+        let dt = 0.05;
+        let mut rate: f64 = 14_000.0;
+        let mut changes_after_warmup = 0;
+        let warmup = 30.0;
+        for _ in 0..6000 {
+            if rate >= 28_000.0 {
+                rate /= 2.0;
+                ctl.on_backoff(now, rate);
+            }
+            let r = drive(&mut ctl, &mut now, rate, dt);
+            if now > warmup {
+                changes_after_warmup += r.added + r.dropped;
+            }
+            rate += 25_000.0 * dt;
+        }
+        assert_eq!(ctl.n_active(), 2, "should sustain exactly 2 layers");
+        assert_eq!(
+            changes_after_warmup, 0,
+            "quality should be stable after warm-up"
+        );
+        assert_eq!(ctl.metrics().stalls(), 0);
+    }
+
+    #[test]
+    fn modem_link_effect_third_layer_part_time() {
+        // §3.1's 2.9-layer-link argument: on a link whose average is between
+        // 2 and 3 layers, the buffer-based add rule still streams the third
+        // layer part of the time (the average-bandwidth rule never would).
+        let mut ctl = controller();
+        ctl.set_slope(25_000.0);
+        let mut now = 0.0;
+        let dt = 0.05;
+        let mut rate: f64 = 19_000.0;
+        let mut three_layer_time = 0.0;
+        let mut total_time = 0.0;
+        for _ in 0..20_000 {
+            if rate >= 38_000.0 {
+                rate /= 2.0;
+                ctl.on_backoff(now, rate);
+            }
+            let r = drive(&mut ctl, &mut now, rate, dt);
+            if now > 30.0 {
+                total_time += dt;
+                if r.n_active >= 3 {
+                    three_layer_time += dt;
+                }
+            }
+            rate += 25_000.0 * dt;
+        }
+        // Average rate is 28.5 KB/s = 2.85 layers; the third layer should be
+        // up a meaningful fraction of the time.
+        assert!(
+            three_layer_time > 0.2 * total_time,
+            "third layer up only {:.0}% of the time",
+            100.0 * three_layer_time / total_time
+        );
+        assert_eq!(ctl.metrics().stalls(), 0, "base layer must never stall");
+    }
+}
+
+#[cfg(test)]
+mod boundary_tests {
+    use super::*;
+    use crate::config::QaConfig;
+
+    #[test]
+    fn add_blocked_at_encoding_maximum() {
+        let cfg = QaConfig {
+            layer_rate: 10_000.0,
+            max_layers: 2,
+            ..QaConfig::default()
+        };
+        let mut ctl = QaController::new(cfg).unwrap();
+        ctl.set_slope(25_000.0);
+        let mut now = 0.0;
+        for _ in 0..2000 {
+            let r = ctl.tick(now, 100_000.0, 0.1);
+            for (layer, &rate) in r.per_layer_rate.iter().enumerate() {
+                ctl.on_packet_delivered(layer, rate * 0.1);
+            }
+            now += 0.1;
+        }
+        assert_eq!(ctl.n_active(), 2, "must stop at max_layers");
+    }
+
+    #[test]
+    fn rate_exactly_at_consumption_is_filling() {
+        let mut ctl = QaController::new(QaConfig::default()).unwrap();
+        ctl.set_slope(25_000.0);
+        let r = ctl.tick(0.0, 10_000.0, 0.1); // 1 layer * 10 KB/s exactly
+        assert_eq!(r.phase, Phase::Filling);
+        // At exact parity there is no excess: allocation == consumption.
+        assert!((r.per_layer_rate[0] - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocation_accessor_matches_last_report() {
+        let mut ctl = QaController::new(QaConfig::default()).unwrap();
+        ctl.set_slope(25_000.0);
+        let r = ctl.tick(0.0, 25_000.0, 0.1);
+        assert_eq!(ctl.allocation(), r.per_layer_rate.as_slice());
+    }
+
+    #[test]
+    fn metrics_mut_allows_draining_events() {
+        let mut ctl = QaController::new(QaConfig::default()).unwrap();
+        ctl.set_slope(25_000.0);
+        let mut now = 0.0;
+        for _ in 0..600 {
+            let r = ctl.tick(now, 25_000.0, 0.1);
+            for (layer, &rate) in r.per_layer_rate.iter().enumerate() {
+                ctl.on_packet_delivered(layer, rate * 0.1);
+            }
+            now += 0.1;
+        }
+        let events = ctl.metrics_mut().take_events();
+        assert!(!events.is_empty(), "adds should have been recorded");
+        assert!(ctl.metrics().events().is_empty(), "drained");
+    }
+
+    #[test]
+    fn non_finite_slope_falls_back_to_minimum() {
+        let mut ctl = QaController::new(QaConfig::default()).unwrap();
+        ctl.set_slope(f64::NAN);
+        let r = ctl.tick(0.0, 25_000.0, 0.1);
+        assert!(r.per_layer_rate.iter().all(|x| x.is_finite()));
+        ctl.set_slope(f64::INFINITY);
+        let r = ctl.tick(0.1, 25_000.0, 0.1);
+        assert!(r.per_layer_rate.iter().all(|x| x.is_finite()));
+    }
+}

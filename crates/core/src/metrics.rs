@@ -1,0 +1,308 @@
+//! Evaluation metrics and event log (§5: Tables 1 and 2, figure 12).
+//!
+//! The paper scores the mechanism on:
+//!
+//! * **Buffering efficiency** (Table 1): on every drop event,
+//!   `e = (buf_total − buf_drop) / buf_total` — the fraction of the
+//!   receiver's buffered data that remains useful after the drop. A
+//!   maximally efficient allocation strands (almost) no data in dropped
+//!   layers, so `e ≈ 1`.
+//! * **Drops due to poor distribution** (Table 2): the percentage of drop
+//!   events where the *total* buffering would have sufficed for recovery
+//!   had it been distributed differently across layers.
+//! * **Quality changes** (figure 12): the number of add + drop events, the
+//!   quantity the smoothing factor `K_max` trades against short-term
+//!   quality.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a layer was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// §2.2 rule: total buffering below the recovery deficit at backoff.
+    InsufficientTotalBuffer,
+    /// A draining period could not be covered even though draining was
+    /// planned — the §2.3 "insufficient distribution" failure, or a
+    /// critical situation from extra backoffs / slope misestimation.
+    DistributionShortfall,
+    /// A layer's own buffer ran dry while its allocated bandwidth was below
+    /// its consumption rate (receiver-side underflow).
+    Underflow,
+}
+
+/// One quality-adaptation event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QaEvent {
+    /// A layer was added; `n_active` is the count *after* the add.
+    LayerAdded {
+        /// Event time (seconds).
+        time: f64,
+        /// Active layer count after the add.
+        n_active: usize,
+    },
+    /// A layer was dropped; `n_active` is the count *after* the drop.
+    LayerDropped {
+        /// Event time (seconds).
+        time: f64,
+        /// Index of the dropped layer (== `n_active` after the drop).
+        layer: usize,
+        /// Active layer count after the drop.
+        n_active: usize,
+        /// Total buffered bytes across all layers at drop time (including
+        /// the dropped layer's share).
+        buf_total: f64,
+        /// Buffered bytes stranded in the dropped layer.
+        buf_drop: f64,
+        /// Recovery buffering the §2.2 rule required at that instant.
+        required: f64,
+        /// Why the layer was dropped.
+        reason: DropReason,
+    },
+    /// The base layer's buffer ran dry during a deficit: playback stalled.
+    BaseStall {
+        /// Event time (seconds).
+        time: f64,
+    },
+}
+
+/// Accumulates [`QaEvent`]s and derives the paper's evaluation metrics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricsCollector {
+    events: Vec<QaEvent>,
+}
+
+impl MetricsCollector {
+    /// New empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an event.
+    pub fn record(&mut self, event: QaEvent) {
+        self.events.push(event);
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[QaEvent] {
+        &self.events
+    }
+
+    /// Drain the event log (used by streaming exporters).
+    pub fn take_events(&mut self) -> Vec<QaEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Number of layer-add events.
+    pub fn adds(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, QaEvent::LayerAdded { .. }))
+            .count()
+    }
+
+    /// Number of layer-drop events.
+    pub fn drops(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, QaEvent::LayerDropped { .. }))
+            .count()
+    }
+
+    /// Total quality changes (adds + drops) — the figure-12 smoothness
+    /// measure.
+    pub fn quality_changes(&self) -> usize {
+        self.adds() + self.drops()
+    }
+
+    /// Number of base-layer stalls (must be zero in a healthy run).
+    pub fn stalls(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, QaEvent::BaseStall { .. }))
+            .count()
+    }
+
+    /// Table-1 buffering efficiency: mean of `(buf_total − buf_drop) /
+    /// buf_total` over all drop events with `buf_total > 0`. `None` when no
+    /// such drop occurred (a run with no drops is trivially efficient).
+    pub fn efficiency(&self) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for e in &self.events {
+            if let QaEvent::LayerDropped {
+                buf_total,
+                buf_drop,
+                ..
+            } = e
+            {
+                if *buf_total > 0.0 {
+                    sum += (buf_total - buf_drop) / buf_total;
+                    n += 1;
+                }
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Table-2 metric: fraction of drop events that a different distribution
+    /// of the same total buffering would have avoided — drops whose recorded
+    /// total buffering met the §2.2 requirement yet the layer was dropped
+    /// anyway (distribution shortfall / underflow). `None` when there were
+    /// no drops at all.
+    pub fn avoidable_drop_fraction(&self) -> Option<f64> {
+        let mut avoidable = 0usize;
+        let mut total = 0usize;
+        for e in &self.events {
+            if let QaEvent::LayerDropped {
+                buf_total,
+                required,
+                reason,
+                ..
+            } = e
+            {
+                total += 1;
+                let had_enough_total = buf_total >= required;
+                if had_enough_total
+                    && matches!(
+                        reason,
+                        DropReason::DistributionShortfall | DropReason::Underflow
+                    )
+                {
+                    avoidable += 1;
+                }
+            }
+        }
+        (total > 0).then(|| avoidable as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drop_event(buf_total: f64, buf_drop: f64, required: f64, reason: DropReason) -> QaEvent {
+        QaEvent::LayerDropped {
+            time: 1.0,
+            layer: 2,
+            n_active: 2,
+            buf_total,
+            buf_drop,
+            required,
+            reason,
+        }
+    }
+
+    #[test]
+    fn efficiency_none_without_drops() {
+        let m = MetricsCollector::new();
+        assert_eq!(m.efficiency(), None);
+    }
+
+    #[test]
+    fn efficiency_averages_over_drop_events() {
+        let mut m = MetricsCollector::new();
+        m.record(drop_event(
+            1000.0,
+            0.0,
+            2000.0,
+            DropReason::InsufficientTotalBuffer,
+        ));
+        m.record(drop_event(
+            1000.0,
+            100.0,
+            2000.0,
+            DropReason::InsufficientTotalBuffer,
+        ));
+        let e = m.efficiency().unwrap();
+        assert!((e - 0.95).abs() < 1e-12, "e = {e}");
+    }
+
+    #[test]
+    fn efficiency_ignores_zero_total_drops() {
+        let mut m = MetricsCollector::new();
+        m.record(drop_event(
+            0.0,
+            0.0,
+            500.0,
+            DropReason::InsufficientTotalBuffer,
+        ));
+        assert_eq!(m.efficiency(), None);
+    }
+
+    #[test]
+    fn quality_changes_counts_adds_and_drops() {
+        let mut m = MetricsCollector::new();
+        m.record(QaEvent::LayerAdded {
+            time: 0.5,
+            n_active: 2,
+        });
+        m.record(QaEvent::LayerAdded {
+            time: 1.5,
+            n_active: 3,
+        });
+        m.record(drop_event(
+            10.0,
+            0.0,
+            50.0,
+            DropReason::InsufficientTotalBuffer,
+        ));
+        assert_eq!(m.adds(), 2);
+        assert_eq!(m.drops(), 1);
+        assert_eq!(m.quality_changes(), 3);
+    }
+
+    #[test]
+    fn avoidable_fraction_classifies_by_reason_and_required() {
+        let mut m = MetricsCollector::new();
+        // Unavoidable: total below requirement.
+        m.record(drop_event(
+            100.0,
+            0.0,
+            500.0,
+            DropReason::InsufficientTotalBuffer,
+        ));
+        // Avoidable: total met the requirement but distribution failed.
+        m.record(drop_event(
+            1000.0,
+            50.0,
+            500.0,
+            DropReason::DistributionShortfall,
+        ));
+        // Not avoidable even though shortfall: total genuinely short.
+        m.record(drop_event(
+            100.0,
+            0.0,
+            500.0,
+            DropReason::DistributionShortfall,
+        ));
+        // Underflow with sufficient total: avoidable.
+        m.record(drop_event(800.0, 10.0, 500.0, DropReason::Underflow));
+        let f = m.avoidable_drop_fraction().unwrap();
+        assert!((f - 0.5).abs() < 1e-12, "f = {f}");
+    }
+
+    #[test]
+    fn avoidable_fraction_none_without_drops() {
+        let mut m = MetricsCollector::new();
+        m.record(QaEvent::LayerAdded {
+            time: 0.0,
+            n_active: 2,
+        });
+        assert_eq!(m.avoidable_drop_fraction(), None);
+    }
+
+    #[test]
+    fn stalls_counted() {
+        let mut m = MetricsCollector::new();
+        m.record(QaEvent::BaseStall { time: 3.0 });
+        assert_eq!(m.stalls(), 1);
+    }
+
+    #[test]
+    fn take_events_drains_log() {
+        let mut m = MetricsCollector::new();
+        m.record(QaEvent::BaseStall { time: 3.0 });
+        assert_eq!(m.take_events().len(), 1);
+        assert!(m.events().is_empty());
+    }
+}

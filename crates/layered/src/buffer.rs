@@ -1,0 +1,163 @@
+//! Per-layer receiver buffer.
+//!
+//! The receiver holds arrived-but-not-yet-played data per layer (figure 2's
+//! horizontal arrival→playout bars). The quality-adaptation analysis only
+//! needs byte counts, but the buffer also tracks arrival metadata so the
+//! experiments can reconstruct the paper's figure-2 playout diagram and
+//! measure actual (not estimated) occupancy.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One buffered chunk (usually one packet's payload).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BufferedChunk {
+    /// Arrival time at the receiver (seconds).
+    pub arrival: f64,
+    /// Bytes in the chunk.
+    pub bytes: f64,
+}
+
+/// FIFO byte buffer for one layer.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LayerBuffer {
+    chunks: VecDeque<BufferedChunk>,
+    buffered: f64,
+    /// Cumulative bytes that were demanded but missing (underflow volume).
+    starved: f64,
+    /// Number of distinct consume calls that hit an empty/short buffer.
+    underflow_events: u64,
+}
+
+impl LayerBuffer {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `bytes` that arrived at time `arrival`.
+    pub fn push(&mut self, arrival: f64, bytes: f64) {
+        if bytes <= 0.0 {
+            return;
+        }
+        self.chunks.push_back(BufferedChunk { arrival, bytes });
+        self.buffered += bytes;
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered(&self) -> f64 {
+        self.buffered
+    }
+
+    /// Total bytes that could not be supplied on demand.
+    pub fn starved_bytes(&self) -> f64 {
+        self.starved
+    }
+
+    /// Number of consume calls that found insufficient data.
+    pub fn underflow_events(&self) -> u64 {
+        self.underflow_events
+    }
+
+    /// Arrival time of the oldest buffered chunk, if any.
+    pub fn oldest_arrival(&self) -> Option<f64> {
+        self.chunks.front().map(|c| c.arrival)
+    }
+
+    /// Consume up to `bytes` from the head of the buffer; returns the bytes
+    /// actually supplied. A short supply is recorded as an underflow.
+    pub fn consume(&mut self, bytes: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        let mut remaining = bytes;
+        while remaining > 0.0 {
+            match self.chunks.front_mut() {
+                None => break,
+                Some(chunk) => {
+                    if chunk.bytes > remaining {
+                        chunk.bytes -= remaining;
+                        self.buffered -= remaining;
+                        remaining = 0.0;
+                    } else {
+                        remaining -= chunk.bytes;
+                        self.buffered -= chunk.bytes;
+                        self.chunks.pop_front();
+                    }
+                }
+            }
+        }
+        if remaining > 1e-9 {
+            self.starved += remaining;
+            self.underflow_events += 1;
+        }
+        bytes - remaining
+    }
+
+    /// Discard everything (e.g. when the layer is dropped and its data is
+    /// written off for recovery purposes).
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+        self.buffered = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_consume_round_trip() {
+        let mut b = LayerBuffer::new();
+        b.push(0.0, 1_000.0);
+        b.push(0.1, 500.0);
+        assert_eq!(b.buffered(), 1_500.0);
+        assert_eq!(b.consume(600.0), 600.0);
+        assert_eq!(b.buffered(), 900.0);
+        assert_eq!(b.underflow_events(), 0);
+    }
+
+    #[test]
+    fn consume_across_chunk_boundaries() {
+        let mut b = LayerBuffer::new();
+        for i in 0..10 {
+            b.push(i as f64, 100.0);
+        }
+        assert_eq!(b.consume(950.0), 950.0);
+        assert!((b.buffered() - 50.0).abs() < 1e-9);
+        assert_eq!(b.oldest_arrival(), Some(9.0));
+    }
+
+    #[test]
+    fn underflow_recorded_once_per_call() {
+        let mut b = LayerBuffer::new();
+        b.push(0.0, 100.0);
+        assert_eq!(b.consume(250.0), 100.0);
+        assert_eq!(b.underflow_events(), 1);
+        assert_eq!(b.starved_bytes(), 150.0);
+        assert_eq!(b.buffered(), 0.0);
+    }
+
+    #[test]
+    fn zero_and_negative_ops_are_noops() {
+        let mut b = LayerBuffer::new();
+        b.push(0.0, 0.0);
+        b.push(0.0, -5.0);
+        assert_eq!(b.buffered(), 0.0);
+        assert_eq!(b.consume(0.0), 0.0);
+        assert_eq!(b.consume(-1.0), 0.0);
+        assert_eq!(b.underflow_events(), 0);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_stats() {
+        let mut b = LayerBuffer::new();
+        b.push(0.0, 100.0);
+        b.consume(200.0);
+        b.push(1.0, 300.0);
+        b.clear();
+        assert_eq!(b.buffered(), 0.0);
+        assert_eq!(b.underflow_events(), 1);
+        assert_eq!(b.oldest_arrival(), None);
+    }
+}

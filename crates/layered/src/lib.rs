@@ -1,0 +1,30 @@
+//! # laqa-layered — layered media model
+//!
+//! The hierarchically encoded stream substrate for the quality-adaptation
+//! mechanism of Rejaie/Handley/Estrin (SIGCOMM 1999):
+//!
+//! * [`encoding`] — layer stacks (the paper's linear spacing plus the
+//!   non-linear extension mentioned in its future work);
+//! * [`stream`] — stored-stream packetization, playout deadlines, and
+//!   deterministic payloads for end-to-end integrity checks;
+//! * [`buffer`] — per-layer receiver FIFO buffers with underflow
+//!   accounting;
+//! * [`receiver`] — the playout engine combining buffers and a clock, the
+//!   ground truth against which the sender's buffer estimates are judged;
+//! * [`cache`] — proxy caching of layered streams with demand-driven
+//!   prefetch (the paper's §7 closing future-work item).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod buffer;
+pub mod cache;
+pub mod encoding;
+pub mod receiver;
+pub mod stream;
+
+pub use buffer::LayerBuffer;
+pub use cache::{LayerCache, PrefetchPlanner};
+pub use encoding::{EncodingError, LayerSpec, LayeredEncoding};
+pub use receiver::{LayeredReceiver, ReceiverStats};
+pub use stream::{LayeredStream, PacketId};

@@ -1,0 +1,247 @@
+//! The layered receiver: per-layer buffers plus a playout clock.
+//!
+//! The receiver is the ground truth the sender's `laqa-core` estimates
+//! approximate: packets arrive into per-layer buffers, and once playout has
+//! started every *active* layer is consumed at its encoding rate. Underflows
+//! are recorded per layer; a base-layer underflow is a visible playback
+//! stall, a top-layer underflow accompanies (or forces) a quality drop.
+
+use crate::buffer::LayerBuffer;
+use crate::encoding::LayeredEncoding;
+use serde::{Deserialize, Serialize};
+
+/// Receiver-side statistics snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReceiverStats {
+    /// Bytes currently buffered per layer.
+    pub buffered: Vec<f64>,
+    /// Underflow events per layer.
+    pub underflows: Vec<u64>,
+    /// Starved bytes per layer.
+    pub starved: Vec<f64>,
+    /// Total bytes received per layer.
+    pub received: Vec<f64>,
+    /// Media position (seconds of content consumed).
+    pub position: f64,
+    /// Whether playout has started.
+    pub playing: bool,
+}
+
+/// A receiving endpoint for a layered stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayeredReceiver {
+    encoding: LayeredEncoding,
+    buffers: Vec<LayerBuffer>,
+    received: Vec<f64>,
+    /// Number of layers currently being decoded.
+    active: usize,
+    /// Seconds of base-layer content required before playout starts.
+    startup_secs: f64,
+    playing: bool,
+    /// Media position in seconds.
+    position: f64,
+}
+
+impl LayeredReceiver {
+    /// Create a receiver for `encoding`, initially decoding `active` layers,
+    /// starting playout once `startup_secs` of base-layer data is buffered.
+    pub fn new(encoding: LayeredEncoding, active: usize, startup_secs: f64) -> Self {
+        let n = encoding.n_layers();
+        LayeredReceiver {
+            buffers: (0..n).map(|_| LayerBuffer::new()).collect(),
+            received: vec![0.0; n],
+            active: active.clamp(1, n),
+            startup_secs: startup_secs.max(0.0),
+            playing: false,
+            position: 0.0,
+            encoding,
+        }
+    }
+
+    /// The encoding being received.
+    pub fn encoding(&self) -> &LayeredEncoding {
+        &self.encoding
+    }
+
+    /// Number of layers currently decoded.
+    pub fn active_layers(&self) -> usize {
+        self.active
+    }
+
+    /// Change the decoded layer count (server adds/drops are signalled in
+    /// the data stream; the receiver follows).
+    pub fn set_active_layers(&mut self, n: usize) {
+        self.active = n.clamp(1, self.encoding.n_layers());
+    }
+
+    /// Whether playout has started.
+    pub fn playing(&self) -> bool {
+        self.playing
+    }
+
+    /// Media position (seconds consumed since playout start).
+    pub fn position(&self) -> f64 {
+        self.position
+    }
+
+    /// Bytes buffered for `layer`.
+    pub fn buffered(&self, layer: usize) -> f64 {
+        self.buffers[layer].buffered()
+    }
+
+    /// Total bytes buffered across layers.
+    pub fn total_buffered(&self) -> f64 {
+        self.buffers.iter().map(|b| b.buffered()).sum()
+    }
+
+    /// Deliver `bytes` of `layer` data arriving at time `now`.
+    pub fn on_data(&mut self, now: f64, layer: usize, bytes: f64) {
+        if layer >= self.buffers.len() {
+            return;
+        }
+        self.buffers[layer].push(now, bytes);
+        self.received[layer] += bytes;
+    }
+
+    /// Advance wall-clock time by `dt` seconds: start playout when the
+    /// startup condition is met, then consume every active layer at its
+    /// rate. Returns the number of layers that underflowed during this step.
+    pub fn advance(&mut self, dt: f64) -> usize {
+        if dt <= 0.0 {
+            return 0;
+        }
+        if !self.playing {
+            let need = self.encoding.rate(0) * self.startup_secs;
+            if self.buffers[0].buffered() >= need {
+                self.playing = true;
+            } else {
+                return 0;
+            }
+        }
+        let mut underflows = 0;
+        for layer in 0..self.active {
+            let want = self.encoding.rate(layer) * dt;
+            let got = self.buffers[layer].consume(want);
+            if got + 1e-9 < want {
+                underflows += 1;
+            }
+        }
+        self.position += dt;
+        underflows
+    }
+
+    /// Write off a dropped layer's remaining buffer (it will still render,
+    /// but it no longer counts toward recovery; §5's efficiency metric).
+    pub fn discard_layer_buffer(&mut self, layer: usize) -> f64 {
+        if layer >= self.buffers.len() {
+            return 0.0;
+        }
+        let b = self.buffers[layer].buffered();
+        self.buffers[layer].clear();
+        b
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ReceiverStats {
+        ReceiverStats {
+            buffered: self.buffers.iter().map(|b| b.buffered()).collect(),
+            underflows: self.buffers.iter().map(|b| b.underflow_events()).collect(),
+            starved: self.buffers.iter().map(|b| b.starved_bytes()).collect(),
+            received: self.received.clone(),
+            position: self.position,
+            playing: self.playing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::LayeredEncoding;
+
+    fn receiver(active: usize) -> LayeredReceiver {
+        LayeredReceiver::new(LayeredEncoding::linear(4, 10_000.0).unwrap(), active, 0.5)
+    }
+
+    #[test]
+    fn playout_waits_for_startup_buffer() {
+        let mut r = receiver(1);
+        r.on_data(0.0, 0, 4_000.0); // < 5000 needed
+        assert_eq!(r.advance(0.1), 0);
+        assert!(!r.playing());
+        assert_eq!(r.position(), 0.0);
+        r.on_data(0.1, 0, 2_000.0);
+        r.advance(0.1);
+        assert!(r.playing());
+        assert!(r.position() > 0.0);
+    }
+
+    #[test]
+    fn consumption_drains_active_layers_only() {
+        let mut r = receiver(2);
+        for l in 0..4 {
+            r.on_data(0.0, l, 10_000.0);
+        }
+        r.advance(0.5);
+        assert!((r.buffered(0) - 5_000.0).abs() < 1e-9);
+        assert!((r.buffered(1) - 5_000.0).abs() < 1e-9);
+        assert_eq!(r.buffered(2), 10_000.0);
+        assert_eq!(r.buffered(3), 10_000.0);
+    }
+
+    #[test]
+    fn underflow_counted_per_layer() {
+        let mut r = receiver(3);
+        r.on_data(0.0, 0, 20_000.0);
+        r.on_data(0.0, 1, 1_000.0);
+        // Layer 2 empty, layer 1 short: 1 s of playout needs 10 KB each.
+        let u = r.advance(1.0);
+        assert_eq!(u, 2);
+        let stats = r.stats();
+        assert_eq!(stats.underflows[0], 0);
+        assert_eq!(stats.underflows[1], 1);
+        assert_eq!(stats.underflows[2], 1);
+    }
+
+    #[test]
+    fn set_active_layers_clamped() {
+        let mut r = receiver(2);
+        r.set_active_layers(0);
+        assert_eq!(r.active_layers(), 1);
+        r.set_active_layers(99);
+        assert_eq!(r.active_layers(), 4);
+    }
+
+    #[test]
+    fn discard_layer_buffer_returns_stranded_bytes() {
+        let mut r = receiver(3);
+        r.on_data(0.0, 2, 7_500.0);
+        assert_eq!(r.discard_layer_buffer(2), 7_500.0);
+        assert_eq!(r.buffered(2), 0.0);
+        assert_eq!(r.discard_layer_buffer(2), 0.0);
+        assert_eq!(r.discard_layer_buffer(99), 0.0);
+    }
+
+    #[test]
+    fn data_for_unknown_layer_ignored() {
+        let mut r = receiver(1);
+        r.on_data(0.0, 9, 1_000.0);
+        assert_eq!(r.total_buffered(), 0.0);
+    }
+
+    #[test]
+    fn steady_state_no_underflow_when_fed_at_rate() {
+        let mut r = receiver(2);
+        r.on_data(0.0, 0, 6_000.0);
+        r.on_data(0.0, 1, 6_000.0);
+        let mut underflows = 0;
+        for i in 0..100 {
+            let t = i as f64 * 0.1;
+            r.on_data(t, 0, 1_000.0);
+            r.on_data(t, 1, 1_000.0);
+            underflows += r.advance(0.1);
+        }
+        assert_eq!(underflows, 0);
+        assert!((r.position() - 10.0).abs() < 1e-9);
+    }
+}

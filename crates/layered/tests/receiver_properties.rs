@@ -1,0 +1,106 @@
+//! Property-based tests for the layered media substrate.
+
+use laqa_layered::{LayerBuffer, LayeredEncoding, LayeredReceiver, LayeredStream, PacketId};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn buffer_conserves_bytes(
+        ops in proptest::collection::vec((0.0..10_000.0f64, any::<bool>()), 1..200),
+    ) {
+        let mut b = LayerBuffer::new();
+        let mut pushed = 0.0;
+        let mut consumed = 0.0;
+        for (i, &(amount, is_push)) in ops.iter().enumerate() {
+            if is_push {
+                b.push(i as f64, amount);
+                pushed += amount;
+            } else {
+                consumed += b.consume(amount);
+            }
+            prop_assert!(b.buffered() >= -1e-9);
+        }
+        prop_assert!((pushed - consumed - b.buffered()).abs() < 1e-6,
+            "pushed {pushed} consumed {consumed} left {}", b.buffered());
+    }
+
+    #[test]
+    fn consume_never_returns_more_than_requested(
+        pushes in proptest::collection::vec(0.0..5_000.0f64, 1..50),
+        want in 0.0..100_000.0f64,
+    ) {
+        let mut b = LayerBuffer::new();
+        for (i, &p) in pushes.iter().enumerate() {
+            b.push(i as f64, p);
+        }
+        let got = b.consume(want);
+        prop_assert!(got <= want + 1e-9);
+        prop_assert!(got <= pushes.iter().sum::<f64>() + 1e-9);
+    }
+
+    #[test]
+    fn receiver_position_advances_iff_playing(
+        feeds in proptest::collection::vec(0.0..2_000.0f64, 10..100),
+    ) {
+        let enc = LayeredEncoding::linear(3, 10_000.0).unwrap();
+        let mut r = LayeredReceiver::new(enc, 2, 0.5);
+        let mut t = 0.0;
+        for &f in &feeds {
+            r.on_data(t, 0, f);
+            r.on_data(t, 1, f);
+            let was_playing = r.playing();
+            let pos_before = r.position();
+            r.advance(0.1);
+            if was_playing {
+                prop_assert!((r.position() - pos_before - 0.1).abs() < 1e-9);
+            } else if !r.playing() {
+                prop_assert_eq!(r.position(), 0.0);
+            }
+            t += 0.1;
+        }
+    }
+
+    #[test]
+    fn stream_deadlines_monotone(
+        layer in 0u8..4,
+        seqs in proptest::collection::vec(0u64..10_000, 2..50),
+    ) {
+        let enc = LayeredEncoding::exponential(4, 4_000.0, 2.0).unwrap();
+        let s = LayeredStream::new(enc, 120.0, 1_000);
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        let mut last = -1.0;
+        for &seq in &sorted {
+            let d = s.deadline(PacketId { layer, seq });
+            prop_assert!(d >= last);
+            last = d;
+        }
+    }
+
+    #[test]
+    fn payload_verification_rejects_any_flip(
+        seq in 0u64..1_000,
+        layer in 0u8..4,
+        len in 9usize..600,
+        flip in 0usize..600,
+    ) {
+        let enc = LayeredEncoding::linear(4, 10_000.0).unwrap();
+        let s = LayeredStream::new(enc, 60.0, 1_000);
+        let id = PacketId { layer, seq };
+        let mut p = s.payload(id, len);
+        prop_assert!(s.verify_payload(id, &p));
+        let idx = flip % len;
+        p[idx] ^= 0x01;
+        prop_assert!(!s.verify_payload(id, &p));
+    }
+
+    #[test]
+    fn layers_within_is_monotone_in_bandwidth(
+        bw1 in 0.0..100_000.0f64,
+        bw2 in 0.0..100_000.0f64,
+    ) {
+        let enc = LayeredEncoding::exponential(5, 2_000.0, 1.6).unwrap();
+        let (lo, hi) = if bw1 <= bw2 { (bw1, bw2) } else { (bw2, bw1) };
+        prop_assert!(enc.layers_within(lo) <= enc.layers_within(hi));
+    }
+}

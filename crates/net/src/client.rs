@@ -1,0 +1,129 @@
+//! The buffering playback client over tokio UDP.
+//!
+//! Subscribes with `Hello`, feeds arriving data into a
+//! [`laqa_layered::LayeredReceiver`], acknowledges every packet (RAP), and
+//! advances playout on a fixed interval. Verifies payload integrity against
+//! the deterministic stream content.
+
+use crate::wire::Message;
+use laqa_layered::{LayeredReceiver, LayeredStream, PacketId, ReceiverStats};
+use laqa_rap::RapReceiverState;
+use laqa_trace::TimeSeries;
+use std::net::SocketAddr;
+use tokio::net::UdpSocket;
+use tokio::time::{interval, Duration, Instant};
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Flow id to subscribe to.
+    pub flow: u32,
+    /// Seconds of base-layer data before playout starts.
+    pub startup_secs: f64,
+    /// Playout advance period (seconds).
+    pub adv_dt: f64,
+    /// Give up after this long without any datagram.
+    pub idle_timeout: Duration,
+    /// Where to send `Hello` and ACKs (the ACK-path shaper, or the server
+    /// directly).
+    pub peer: SocketAddr,
+}
+
+/// What the client observed.
+#[derive(Debug, Clone)]
+pub struct ClientReport {
+    /// Data packets received.
+    pub received: u64,
+    /// Payload bytes received.
+    pub bytes: u64,
+    /// Packets whose payload failed verification.
+    pub corrupt: u64,
+    /// Playout underflow steps observed.
+    pub underflows: u64,
+    /// Receiver statistics at session end.
+    pub stats: ReceiverStats,
+    /// Buffered bytes of the base layer over time.
+    pub base_buffer_trace: TimeSeries,
+    /// Active-layer signal over time (as announced by the server).
+    pub n_active_trace: TimeSeries,
+    /// True when the session ended with the server's `Fin` (vs timeout).
+    pub got_fin: bool,
+}
+
+/// Run the client until `Fin` or idle timeout.
+pub async fn run_client(
+    socket: UdpSocket,
+    cfg: ClientConfig,
+    stream: LayeredStream,
+) -> std::io::Result<ClientReport> {
+    let encoding = stream.encoding().clone();
+    let mut receiver = LayeredReceiver::new(encoding, 1, cfg.startup_secs);
+    let mut rap_rx = RapReceiverState::new();
+    let mut buf = vec![0u8; 65_536];
+    let t0 = Instant::now();
+    let mut report = ClientReport {
+        received: 0,
+        bytes: 0,
+        corrupt: 0,
+        underflows: 0,
+        stats: receiver.stats(),
+        base_buffer_trace: TimeSeries::new("rx_base_buffer"),
+        n_active_trace: TimeSeries::new("rx_n_active"),
+        got_fin: false,
+    };
+
+    socket
+        .send_to(&Message::Hello { flow: cfg.flow }.encode(), cfg.peer)
+        .await?;
+    let mut adv = interval(Duration::from_secs_f64(cfg.adv_dt));
+    adv.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
+    let mut last_rx = Instant::now();
+
+    loop {
+        tokio::select! {
+            r = socket.recv_from(&mut buf) => {
+                let (len, _) = r?;
+                last_rx = Instant::now();
+                match Message::decode(bytes::Bytes::copy_from_slice(&buf[..len])) {
+                    Ok(Message::Data { seq, layer, n_active, payload, .. }) => {
+                        report.received += 1;
+                        report.bytes += payload.len() as u64;
+                        let now = t0.elapsed().as_secs_f64();
+                        receiver.on_data(now, layer as usize, len as f64);
+                        receiver.set_active_layers(n_active as usize);
+                        report.n_active_trace.push(now, n_active as f64);
+                        // Verify the deterministic content.
+                        if payload.len() >= 8 {
+                            let media_seq =
+                                u64::from_le_bytes(payload[..8].try_into().unwrap());
+                            let id = PacketId { layer, seq: media_seq };
+                            if !stream.verify_payload(id, &payload[8..]) {
+                                report.corrupt += 1;
+                            }
+                        } else {
+                            report.corrupt += 1;
+                        }
+                        let info = rap_rx.on_data(seq);
+                        let ack = Message::Ack { flow: cfg.flow, info };
+                        socket.send_to(&ack.encode(), cfg.peer).await?;
+                    }
+                    Ok(Message::Fin { .. }) => {
+                        report.got_fin = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            _ = adv.tick() => {
+                report.underflows += receiver.advance(cfg.adv_dt) as u64;
+                let now = t0.elapsed().as_secs_f64();
+                report.base_buffer_trace.push(now, receiver.buffered(0));
+                if last_rx.elapsed() > cfg.idle_timeout {
+                    break;
+                }
+            }
+        }
+    }
+    report.stats = receiver.stats();
+    Ok(report)
+}

@@ -1,0 +1,23 @@
+//! # laqa-net — real-socket streaming over tokio UDP
+//!
+//! The paper's mechanisms on real sockets and the real clock: a [`wire`]
+//! format for data/ACK datagrams, a paced quality-adaptive [`server`], a
+//! buffering playback [`client`], a loopback bottleneck [`shaper`]
+//! (serialization + drop-tail queue + delay) standing in for the paper's
+//! congested Internet path, and [`session`] orchestration that wires them
+//! together with optional cross-traffic.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod client;
+pub mod server;
+pub mod session;
+pub mod shaper;
+pub mod wire;
+
+pub use client::{run_client, ClientConfig, ClientReport};
+pub use server::{serve, ServerConfig, ServerReport};
+pub use session::{run_session, SessionConfig, SessionReport};
+pub use shaper::{Shaper, ShaperConfig};
+pub use wire::{Message, WireError};

@@ -1,0 +1,219 @@
+//! The quality-adaptive streaming server over tokio UDP.
+//!
+//! Drives the same [`laqa_rap::RapSender`] + [`laqa_core::QaController`]
+//! pair as the simulator agent, but against the real clock and real
+//! sockets: packets are paced with `sleep_until` at the RAP inter-packet
+//! gap, allocation ticks run on a fixed period, and ACK datagrams are
+//! processed as they arrive.
+
+use crate::wire::{Message, DATA_HEADER_LEN};
+use laqa_core::{MetricsCollector, QaConfig, QaController};
+use laqa_layered::{LayeredStream, PacketId};
+use laqa_rap::{RapConfig, RapEvent, RapSender};
+use laqa_trace::TimeSeries;
+use std::net::SocketAddr;
+use tokio::net::UdpSocket;
+use tokio::time::{sleep_until, Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// RAP protocol parameters.
+    pub rap: RapConfig,
+    /// Quality-adaptation parameters.
+    pub qa: QaConfig,
+    /// Allocation period (seconds).
+    pub tick_dt: f64,
+    /// Session duration (seconds).
+    pub duration: f64,
+    /// Flow id stamped on every packet.
+    pub flow: u32,
+    /// Where to send data (the data-path shaper, or the client directly).
+    pub peer: SocketAddr,
+    /// Layers `0..retransmit_protect` get selective retransmission of
+    /// detected losses (§1.3); 0 disables (the paper's setting).
+    pub retransmit_protect: usize,
+}
+
+/// What the server observed during the session.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Data packets sent.
+    pub sent_packets: u64,
+    /// Data packets sent per layer.
+    pub sent_per_layer: Vec<u64>,
+    /// Backoffs experienced.
+    pub backoffs: u64,
+    /// Selective retransmissions performed.
+    pub retransmissions: u64,
+    /// Quality-adaptation event log.
+    pub metrics: MetricsCollector,
+    /// Layer count over time.
+    pub n_active_trace: TimeSeries,
+    /// Transmission rate over time.
+    pub rate_trace: TimeSeries,
+    /// Final sender-side buffer estimates.
+    pub final_buffers: Vec<f64>,
+}
+
+/// Run a streaming session: wait for a `Hello`, stream for
+/// `cfg.duration` seconds, then send `Fin`.
+pub async fn serve(
+    socket: UdpSocket,
+    cfg: ServerConfig,
+    stream: LayeredStream,
+) -> std::io::Result<ServerReport> {
+    let mut rap = RapSender::new(cfg.rap.clone(), 0.0);
+    let mut qa = QaController::new(cfg.qa.clone()).expect("valid QA config");
+    let payload_len = (cfg.rap.packet_size as usize)
+        .saturating_sub(DATA_HEADER_LEN)
+        .max(16);
+    let mut media_seq = vec![0u64; cfg.qa.max_layers];
+    // rap_seq -> (layer, media_seq) for selective retransmission.
+    let mut sent_map: std::collections::HashMap<u64, (usize, u64)> =
+        std::collections::HashMap::new();
+    let mut retx_queue: std::collections::VecDeque<(usize, u64)> =
+        std::collections::VecDeque::new();
+    let mut buf = vec![0u8; 65_536];
+
+    // Wait for the subscription (bounded).
+    let hello_deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        tokio::select! {
+            r = socket.recv_from(&mut buf) => {
+                let (len, _) = r?;
+                if let Ok(Message::Hello { .. }) =
+                    Message::decode(bytes::Bytes::copy_from_slice(&buf[..len]))
+                {
+                    break;
+                }
+            }
+            _ = sleep_until(hello_deadline) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "no client Hello within 10 s",
+                ));
+            }
+        }
+    }
+
+    let t0 = Instant::now();
+    let elapsed = |i: Instant| i.duration_since(t0).as_secs_f64();
+    let mut next_tick = 0.0f64;
+    let mut report = ServerReport {
+        sent_packets: 0,
+        sent_per_layer: vec![0; cfg.qa.max_layers],
+        backoffs: 0,
+        retransmissions: 0,
+        metrics: MetricsCollector::new(),
+        n_active_trace: TimeSeries::new("n_active"),
+        rate_trace: TimeSeries::new("tx_rate"),
+        final_buffers: Vec::new(),
+    };
+
+    loop {
+        let now = elapsed(Instant::now());
+        if now >= cfg.duration {
+            break;
+        }
+        rap.poll_timers(now);
+        for e in rap.take_events() {
+            match e {
+                RapEvent::Backoff { rate, .. } => {
+                    report.backoffs += 1;
+                    qa.on_backoff(now, rate);
+                }
+                RapEvent::PacketAcked { size, tag, seq, .. } => {
+                    qa.on_packet_delivered(tag as usize, size);
+                    sent_map.remove(&seq);
+                }
+                RapEvent::PacketLost { seq, tag, .. } => {
+                    if let Some((layer, m_seq)) = sent_map.remove(&seq) {
+                        if (tag as usize) < cfg.retransmit_protect {
+                            retx_queue.push_back((layer, m_seq));
+                        }
+                    }
+                }
+                RapEvent::RateIncrease { .. } => {}
+            }
+        }
+        while now + 1e-9 >= next_tick {
+            qa.set_slope(rap.slope());
+            let r = qa.tick(next_tick, rap.rate(), cfg.tick_dt);
+            report.n_active_trace.push(next_tick, r.n_active as f64);
+            report.rate_trace.push(next_tick, rap.rate());
+            next_tick += cfg.tick_dt;
+        }
+        if now >= rap.next_send_time() {
+            let size = cfg.rap.packet_size;
+            // Retransmissions of protected layers take priority over new
+            // data; they ride the same paced budget.
+            let (layer, m_seq) = match retx_queue.pop_front() {
+                Some((l, m)) => {
+                    report.retransmissions += 1;
+                    (l, m)
+                }
+                None => {
+                    let l = qa.next_packet_layer(size);
+                    let m = media_seq[l];
+                    media_seq[l] += 1;
+                    (l, m)
+                }
+            };
+            let seq = rap.register_send(now, size, layer as u32);
+            sent_map.insert(seq, (layer, m_seq));
+            let id = PacketId {
+                layer: layer as u8,
+                seq: m_seq,
+            };
+            // Payload = media sequence (for end-to-end verification) + the
+            // stream's deterministic content.
+            let mut payload = Vec::with_capacity(payload_len);
+            payload.extend_from_slice(&id.seq.to_le_bytes());
+            payload.extend_from_slice(&stream.payload(id, payload_len - 8));
+            let msg = Message::Data {
+                flow: cfg.flow,
+                seq,
+                layer: layer as u8,
+                n_active: qa.n_active() as u8,
+                send_ts_us: (now * 1e6) as u64,
+                payload: payload.into(),
+            };
+            socket.send_to(&msg.encode(), cfg.peer).await?;
+            report.sent_packets += 1;
+            report.sent_per_layer[layer] += 1;
+            continue; // re-evaluate immediately: more sends may be due
+        }
+        // Sleep until the next protocol event, waking early for ACKs.
+        let next = rap
+            .next_send_time()
+            .min(rap.next_timer())
+            .min(next_tick)
+            .min(cfg.duration)
+            .max(now + 1e-4);
+        let wake = t0 + Duration::from_secs_f64(next);
+        tokio::select! {
+            r = socket.recv_from(&mut buf) => {
+                let (len, _) = r?;
+                if let Ok(Message::Ack { info, .. }) =
+                    Message::decode(bytes::Bytes::copy_from_slice(&buf[..len]))
+                {
+                    let t = elapsed(Instant::now());
+                    rap.on_ack(t, info);
+                }
+            }
+            _ = sleep_until(wake) => {}
+        }
+    }
+
+    // Announce the end (thrice: the path is lossy by design).
+    for _ in 0..3 {
+        socket
+            .send_to(&Message::Fin { flow: cfg.flow }.encode(), cfg.peer)
+            .await?;
+        tokio::time::sleep(Duration::from_millis(10)).await;
+    }
+    report.metrics = qa.metrics().clone();
+    report.final_buffers = qa.buffers().to_vec();
+    Ok(report)
+}

@@ -1,0 +1,236 @@
+//! End-to-end loopback sessions: server + client + bottleneck shaper (+
+//! optional unresponsive cross-traffic), all in-process — the substitute
+//! for the paper's real-Internet experiments (see DESIGN.md).
+//!
+//! Topology:
+//!
+//! ```text
+//! server ──▶ data shaper (bandwidth, delay, drop-tail) ──▶ client
+//! client ──▶ ack shaper (ample bandwidth, delay)       ──▶ server
+//! cbr    ──▶ data shaper (same queue!)                 ──▶ sink
+//! ```
+//!
+//! The CBR source shares the data shaper's queue, so it congests the
+//! "path" exactly like the paper's competing load.
+
+use crate::client::{run_client, ClientConfig, ClientReport};
+use crate::server::{serve, ServerConfig, ServerReport};
+use crate::shaper::{Shaper, ShaperConfig};
+use laqa_core::QaConfig;
+use laqa_layered::{LayeredEncoding, LayeredStream};
+use laqa_rap::RapConfig;
+use tokio::net::UdpSocket;
+use tokio::time::Duration;
+
+/// Parameters of a loopback session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Data-path shaper (the bottleneck).
+    pub shaper: ShaperConfig,
+    /// RAP parameters for the QA flow.
+    pub rap: RapConfig,
+    /// QA parameters.
+    pub qa: QaConfig,
+    /// Session duration (seconds).
+    pub duration: f64,
+    /// Allocation period (seconds).
+    pub tick_dt: f64,
+    /// Optional unresponsive cross-traffic `(rate_bytes_per_sec,
+    /// packet_size, start_frac, stop_frac)` through the same bottleneck;
+    /// fractions are of `duration`.
+    pub cross_traffic: Option<(f64, usize, f64, f64)>,
+    /// Layers `0..n` protected by selective retransmission (0 = off).
+    pub retransmit_protect: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            shaper: ShaperConfig {
+                bandwidth: 40_000.0,
+                delay: Duration::from_millis(20),
+                queue_packets: 30,
+                ..ShaperConfig::default()
+            },
+            rap: RapConfig {
+                packet_size: 500.0,
+                initial_rate: 2_000.0,
+                initial_rtt: 0.08,
+                max_rate: 60_000.0,
+                ..RapConfig::default()
+            },
+            qa: QaConfig {
+                layer_rate: 5_000.0,
+                max_layers: 6,
+                k_max: 2,
+                underflow_slack_bytes: 2_000.0,
+                ..QaConfig::default()
+            },
+            duration: 10.0,
+            tick_dt: 0.05,
+            cross_traffic: None,
+            retransmit_protect: 0,
+        }
+    }
+}
+
+/// Everything observed during a session.
+#[derive(Debug)]
+pub struct SessionReport {
+    /// Server-side observations.
+    pub server: ServerReport,
+    /// Client-side observations.
+    pub client: ClientReport,
+    /// Packets the bottleneck dropped.
+    pub bottleneck_drops: u64,
+    /// Packets the bottleneck forwarded.
+    pub bottleneck_forwarded: u64,
+}
+
+/// Run a complete loopback session.
+pub async fn run_session(cfg: SessionConfig) -> std::io::Result<SessionReport> {
+    let data_shaper = Shaper::spawn(cfg.shaper).await?;
+    let ack_shaper = Shaper::spawn(ShaperConfig {
+        bandwidth: 12_500_000.0,
+        delay: cfg.shaper.delay,
+        queue_packets: 10_000,
+        ..ShaperConfig::default()
+    })
+    .await?;
+
+    let server_sock = UdpSocket::bind("127.0.0.1:0").await?;
+    let client_sock = UdpSocket::bind("127.0.0.1:0").await?;
+    let server_addr = server_sock.local_addr()?;
+    let client_addr = client_sock.local_addr()?;
+    data_shaper.add_route(server_addr, client_addr);
+    ack_shaper.add_route(client_addr, server_addr);
+
+    let encoding =
+        LayeredEncoding::linear(cfg.qa.max_layers, cfg.qa.layer_rate).expect("valid encoding");
+    let stream = LayeredStream::new(encoding, cfg.duration.max(60.0), 4_096);
+
+    let server_cfg = ServerConfig {
+        rap: cfg.rap.clone(),
+        qa: cfg.qa.clone(),
+        tick_dt: cfg.tick_dt,
+        duration: cfg.duration,
+        flow: 1,
+        peer: data_shaper.addr,
+        retransmit_protect: cfg.retransmit_protect,
+    };
+    let client_cfg = ClientConfig {
+        flow: 1,
+        // Margin over the server's threshold: the server learns of
+        // deliveries an RTT late, so the client must not start earlier
+        // than the server's accounting.
+        startup_secs: 2.0 * cfg.qa.startup_buffer_secs,
+        adv_dt: cfg.tick_dt,
+        idle_timeout: Duration::from_secs(5),
+        peer: ack_shaper.addr,
+    };
+
+    // Optional cross-traffic through the same shaper queue.
+    let cross = if let Some((rate, pkt, start_frac, stop_frac)) = cfg.cross_traffic {
+        let src = UdpSocket::bind("127.0.0.1:0").await?;
+        let sink = UdpSocket::bind("127.0.0.1:0").await?;
+        data_shaper.add_route(src.local_addr()?, sink.local_addr()?);
+        let shaper_addr = data_shaper.addr;
+        let start = Duration::from_secs_f64(cfg.duration * start_frac);
+        let stop = Duration::from_secs_f64(cfg.duration * stop_frac);
+        Some(tokio::spawn(async move {
+            let _sink = sink; // keep bound so packets have a destination
+            tokio::time::sleep(start).await;
+            let payload = vec![0u8; pkt];
+            let gap = Duration::from_secs_f64(pkt as f64 / rate);
+            let t0 = tokio::time::Instant::now();
+            while t0.elapsed() < stop - start {
+                let _ = src.send_to(&payload, shaper_addr).await;
+                tokio::time::sleep(gap).await;
+            }
+        }))
+    } else {
+        None
+    };
+
+    let stream2 = stream.clone();
+    let server_task = tokio::spawn(serve(server_sock, server_cfg, stream));
+    let client_task = tokio::spawn(run_client(client_sock, client_cfg, stream2));
+
+    let server = server_task.await.expect("server task")?;
+    let client = client_task.await.expect("client task")?;
+    if let Some(c) = cross {
+        c.abort();
+    }
+
+    Ok(SessionReport {
+        server,
+        client,
+        bottleneck_drops: data_shaper.dropped(),
+        bottleneck_forwarded: data_shaper.forwarded(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn loopback_session_streams_and_adapts() {
+        let cfg = SessionConfig {
+            duration: 6.0,
+            ..SessionConfig::default()
+        };
+        let report = run_session(cfg).await.expect("session runs");
+        assert!(
+            report.server.sent_packets > 100,
+            "sent {}",
+            report.server.sent_packets
+        );
+        assert!(
+            report.client.received > 50,
+            "received {}",
+            report.client.received
+        );
+        assert_eq!(report.client.corrupt, 0, "end-to-end integrity");
+        assert!(report.client.got_fin, "clean shutdown");
+        // The flow must have grown past the base layer at 40 KB/s capacity
+        // with 5 KB/s layers.
+        let peak = report.server.n_active_trace.max().unwrap_or(0.0);
+        assert!(peak >= 2.0, "peak layers {peak}");
+        // And the bottleneck must have actually shaped (backoffs happen on
+        // queue overflow once the rate exceeds 40 KB/s).
+        assert!(
+            report.server.backoffs >= 1,
+            "backoffs {}",
+            report.server.backoffs
+        );
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn cross_traffic_reduces_quality() {
+        let mut cfg = SessionConfig {
+            duration: 9.0,
+            ..SessionConfig::default()
+        };
+        cfg.cross_traffic = Some((20_000.0, 500, 0.4, 0.8));
+        let report = run_session(cfg).await.expect("session runs");
+        let n = &report.server.n_active_trace;
+        let before = n
+            .points
+            .iter()
+            .filter(|&&(t, _)| t > 1.5 && t < 3.5)
+            .map(|&(_, v)| v)
+            .fold(0.0f64, f64::max);
+        let during = n
+            .points
+            .iter()
+            .filter(|&&(t, _)| t > 4.5 && t < 7.0)
+            .map(|&(_, v)| v)
+            .fold(f64::MAX, f64::min);
+        assert!(
+            during <= before,
+            "cross traffic should not raise quality: before {before}, during {during}"
+        );
+        assert!(report.bottleneck_drops > 0, "cross traffic must congest");
+    }
+}

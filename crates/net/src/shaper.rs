@@ -1,0 +1,356 @@
+//! Loopback bottleneck shaper.
+//!
+//! The paper's real-Internet experiments put the flow behind a congested
+//! WAN path; without one, we reproduce the path in-process: a UDP relay
+//! that serializes packets at a configured bandwidth, holds a finite
+//! drop-tail queue, and adds propagation delay. Several endpoints can be
+//! routed through one shaper, sharing its queue — which is what creates
+//! honest congestive loss for the RAP sawtooth.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tokio::net::UdpSocket;
+use tokio::sync::mpsc;
+use tokio::task::JoinHandle;
+use tokio::time::{sleep_until, Duration, Instant};
+
+/// Shaper parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShaperConfig {
+    /// Serialization bandwidth (bytes/s).
+    pub bandwidth: f64,
+    /// One-way propagation delay added after serialization.
+    pub delay: Duration,
+    /// Drop-tail queue capacity (packets waiting behind the in-service
+    /// one).
+    pub queue_packets: usize,
+    /// Probability of random (non-congestive) loss per packet.
+    pub loss_rate: f64,
+    /// Uniform random extra delay added per packet (models path jitter).
+    pub jitter: Duration,
+    /// Seed for the loss/jitter process (deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for ShaperConfig {
+    fn default() -> Self {
+        ShaperConfig {
+            bandwidth: 50_000.0,
+            delay: Duration::from_millis(20),
+            queue_packets: 30,
+            loss_rate: 0.0,
+            jitter: Duration::ZERO,
+            seed: 1,
+        }
+    }
+}
+
+/// Counters exposed by a running shaper.
+#[derive(Debug, Default)]
+pub struct ShaperStats {
+    /// Packets forwarded.
+    pub forwarded: AtomicU64,
+    /// Packets dropped at the queue tail.
+    pub dropped: AtomicU64,
+    /// Packets dropped by the random-loss process.
+    pub random_losses: AtomicU64,
+    /// Bytes forwarded.
+    pub bytes: AtomicU64,
+}
+
+/// A running loopback shaper.
+pub struct Shaper {
+    /// Address endpoints should send through.
+    pub addr: SocketAddr,
+    routes: Arc<Mutex<HashMap<SocketAddr, SocketAddr>>>,
+    /// Counters.
+    pub stats: Arc<ShaperStats>,
+    tasks: Vec<JoinHandle<()>>,
+}
+
+impl Shaper {
+    /// Bind a shaper on an ephemeral loopback port and start its tasks.
+    pub async fn spawn(cfg: ShaperConfig) -> std::io::Result<Shaper> {
+        let socket = Arc::new(UdpSocket::bind("127.0.0.1:0").await?);
+        let addr = socket.local_addr()?;
+        let routes: Arc<Mutex<HashMap<SocketAddr, SocketAddr>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let stats = Arc::new(ShaperStats::default());
+
+        // Stage 2: delayed delivery (keeps ordering: constant delay, FIFO).
+        let (deliver_tx, mut deliver_rx) =
+            mpsc::unbounded_channel::<(Instant, SocketAddr, Vec<u8>)>();
+        let out_sock = socket.clone();
+        let deliver_task = tokio::spawn(async move {
+            while let Some((at, to, data)) = deliver_rx.recv().await {
+                sleep_until(at).await;
+                let _ = out_sock.send_to(&data, to).await;
+            }
+        });
+
+        // Stage 1: receive + serialize. The queue is modelled virtually: a
+        // packet is accepted when fewer than `queue_packets` are waiting
+        // behind the in-service one, and `busy_until` advances by its
+        // serialization time.
+        let in_sock = socket.clone();
+        let routes2 = routes.clone();
+        let stats2 = stats.clone();
+        let serialize_task = tokio::spawn(async move {
+            let mut buf = vec![0u8; 65_536];
+            let mut busy_until = Instant::now();
+            // xorshift64*: deterministic loss/jitter per seed, no rand dep.
+            let mut prng_state = cfg.seed.max(1);
+            let mut prng = move || {
+                prng_state ^= prng_state >> 12;
+                prng_state ^= prng_state << 25;
+                prng_state ^= prng_state >> 27;
+                (prng_state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f64 / (1u64 << 24) as f64
+            };
+            // (ready_at, to, data) of queued packets not yet handed to the
+            // delivery stage.
+            let (ser_tx, mut ser_rx) = mpsc::unbounded_channel::<(Instant, SocketAddr, Vec<u8>)>();
+            let deliver_tx2 = deliver_tx.clone();
+            let delay = cfg.delay;
+            let queued_counter = Arc::new(AtomicU64::new(0));
+            let qc2 = queued_counter.clone();
+            // Drain serialized packets in order, decrementing the queue
+            // occupancy as each finishes its service time.
+            tokio::spawn(async move {
+                while let Some((ready_at, to, data)) = ser_rx.recv().await {
+                    sleep_until(ready_at).await;
+                    qc2.fetch_sub(1, Ordering::SeqCst);
+                    let _ = deliver_tx2.send((ready_at + delay, to, data));
+                }
+            });
+            loop {
+                let Ok((len, from)) = in_sock.recv_from(&mut buf).await else {
+                    break;
+                };
+                let Some(to) = routes2.lock().get(&from).copied() else {
+                    continue; // unrouted source: ignore
+                };
+                if cfg.loss_rate > 0.0 && prng() < cfg.loss_rate {
+                    stats2.random_losses.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let queued = queued_counter.load(Ordering::SeqCst);
+                if queued as usize > cfg.queue_packets {
+                    stats2.dropped.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let now = Instant::now();
+                let mut tx_time = Duration::from_secs_f64(len as f64 / cfg.bandwidth.max(1.0));
+                if !cfg.jitter.is_zero() {
+                    tx_time += cfg.jitter.mul_f64(prng());
+                }
+                busy_until = busy_until.max(now) + tx_time;
+                queued_counter.fetch_add(1, Ordering::SeqCst);
+                stats2.forwarded.fetch_add(1, Ordering::Relaxed);
+                stats2.bytes.fetch_add(len as u64, Ordering::Relaxed);
+                let _ = ser_tx.send((busy_until, to, buf[..len].to_vec()));
+            }
+        });
+
+        Ok(Shaper {
+            addr,
+            routes,
+            stats,
+            tasks: vec![deliver_task, serialize_task],
+        })
+    }
+
+    /// Route packets arriving from `from` to `to`.
+    pub fn add_route(&self, from: SocketAddr, to: SocketAddr) {
+        self.routes.lock().insert(from, to);
+    }
+
+    /// Packets dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.stats.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Packets forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.stats.forwarded.load(Ordering::Relaxed)
+    }
+
+    /// Packets randomly lost so far.
+    pub fn random_losses(&self) -> u64 {
+        self.stats.random_losses.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Shaper {
+    fn drop(&mut self) {
+        for t in &self.tasks {
+            t.abort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    async fn pair() -> (UdpSocket, UdpSocket) {
+        let a = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let b = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        (a, b)
+    }
+
+    #[tokio::test]
+    async fn forwards_routed_packets_with_delay() {
+        let shaper = Shaper::spawn(ShaperConfig {
+            bandwidth: 1_000_000.0,
+            delay: Duration::from_millis(30),
+            queue_packets: 10,
+            ..ShaperConfig::default()
+        })
+        .await
+        .unwrap();
+        let (a, b) = pair().await;
+        shaper.add_route(a.local_addr().unwrap(), b.local_addr().unwrap());
+        let t0 = Instant::now();
+        a.send_to(b"ping", shaper.addr).await.unwrap();
+        let mut buf = [0u8; 16];
+        let (len, _) = b.recv_from(&mut buf).await.unwrap();
+        let elapsed = t0.elapsed();
+        assert_eq!(&buf[..len], b"ping");
+        assert!(elapsed >= Duration::from_millis(29), "elapsed {elapsed:?}");
+        assert!(elapsed < Duration::from_millis(300), "elapsed {elapsed:?}");
+        assert_eq!(shaper.forwarded(), 1);
+    }
+
+    #[tokio::test]
+    async fn unrouted_sources_are_ignored() {
+        let shaper = Shaper::spawn(ShaperConfig::default()).await.unwrap();
+        let (a, b) = pair().await;
+        // No route for a. Let the shaper ingest (and discard) it before
+        // the route exists.
+        a.send_to(b"lost", shaper.addr).await.unwrap();
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        shaper.add_route(a.local_addr().unwrap(), b.local_addr().unwrap());
+        a.send_to(b"found", shaper.addr).await.unwrap();
+        let mut buf = [0u8; 16];
+        let (len, _) = b.recv_from(&mut buf).await.unwrap();
+        assert_eq!(&buf[..len], b"found");
+    }
+
+    #[tokio::test]
+    async fn serialization_paces_throughput() {
+        // 10 KB/s, 1 KB packets → 10 packets take ≥ ~0.9 s to drain.
+        let shaper = Shaper::spawn(ShaperConfig {
+            bandwidth: 10_000.0,
+            delay: Duration::from_millis(1),
+            queue_packets: 100,
+            ..ShaperConfig::default()
+        })
+        .await
+        .unwrap();
+        let (a, b) = pair().await;
+        shaper.add_route(a.local_addr().unwrap(), b.local_addr().unwrap());
+        let payload = vec![0u8; 1_000];
+        let t0 = Instant::now();
+        for _ in 0..10 {
+            a.send_to(&payload, shaper.addr).await.unwrap();
+        }
+        let mut buf = vec![0u8; 2_000];
+        for _ in 0..10 {
+            b.recv_from(&mut buf).await.unwrap();
+        }
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(900),
+            "drained in {elapsed:?}"
+        );
+    }
+
+    #[tokio::test]
+    async fn overflow_drops_excess() {
+        let shaper = Shaper::spawn(ShaperConfig {
+            bandwidth: 5_000.0, // slow: 0.2 s per 1 KB packet
+            delay: Duration::from_millis(1),
+            queue_packets: 2,
+            ..ShaperConfig::default()
+        })
+        .await
+        .unwrap();
+        let (a, b) = pair().await;
+        shaper.add_route(a.local_addr().unwrap(), b.local_addr().unwrap());
+        let payload = vec![0u8; 1_000];
+        for _ in 0..20 {
+            a.send_to(&payload, shaper.addr).await.unwrap();
+        }
+        // Give the shaper a moment to ingest.
+        tokio::time::sleep(Duration::from_millis(200)).await;
+        assert!(shaper.dropped() > 0, "expected tail drops");
+        assert!(shaper.forwarded() < 20);
+        drop(b);
+    }
+}
+
+#[cfg(test)]
+mod impairment_tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn random_loss_drops_roughly_at_rate() {
+        let shaper = Shaper::spawn(ShaperConfig {
+            bandwidth: 10_000_000.0,
+            delay: Duration::from_millis(1),
+            queue_packets: 1_000,
+            loss_rate: 0.3,
+            seed: 9,
+            ..ShaperConfig::default()
+        })
+        .await
+        .unwrap();
+        let a = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let b = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        shaper.add_route(a.local_addr().unwrap(), b.local_addr().unwrap());
+        for _ in 0..300 {
+            a.send_to(b"x", shaper.addr).await.unwrap();
+        }
+        tokio::time::sleep(Duration::from_millis(300)).await;
+        let lost = shaper.random_losses();
+        assert!(
+            (50..=130).contains(&(lost as i64)),
+            "expected ~90 losses of 300 at p=0.3, got {lost}"
+        );
+        drop(b);
+    }
+
+    #[tokio::test]
+    async fn jitter_spreads_delivery_times() {
+        let shaper = Shaper::spawn(ShaperConfig {
+            bandwidth: 10_000_000.0,
+            delay: Duration::from_millis(5),
+            queue_packets: 1_000,
+            jitter: Duration::from_millis(40),
+            seed: 4,
+            ..ShaperConfig::default()
+        })
+        .await
+        .unwrap();
+        let a = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let b = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        shaper.add_route(a.local_addr().unwrap(), b.local_addr().unwrap());
+        let mut deltas = Vec::new();
+        let mut buf = [0u8; 16];
+        for _ in 0..20 {
+            let t0 = Instant::now();
+            a.send_to(b"x", shaper.addr).await.unwrap();
+            b.recv_from(&mut buf).await.unwrap();
+            deltas.push(t0.elapsed());
+        }
+        let min = deltas.iter().min().unwrap();
+        let max = deltas.iter().max().unwrap();
+        assert!(
+            max.saturating_sub(*min) >= Duration::from_millis(10),
+            "jitter should spread deliveries: min {min:?} max {max:?}"
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! Wire format for RAP/QA streaming over UDP.
+//!
+//! One datagram = one message. Fixed little-endian headers via `bytes`,
+//! with a one-byte message tag:
+//!
+//! ```text
+//! DATA  (0xD1): flow u32 | seq u64 | layer u8 | n_active u8 |
+//!               send_ts_us u64 | payload_len u16 | payload bytes
+//! ACK   (0xA1): flow u32 | ack_seq u64 | cum u64 | highest u64 | mask u64
+//! HELLO (0xC1): flow u32  — client subscribes to the stream
+//! FIN   (0xF1): flow u32  — server ends the session
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use laqa_rap::AckInfo;
+
+/// Message tag bytes.
+const TAG_DATA: u8 = 0xD1;
+const TAG_ACK: u8 = 0xA1;
+const TAG_HELLO: u8 = 0xC1;
+const TAG_FIN: u8 = 0xF1;
+
+/// Header size of a DATA message (tag + flow + seq + layer + n_active +
+/// ts + len).
+pub const DATA_HEADER_LEN: usize = 1 + 4 + 8 + 1 + 1 + 8 + 2;
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Datagram too short for its message type.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// Payload length field exceeds the datagram.
+    BadLength,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "datagram truncated"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t:#x}"),
+            WireError::BadLength => write!(f, "payload length exceeds datagram"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decoded message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Video data packet.
+    Data {
+        /// Flow id.
+        flow: u32,
+        /// RAP sequence number.
+        seq: u64,
+        /// Layer index the payload belongs to.
+        layer: u8,
+        /// Active layer count at the server (in-band add/drop signal).
+        n_active: u8,
+        /// Sender timestamp (µs since session start).
+        send_ts_us: u64,
+        /// Media payload.
+        payload: Bytes,
+    },
+    /// RAP acknowledgement.
+    Ack {
+        /// Flow id.
+        flow: u32,
+        /// Reception info.
+        info: AckInfo,
+    },
+    /// Client subscription.
+    Hello {
+        /// Flow id the client requests.
+        flow: u32,
+    },
+    /// End of session.
+    Fin {
+        /// Flow id.
+        flow: u32,
+    },
+}
+
+impl Message {
+    /// Encode into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(64);
+        match self {
+            Message::Data {
+                flow,
+                seq,
+                layer,
+                n_active,
+                send_ts_us,
+                payload,
+            } => {
+                b.put_u8(TAG_DATA);
+                b.put_u32_le(*flow);
+                b.put_u64_le(*seq);
+                b.put_u8(*layer);
+                b.put_u8(*n_active);
+                b.put_u64_le(*send_ts_us);
+                b.put_u16_le(payload.len() as u16);
+                b.extend_from_slice(payload);
+            }
+            Message::Ack { flow, info } => {
+                b.put_u8(TAG_ACK);
+                b.put_u32_le(*flow);
+                b.put_u64_le(info.ack_seq);
+                b.put_u64_le(info.cum_seq);
+                b.put_u64_le(info.highest);
+                b.put_u64_le(info.mask);
+            }
+            Message::Hello { flow } => {
+                b.put_u8(TAG_HELLO);
+                b.put_u32_le(*flow);
+            }
+            Message::Fin { flow } => {
+                b.put_u8(TAG_FIN);
+                b.put_u32_le(*flow);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Decode a datagram.
+    pub fn decode(mut buf: Bytes) -> Result<Message, WireError> {
+        if buf.remaining() < 5 {
+            return Err(WireError::Truncated);
+        }
+        let tag = buf.get_u8();
+        let flow = buf.get_u32_le();
+        match tag {
+            TAG_DATA => {
+                if buf.remaining() < DATA_HEADER_LEN - 5 {
+                    return Err(WireError::Truncated);
+                }
+                let seq = buf.get_u64_le();
+                let layer = buf.get_u8();
+                let n_active = buf.get_u8();
+                let send_ts_us = buf.get_u64_le();
+                let len = buf.get_u16_le() as usize;
+                if buf.remaining() < len {
+                    return Err(WireError::BadLength);
+                }
+                let payload = buf.split_to(len);
+                Ok(Message::Data {
+                    flow,
+                    seq,
+                    layer,
+                    n_active,
+                    send_ts_us,
+                    payload,
+                })
+            }
+            TAG_ACK => {
+                if buf.remaining() < 32 {
+                    return Err(WireError::Truncated);
+                }
+                let ack_seq = buf.get_u64_le();
+                let cum_seq = buf.get_u64_le();
+                let highest = buf.get_u64_le();
+                let mask = buf.get_u64_le();
+                Ok(Message::Ack {
+                    flow,
+                    info: AckInfo {
+                        ack_seq,
+                        cum_seq,
+                        highest,
+                        mask,
+                    },
+                })
+            }
+            TAG_HELLO => Ok(Message::Hello { flow }),
+            TAG_FIN => Ok(Message::Fin { flow }),
+            other => Err(WireError::BadTag(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_round_trip() {
+        let m = Message::Data {
+            flow: 7,
+            seq: 123456789,
+            layer: 3,
+            n_active: 5,
+            send_ts_us: 42_000_000,
+            payload: Bytes::from_static(b"hello video"),
+        };
+        assert_eq!(Message::decode(m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn ack_round_trip() {
+        let m = Message::Ack {
+            flow: 1,
+            info: AckInfo {
+                ack_seq: 9,
+                cum_seq: 7,
+                highest: 9,
+                mask: 0b1011,
+            },
+        };
+        assert_eq!(Message::decode(m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn hello_fin_round_trip() {
+        for m in [Message::Hello { flow: 3 }, Message::Fin { flow: 3 }] {
+            assert_eq!(Message::decode(m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert_eq!(
+            Message::decode(Bytes::from_static(b"\xD1\x01")),
+            Err(WireError::Truncated)
+        );
+        let mut ok = Message::Ack {
+            flow: 1,
+            info: AckInfo {
+                ack_seq: 1,
+                cum_seq: 0,
+                highest: 1,
+                mask: 0,
+            },
+        }
+        .encode()
+        .to_vec();
+        ok.truncate(20);
+        assert_eq!(Message::decode(Bytes::from(ok)), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn rejects_bad_tag() {
+        assert_eq!(
+            Message::decode(Bytes::from_static(b"\x99\x00\x00\x00\x00")),
+            Err(WireError::BadTag(0x99))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_payload_length() {
+        let m = Message::Data {
+            flow: 1,
+            seq: 1,
+            layer: 0,
+            n_active: 1,
+            send_ts_us: 0,
+            payload: Bytes::from_static(b"abcdef"),
+        };
+        let mut raw = m.encode().to_vec();
+        let truncated = raw.len() - 3;
+        raw.truncate(truncated);
+        assert_eq!(Message::decode(Bytes::from(raw)), Err(WireError::BadLength));
+    }
+
+    #[test]
+    fn data_header_len_matches_encoding() {
+        let m = Message::Data {
+            flow: 0,
+            seq: 0,
+            layer: 0,
+            n_active: 0,
+            send_ts_us: 0,
+            payload: Bytes::new(),
+        };
+        assert_eq!(m.encode().len(), DATA_HEADER_LEN);
+    }
+}

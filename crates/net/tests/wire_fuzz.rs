@@ -1,0 +1,74 @@
+//! Property tests for the wire codec: decoding arbitrary bytes must never
+//! panic, and encode∘decode is the identity on valid messages.
+
+use bytes::Bytes;
+use laqa_net::Message;
+use laqa_rap::AckInfo;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        // Any result is fine; panicking is not.
+        let _ = Message::decode(Bytes::from(data));
+    }
+
+    #[test]
+    fn data_round_trips(
+        flow in any::<u32>(),
+        seq in any::<u64>(),
+        layer in any::<u8>(),
+        n_active in any::<u8>(),
+        ts in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1500),
+    ) {
+        let m = Message::Data {
+            flow,
+            seq,
+            layer,
+            n_active,
+            send_ts_us: ts,
+            payload: Bytes::from(payload),
+        };
+        prop_assert_eq!(Message::decode(m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn ack_round_trips(
+        flow in any::<u32>(),
+        ack_seq in any::<u64>(),
+        cum_seq in any::<u64>(),
+        highest in any::<u64>(),
+        mask in any::<u64>(),
+    ) {
+        let m = Message::Ack {
+            flow,
+            info: AckInfo { ack_seq, cum_seq, highest, mask },
+        };
+        prop_assert_eq!(Message::decode(m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic(
+        payload in proptest::collection::vec(any::<u8>(), 1..512),
+        cut in any::<usize>(),
+    ) {
+        let m = Message::Data {
+            flow: 1,
+            seq: 2,
+            layer: 3,
+            n_active: 4,
+            send_ts_us: 5,
+            payload: Bytes::from(payload),
+        };
+        let full = m.encode();
+        let cut = cut % full.len();
+        if cut == 0 {
+            return Ok(());
+        }
+        let truncated = full.slice(0..cut);
+        // Either decodes to something (a shorter valid prefix cannot exist
+        // for DATA since the length field would overrun) or errors cleanly.
+        let _ = Message::decode(truncated);
+    }
+}

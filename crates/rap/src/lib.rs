@@ -1,0 +1,42 @@
+//! # laqa-rap — the Rate Adaptation Protocol
+//!
+//! A transport-agnostic implementation of RAP (Rejaie, Handley, Estrin),
+//! the TCP-friendly, rate-based AIMD congestion-control scheme the quality
+//! adaptation paper builds on. RAP paces packets with an inter-packet gap,
+//! increases its rate by one packet per SRTT every SRTT, halves it on each
+//! loss event (with cluster-loss suppression), and collapses on timeout —
+//! producing the clean sawtooth of the paper's figure 1.
+//!
+//! Modules:
+//!
+//! * [`aimd`] — rate/IPG state and the AIMD update rules;
+//! * [`rtt`] — Jacobson/Karels RTT estimation and RTO;
+//! * [`history`] — transmission history and ACK-inferred loss detection;
+//! * [`receiver`] — the receiver's reception state and redundant ACKs;
+//! * [`sender`] — [`sender::RapSender`], the full sender state machine;
+//! * [`finegrain`] — the optional delay-based fine-grain adaptation (the
+//!   paper evaluates the variant without it; kept for ablation);
+//! * [`window`] — an ACK-clocked (TCP-like) AIMD sender with the same
+//!   event interface, for the paper's "other AIMD schemes" future work.
+//!
+//! The same state machines drive both the packet-level simulator
+//! (`laqa-sim`) and the real tokio/UDP transport (`laqa-net`).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod aimd;
+pub mod finegrain;
+pub mod history;
+pub mod receiver;
+pub mod rtt;
+pub mod sender;
+pub mod window;
+
+pub use aimd::AimdState;
+pub use finegrain::FineGrain;
+pub use history::{LostPacket, PacketRecord, TransmissionHistory};
+pub use receiver::{AckInfo, RapReceiverState};
+pub use rtt::RttEstimator;
+pub use sender::{BackoffCause, RapConfig, RapEvent, RapSender};
+pub use window::{WindowConfig, WindowSender};

@@ -1,0 +1,150 @@
+//! Round-trip-time estimation (Jacobson/Karels, as used by RAP and TCP).
+//!
+//! RAP adjusts its rate once per smoothed RTT and derives its timeout from
+//! the same estimator TCP uses: an exponentially weighted moving average of
+//! RTT samples plus four mean deviations.
+
+use serde::{Deserialize, Serialize};
+
+/// Jacobson/Karels RTT estimator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RttEstimator {
+    srtt: f64,
+    rttvar: f64,
+    /// True until the first sample seeds the estimator.
+    seeded: bool,
+    /// Lower bound on the returned RTO (seconds).
+    min_rto: f64,
+    /// Upper bound on the returned RTO (seconds).
+    max_rto: f64,
+}
+
+impl RttEstimator {
+    /// New estimator with an initial guess of `initial_rtt` seconds.
+    pub fn new(initial_rtt: f64) -> Self {
+        let initial = if initial_rtt.is_finite() && initial_rtt > 0.0 {
+            initial_rtt
+        } else {
+            0.5
+        };
+        RttEstimator {
+            srtt: initial,
+            rttvar: initial / 2.0,
+            seeded: false,
+            min_rto: 0.2,
+            max_rto: 60.0,
+        }
+    }
+
+    /// Smoothed RTT (seconds).
+    pub fn srtt(&self) -> f64 {
+        self.srtt
+    }
+
+    /// RTT mean deviation (seconds).
+    pub fn rttvar(&self) -> f64 {
+        self.rttvar
+    }
+
+    /// Whether at least one sample has been absorbed.
+    pub fn seeded(&self) -> bool {
+        self.seeded
+    }
+
+    /// Retransmission/idle timeout: `srtt + 4·rttvar`, clamped.
+    pub fn rto(&self) -> f64 {
+        (self.srtt + 4.0 * self.rttvar).clamp(self.min_rto, self.max_rto)
+    }
+
+    /// Absorb an RTT sample (seconds). Non-finite or non-positive samples
+    /// are ignored.
+    pub fn sample(&mut self, rtt: f64) {
+        if !(rtt.is_finite() && rtt > 0.0) {
+            return;
+        }
+        if !self.seeded {
+            self.srtt = rtt;
+            self.rttvar = rtt / 2.0;
+            self.seeded = true;
+            return;
+        }
+        // RFC 6298 coefficients: alpha = 1/8, beta = 1/4.
+        let err = rtt - self.srtt;
+        self.srtt += err / 8.0;
+        self.rttvar += (err.abs() - self.rttvar) / 4.0;
+    }
+
+    /// Double the variance term after a timeout (exponential RTO backoff is
+    /// applied by the caller via repeated calls).
+    pub fn on_timeout(&mut self) {
+        self.rttvar = (self.rttvar * 2.0).min(self.max_rto);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_seeds_directly() {
+        let mut e = RttEstimator::new(0.5);
+        e.sample(0.1);
+        assert!((e.srtt() - 0.1).abs() < 1e-12);
+        assert!((e.rttvar() - 0.05).abs() < 1e-12);
+        assert!(e.seeded());
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_rtt() {
+        let mut e = RttEstimator::new(1.0);
+        for _ in 0..200 {
+            e.sample(0.04);
+        }
+        assert!((e.srtt() - 0.04).abs() < 1e-6);
+        assert!(e.rttvar() < 1e-3);
+    }
+
+    #[test]
+    fn rto_clamped_to_min() {
+        let mut e = RttEstimator::new(0.01);
+        for _ in 0..100 {
+            e.sample(0.01);
+        }
+        assert!((e.rto() - 0.2).abs() < 1e-12, "rto = {}", e.rto());
+    }
+
+    #[test]
+    fn rto_grows_with_variance() {
+        let mut e = RttEstimator::new(0.2);
+        for i in 0..50 {
+            e.sample(if i % 2 == 0 { 0.1 } else { 0.5 });
+        }
+        assert!(e.rto() > e.srtt());
+        assert!(e.rttvar() > 0.05);
+    }
+
+    #[test]
+    fn ignores_garbage_samples() {
+        let mut e = RttEstimator::new(0.3);
+        e.sample(f64::NAN);
+        e.sample(-1.0);
+        e.sample(0.0);
+        assert!(!e.seeded());
+        assert!((e.srtt() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeout_doubles_variance() {
+        let mut e = RttEstimator::new(0.2);
+        e.sample(0.2);
+        let v = e.rttvar();
+        e.on_timeout();
+        assert!((e.rttvar() - 2.0 * v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_initial_falls_back() {
+        let e = RttEstimator::new(f64::NAN);
+        assert!((e.srtt() - 0.5).abs() < 1e-12);
+    }
+}

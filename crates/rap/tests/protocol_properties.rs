@@ -1,0 +1,185 @@
+//! Property-based tests for the RAP protocol machinery: arbitrary loss,
+//! reordering and duplication patterns must never wedge the sender,
+//! corrupt its accounting, or break AIMD invariants.
+
+use laqa_rap::{AckInfo, RapConfig, RapEvent, RapReceiverState, RapSender};
+use proptest::prelude::*;
+
+/// Replay a randomized path: per-packet fates (delivered / lost /
+/// duplicated) and a bounded reorder depth.
+fn run_fates(fates: &[u8], reorder: usize) -> (RapSender, u64, u64) {
+    let mut s = RapSender::new(
+        RapConfig {
+            initial_rate: 10_000.0,
+            initial_rtt: 0.05,
+            ..RapConfig::default()
+        },
+        0.0,
+    );
+    let mut rx = RapReceiverState::new();
+    let owd = 0.02;
+    let mut now = 0.0;
+    let mut pipeline: Vec<(f64, u64)> = Vec::new();
+    let mut acked = 0u64;
+    let mut lost = 0u64;
+    let mut i = 0usize;
+    while i < fates.len() {
+        now += 0.001;
+        s.poll_timers(now);
+        // Deliver due packets (allowing bounded reordering).
+        while !pipeline.is_empty() && pipeline[0].0 <= now {
+            let take = if pipeline.len() > reorder
+                && reorder > 0
+                && fates[i % fates.len()].is_multiple_of(2)
+            {
+                reorder.min(pipeline.len() - 1)
+            } else {
+                0
+            };
+            let (_, seq) = pipeline.remove(take);
+            let ack = rx.on_data(seq);
+            s.on_ack(now, ack);
+        }
+        if now >= s.next_send_time() {
+            let seq = s.register_send(now, 1_000.0, (seq_tag(i)) as u32);
+            match fates[i] % 4 {
+                0 | 1 => pipeline.push((now + owd, seq)), // delivered
+                2 => {
+                    // duplicated
+                    pipeline.push((now + owd, seq));
+                    pipeline.push((now + owd + 0.001, seq));
+                }
+                _ => {} // lost
+            }
+            i += 1;
+        }
+        for e in s.take_events() {
+            match e {
+                RapEvent::PacketAcked { .. } => acked += 1,
+                RapEvent::PacketLost { .. } => lost += 1,
+                _ => {}
+            }
+        }
+    }
+    // Drain the tail of the pipeline.
+    for _ in 0..10_000 {
+        now += 0.001;
+        s.poll_timers(now);
+        while !pipeline.is_empty() && pipeline[0].0 <= now {
+            let (_, seq) = pipeline.remove(0);
+            let ack = rx.on_data(seq);
+            s.on_ack(now, ack);
+        }
+        if pipeline.is_empty() && s.in_flight() == 0 {
+            break;
+        }
+    }
+    for e in s.take_events() {
+        match e {
+            RapEvent::PacketAcked { .. } => acked += 1,
+            RapEvent::PacketLost { .. } => lost += 1,
+            _ => {}
+        }
+    }
+    (s, acked, lost)
+}
+
+fn seq_tag(i: usize) -> u8 {
+    (i % 5) as u8
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_packet_resolves_exactly_once(
+        fates in proptest::collection::vec(0u8..=3, 50..200),
+        reorder in 0usize..3,
+    ) {
+        let (s, acked, lost) = run_fates(&fates, reorder);
+        // After the drain loop, nothing is in flight and the sum of
+        // resolutions equals the number of sends (duplicates resolve once).
+        prop_assert_eq!(s.in_flight(), 0, "unresolved packets remain");
+        prop_assert_eq!((acked + lost) as usize, fates.len(),
+            "acked {} + lost {} != sent {}", acked, lost, fates.len());
+        // Rate stays within sane bounds.
+        prop_assert!(s.rate() >= 1_000.0 - 1e-9);
+        prop_assert!(s.rate().is_finite());
+    }
+
+    #[test]
+    fn srtt_stays_positive_and_finite(
+        fates in proptest::collection::vec(0u8..=3, 50..150),
+    ) {
+        let (s, _, _) = run_fates(&fates, 0);
+        prop_assert!(s.srtt() > 0.0 && s.srtt().is_finite());
+        prop_assert!(s.slope() > 0.0 && s.slope().is_finite());
+    }
+
+    #[test]
+    fn receiver_ack_info_is_self_consistent(
+        seqs in proptest::collection::vec(0u64..500, 1..300),
+    ) {
+        let mut rx = RapReceiverState::new();
+        let mut last: Option<AckInfo> = None;
+        for &seq in &seqs {
+            let ack = rx.on_data(seq);
+            // The ack proves its own trigger and the cumulative prefix.
+            prop_assert!(ack.proves_received(ack.ack_seq));
+            if ack.cum_seq != u64::MAX {
+                prop_assert!(ack.proves_received(ack.cum_seq));
+                prop_assert!(ack.cum_seq <= ack.highest);
+            }
+            prop_assert!(ack.ack_seq <= ack.highest);
+            // Highest and cum never move backwards.
+            if let Some(prev) = last {
+                prop_assert!(ack.highest >= prev.highest);
+                if prev.cum_seq != u64::MAX {
+                    prop_assert!(ack.cum_seq != u64::MAX && ack.cum_seq >= prev.cum_seq);
+                }
+            }
+            last = Some(ack);
+        }
+    }
+
+    #[test]
+    fn backoffs_never_exceed_loss_events(
+        fates in proptest::collection::vec(0u8..=3, 80..200),
+    ) {
+        // Count backoffs vs distinct losses: cluster suppression means
+        // backoffs <= losses (and also <= sends).
+        let mut s = RapSender::new(
+            RapConfig { initial_rate: 20_000.0, initial_rtt: 0.05, ..RapConfig::default() },
+            0.0,
+        );
+        let mut rx = RapReceiverState::new();
+        let mut now = 0.0;
+        let mut pipeline: Vec<(f64, u64)> = Vec::new();
+        let mut backoffs = 0u64;
+        let mut losses = 0u64;
+        let mut i = 0;
+        while i < fates.len() {
+            now += 0.001;
+            s.poll_timers(now);
+            while !pipeline.is_empty() && pipeline[0].0 <= now {
+                let (_, seq) = pipeline.remove(0);
+                s.on_ack(now, rx.on_data(seq));
+            }
+            if now >= s.next_send_time() {
+                let seq = s.register_send(now, 1_000.0, 0);
+                if fates[i] != 3 {
+                    pipeline.push((now + 0.02, seq));
+                }
+                i += 1;
+            }
+            for e in s.take_events() {
+                match e {
+                    RapEvent::Backoff { .. } => backoffs += 1,
+                    RapEvent::PacketLost { .. } => losses += 1,
+                    _ => {}
+                }
+            }
+        }
+        prop_assert!(backoffs <= losses + 1, "backoffs {} losses {}", backoffs, losses);
+    }
+}

@@ -1,0 +1,103 @@
+//! Passive measurement agents: queue-occupancy sampling for the
+//! bottleneck panels of the trace figures.
+
+use crate::engine::{Agent, Ctx};
+use crate::packet::{LinkId, Packet};
+use laqa_trace::TimeSeries;
+use std::any::Any;
+
+/// Samples the queue length of a set of links on a fixed period.
+pub struct QueueMonitor {
+    links: Vec<LinkId>,
+    period: f64,
+    /// One series per monitored link, in the order given.
+    pub series: Vec<TimeSeries>,
+}
+
+impl QueueMonitor {
+    /// Monitor `links` every `period` seconds.
+    pub fn new(links: Vec<LinkId>, period: f64) -> Self {
+        assert!(period > 0.0);
+        let series = links
+            .iter()
+            .map(|l| TimeSeries::new(format!("queue_len_link{l}")))
+            .collect();
+        QueueMonitor {
+            links,
+            period,
+            series,
+        }
+    }
+}
+
+impl Agent for QueueMonitor {
+    fn start(&mut self, ctx: &mut Ctx) {
+        ctx.set_timer_after(self.period, 0);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Ctx, _pkt: Packet) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx, _token: u64) {
+        for (i, &link) in self.links.iter().enumerate() {
+            self.series[i].push(ctx.now, ctx.link_queue_len(link) as f64);
+        }
+        ctx.set_timer_after(self.period, 0);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agents::cbr::{CbrAgent, CountingSink};
+    use crate::engine::World;
+    use crate::link::LinkConfig;
+
+    #[test]
+    fn monitor_samples_queue_growth() {
+        let mut w = World::new(3);
+        // Slow link: a 5x overload builds the queue.
+        let l = w.add_link(LinkConfig {
+            bandwidth: 10_000.0,
+            delay: 0.001,
+            queue_packets: 50,
+            ..LinkConfig::default()
+        });
+        let sink = w.add_agent(Box::new(CountingSink::default()));
+        let _cbr = w.add_agent(Box::new(CbrAgent::new(
+            sink,
+            vec![l],
+            1,
+            50_000.0,
+            1_000,
+            0.0,
+            2.0,
+        )));
+        let mon = w.add_agent(Box::new(QueueMonitor::new(vec![l], 0.05)));
+        w.run_until(1.0);
+        let m: &QueueMonitor = w.agent(mon).unwrap();
+        let series = &m.series[0];
+        assert!(series.len() >= 18, "{} samples", series.len());
+        assert!(series.max().unwrap() > 3.0, "queue should build");
+        // Monotone-ish growth early in the overload.
+        let early = series.at(0.2).unwrap();
+        let late = series.at(0.9).unwrap();
+        assert!(late >= early, "queue grows under sustained overload");
+    }
+
+    #[test]
+    fn monitor_of_idle_link_reads_zero() {
+        let mut w = World::new(3);
+        let l = w.add_link(LinkConfig::uncongested());
+        let mon = w.add_agent(Box::new(QueueMonitor::new(vec![l], 0.1)));
+        w.run_until(1.0);
+        let m: &QueueMonitor = w.agent(mon).unwrap();
+        assert_eq!(m.series[0].max(), Some(0.0));
+    }
+}

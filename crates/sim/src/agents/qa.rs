@@ -1,0 +1,481 @@
+//! The quality-adaptive streaming pair: a RAP source driven by the
+//! [`laqa_core::QaController`] and a layered-receiver sink — the system
+//! under test in every figure of the paper's §5.
+
+use crate::engine::{Agent, Ctx};
+use crate::packet::{AgentId, LinkId, Packet, PacketKind};
+use laqa_core::{QaConfig, QaController};
+use laqa_layered::{LayeredEncoding, LayeredReceiver};
+use laqa_rap::{RapConfig, RapEvent, RapReceiverState, RapSender};
+use laqa_trace::TimeSeries;
+use std::any::Any;
+
+const ACK_SIZE: u32 = 40;
+
+/// Per-run traces recorded by the QA source (the figure-11 panels).
+#[derive(Debug, Clone)]
+pub struct QaTraces {
+    /// Total transmission rate (bytes/s) per tick.
+    pub tx_rate: TimeSeries,
+    /// Aggregate consumption rate `n_active·C` per tick.
+    pub consumption: TimeSeries,
+    /// Active layer count per tick.
+    pub n_active: TimeSeries,
+    /// Allocated send rate per layer per tick.
+    pub layer_rate: Vec<TimeSeries>,
+    /// Buffer-drain rate per layer per tick (`max(0, C − alloc)` while
+    /// playing).
+    pub drain_rate: Vec<TimeSeries>,
+    /// Sender-estimated receiver buffer per layer per tick (bytes).
+    pub buffer: Vec<TimeSeries>,
+}
+
+impl QaTraces {
+    /// Empty trace set for `max_layers` layers.
+    pub fn new(max_layers: usize) -> Self {
+        let per_layer = |prefix: &str| {
+            (0..max_layers)
+                .map(|i| TimeSeries::new(format!("{prefix}{i}")))
+                .collect::<Vec<_>>()
+        };
+        QaTraces {
+            tx_rate: TimeSeries::new("tx_rate"),
+            consumption: TimeSeries::new("consumption"),
+            n_active: TimeSeries::new("n_active"),
+            layer_rate: per_layer("layer_rate_"),
+            drain_rate: per_layer("drain_rate_"),
+            buffer: per_layer("buffer_"),
+        }
+    }
+}
+
+/// Quality-adaptive RAP video source.
+pub struct QaSourceAgent {
+    rap: RapSender,
+    rap_config: RapConfig,
+    qa: QaController,
+    /// Sink agent.
+    pub dst: AgentId,
+    /// Forward route.
+    pub route: Vec<LinkId>,
+    /// Flow id.
+    pub flow: u32,
+    packet_size: u32,
+    tick_dt: f64,
+    next_tick: f64,
+    armed_at: f64,
+    /// Time the flow starts sending (seconds).
+    pub start_at: f64,
+    /// Layers `0..retransmit_protect` get selective retransmission: a
+    /// detected loss is re-sent (once) at the next send opportunity. The
+    /// paper names this as an advantage of the layered approach (§1.3,
+    /// "opportunity for selective retransmission of the more important
+    /// information"); `0` disables it (the paper's evaluation setting).
+    pub retransmit_protect: usize,
+    /// Pending retransmissions: (layer, size).
+    retx_queue: std::collections::VecDeque<(usize, f64)>,
+    /// Recorded traces (figure panels).
+    pub traces: QaTraces,
+    /// Packets sent per layer (diagnostics).
+    pub sent_per_layer: Vec<u64>,
+    /// Retransmissions performed.
+    pub retransmissions: u64,
+    /// Total backoffs observed.
+    pub backoffs: u64,
+}
+
+impl QaSourceAgent {
+    /// New QA source; `tick_dt` is the allocation period (seconds).
+    pub fn new(
+        dst: AgentId,
+        route: Vec<LinkId>,
+        flow: u32,
+        rap_cfg: RapConfig,
+        qa_cfg: QaConfig,
+        tick_dt: f64,
+    ) -> Self {
+        let packet_size = rap_cfg.packet_size as u32;
+        let max_layers = qa_cfg.max_layers;
+        QaSourceAgent {
+            rap: RapSender::new(rap_cfg.clone(), 0.0),
+            rap_config: rap_cfg,
+            qa: QaController::new(qa_cfg).expect("valid QA config"),
+            dst,
+            route,
+            flow,
+            packet_size,
+            tick_dt,
+            next_tick: 0.0,
+            armed_at: f64::NEG_INFINITY,
+            start_at: 0.0,
+            retransmit_protect: 0,
+            retx_queue: std::collections::VecDeque::new(),
+            traces: QaTraces::new(max_layers),
+            sent_per_layer: vec![0; max_layers],
+            retransmissions: 0,
+            backoffs: 0,
+        }
+    }
+
+    /// The controller (metrics, buffers) for post-run inspection.
+    pub fn qa(&self) -> &QaController {
+        &self.qa
+    }
+
+    /// The RAP sender, for post-run inspection.
+    pub fn rap(&self) -> &RapSender {
+        &self.rap
+    }
+
+    fn drain_events(&mut self, now: f64) {
+        for e in self.rap.take_events() {
+            match e {
+                RapEvent::Backoff { rate, .. } => {
+                    self.backoffs += 1;
+                    self.qa.on_backoff(now, rate);
+                }
+                RapEvent::PacketAcked { size, tag, .. } => {
+                    self.qa.on_packet_delivered(tag as usize, size);
+                }
+                RapEvent::PacketLost { size, tag, .. } => {
+                    if (tag as usize) < self.retransmit_protect {
+                        self.retx_queue.push_back((tag as usize, size));
+                    }
+                }
+                RapEvent::RateIncrease { .. } => {}
+            }
+        }
+    }
+
+    fn record_tick(&mut self, now: f64, report: &laqa_core::TickReport) {
+        let c = self.qa.config().layer_rate;
+        self.traces.tx_rate.push(now, self.rap.rate());
+        self.traces
+            .consumption
+            .push(now, report.n_active as f64 * c);
+        self.traces.n_active.push(now, report.n_active as f64);
+        for i in 0..self.traces.layer_rate.len() {
+            let alloc = report.per_layer_rate.get(i).copied().unwrap_or(0.0);
+            self.traces.layer_rate[i].push(now, alloc);
+            let drain = if i < report.n_active {
+                (c - alloc).max(0.0)
+            } else {
+                0.0
+            };
+            self.traces.drain_rate[i].push(now, drain);
+            // Report the drainable buffer (debt shows as empty, matching
+            // what the receiver actually holds).
+            let buf = self.qa.buffers().get(i).copied().unwrap_or(0.0).max(0.0);
+            self.traces.buffer[i].push(now, buf);
+        }
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx) {
+        self.rap.poll_timers(ctx.now);
+        self.drain_events(ctx.now);
+        while ctx.now + 1e-12 >= self.next_tick {
+            let now = self.next_tick;
+            self.qa.set_slope(self.rap.slope());
+            let report = self.qa.tick(now, self.rap.rate(), self.tick_dt);
+            self.record_tick(now, &report);
+            self.next_tick += self.tick_dt;
+        }
+        while ctx.now >= self.rap.next_send_time() {
+            let size = self.packet_size as f64;
+            // Retransmissions of protected layers take priority over new
+            // data; they ride the same paced budget.
+            let layer = match self.retx_queue.pop_front() {
+                Some((l, _)) => {
+                    self.retransmissions += 1;
+                    l
+                }
+                None => self.qa.next_packet_layer(size),
+            };
+            let seq = self.rap.register_send(ctx.now, size, layer as u32);
+            if let Some(cnt) = self.sent_per_layer.get_mut(layer) {
+                *cnt += 1;
+            }
+            let uid = ctx.alloc_uid();
+            ctx.send(Packet {
+                uid,
+                flow: self.flow,
+                size: self.packet_size,
+                kind: PacketKind::RapData {
+                    seq,
+                    layer: layer as u8,
+                    n_active: self.qa.n_active() as u8,
+                },
+                dst: self.dst,
+                route: self.route.clone(),
+                hop: 0,
+                sent_at: ctx.now,
+            });
+        }
+        self.arm(ctx);
+    }
+
+    fn arm(&mut self, ctx: &mut Ctx) {
+        let next = self
+            .rap
+            .next_send_time()
+            .min(self.rap.next_timer())
+            .min(self.next_tick)
+            .max(ctx.now + 1e-6);
+        // Tolerance absorbs f64->ns rounding of the event clock; without
+        // it a fired timer can leave armed_at a hair in the future and the
+        // chain dies.
+        if next < self.armed_at - 1e-9 || self.armed_at <= ctx.now + 1e-7 {
+            ctx.set_timer_at(next, 0);
+            self.armed_at = next;
+        }
+    }
+}
+
+impl Agent for QaSourceAgent {
+    fn start(&mut self, ctx: &mut Ctx) {
+        if self.start_at > 0.0 {
+            self.rap = RapSender::new(self.rap_config.clone(), self.start_at);
+            self.next_tick = self.start_at;
+            ctx.set_timer_at(self.start_at, 0);
+        } else {
+            self.pump(ctx);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+        if let PacketKind::RapAck(info) = pkt.kind {
+            self.rap.on_ack(ctx.now, info);
+            self.drain_events(ctx.now);
+            self.pump(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, _token: u64) {
+        self.pump(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Quality-adaptive sink: RAP receiver + layered playout engine.
+pub struct QaSinkAgent {
+    rap_rx: RapReceiverState,
+    /// Playout ground truth.
+    pub receiver: LayeredReceiver,
+    /// Source agent id.
+    pub src: AgentId,
+    /// Reverse route.
+    pub reverse_route: Vec<LinkId>,
+    /// Flow id.
+    pub flow: u32,
+    adv_dt: f64,
+    /// Receiver-observed buffer per layer over time (figure 11 bottom
+    /// panel, ground truth).
+    pub buffer_trace: Vec<TimeSeries>,
+    /// Underflow events observed during playout, per advance step.
+    pub underflows: u64,
+}
+
+impl QaSinkAgent {
+    /// New sink for `encoding`, advancing playout every `adv_dt` seconds.
+    ///
+    /// `startup_secs` should include a margin over the server's
+    /// `startup_buffer_secs`: the server only learns of deliveries an RTT
+    /// later, so a client that starts the moment its own threshold is met
+    /// runs ahead of the server's accounting by about one RTT of
+    /// consumption (use ~2x the server's value).
+    pub fn new(
+        src: AgentId,
+        reverse_route: Vec<LinkId>,
+        flow: u32,
+        encoding: LayeredEncoding,
+        startup_secs: f64,
+        adv_dt: f64,
+    ) -> Self {
+        let n = encoding.n_layers();
+        QaSinkAgent {
+            rap_rx: RapReceiverState::new(),
+            receiver: LayeredReceiver::new(encoding, 1, startup_secs),
+            src,
+            reverse_route,
+            flow,
+            adv_dt,
+            buffer_trace: (0..n)
+                .map(|i| TimeSeries::new(format!("rx_buffer_{i}")))
+                .collect(),
+            underflows: 0,
+        }
+    }
+}
+
+impl Agent for QaSinkAgent {
+    fn start(&mut self, ctx: &mut Ctx) {
+        ctx.set_timer_after(self.adv_dt, 1);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+        if let PacketKind::RapData {
+            seq,
+            layer,
+            n_active,
+        } = pkt.kind
+        {
+            self.receiver
+                .on_data(ctx.now, layer as usize, pkt.size as f64);
+            self.receiver.set_active_layers(n_active as usize);
+            let info = self.rap_rx.on_data(seq);
+            let uid = ctx.alloc_uid();
+            ctx.send(Packet {
+                uid,
+                flow: self.flow,
+                size: ACK_SIZE,
+                kind: PacketKind::RapAck(info),
+                dst: self.src,
+                route: self.reverse_route.clone(),
+                hop: 0,
+                sent_at: ctx.now,
+            });
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        if token == 1 {
+            self.underflows += self.receiver.advance(self.adv_dt) as u64;
+            for (i, ts) in self.buffer_trace.iter_mut().enumerate() {
+                ts.push(ctx.now, self.receiver.buffered(i));
+            }
+            ctx.set_timer_after(self.adv_dt, 1);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::World;
+    use crate::link::LinkConfig;
+    use laqa_rap::RapConfig;
+
+    /// One QA flow over a bottleneck; returns (world, src id, sink id).
+    fn qa_flow(bw: f64, queue: usize, dur: f64, protect: usize) -> (World, AgentId, AgentId) {
+        let mut w = World::new(17);
+        let fwd = w.add_link(LinkConfig {
+            bandwidth: bw,
+            delay: 0.02,
+            queue_packets: queue,
+            ..LinkConfig::default()
+        });
+        let rev = w.add_link(LinkConfig::uncongested());
+        let sink_id = 0;
+        let src_id = 1;
+        let qa_cfg = QaConfig {
+            layer_rate: 5_000.0,
+            max_layers: 6,
+            k_max: 2,
+            underflow_slack_bytes: 2_000.0,
+            ..QaConfig::default()
+        };
+        let encoding = LayeredEncoding::linear(qa_cfg.max_layers, qa_cfg.layer_rate).unwrap();
+        assert_eq!(
+            w.add_agent(Box::new(QaSinkAgent::new(
+                src_id,
+                vec![rev],
+                1,
+                encoding,
+                2.0 * qa_cfg.startup_buffer_secs,
+                0.05,
+            ))),
+            sink_id
+        );
+        let rap_cfg = RapConfig {
+            packet_size: 500.0,
+            initial_rate: 2_000.0,
+            initial_rtt: 0.08,
+            max_rate: 45_000.0,
+            ..RapConfig::default()
+        };
+        let mut src = QaSourceAgent::new(sink_id, vec![fwd], 1, rap_cfg, qa_cfg, 0.05);
+        src.retransmit_protect = protect;
+        assert_eq!(w.add_agent(Box::new(src)), src_id);
+        w.run_until(dur);
+        (w, src_id, sink_id)
+    }
+
+    #[test]
+    fn single_qa_flow_adapts_to_bottleneck() {
+        let (w, src, sink) = qa_flow(25_000.0, 15, 25.0, 0);
+        let s: &QaSourceAgent = w.agent(src).unwrap();
+        // 25 KB/s bottleneck and 5 KB/s layers: should settle at 4-5
+        // layers, not pinned at 1 or 6.
+        let steady: Vec<f64> = s
+            .traces
+            .n_active
+            .points
+            .iter()
+            .filter(|&&(t, _)| t > 10.0)
+            .map(|&(_, v)| v)
+            .collect();
+        let mean = steady.iter().sum::<f64>() / steady.len() as f64;
+        assert!((2.5..=5.5).contains(&mean), "mean layers {mean}");
+        assert!(s.backoffs > 0);
+        let sk: &QaSinkAgent = w.agent(sink).unwrap();
+        assert_eq!(sk.receiver.stats().underflows[0], 0, "base never starves");
+    }
+
+    #[test]
+    fn selective_retransmission_repairs_base_layer() {
+        // A tight queue makes losses frequent; with base-layer protection
+        // enabled the receiver's base layer misses (starves) less.
+        let (w_off, _, sink_off) = qa_flow(15_000.0, 4, 25.0, 0);
+        let (w_on, src_on, sink_on) = qa_flow(15_000.0, 4, 25.0, 1);
+        let starved_off = w_off
+            .agent::<QaSinkAgent>(sink_off)
+            .unwrap()
+            .receiver
+            .stats()
+            .starved[0];
+        let starved_on = w_on
+            .agent::<QaSinkAgent>(sink_on)
+            .unwrap()
+            .receiver
+            .stats()
+            .starved[0];
+        let src: &QaSourceAgent = w_on.agent(src_on).unwrap();
+        assert!(
+            src.retransmissions > 0,
+            "protection must actually retransmit"
+        );
+        assert!(
+            starved_on <= starved_off,
+            "retransmission should not increase base starvation: {starved_on} vs {starved_off}"
+        );
+    }
+
+    #[test]
+    fn sent_per_layer_matches_active_layers() {
+        let (w, src, _) = qa_flow(25_000.0, 15, 15.0, 0);
+        let s: &QaSourceAgent = w.agent(src).unwrap();
+        // Lower layers must carry at least as many packets as higher ones
+        // over the run (they are always active).
+        let counts = &s.sent_per_layer;
+        assert!(counts[0] > 0);
+        for w2 in counts.windows(2) {
+            assert!(
+                w2[0] + 50 >= w2[1],
+                "layer counts should roughly decrease: {counts:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Quality adaptation over a **window-based** (TCP-like) AIMD transport —
+//! the paper's §7 plan to port the mechanism to other AIMD congestion
+//! control schemes. The controller is identical; only the transport's
+//! clocking differs (ACK-clocked window instead of rate pacing), which
+//! makes the sawtooth burstier and the rate signal noisier.
+
+use crate::agents::qa::QaTraces;
+use crate::engine::{Agent, Ctx};
+use crate::packet::{AgentId, LinkId, Packet, PacketKind};
+use laqa_core::{QaConfig, QaController};
+use laqa_rap::{RapEvent, WindowConfig, WindowSender};
+use std::any::Any;
+
+/// Quality-adaptive source riding an ACK-clocked AIMD window.
+pub struct QaWindowSourceAgent {
+    cc: WindowSender,
+    qa: QaController,
+    /// Sink agent (a [`crate::agents::qa::QaSinkAgent`] works unchanged —
+    /// the wire format is the same).
+    pub dst: AgentId,
+    /// Forward route.
+    pub route: Vec<LinkId>,
+    /// Flow id.
+    pub flow: u32,
+    packet_size: u32,
+    tick_dt: f64,
+    next_tick: f64,
+    armed_at: f64,
+    /// Smoothed rate estimate fed to the controller. The raw window/srtt
+    /// quotient jumps on every ACK; an EWMA stands in for RAP's inherently
+    /// smooth paced rate.
+    rate_est: f64,
+    /// Recorded traces (same panels as the RAP-based source).
+    pub traces: QaTraces,
+    /// Backoffs observed.
+    pub backoffs: u64,
+}
+
+impl QaWindowSourceAgent {
+    /// New window-CC QA source.
+    pub fn new(
+        dst: AgentId,
+        route: Vec<LinkId>,
+        flow: u32,
+        cc_cfg: WindowConfig,
+        qa_cfg: QaConfig,
+        tick_dt: f64,
+    ) -> Self {
+        let packet_size = cc_cfg.packet_size as u32;
+        let max_layers = qa_cfg.max_layers;
+        QaWindowSourceAgent {
+            cc: WindowSender::new(cc_cfg, 0.0),
+            qa: QaController::new(qa_cfg).expect("valid QA config"),
+            dst,
+            route,
+            flow,
+            packet_size,
+            tick_dt,
+            next_tick: 0.0,
+            armed_at: f64::NEG_INFINITY,
+            rate_est: 0.0,
+            traces: QaTraces::new(max_layers),
+            backoffs: 0,
+        }
+    }
+
+    /// The controller, for post-run inspection.
+    pub fn qa(&self) -> &QaController {
+        &self.qa
+    }
+
+    fn drain_events(&mut self, now: f64) {
+        for e in self.cc.take_events() {
+            match e {
+                RapEvent::Backoff { .. } => {
+                    self.backoffs += 1;
+                    // The post-backoff rate estimate: cwnd already halved.
+                    self.rate_est = self.cc.rate().min(self.rate_est);
+                    self.qa.on_backoff(now, self.rate_est);
+                }
+                RapEvent::PacketAcked { size, tag, .. } => {
+                    self.qa.on_packet_delivered(tag as usize, size);
+                }
+                RapEvent::PacketLost { .. } | RapEvent::RateIncrease { .. } => {}
+            }
+        }
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx) {
+        self.cc.poll_timers(ctx.now);
+        self.drain_events(ctx.now);
+        while ctx.now + 1e-12 >= self.next_tick {
+            let now = self.next_tick;
+            // EWMA over the window-derived rate (per-tick gain 1/4).
+            let raw = self.cc.rate();
+            self.rate_est = if self.rate_est <= 0.0 {
+                raw
+            } else {
+                self.rate_est + (raw - self.rate_est) * 0.25
+            };
+            self.qa.set_slope(self.cc.slope());
+            let report = self.qa.tick(now, self.rate_est, self.tick_dt);
+            let c = self.qa.config().layer_rate;
+            self.traces.tx_rate.push(now, self.rate_est);
+            self.traces
+                .consumption
+                .push(now, report.n_active as f64 * c);
+            self.traces.n_active.push(now, report.n_active as f64);
+            self.next_tick += self.tick_dt;
+        }
+        while self.cc.can_send() {
+            let size = self.packet_size as f64;
+            let layer = self.qa.next_packet_layer(size);
+            let seq = self.cc.register_send(ctx.now, size, layer as u32);
+            let uid = ctx.alloc_uid();
+            ctx.send(Packet {
+                uid,
+                flow: self.flow,
+                size: self.packet_size,
+                kind: PacketKind::RapData {
+                    seq,
+                    layer: layer as u8,
+                    n_active: self.qa.n_active() as u8,
+                },
+                dst: self.dst,
+                route: self.route.clone(),
+                hop: 0,
+                sent_at: ctx.now,
+            });
+        }
+        self.arm(ctx);
+    }
+
+    fn arm(&mut self, ctx: &mut Ctx) {
+        let next = self.cc.next_timer().min(self.next_tick).max(ctx.now + 1e-6);
+        if next < self.armed_at - 1e-9 || self.armed_at <= ctx.now + 1e-7 {
+            ctx.set_timer_at(next, 0);
+            self.armed_at = next;
+        }
+    }
+}
+
+impl Agent for QaWindowSourceAgent {
+    fn start(&mut self, ctx: &mut Ctx) {
+        self.pump(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+        if let PacketKind::RapAck(info) = pkt.kind {
+            self.cc.on_ack(ctx.now, info);
+            self.drain_events(ctx.now);
+            self.pump(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, _token: u64) {
+        self.pump(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agents::qa::QaSinkAgent;
+    use crate::engine::World;
+    use crate::link::LinkConfig;
+    use laqa_layered::LayeredEncoding;
+
+    fn run(bw: f64, dur: f64) -> (World, AgentId, AgentId) {
+        let mut w = World::new(23);
+        let fwd = w.add_link(LinkConfig {
+            bandwidth: bw,
+            delay: 0.02,
+            queue_packets: 20,
+            ..LinkConfig::default()
+        });
+        let rev = w.add_link(LinkConfig::uncongested());
+        let sink_id = 0;
+        let src_id = 1;
+        let qa_cfg = QaConfig {
+            layer_rate: 5_000.0,
+            max_layers: 6,
+            k_max: 2,
+            underflow_slack_bytes: 2_000.0,
+            ..QaConfig::default()
+        };
+        let encoding = LayeredEncoding::linear(qa_cfg.max_layers, qa_cfg.layer_rate).unwrap();
+        assert_eq!(
+            w.add_agent(Box::new(QaSinkAgent::new(
+                src_id,
+                vec![rev],
+                1,
+                encoding,
+                2.0 * qa_cfg.startup_buffer_secs,
+                0.05,
+            ))),
+            sink_id
+        );
+        let cc_cfg = WindowConfig {
+            packet_size: 500.0,
+            initial_rtt: 0.06,
+            max_cwnd: 60.0,
+            ..WindowConfig::default()
+        };
+        let src = QaWindowSourceAgent::new(sink_id, vec![fwd], 1, cc_cfg, qa_cfg, 0.05);
+        assert_eq!(w.add_agent(Box::new(src)), src_id);
+        w.run_until(dur);
+        (w, src_id, sink_id)
+    }
+
+    #[test]
+    fn window_cc_qa_adapts_without_stalling() {
+        let (w, src, sink) = run(25_000.0, 30.0);
+        let s: &QaWindowSourceAgent = w.agent(src).unwrap();
+        let steady: Vec<f64> = s
+            .traces
+            .n_active
+            .points
+            .iter()
+            .filter(|&&(t, _)| t > 12.0)
+            .map(|&(_, v)| v)
+            .collect();
+        let mean = steady.iter().sum::<f64>() / steady.len() as f64;
+        assert!((2.0..=5.9).contains(&mean), "mean layers {mean}");
+        assert!(
+            s.backoffs > 0,
+            "ACK-clocked AIMD must back off at a bottleneck"
+        );
+        assert_eq!(s.qa().metrics().stalls(), 0);
+        let sk: &QaSinkAgent = w.agent(sink).unwrap();
+        assert_eq!(sk.receiver.stats().underflows[0], 0, "base never starves");
+    }
+
+    #[test]
+    fn window_cc_tracks_bandwidth_ordering() {
+        let (w_lo, src_lo, _) = run(12_000.0, 25.0);
+        let (w_hi, src_hi, _) = run(28_000.0, 25.0);
+        let mean = |w: &World, id: AgentId| {
+            let s: &QaWindowSourceAgent = w.agent(id).unwrap();
+            let v: Vec<f64> = s
+                .traces
+                .n_active
+                .points
+                .iter()
+                .filter(|&&(t, _)| t > 10.0)
+                .map(|&(_, v)| v)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            mean(&w_hi, src_hi) > mean(&w_lo, src_lo),
+            "more bandwidth must mean more layers"
+        );
+    }
+}

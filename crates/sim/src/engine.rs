@@ -1,0 +1,519 @@
+//! The discrete-event engine: event queue, world, agent dispatch.
+//!
+//! Deterministic by construction: time is integer nanoseconds, ties are
+//! broken by insertion sequence, and the only randomness flows through the
+//! world's seeded RNG.
+
+use crate::link::{Link, LinkConfig, LinkStats};
+use crate::packet::{AgentId, LinkId, Packet};
+use crate::time::{ns_to_secs, secs_to_ns, tx_time_ns};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Things that can happen.
+#[derive(Debug, Clone, PartialEq)]
+enum Event {
+    /// The head-of-line packet of `link` finished serializing.
+    LinkDone { link: LinkId },
+    /// `pkt` arrives at its next hop (link or destination agent).
+    Arrive { pkt: Packet },
+    /// Agent timer with an agent-defined token.
+    Timer { agent: AgentId, token: u64 },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Scheduled {
+    time_ns: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time_ns, self.seq).cmp(&(other.time_ns, other.seq))
+    }
+}
+
+/// Everything the world owns except the agents (so agent dispatch can
+/// borrow both mutably).
+pub struct WorldCore {
+    now_ns: u64,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    links: Vec<Link>,
+    next_uid: u64,
+    rng: StdRng,
+}
+
+impl WorldCore {
+    fn schedule(&mut self, at_ns: u64, event: Event) {
+        let time_ns = at_ns.max(self.now_ns);
+        self.queue.push(Reverse(Scheduled {
+            time_ns,
+            seq: self.seq,
+            event,
+        }));
+        self.seq += 1;
+    }
+
+    /// Put `pkt` onto its next link (or deliver directly when routeless).
+    fn route_packet(&mut self, pkt: Packet) {
+        match pkt.next_link() {
+            None => {
+                // Already at the destination: deliver immediately.
+                self.schedule(self.now_ns, Event::Arrive { pkt });
+            }
+            Some(link_id) => {
+                let was_busy = self.links[link_id].busy;
+                let (u_loss, u_red) = (self.rng.gen::<f64>(), self.rng.gen::<f64>());
+                if self.links[link_id].offer(pkt, u_loss, u_red) && !was_busy {
+                    self.links[link_id].busy = true;
+                    let head_size = self.links[link_id]
+                        .queue
+                        .front()
+                        .map(|p| p.size)
+                        .expect("offer accepted");
+                    let bw = self.links[link_id].cfg.bandwidth;
+                    let done = self.now_ns.saturating_add(tx_time_ns(head_size, bw));
+                    self.schedule(done, Event::LinkDone { link: link_id });
+                }
+            }
+        }
+    }
+}
+
+/// The execution context handed to agents.
+pub struct Ctx<'a> {
+    /// Current simulation time (seconds).
+    pub now: f64,
+    /// The agent being dispatched.
+    pub agent_id: AgentId,
+    core: &'a mut WorldCore,
+}
+
+impl<'a> Ctx<'a> {
+    /// Allocate a globally unique packet id.
+    pub fn alloc_uid(&mut self) -> u64 {
+        let uid = self.core.next_uid;
+        self.core.next_uid += 1;
+        uid
+    }
+
+    /// Transmit a packet along its route.
+    pub fn send(&mut self, mut pkt: Packet) {
+        pkt.sent_at = self.now;
+        self.core.route_packet(pkt);
+    }
+
+    /// Arm a timer to fire at absolute time `at` seconds.
+    pub fn set_timer_at(&mut self, at: f64, token: u64) {
+        let at_ns = secs_to_ns(at.max(0.0));
+        self.core.schedule(
+            at_ns,
+            Event::Timer {
+                agent: self.agent_id,
+                token,
+            },
+        );
+    }
+
+    /// Arm a timer to fire `delay` seconds from now.
+    pub fn set_timer_after(&mut self, delay: f64, token: u64) {
+        self.set_timer_at(self.now + delay.max(0.0), token);
+    }
+
+    /// Uniform random number in `[0, 1)` from the world's seeded RNG.
+    pub fn rand(&mut self) -> f64 {
+        self.core.rng.gen::<f64>()
+    }
+
+    /// Queue length of a link (packets), for diagnostics.
+    pub fn link_queue_len(&self, link: LinkId) -> usize {
+        self.core.links[link].queue_len()
+    }
+}
+
+/// A network endpoint or middlebox with protocol behaviour.
+pub trait Agent: 'static {
+    /// Called once when the simulation starts.
+    fn start(&mut self, _ctx: &mut Ctx) {}
+    /// A packet addressed to this agent arrived.
+    fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet);
+    /// A timer armed by this agent fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx, _token: u64) {}
+    /// Downcast support (stats extraction after a run).
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The simulated world: links, agents, and the event loop.
+pub struct World {
+    core: WorldCore,
+    agents: Vec<Option<Box<dyn Agent>>>,
+    started: bool,
+}
+
+impl World {
+    /// New world with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        World {
+            core: WorldCore {
+                now_ns: 0,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                links: Vec::new(),
+                next_uid: 0,
+                rng: StdRng::seed_from_u64(seed),
+            },
+            agents: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Add a link; returns its id.
+    pub fn add_link(&mut self, cfg: LinkConfig) -> LinkId {
+        self.core.links.push(Link::new(cfg));
+        self.core.links.len() - 1
+    }
+
+    /// Add an agent; returns its id.
+    pub fn add_agent(&mut self, agent: Box<dyn Agent>) -> AgentId {
+        self.agents.push(Some(agent));
+        self.agents.len() - 1
+    }
+
+    /// Current simulation time (seconds).
+    pub fn now(&self) -> f64 {
+        ns_to_secs(self.core.now_ns)
+    }
+
+    /// Counters of a link.
+    pub fn link_stats(&self, link: LinkId) -> LinkStats {
+        self.core.links[link].stats
+    }
+
+    /// Typed view of an agent (e.g. to pull stats after a run).
+    pub fn agent<T: 'static>(&self, id: AgentId) -> Option<&T> {
+        self.agents.get(id)?.as_ref()?.as_any().downcast_ref::<T>()
+    }
+
+    /// Typed mutable view of an agent.
+    pub fn agent_mut<T: 'static>(&mut self, id: AgentId) -> Option<&mut T> {
+        self.agents
+            .get_mut(id)?
+            .as_mut()?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    fn dispatch_agent(
+        agents: &mut [Option<Box<dyn Agent>>],
+        core: &mut WorldCore,
+        id: AgentId,
+        f: impl FnOnce(&mut dyn Agent, &mut Ctx),
+    ) {
+        let Some(slot) = agents.get_mut(id) else {
+            return;
+        };
+        let Some(mut agent) = slot.take() else { return };
+        {
+            let mut ctx = Ctx {
+                now: ns_to_secs(core.now_ns),
+                agent_id: id,
+                core,
+            };
+            f(agent.as_mut(), &mut ctx);
+        }
+        agents[id] = Some(agent);
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for id in 0..self.agents.len() {
+            Self::dispatch_agent(&mut self.agents, &mut self.core, id, |a, ctx| a.start(ctx));
+        }
+    }
+
+    /// Run the event loop until simulated time `t_end` seconds (events at
+    /// exactly `t_end` are processed).
+    pub fn run_until(&mut self, t_end: f64) {
+        self.ensure_started();
+        let end_ns = secs_to_ns(t_end);
+        while let Some(Reverse(next)) = self.core.queue.peek() {
+            if next.time_ns > end_ns {
+                break;
+            }
+            let Reverse(sched) = self.core.queue.pop().expect("peeked");
+            self.core.now_ns = sched.time_ns;
+            match sched.event {
+                Event::LinkDone { link } => {
+                    let (pkt, next_busy) = {
+                        let l = &mut self.core.links[link];
+                        let mut pkt = l.queue.pop_front().expect("busy link has head");
+                        l.stats.bytes_out += pkt.size as u64;
+                        pkt.advance_hop();
+                        let next = l.queue.front().map(|p| p.size);
+                        l.busy = next.is_some();
+                        (pkt, next)
+                    };
+                    let delay_ns = secs_to_ns(self.core.links[link].cfg.delay);
+                    let arrive = self.core.now_ns.saturating_add(delay_ns);
+                    self.core.schedule(arrive, Event::Arrive { pkt });
+                    if let Some(size) = next_busy {
+                        let bw = self.core.links[link].cfg.bandwidth;
+                        let done = self.core.now_ns.saturating_add(tx_time_ns(size, bw));
+                        self.core.schedule(done, Event::LinkDone { link });
+                    }
+                }
+                Event::Arrive { pkt } => {
+                    if pkt.at_destination() {
+                        let id = pkt.dst;
+                        Self::dispatch_agent(&mut self.agents, &mut self.core, id, |a, ctx| {
+                            a.on_packet(ctx, pkt)
+                        });
+                    } else {
+                        self.core.route_packet(pkt);
+                    }
+                }
+                Event::Timer { agent, token } => {
+                    Self::dispatch_agent(&mut self.agents, &mut self.core, agent, |a, ctx| {
+                        a.on_timer(ctx, token)
+                    });
+                }
+            }
+        }
+        self.core.now_ns = self.core.now_ns.max(end_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+
+    /// Test agent: sends `count` packets to `peer` at `interval`, records
+    /// arrivals with timestamps.
+    struct Pinger {
+        peer: AgentId,
+        route: Vec<LinkId>,
+        count: u32,
+        interval: f64,
+        sent: u32,
+    }
+    struct Sink {
+        arrivals: Vec<(f64, u64)>,
+    }
+
+    impl Agent for Pinger {
+        fn start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer_at(0.0, 0);
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx, _pkt: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Ctx, _token: u64) {
+            if self.sent >= self.count {
+                return;
+            }
+            let uid = ctx.alloc_uid();
+            ctx.send(Packet {
+                uid,
+                flow: 1,
+                size: 1_000,
+                kind: PacketKind::Cbr,
+                dst: self.peer,
+                route: self.route.clone(),
+                hop: 0,
+                sent_at: ctx.now,
+            });
+            self.sent += 1;
+            ctx.set_timer_after(self.interval, 0);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    impl Agent for Sink {
+        fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+            self.arrivals.push((ctx.now, pkt.uid));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn packets_traverse_link_with_tx_plus_prop_delay() {
+        let mut w = World::new(1);
+        // 100 KB/s, 10 ms delay: a 1000 B packet takes 10 ms + 10 ms.
+        let l = w.add_link(LinkConfig {
+            bandwidth: 100_000.0,
+            delay: 0.01,
+            queue_packets: 100,
+            ..LinkConfig::default()
+        });
+        let sink = w.add_agent(Box::new(Sink { arrivals: vec![] }));
+        let _src = w.add_agent(Box::new(Pinger {
+            peer: sink,
+            route: vec![l],
+            count: 1,
+            interval: 1.0,
+            sent: 0,
+        }));
+        w.run_until(1.0);
+        let s: &Sink = w.agent(sink).unwrap();
+        assert_eq!(s.arrivals.len(), 1);
+        assert!(
+            (s.arrivals[0].0 - 0.02).abs() < 1e-9,
+            "arrival {}",
+            s.arrivals[0].0
+        );
+    }
+
+    #[test]
+    fn serialization_spaces_back_to_back_packets() {
+        let mut w = World::new(1);
+        let l = w.add_link(LinkConfig {
+            bandwidth: 100_000.0,
+            delay: 0.0,
+            queue_packets: 100,
+            ..LinkConfig::default()
+        });
+        let sink = w.add_agent(Box::new(Sink { arrivals: vec![] }));
+        let _src = w.add_agent(Box::new(Pinger {
+            peer: sink,
+            route: vec![l],
+            count: 3,
+            interval: 0.0, // all at t=0
+            sent: 0,
+        }));
+        w.run_until(1.0);
+        let s: &Sink = w.agent(sink).unwrap();
+        assert_eq!(s.arrivals.len(), 3);
+        // 10 ms serialization each: arrivals at 10, 20, 30 ms.
+        for (i, &(t, _)) in s.arrivals.iter().enumerate() {
+            assert!(
+                (t - 0.01 * (i + 1) as f64).abs() < 1e-9,
+                "arrival {i} at {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut w = World::new(1);
+        let l = w.add_link(LinkConfig {
+            bandwidth: 100_000.0,
+            delay: 0.0,
+            queue_packets: 1,
+            ..LinkConfig::default()
+        });
+        let sink = w.add_agent(Box::new(Sink { arrivals: vec![] }));
+        let _src = w.add_agent(Box::new(Pinger {
+            peer: sink,
+            route: vec![l],
+            count: 5,
+            interval: 0.0,
+            sent: 0,
+        }));
+        w.run_until(1.0);
+        // 1 in service + 1 queued accepted; 3 dropped.
+        assert_eq!(w.link_stats(l).dropped, 3);
+        let s: &Sink = w.agent(sink).unwrap();
+        assert_eq!(s.arrivals.len(), 2);
+    }
+
+    #[test]
+    fn multi_hop_route() {
+        let mut w = World::new(1);
+        let l1 = w.add_link(LinkConfig {
+            bandwidth: 1e6,
+            delay: 0.005,
+            queue_packets: 10,
+            ..LinkConfig::default()
+        });
+        let l2 = w.add_link(LinkConfig {
+            bandwidth: 1e6,
+            delay: 0.005,
+            queue_packets: 10,
+            ..LinkConfig::default()
+        });
+        let sink = w.add_agent(Box::new(Sink { arrivals: vec![] }));
+        let _src = w.add_agent(Box::new(Pinger {
+            peer: sink,
+            route: vec![l1, l2],
+            count: 1,
+            interval: 1.0,
+            sent: 0,
+        }));
+        w.run_until(1.0);
+        let s: &Sink = w.agent(sink).unwrap();
+        assert_eq!(s.arrivals.len(), 1);
+        // 2 × (1 ms tx + 5 ms prop) = 12 ms.
+        assert!((s.arrivals[0].0 - 0.012).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut w = World::new(42);
+            let l = w.add_link(LinkConfig {
+                bandwidth: 50_000.0,
+                delay: 0.003,
+                queue_packets: 3,
+                ..LinkConfig::default()
+            });
+            let sink = w.add_agent(Box::new(Sink { arrivals: vec![] }));
+            let _ = w.add_agent(Box::new(Pinger {
+                peer: sink,
+                route: vec![l],
+                count: 50,
+                interval: 0.013,
+                sent: 0,
+            }));
+            w.run_until(2.0);
+            w.agent::<Sink>(sink).unwrap().arrivals.clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn direct_delivery_without_route() {
+        let mut w = World::new(1);
+        let sink = w.add_agent(Box::new(Sink { arrivals: vec![] }));
+        let _src = w.add_agent(Box::new(Pinger {
+            peer: sink,
+            route: vec![],
+            count: 1,
+            interval: 1.0,
+            sent: 0,
+        }));
+        w.run_until(0.5);
+        assert_eq!(w.agent::<Sink>(sink).unwrap().arrivals.len(), 1);
+    }
+
+    #[test]
+    fn time_advances_to_run_end() {
+        let mut w = World::new(1);
+        w.run_until(3.5);
+        assert!((w.now() - 3.5).abs() < 1e-9);
+    }
+}

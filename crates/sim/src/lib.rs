@@ -1,0 +1,36 @@
+//! # laqa-sim — packet-level discrete-event network simulator
+//!
+//! The ns-2 subset the paper's evaluation needs, rebuilt: a deterministic
+//! event engine ([`engine`]), links with drop-tail queues ([`link`]),
+//! dumbbell topologies ([`topology`]), and protocol agents ([`agents`]):
+//! RAP sources/sinks, a NewReno-style TCP for competing traffic, CBR
+//! bursts, and the quality-adaptive RAP streaming pair under test.
+//! [`scenarios`] assembles the paper's T1/T2 workloads.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod engine;
+pub mod link;
+pub mod packet;
+pub mod scenarios;
+pub mod stats;
+pub mod time;
+pub mod topology;
+
+/// Protocol agents (RAP, TCP, CBR, quality-adaptive streaming pair).
+pub mod agents {
+    pub mod cbr;
+    pub mod monitor;
+    pub mod qa;
+    pub mod qa_window;
+    pub mod rap;
+    pub mod tcp;
+}
+
+pub use engine::{Agent, Ctx, World};
+pub use link::{Link, LinkConfig, LinkStats, QueueKind, RedConfig};
+pub use packet::{AgentId, LinkId, Packet, PacketKind};
+pub use scenarios::{run_scenario, ScenarioConfig, ScenarioOutcome};
+pub use stats::{jain_fairness, summarize_sharing, SharingSummary};
+pub use topology::{Dumbbell, DumbbellConfig};

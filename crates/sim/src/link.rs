@@ -1,0 +1,306 @@
+//! Links with configurable queueing (drop-tail or RED) and an optional
+//! random-loss process.
+//!
+//! The paper's ns-2 setup uses drop-tail bottlenecks (the default here).
+//! RED is provided because the paper's premise — near-random loss patterns
+//! (§3, citing Bolot) — is exactly what RED produces, making it the
+//! natural ablation for the smoothing machinery; the per-packet random
+//! loss models non-congestive (wireless/bit-error) drops.
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// Random Early Detection parameters (Floyd/Jacobson '93, simplified:
+/// plain drop probability, no idle-time compensation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedConfig {
+    /// Average-queue threshold (packets) below which nothing is dropped.
+    pub min_th: f64,
+    /// Average-queue threshold (packets) above which everything is
+    /// dropped.
+    pub max_th: f64,
+    /// Drop probability as the average reaches `max_th`.
+    pub max_p: f64,
+    /// EWMA weight for the average queue estimate.
+    pub wq: f64,
+}
+
+impl RedConfig {
+    /// Reasonable defaults relative to a physical queue of `cap` packets.
+    pub fn for_queue(cap: usize) -> Self {
+        RedConfig {
+            min_th: cap as f64 * 0.25,
+            max_th: cap as f64 * 0.75,
+            max_p: 0.1,
+            wq: 0.002,
+        }
+    }
+}
+
+/// Queueing discipline of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum QueueKind {
+    /// Plain drop-tail (the paper's setting).
+    #[default]
+    DropTail,
+    /// Random Early Detection on the average queue.
+    Red(RedConfig),
+}
+
+/// Configuration of one unidirectional link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Bandwidth (bytes/s).
+    pub bandwidth: f64,
+    /// Propagation delay (seconds).
+    pub delay: f64,
+    /// Physical queue capacity in packets (excluding the one in service).
+    pub queue_packets: usize,
+    /// Queueing discipline.
+    pub queue_kind: QueueKind,
+    /// Probability of random (non-congestive) loss per packet.
+    pub loss_rate: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            bandwidth: 125_000.0,
+            delay: 0.01,
+            queue_packets: 50,
+            queue_kind: QueueKind::DropTail,
+            loss_rate: 0.0,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A high-capacity, low-delay access/return link that never congests.
+    pub fn uncongested() -> Self {
+        LinkConfig {
+            bandwidth: 125_000_000.0,
+            delay: 0.001,
+            queue_packets: 10_000,
+            ..LinkConfig::default()
+        }
+    }
+}
+
+/// Runtime state of a link.
+#[derive(Debug)]
+pub struct Link {
+    /// Static configuration.
+    pub cfg: LinkConfig,
+    /// Waiting packets (head is next to transmit).
+    pub queue: VecDeque<Packet>,
+    /// True while a packet is being serialized.
+    pub busy: bool,
+    /// RED average-queue estimate (packets).
+    pub red_avg: f64,
+    /// Counters.
+    pub stats: LinkStats,
+}
+
+/// Per-link counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkStats {
+    /// Packets accepted for transmission.
+    pub enqueued: u64,
+    /// Packets dropped at the tail (or by RED).
+    pub dropped: u64,
+    /// Packets dropped by the random-loss process.
+    pub random_losses: u64,
+    /// Bytes fully transmitted.
+    pub bytes_out: u64,
+    /// Peak queue length observed (packets).
+    pub peak_queue: usize,
+}
+
+impl Link {
+    /// New idle link.
+    pub fn new(cfg: LinkConfig) -> Self {
+        Link {
+            cfg,
+            queue: VecDeque::new(),
+            busy: false,
+            red_avg: 0.0,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Offer a packet to the link. `u_loss` and `u_red` are uniform
+    /// `[0, 1)` samples consumed by the loss and RED processes. Returns
+    /// `true` when accepted (caller schedules the dequeue when the link
+    /// was idle), `false` when dropped.
+    pub fn offer(&mut self, pkt: Packet, u_loss: f64, u_red: f64) -> bool {
+        if self.cfg.loss_rate > 0.0 && u_loss < self.cfg.loss_rate {
+            self.stats.random_losses += 1;
+            return false;
+        }
+        // While busy, the queue's head is the packet in service; only the
+        // ones behind it occupy queue slots.
+        let waiting = self.queue.len().saturating_sub(usize::from(self.busy));
+        if let QueueKind::Red(red) = self.cfg.queue_kind {
+            self.red_avg = (1.0 - red.wq) * self.red_avg + red.wq * waiting as f64;
+            if self.red_avg >= red.max_th {
+                self.stats.dropped += 1;
+                return false;
+            }
+            if self.red_avg > red.min_th {
+                let p =
+                    red.max_p * (self.red_avg - red.min_th) / (red.max_th - red.min_th).max(1e-9);
+                if u_red < p {
+                    self.stats.dropped += 1;
+                    return false;
+                }
+            }
+        }
+        if self.busy && waiting >= self.cfg.queue_packets {
+            self.stats.dropped += 1;
+            return false;
+        }
+        self.queue.push_back(pkt);
+        self.stats.enqueued += 1;
+        self.stats.peak_queue = self.stats.peak_queue.max(self.queue.len());
+        true
+    }
+
+    /// Current queue length in packets (including the one in service).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+
+    fn pkt(uid: u64) -> Packet {
+        Packet {
+            uid,
+            flow: 0,
+            size: 1000,
+            kind: PacketKind::Cbr,
+            dst: 0,
+            route: vec![],
+            hop: 0,
+            sent_at: 0.0,
+        }
+    }
+
+    fn offer(l: &mut Link, p: Packet) -> bool {
+        l.offer(p, 0.99, 0.99)
+    }
+
+    #[test]
+    fn drop_tail_when_full_and_busy() {
+        let mut l = Link::new(LinkConfig {
+            bandwidth: 1e6,
+            delay: 0.01,
+            queue_packets: 2,
+            ..LinkConfig::default()
+        });
+        assert!(offer(&mut l, pkt(1)));
+        l.busy = true; // first packet entered service
+        assert!(offer(&mut l, pkt(2)));
+        assert!(offer(&mut l, pkt(3)));
+        assert!(
+            !offer(&mut l, pkt(4)),
+            "third queued packet must be dropped"
+        );
+        assert_eq!(l.stats.dropped, 1);
+        assert_eq!(l.stats.enqueued, 3);
+    }
+
+    #[test]
+    fn idle_link_always_accepts() {
+        let mut l = Link::new(LinkConfig {
+            bandwidth: 1e6,
+            delay: 0.01,
+            queue_packets: 0,
+            ..LinkConfig::default()
+        });
+        assert!(
+            offer(&mut l, pkt(1)),
+            "idle link accepts even with zero queue"
+        );
+    }
+
+    #[test]
+    fn peak_queue_tracked() {
+        let mut l = Link::new(LinkConfig {
+            bandwidth: 1e6,
+            delay: 0.01,
+            queue_packets: 10,
+            ..LinkConfig::default()
+        });
+        for i in 0..5 {
+            offer(&mut l, pkt(i));
+        }
+        assert_eq!(l.stats.peak_queue, 5);
+    }
+
+    #[test]
+    fn random_loss_consumes_sample() {
+        let mut l = Link::new(LinkConfig {
+            loss_rate: 0.5,
+            ..LinkConfig::default()
+        });
+        assert!(!l.offer(pkt(1), 0.4, 0.9), "u < p drops");
+        assert!(l.offer(pkt(2), 0.6, 0.9), "u >= p passes");
+        assert_eq!(l.stats.random_losses, 1);
+        assert_eq!(l.stats.dropped, 0, "random losses counted separately");
+    }
+
+    #[test]
+    fn red_drops_probabilistically_between_thresholds() {
+        let red = RedConfig {
+            min_th: 1.0,
+            max_th: 5.0,
+            max_p: 0.5,
+            wq: 1.0,
+        };
+        let mut l = Link::new(LinkConfig {
+            queue_packets: 100,
+            queue_kind: QueueKind::Red(red),
+            ..LinkConfig::default()
+        });
+        // Build the queue to avg = 3 (wq = 1 tracks instantaneously):
+        l.busy = true;
+        for i in 0..4 {
+            assert!(l.offer(pkt(i), 0.9, 0.99), "low avg accepts");
+        }
+        // avg now 3 → p = 0.5 * (3-1)/(5-1) = 0.25.
+        assert!(!l.offer(pkt(10), 0.9, 0.2), "u_red < p drops early");
+        assert!(l.offer(pkt(11), 0.9, 0.3), "u_red >= p accepts");
+    }
+
+    #[test]
+    fn red_hard_drops_above_max_th() {
+        let red = RedConfig {
+            min_th: 0.0,
+            max_th: 2.0,
+            max_p: 0.1,
+            wq: 1.0,
+        };
+        let mut l = Link::new(LinkConfig {
+            queue_packets: 100,
+            queue_kind: QueueKind::Red(red),
+            ..LinkConfig::default()
+        });
+        l.busy = true;
+        for i in 0..3 {
+            l.offer(pkt(i), 0.9, 0.99);
+        }
+        // avg >= 2 now: unconditional drop regardless of u_red.
+        assert!(!l.offer(pkt(10), 0.9, 0.999));
+    }
+
+    #[test]
+    fn red_default_thresholds_scale_with_capacity() {
+        let red = RedConfig::for_queue(100);
+        assert_eq!(red.min_th, 25.0);
+        assert_eq!(red.max_th, 75.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Simulated packets and their protocol payloads.
+
+use laqa_rap::AckInfo;
+use serde::{Deserialize, Serialize};
+
+/// Agent identifier within a [`crate::engine::World`].
+pub type AgentId = usize;
+/// Link identifier within a [`crate::engine::World`].
+pub type LinkId = usize;
+
+/// Protocol payload carried by a simulated packet. Header/payload bytes are
+/// abstracted into `size` on the [`Packet`]; this enum carries the fields
+/// the protocols actually read.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// RAP data packet carrying one layered-video packet.
+    RapData {
+        /// RAP sequence number.
+        seq: u64,
+        /// Layer the payload belongs to.
+        layer: u8,
+        /// Active layer count at the server when sent (in-band signalling
+        /// of add/drop, as the paper's server does).
+        n_active: u8,
+    },
+    /// RAP acknowledgement.
+    RapAck(AckInfo),
+    /// TCP data segment.
+    TcpData {
+        /// Segment sequence number (in packets, not bytes).
+        seq: u64,
+        /// True when this is a retransmission (for stats only).
+        retx: bool,
+    },
+    /// TCP cumulative acknowledgement.
+    TcpAck {
+        /// Next expected sequence (all below received).
+        cum: u64,
+        /// Highest out-of-order sequence seen (SACK-style hint that lets
+        /// the sender avoid false retransmissions).
+        high: u64,
+    },
+    /// Constant-bit-rate (unresponsive) traffic.
+    Cbr,
+}
+
+/// A packet in flight through the simulated network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Globally unique id (assigned by the world; diagnostics only).
+    pub uid: u64,
+    /// Flow number (for per-flow stats).
+    pub flow: u32,
+    /// Wire size in bytes (headers included).
+    pub size: u32,
+    /// Protocol payload.
+    pub kind: PacketKind,
+    /// Destination agent.
+    pub dst: AgentId,
+    /// Remaining route: links to traverse before reaching `dst`.
+    pub route: Vec<LinkId>,
+    /// Index of the next link in `route`.
+    pub hop: usize,
+    /// Time the packet entered the network (seconds).
+    pub sent_at: f64,
+}
+
+impl Packet {
+    /// Next link to traverse, if any.
+    pub fn next_link(&self) -> Option<LinkId> {
+        self.route.get(self.hop).copied()
+    }
+
+    /// Advance to the following hop.
+    pub fn advance_hop(&mut self) {
+        self.hop += 1;
+    }
+
+    /// True when the packet has traversed its whole route.
+    pub fn at_destination(&self) -> bool {
+        self.hop >= self.route.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(route: Vec<LinkId>) -> Packet {
+        Packet {
+            uid: 1,
+            flow: 0,
+            size: 1000,
+            kind: PacketKind::Cbr,
+            dst: 5,
+            route,
+            hop: 0,
+            sent_at: 0.0,
+        }
+    }
+
+    #[test]
+    fn route_traversal() {
+        let mut p = pkt(vec![3, 7]);
+        assert_eq!(p.next_link(), Some(3));
+        assert!(!p.at_destination());
+        p.advance_hop();
+        assert_eq!(p.next_link(), Some(7));
+        p.advance_hop();
+        assert_eq!(p.next_link(), None);
+        assert!(p.at_destination());
+    }
+
+    #[test]
+    fn empty_route_is_at_destination() {
+        let p = pkt(vec![]);
+        assert!(p.at_destination());
+    }
+}

@@ -1,0 +1,341 @@
+//! Canned experiment scenarios: the paper's T1 and T2 workloads and the
+//! single-flow figure-1 setup, parameterized so the regenerators can sweep
+//! `K_max`, bottleneck bandwidth and durations.
+
+use crate::agents::cbr::{CbrAgent, CountingSink};
+use crate::agents::monitor::QueueMonitor;
+use crate::agents::qa::{QaSinkAgent, QaSourceAgent, QaTraces};
+use crate::agents::rap::{RapFlowAgent, RapSinkAgent};
+use crate::agents::tcp::{TcpAgent, TcpSinkAgent};
+use crate::link::LinkStats;
+use crate::topology::{Dumbbell, DumbbellConfig};
+use laqa_core::{MetricsCollector, QaConfig};
+use laqa_layered::LayeredEncoding;
+use laqa_rap::RapConfig;
+use laqa_trace::TimeSeries;
+
+/// Scenario parameters (defaults = the paper's T1 at `K_max = 2`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// Dumbbell parameters.
+    pub dumbbell: DumbbellConfig,
+    /// Background RAP flows (the paper uses 9).
+    pub n_rap: usize,
+    /// Background TCP flows (the paper uses 10).
+    pub n_tcp: usize,
+    /// Optional CBR burst `(start, stop, rate_bytes_per_sec)` — T2's
+    /// half-bottleneck burst.
+    pub cbr: Option<(f64, f64, f64)>,
+    /// QA configuration (layer rate, `K_max`, …).
+    pub qa: QaConfig,
+    /// RAP protocol parameters shared by all RAP flows.
+    pub rap: RapConfig,
+    /// Simulated duration (seconds).
+    pub duration: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// QA allocation period (seconds).
+    pub tick_dt: f64,
+    /// When the QA flow joins (seconds). Letting the background flows
+    /// saturate the bottleneck first gives the QA flow the gentle ramp of
+    /// the paper's figure 11 instead of an empty-network rate overshoot.
+    pub qa_start: f64,
+    /// Layers `0..n` protected by selective retransmission (§1.3);
+    /// 0 = off (the paper's evaluation setting).
+    pub retransmit_protect: usize,
+}
+
+impl ScenarioConfig {
+    /// The paper's T1: 1 QA-RAP + 9 RAP + 10 TCP through an 800 Kb/s,
+    /// 40 ms-RTT dumbbell.
+    ///
+    /// The paper's per-flow fair share at 800 Kb/s over 20 flows is
+    /// ~5 KB/s; for the layer geometry to span 3–4 layers (as in the
+    /// paper's figures) the layer rate defaults to `C = 1.25 KB/s` with
+    /// 250-byte packets, preserving all the ratios of the original setup
+    /// (fair share ≈ 4·C, packet ≈ C/5·s).
+    pub fn t1(k_max: u32, duration: f64, seed: u64) -> Self {
+        ScenarioConfig {
+            dumbbell: DumbbellConfig::paper_base(),
+            n_rap: 9,
+            n_tcp: 10,
+            cbr: None,
+            qa: QaConfig {
+                layer_rate: 1_250.0,
+                max_layers: 10,
+                k_max,
+                startup_buffer_secs: 0.5,
+                underflow_slack_bytes: 1_000.0, // 4 packets of 250 B
+                ..QaConfig::default()
+            },
+            rap: RapConfig {
+                packet_size: 250.0,
+                initial_rate: 1_000.0,
+                initial_rtt: 0.06,
+                // A stored-video server has no use for bandwidth beyond the
+                // full encoding rate plus filling headroom (the paper's
+                // footnote 2: implementations must not ignore flow
+                // control); the cap also keeps RAP's pre-loss startup ramp
+                // from instantiating the whole layer stack at once.
+                max_rate: 1.25 * 10.0 * 1_250.0,
+                ..RapConfig::default()
+            },
+            duration,
+            seed,
+            tick_dt: 0.05,
+            qa_start: 5.0,
+            retransmit_protect: 0,
+        }
+    }
+
+    /// The paper's T2: T1 plus a CBR burst at half the bottleneck from
+    /// `t = start` to `t = stop` (the paper uses 30 s → 60 s of a 90 s
+    /// run).
+    pub fn t2(k_max: u32, duration: f64, seed: u64) -> Self {
+        let mut cfg = Self::t1(k_max, duration, seed);
+        let half = cfg.dumbbell.bottleneck_bw / 2.0;
+        cfg.cbr = Some((duration / 3.0, 2.0 * duration / 3.0, half));
+        cfg
+    }
+}
+
+/// Everything a regenerator needs after a scenario run.
+pub struct ScenarioOutcome {
+    /// Traces from the QA source (figure panels).
+    pub traces: QaTraces,
+    /// QA event log/metrics (Tables 1 and 2 inputs).
+    pub metrics: MetricsCollector,
+    /// Receiver-side per-layer buffer traces (ground truth).
+    pub rx_buffers: Vec<TimeSeries>,
+    /// Receiver-observed playout underflows (all layers).
+    pub rx_underflows: u64,
+    /// Receiver-observed *base-layer* underflow events (visible stalls;
+    /// should be zero in a healthy run).
+    pub rx_base_underflows: u64,
+    /// Backoffs the QA flow experienced.
+    pub backoffs: u64,
+    /// Bottleneck link counters.
+    pub bottleneck: LinkStats,
+    /// Background RAP throughput (bytes/s averaged over the run).
+    pub rap_throughput: Vec<f64>,
+    /// Background TCP goodput (bytes/s averaged over the run).
+    pub tcp_goodput: Vec<f64>,
+    /// Final sender-side buffer estimates.
+    pub final_buffers: Vec<f64>,
+    /// Bottleneck queue occupancy over time (packets).
+    pub queue_trace: TimeSeries,
+}
+
+/// Build and run a scenario, returning the collected outcome.
+pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
+    let mut d = Dumbbell::new(cfg.dumbbell, cfg.seed);
+    let pkt = cfg.rap.packet_size as u32;
+    // Deterministic per-seed jitter for flow start times (phase effects in
+    // drop-tail queues are otherwise identical across seeds).
+    let mut jitter_state = cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    let mut jitter = move || {
+        jitter_state ^= jitter_state >> 12;
+        jitter_state ^= jitter_state << 25;
+        jitter_state ^= jitter_state >> 27;
+        (jitter_state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f64 / (1u64 << 24) as f64
+    };
+
+    // Agent ids are assigned in creation order. Create sinks first (they
+    // need their source id, which we can predict): layout is
+    //   0: QA sink, 1: QA source,
+    //   then per background RAP flow: sink, source,
+    //   then per TCP flow: sink, source,
+    //   then CBR sink + source (if any).
+    let qa_sink_id = 0;
+    let qa_src_id = 1;
+    {
+        let rev = d.reverse_route();
+        let encoding =
+            LayeredEncoding::linear(cfg.qa.max_layers, cfg.qa.layer_rate).expect("valid encoding");
+        let sink = QaSinkAgent::new(
+            qa_src_id,
+            rev,
+            0,
+            encoding,
+            // Margin over the server's threshold: see QaSinkAgent::new.
+            2.0 * cfg.qa.startup_buffer_secs,
+            cfg.tick_dt,
+        );
+        assert_eq!(d.world.add_agent(Box::new(sink)), qa_sink_id);
+        let fwd = d.forward_route();
+        let mut src = QaSourceAgent::new(
+            qa_sink_id,
+            fwd,
+            0,
+            cfg.rap.clone(),
+            cfg.qa.clone(),
+            cfg.tick_dt,
+        );
+        src.start_at = cfg.qa_start;
+        src.retransmit_protect = cfg.retransmit_protect;
+        assert_eq!(d.world.add_agent(Box::new(src)), qa_src_id);
+    }
+
+    let mut rap_sinks = Vec::new();
+    for i in 0..cfg.n_rap {
+        let flow = 1 + i as u32;
+        let sink_id = d.world.add_agent(Box::new(RapSinkAgent::new(
+            0, // fixed up immediately below: source id is sink_id + 1
+            Vec::new(),
+            flow,
+        )));
+        let rev = d.reverse_route();
+        {
+            let sink = d
+                .world
+                .agent_mut::<RapSinkAgent>(sink_id)
+                .expect("just added");
+            sink.src = sink_id + 1;
+            sink.reverse_route = rev;
+        }
+        let fwd = d.forward_route();
+        let mut rap_src = RapFlowAgent::new(sink_id, fwd, flow, cfg.rap.clone());
+        rap_src.start_at = 0.05 + i as f64 * 0.11 + 0.2 * jitter(); // staggered joins
+        let src_id = d.world.add_agent(Box::new(rap_src));
+        assert_eq!(src_id, sink_id + 1);
+        rap_sinks.push(sink_id);
+    }
+
+    let mut tcp_sinks = Vec::new();
+    for i in 0..cfg.n_tcp {
+        let flow = 100 + i as u32;
+        let sink_id = d
+            .world
+            .add_agent(Box::new(TcpSinkAgent::new(0, Vec::new(), flow)));
+        let rev = d.reverse_route();
+        {
+            let sink = d
+                .world
+                .agent_mut::<TcpSinkAgent>(sink_id)
+                .expect("just added");
+            sink.src = sink_id + 1;
+            sink.reverse_route = rev;
+        }
+        let fwd = d.forward_route();
+        // Stagger TCP starts slightly to avoid phase effects.
+        let start = 0.1 + i as f64 * 0.037 + 0.2 * jitter();
+        let src_id = d
+            .world
+            .add_agent(Box::new(TcpAgent::new(sink_id, fwd, flow, pkt, start)));
+        assert_eq!(src_id, sink_id + 1);
+        tcp_sinks.push(sink_id);
+    }
+
+    if let Some((start, stop, rate)) = cfg.cbr {
+        let sink_id = d.world.add_agent(Box::new(CountingSink::default()));
+        let fwd = d.forward_route();
+        d.world.add_agent(Box::new(CbrAgent::new(
+            sink_id, fwd, 999, rate, pkt, start, stop,
+        )));
+    }
+
+    let bottleneck = d.bottleneck();
+    let monitor_id = d.world.add_agent(Box::new(QueueMonitor::new(
+        vec![bottleneck],
+        cfg.tick_dt * 4.0,
+    )));
+    let mut world = d.world;
+    world.run_until(cfg.duration);
+
+    let rap_throughput: Vec<f64> = rap_sinks
+        .iter()
+        .map(|&s| world.agent::<RapSinkAgent>(s).unwrap().bytes_received as f64 / cfg.duration)
+        .collect();
+    let tcp_goodput: Vec<f64> = tcp_sinks
+        .iter()
+        .map(|&s| {
+            world.agent::<TcpSinkAgent>(s).unwrap().delivered as f64 * pkt as f64 / cfg.duration
+        })
+        .collect();
+
+    let bottleneck_stats = world.link_stats(bottleneck);
+    let (rx_buffers, rx_underflows, rx_base_underflows) = {
+        let sink: &QaSinkAgent = world.agent(qa_sink_id).unwrap();
+        let base = sink
+            .receiver
+            .stats()
+            .underflows
+            .first()
+            .copied()
+            .unwrap_or(0);
+        (sink.buffer_trace.clone(), sink.underflows, base)
+    };
+    let queue_trace = world
+        .agent::<QueueMonitor>(monitor_id)
+        .map(|m| m.series[0].clone())
+        .unwrap_or_default();
+    let src: &QaSourceAgent = world.agent(qa_src_id).unwrap();
+    ScenarioOutcome {
+        traces: src.traces.clone(),
+        metrics: src.qa().metrics().clone(),
+        rx_buffers,
+        rx_underflows,
+        rx_base_underflows,
+        backoffs: src.backoffs,
+        bottleneck: bottleneck_stats,
+        rap_throughput,
+        tcp_goodput,
+        final_buffers: src.qa().buffers().to_vec(),
+        queue_trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_runs_and_adapts() {
+        let cfg = ScenarioConfig::t1(2, 30.0, 7);
+        let out = run_scenario(&cfg);
+        // The QA flow must have reached more than one layer and survived
+        // backoffs without starving the base layer.
+        let max_layers = out.traces.n_active.max().unwrap_or(0.0);
+        assert!(max_layers >= 2.0, "n_active peaked at {max_layers}");
+        assert!(out.backoffs > 0, "competition must cause backoffs");
+        assert!(out.bottleneck.dropped > 0);
+        assert_eq!(out.metrics.stalls(), 0, "base layer must not stall");
+        // Background flows made progress.
+        assert!(out.rap_throughput.iter().all(|&t| t > 0.0));
+        assert!(out.tcp_goodput.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn t2_burst_forces_quality_reduction() {
+        let cfg = ScenarioConfig::t2(2, 45.0, 7);
+        let out = run_scenario(&cfg);
+        let n = &out.traces.n_active;
+        // Peak layer count before the burst vs the minimum during it.
+        let before: f64 = n
+            .points
+            .iter()
+            .filter(|&&(t, _)| t > 5.0 && t < 15.0)
+            .map(|&(_, v)| v)
+            .fold(0.0, f64::max);
+        let during: f64 = n
+            .points
+            .iter()
+            .filter(|&&(t, _)| t > 17.0 && t < 30.0)
+            .map(|&(_, v)| v)
+            .fold(f64::MAX, f64::min);
+        assert!(
+            during < before,
+            "CBR burst should reduce quality: before {before}, during {during}"
+        );
+        assert_eq!(out.metrics.stalls(), 0);
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let cfg = ScenarioConfig::t1(2, 10.0, 99);
+        let a = run_scenario(&cfg);
+        let b = run_scenario(&cfg);
+        assert_eq!(a.traces.n_active.points, b.traces.n_active.points);
+        assert_eq!(a.bottleneck.dropped, b.bottleneck.dropped);
+    }
+}

@@ -1,0 +1,88 @@
+//! Cross-flow statistics: fairness and sharing summaries for the
+//! competition experiments (the paper's premise is that RAP — and
+//! therefore the QA flow — shares bandwidth in a TCP-friendly way).
+
+/// Jain's fairness index over per-flow allocations:
+/// `(Σx)² / (n·Σx²)` — 1.0 is perfectly fair, `1/n` maximally unfair.
+/// `None` when `xs` is empty or all-zero.
+pub fn jain_fairness(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq <= 0.0 {
+        return None;
+    }
+    Some(sum * sum / (xs.len() as f64 * sq))
+}
+
+/// Summary of how a set of flows shared a link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharingSummary {
+    /// Number of flows.
+    pub n: usize,
+    /// Aggregate throughput (bytes/s).
+    pub total: f64,
+    /// Mean per-flow throughput.
+    pub mean: f64,
+    /// Jain's fairness index.
+    pub fairness: f64,
+    /// max/min ratio (∞ if any flow starved completely).
+    pub max_min_ratio: f64,
+}
+
+/// Summarize per-flow throughputs; `None` for empty input.
+pub fn summarize_sharing(xs: &[f64]) -> Option<SharingSummary> {
+    if xs.is_empty() {
+        return None;
+    }
+    let total: f64 = xs.iter().sum();
+    let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+    let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+    Some(SharingSummary {
+        n: xs.len(),
+        total,
+        mean: total / xs.len() as f64,
+        fairness: jain_fairness(xs)?,
+        max_min_ratio: if min > 0.0 { max / min } else { f64::INFINITY },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_is_one_for_equal_shares() {
+        assert!((jain_fairness(&[5.0, 5.0, 5.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_is_one_over_n_for_single_hog() {
+        let f = jain_fairness(&[12.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!((f - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_rejects_degenerate_inputs() {
+        assert_eq!(jain_fairness(&[]), None);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn sharing_summary_fields() {
+        let s = summarize_sharing(&[10.0, 20.0]).unwrap();
+        assert_eq!(s.n, 2);
+        assert_eq!(s.total, 30.0);
+        assert_eq!(s.mean, 15.0);
+        assert_eq!(s.max_min_ratio, 2.0);
+        assert!(s.fairness > 0.88 && s.fairness < 0.92);
+    }
+
+    #[test]
+    fn starved_flow_gives_infinite_ratio() {
+        let s = summarize_sharing(&[10.0, 0.0]).unwrap();
+        assert!(s.max_min_ratio.is_infinite());
+    }
+}

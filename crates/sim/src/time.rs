@@ -1,0 +1,65 @@
+//! Simulation time: integer nanoseconds for determinism.
+//!
+//! All event ordering uses `u64` nanoseconds (with a tie-breaking sequence
+//! number), so runs are bit-for-bit reproducible; agent-facing APIs convert
+//! to `f64` seconds at the boundary.
+
+/// Nanoseconds per second.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// Convert seconds to simulation nanoseconds (saturating, rounding).
+pub fn secs_to_ns(secs: f64) -> u64 {
+    if !secs.is_finite() || secs <= 0.0 {
+        return 0;
+    }
+    let ns = secs * NANOS_PER_SEC as f64;
+    if ns >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ns.round() as u64
+    }
+}
+
+/// Convert simulation nanoseconds to seconds.
+pub fn ns_to_secs(ns: u64) -> f64 {
+    ns as f64 / NANOS_PER_SEC as f64
+}
+
+/// Transmission (serialization) time of `bytes` at `bytes_per_sec`, in ns.
+pub fn tx_time_ns(bytes: u32, bytes_per_sec: f64) -> u64 {
+    if bytes_per_sec <= 0.0 {
+        return u64::MAX;
+    }
+    secs_to_ns(bytes as f64 / bytes_per_sec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        for &s in &[0.0, 1e-9, 0.001, 1.0, 3600.0] {
+            let ns = secs_to_ns(s);
+            assert!((ns_to_secs(ns) - s).abs() < 1e-9, "s={s}");
+        }
+    }
+
+    #[test]
+    fn garbage_seconds_clamp_to_zero() {
+        assert_eq!(secs_to_ns(-1.0), 0);
+        assert_eq!(secs_to_ns(f64::NAN), 0);
+    }
+
+    #[test]
+    fn huge_seconds_saturate() {
+        assert_eq!(secs_to_ns(1e30), u64::MAX);
+    }
+
+    #[test]
+    fn tx_time_matches_bandwidth() {
+        // 1000 bytes at 100 KB/s → 10 ms.
+        assert_eq!(tx_time_ns(1_000, 100_000.0), 10_000_000);
+        assert_eq!(tx_time_ns(1_000, 0.0), u64::MAX);
+    }
+}

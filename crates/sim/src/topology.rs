@@ -1,0 +1,154 @@
+//! Dumbbell topology builder — the paper's evaluation setup: many sources
+//! share one forward bottleneck; the reverse (ACK) path is uncongested.
+
+use crate::engine::World;
+use crate::link::{LinkConfig, QueueKind};
+use crate::packet::LinkId;
+
+/// Dumbbell parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DumbbellConfig {
+    /// Bottleneck bandwidth (bytes/s). The paper's T1/T2 use 800 Kb/s
+    /// = 100 000 B/s.
+    pub bottleneck_bw: f64,
+    /// Bottleneck propagation delay (seconds).
+    pub bottleneck_delay: f64,
+    /// Per-flow access-link bandwidth (bytes/s) — fast enough not to be the
+    /// bottleneck.
+    pub access_bw: f64,
+    /// Per-flow access-link propagation delay (seconds).
+    pub access_delay: f64,
+    /// Bottleneck queue capacity (packets).
+    pub queue_packets: usize,
+    /// Bottleneck queueing discipline (the paper uses drop-tail; RED is
+    /// provided for the random-loss ablation).
+    pub queue_kind: QueueKind,
+    /// Random (non-congestive) per-packet loss on the bottleneck.
+    pub loss_rate: f64,
+}
+
+impl DumbbellConfig {
+    /// The paper's base setup: 800 Kb/s bottleneck, 40 ms propagation RTT
+    /// (10 ms bottleneck + 5 ms access each way). The drop-tail queue is
+    /// deep enough that queueing delay dominates the RTT when 20 flows
+    /// compete — the regime of the paper's own slow-link runs, where the
+    /// AIMD slope `S = pkt/srtt²` is small and draining phases last long
+    /// enough that buffer requirements span many packets.
+    pub fn paper_base() -> Self {
+        DumbbellConfig {
+            bottleneck_bw: 100_000.0,
+            bottleneck_delay: 0.010,
+            access_bw: 12_500_000.0,
+            access_delay: 0.005,
+            queue_packets: 150,
+            queue_kind: QueueKind::DropTail,
+            loss_rate: 0.0,
+        }
+    }
+
+    /// Round-trip propagation time of the dumbbell (seconds).
+    pub fn rtt(&self) -> f64 {
+        2.0 * (self.bottleneck_delay + 2.0 * self.access_delay)
+    }
+}
+
+/// A dumbbell under construction: the shared bottleneck plus per-flow
+/// access links created on demand.
+pub struct Dumbbell {
+    /// The world being built.
+    pub world: World,
+    cfg: DumbbellConfig,
+    fwd_bottleneck: LinkId,
+    rev_bottleneck: LinkId,
+}
+
+impl Dumbbell {
+    /// Create the shared links in a fresh world.
+    pub fn new(cfg: DumbbellConfig, seed: u64) -> Self {
+        let mut world = World::new(seed);
+        let fwd_bottleneck = world.add_link(LinkConfig {
+            bandwidth: cfg.bottleneck_bw,
+            delay: cfg.bottleneck_delay,
+            queue_packets: cfg.queue_packets,
+            queue_kind: cfg.queue_kind,
+            loss_rate: cfg.loss_rate,
+        });
+        // Reverse direction carries only small ACKs; keep it uncongested
+        // but with the same propagation delay so RTTs are symmetric.
+        let rev_bottleneck = world.add_link(LinkConfig {
+            bandwidth: cfg.bottleneck_bw.max(12_500_000.0),
+            delay: cfg.bottleneck_delay,
+            queue_packets: 10_000,
+            ..LinkConfig::default()
+        });
+        Dumbbell {
+            world,
+            cfg,
+            fwd_bottleneck,
+            rev_bottleneck,
+        }
+    }
+
+    /// The shared forward bottleneck link.
+    pub fn bottleneck(&self) -> LinkId {
+        self.fwd_bottleneck
+    }
+
+    /// Configuration used.
+    pub fn config(&self) -> DumbbellConfig {
+        self.cfg
+    }
+
+    /// Create a fresh access link and return the forward route
+    /// `[access, bottleneck]` for one flow.
+    pub fn forward_route(&mut self) -> Vec<LinkId> {
+        let access = self.world.add_link(LinkConfig {
+            bandwidth: self.cfg.access_bw,
+            delay: self.cfg.access_delay,
+            queue_packets: 10_000,
+            ..LinkConfig::default()
+        });
+        vec![access, self.fwd_bottleneck]
+    }
+
+    /// Reverse route `[rev_bottleneck, rev_access]` for one flow's ACKs.
+    pub fn reverse_route(&mut self) -> Vec<LinkId> {
+        let access = self.world.add_link(LinkConfig {
+            bandwidth: self.cfg.access_bw,
+            delay: self.cfg.access_delay,
+            queue_packets: 10_000,
+            ..LinkConfig::default()
+        });
+        vec![self.rev_bottleneck, access]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_base_has_40ms_rtt() {
+        let cfg = DumbbellConfig::paper_base();
+        assert!((cfg.rtt() - 0.040).abs() < 1e-12);
+        assert_eq!(cfg.bottleneck_bw, 100_000.0); // 800 Kb/s
+    }
+
+    #[test]
+    fn routes_share_the_bottleneck() {
+        let mut d = Dumbbell::new(DumbbellConfig::paper_base(), 1);
+        let r1 = d.forward_route();
+        let r2 = d.forward_route();
+        assert_ne!(r1[0], r2[0], "distinct access links");
+        assert_eq!(r1[1], r2[1], "shared bottleneck");
+        assert_eq!(r1[1], d.bottleneck());
+    }
+
+    #[test]
+    fn reverse_routes_avoid_forward_bottleneck() {
+        let mut d = Dumbbell::new(DumbbellConfig::paper_base(), 1);
+        let f = d.forward_route();
+        let r = d.reverse_route();
+        assert!(!r.contains(&f[1]));
+    }
+}

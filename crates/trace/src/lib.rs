@@ -1,0 +1,24 @@
+//! # laqa-trace — figure/table plumbing
+//!
+//! Minimal time-series recording and export used by every experiment
+//! regenerator: [`series`] for raw samples and rate binning, [`recorder`]
+//! for collecting a run's series and writing CSVs, [`table`] for the
+//! paper-style aligned text tables, and [`summary`] for machine-readable
+//! run summaries.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod gnuplot;
+pub mod recorder;
+pub mod series;
+pub mod stats;
+pub mod summary;
+pub mod table;
+
+pub use gnuplot::{render_script, write_figure, Panel};
+pub use recorder::Recorder;
+pub use series::{RateBinner, TimeSeries};
+pub use stats::{histogram, percentile, summarize, SeriesStats};
+pub use summary::RunSummary;
+pub use table::{pct, Table};

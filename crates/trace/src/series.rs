@@ -1,0 +1,242 @@
+//! Time series: the raw material of every figure.
+
+use serde::{Deserialize, Serialize};
+
+/// A named `(time, value)` series.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Series name (used as a CSV column header).
+    pub name: String,
+    /// Sample points, in insertion order (normally time-sorted).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// New empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a sample.
+    pub fn push(&mut self, t: f64, v: f64) {
+        self.points.push((t, v));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Minimum value, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v))))
+    }
+
+    /// Maximum value, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
+    }
+
+    /// Arithmetic mean of the values, if any.
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64)
+    }
+
+    /// Time-weighted mean over the sampled span (treats the series as a
+    /// step function held between samples). `None` with fewer than two
+    /// samples.
+    pub fn time_weighted_mean(&self) -> Option<f64> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        let mut area = 0.0;
+        let mut span = 0.0;
+        for w in self.points.windows(2) {
+            let dt = w[1].0 - w[0].0;
+            if dt > 0.0 {
+                area += w[0].1 * dt;
+                span += dt;
+            }
+        }
+        (span > 0.0).then(|| area / span)
+    }
+
+    /// Fraction of (time-weighted) span where the value satisfies `pred`.
+    pub fn fraction_where(&self, pred: impl Fn(f64) -> bool) -> Option<f64> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        let mut hit = 0.0;
+        let mut span = 0.0;
+        for w in self.points.windows(2) {
+            let dt = w[1].0 - w[0].0;
+            if dt > 0.0 {
+                span += dt;
+                if pred(w[0].1) {
+                    hit += dt;
+                }
+            }
+        }
+        (span > 0.0).then(|| hit / span)
+    }
+
+    /// Value at time `t` (step interpolation; `None` before the first
+    /// sample).
+    pub fn at(&self, t: f64) -> Option<f64> {
+        let mut last = None;
+        for &(pt, pv) in &self.points {
+            if pt > t {
+                break;
+            }
+            last = Some(pv);
+        }
+        last
+    }
+}
+
+/// Converts discrete byte events into a rate series by binning: each bin of
+/// width `bin` seconds yields one sample `(bin_start, bytes_in_bin / bin)`.
+#[derive(Debug, Clone)]
+pub struct RateBinner {
+    bin: f64,
+    current_bin: i64,
+    acc: f64,
+    series: TimeSeries,
+}
+
+impl RateBinner {
+    /// New binner with bins of `bin` seconds.
+    pub fn new(name: impl Into<String>, bin: f64) -> Self {
+        assert!(bin > 0.0);
+        RateBinner {
+            bin,
+            current_bin: 0,
+            acc: 0.0,
+            series: TimeSeries::new(name),
+        }
+    }
+
+    /// Record `bytes` at time `t`.
+    pub fn add(&mut self, t: f64, bytes: f64) {
+        let idx = (t / self.bin).floor() as i64;
+        while idx > self.current_bin {
+            let start = self.current_bin as f64 * self.bin;
+            self.series.push(start, self.acc / self.bin);
+            self.acc = 0.0;
+            self.current_bin += 1;
+        }
+        self.acc += bytes;
+    }
+
+    /// Flush the open bin and return the completed series.
+    pub fn finish(mut self, end_time: f64) -> TimeSeries {
+        let end_idx = (end_time / self.bin).ceil() as i64;
+        while self.current_bin < end_idx {
+            let start = self.current_bin as f64 * self.bin;
+            self.series.push(start, self.acc / self.bin);
+            self.acc = 0.0;
+            self.current_bin += 1;
+        }
+        self.series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_stats() {
+        let mut s = TimeSeries::new("x");
+        s.push(0.0, 1.0);
+        s.push(1.0, 3.0);
+        s.push(2.0, 2.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+        assert_eq!(s.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn empty_stats_are_none() {
+        let s = TimeSeries::new("x");
+        assert!(s.is_empty());
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.time_weighted_mean(), None);
+    }
+
+    #[test]
+    fn time_weighted_mean_weights_held_values() {
+        let mut s = TimeSeries::new("x");
+        s.push(0.0, 10.0); // held for 9 s
+        s.push(9.0, 0.0); // held for 1 s
+        s.push(10.0, 99.0); // terminal sample, zero weight
+        assert_eq!(s.time_weighted_mean(), Some(9.0));
+    }
+
+    #[test]
+    fn fraction_where_counts_span() {
+        let mut s = TimeSeries::new("x");
+        s.push(0.0, 3.0);
+        s.push(4.0, 2.0);
+        s.push(10.0, 3.0);
+        let f = s.fraction_where(|v| v >= 3.0).unwrap();
+        assert!((f - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_interpolation() {
+        let mut s = TimeSeries::new("x");
+        s.push(1.0, 10.0);
+        s.push(2.0, 20.0);
+        assert_eq!(s.at(0.5), None);
+        assert_eq!(s.at(1.0), Some(10.0));
+        assert_eq!(s.at(1.9), Some(10.0));
+        assert_eq!(s.at(5.0), Some(20.0));
+    }
+
+    #[test]
+    fn rate_binner_converts_bytes_to_rate() {
+        let mut b = RateBinner::new("rate", 1.0);
+        b.add(0.1, 500.0);
+        b.add(0.9, 500.0);
+        b.add(1.5, 2_000.0);
+        let s = b.finish(3.0);
+        assert_eq!(s.points.len(), 3);
+        assert_eq!(s.points[0], (0.0, 1_000.0));
+        assert_eq!(s.points[1], (1.0, 2_000.0));
+        assert_eq!(s.points[2], (2.0, 0.0));
+    }
+
+    #[test]
+    fn rate_binner_skips_empty_bins_with_zeros() {
+        let mut b = RateBinner::new("rate", 0.5);
+        b.add(0.1, 100.0);
+        b.add(2.1, 100.0);
+        let s = b.finish(2.5);
+        assert_eq!(s.points.len(), 5);
+        assert_eq!(s.points[1].1, 0.0);
+        assert_eq!(s.points[2].1, 0.0);
+        assert_eq!(s.points[3].1, 0.0);
+        assert_eq!(s.points[4].1, 200.0);
+    }
+}

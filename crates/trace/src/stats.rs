@@ -1,0 +1,147 @@
+//! Descriptive statistics over time series — used by the experiment
+//! summaries (steady-state means, tail percentiles of queue occupancy and
+//! buffer levels).
+
+use crate::series::TimeSeries;
+
+/// Summary statistics of a series' values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesStats {
+    /// Number of samples.
+    pub n: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Median (p50).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+/// Value at quantile `q ∈ [0, 1]` by linear interpolation between order
+/// statistics. `None` for an empty series or out-of-range `q`.
+pub fn percentile(series: &TimeSeries, q: f64) -> Option<f64> {
+    if series.points.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut vals: Vec<f64> = series.points.iter().map(|&(_, v)| v).collect();
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (vals.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(vals[lo] * (1.0 - frac) + vals[hi] * frac)
+}
+
+/// Full summary; `None` for an empty series.
+pub fn summarize(series: &TimeSeries) -> Option<SeriesStats> {
+    if series.points.is_empty() {
+        return None;
+    }
+    let n = series.points.len();
+    let mean = series.mean()?;
+    let var = series
+        .points
+        .iter()
+        .map(|&(_, v)| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / n as f64;
+    Some(SeriesStats {
+        n,
+        min: series.min()?,
+        max: series.max()?,
+        mean,
+        stddev: var.sqrt(),
+        median: percentile(series, 0.5)?,
+        p95: percentile(series, 0.95)?,
+    })
+}
+
+/// Fixed-width histogram of the values: returns `(bin_edges, counts)` with
+/// `bins + 1` edges. `None` for an empty series or `bins == 0`.
+pub fn histogram(series: &TimeSeries, bins: usize) -> Option<(Vec<f64>, Vec<usize>)> {
+    if series.points.is_empty() || bins == 0 {
+        return None;
+    }
+    let min = series.min()?;
+    let max = series.max()?;
+    let width = ((max - min) / bins as f64).max(1e-12);
+    let edges: Vec<f64> = (0..=bins).map(|i| min + i as f64 * width).collect();
+    let mut counts = vec![0usize; bins];
+    for &(_, v) in &series.points {
+        let idx = (((v - min) / width) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    Some((edges, counts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(vals: &[f64]) -> TimeSeries {
+        let mut s = TimeSeries::new("x");
+        for (i, &v) in vals.iter().enumerate() {
+            s.push(i as f64, v);
+        }
+        s
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = series(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(percentile(&s, 0.0), Some(1.0));
+        assert_eq!(percentile(&s, 1.0), Some(4.0));
+        assert_eq!(percentile(&s, 0.5), Some(2.5));
+    }
+
+    #[test]
+    fn percentile_handles_unsorted_input() {
+        let s = series(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(percentile(&s, 0.5), Some(2.5));
+    }
+
+    #[test]
+    fn percentile_rejects_bad_inputs() {
+        assert_eq!(percentile(&series(&[]), 0.5), None);
+        assert_eq!(percentile(&series(&[1.0]), 1.5), None);
+    }
+
+    #[test]
+    fn summarize_matches_hand_computation() {
+        let s = series(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        let st = summarize(&s).unwrap();
+        assert_eq!(st.n, 8);
+        assert_eq!(st.mean, 5.0);
+        assert_eq!(st.stddev, 2.0);
+        assert_eq!(st.min, 2.0);
+        assert_eq!(st.max, 9.0);
+        assert_eq!(st.median, 4.5);
+    }
+
+    #[test]
+    fn summarize_empty_is_none() {
+        assert_eq!(summarize(&series(&[])), None);
+    }
+
+    #[test]
+    fn histogram_counts_all_samples() {
+        let s = series(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        let (edges, counts) = histogram(&s, 5).unwrap();
+        assert_eq!(edges.len(), 6);
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        assert_eq!(counts, vec![2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn histogram_degenerate_range() {
+        let s = series(&[3.0, 3.0, 3.0]);
+        let (_, counts) = histogram(&s, 4).unwrap();
+        assert_eq!(counts.iter().sum::<usize>(), 3);
+    }
+}

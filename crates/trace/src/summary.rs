@@ -1,0 +1,109 @@
+//! Machine-readable run summaries (JSON) consumed by EXPERIMENTS.md tooling
+//! and the cross-experiment comparison scripts.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Summary of one experiment run: scalar metrics plus free-form notes.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Experiment id (e.g. "fig11", "table1/T1/kmax2").
+    pub experiment: String,
+    /// Key parameters of the run.
+    pub params: BTreeMap<String, String>,
+    /// Scalar results.
+    pub metrics: BTreeMap<String, f64>,
+    /// Free-form notes (substitutions, caveats).
+    pub notes: Vec<String>,
+}
+
+impl RunSummary {
+    /// New summary for `experiment`.
+    pub fn new(experiment: impl Into<String>) -> Self {
+        RunSummary {
+            experiment: experiment.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Record a parameter.
+    pub fn param(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.params.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Record a scalar metric.
+    pub fn metric(&mut self, key: &str, value: f64) -> &mut Self {
+        self.metrics.insert(key.to_string(), value);
+        self
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, text: impl Into<String>) -> &mut Self {
+        self.notes.push(text.into());
+        self
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("summary serializes")
+    }
+
+    /// Write JSON to `path`, creating parent directories.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Read a summary back from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let mut s = RunSummary::new("fig11");
+        s.param("k_max", 2)
+            .metric("efficiency", 0.9977)
+            .note("shaper substitution");
+        let json = s.to_json();
+        let back = RunSummary::from_json(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut s = RunSummary::new("t");
+        s.metric("x", 1.0);
+        let path = std::env::temp_dir()
+            .join(format!("laqa_summary_{}", std::process::id()))
+            .join("s.json");
+        s.write_json(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(RunSummary::from_json(&text).unwrap(), s);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn builder_chains() {
+        let mut s = RunSummary::new("x");
+        s.param("a", "1")
+            .param("b", 2.5)
+            .metric("m", 3.0)
+            .note("n1")
+            .note("n2");
+        assert_eq!(s.params.len(), 2);
+        assert_eq!(s.metrics.len(), 1);
+        assert_eq!(s.notes.len(), 2);
+    }
+}

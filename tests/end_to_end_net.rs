@@ -1,0 +1,84 @@
+//! Integration: the real-socket stack (tokio UDP server + client through
+//! the loopback shaper), end to end.
+
+use laqa_net::{run_session, SessionConfig, ShaperConfig};
+use tokio::time::Duration;
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn loopback_streaming_end_to_end() {
+    let cfg = SessionConfig {
+        duration: 5.0,
+        ..SessionConfig::default()
+    };
+    let report = run_session(cfg).await.expect("session");
+
+    assert!(report.server.sent_packets > 50);
+    assert!(report.client.received > 30);
+    // Deterministic payloads survive the trip bit-for-bit.
+    assert_eq!(report.client.corrupt, 0);
+    // The server's layer signal reached the client.
+    assert!(report.client.n_active_trace.max().unwrap_or(0.0) >= 2.0);
+    assert!(report.client.got_fin);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn bottleneck_actually_shapes_the_flow() {
+    // A tight bottleneck must produce drops and keep goodput at or below
+    // the configured bandwidth.
+    let cfg = SessionConfig {
+        shaper: ShaperConfig {
+            bandwidth: 15_000.0,
+            delay: Duration::from_millis(15),
+            queue_packets: 10,
+            ..ShaperConfig::default()
+        },
+        duration: 5.0,
+        ..SessionConfig::default()
+    };
+    let report = run_session(cfg).await.expect("session");
+    assert!(
+        report.bottleneck_drops > 0,
+        "no congestion at a tight bottleneck?"
+    );
+    let goodput = report.client.bytes as f64 / 5.0;
+    assert!(
+        goodput < 18_000.0,
+        "goodput {goodput:.0} exceeds the shaped bandwidth"
+    );
+    assert!(report.server.backoffs > 0);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn quality_tracks_available_bandwidth() {
+    // Generous pipe: quality climbs to (near) the encoding maximum.
+    let generous = SessionConfig {
+        shaper: ShaperConfig {
+            bandwidth: 60_000.0,
+            delay: Duration::from_millis(10),
+            queue_packets: 40,
+            ..ShaperConfig::default()
+        },
+        duration: 6.0,
+        ..SessionConfig::default()
+    };
+    let rich = run_session(generous).await.expect("session");
+    // Tight pipe: quality stays low.
+    let tight = SessionConfig {
+        shaper: ShaperConfig {
+            bandwidth: 8_000.0,
+            delay: Duration::from_millis(10),
+            queue_packets: 10,
+            ..ShaperConfig::default()
+        },
+        duration: 6.0,
+        ..SessionConfig::default()
+    };
+    let poor = run_session(tight).await.expect("session");
+
+    let rich_peak = rich.server.n_active_trace.max().unwrap_or(0.0);
+    let poor_peak = poor.server.n_active_trace.max().unwrap_or(0.0);
+    assert!(
+        rich_peak > poor_peak,
+        "rich path peaked at {rich_peak}, poor at {poor_peak}"
+    );
+}
