@@ -2,15 +2,19 @@
 //!
 //! Host crate for the workspace's top-level `examples/` (runnable binaries
 //! exercising the public API) and `tests/` (integration tests spanning
-//! crates). It has no library code of its own — see the examples:
+//! crates, including the golden-trace regression suite). It has no
+//! library code of its own — see the examples:
 //!
 //! * `quickstart` — drive a [`laqa_core::QaController`] by hand;
-//! * `streaming_session` — real tokio/UDP streaming through the loopback
-//!   bottleneck shaper;
 //! * `congested_backbone` — the paper's T1 workload in the simulator;
-//! * `smoothing_tradeoff` — sweep the smoothing factor `K_max`.
+//! * `smoothing_tradeoff` — sweep the smoothing factor `K_max`;
+//! * `nonlinear_layers` — quality adaptation over non-uniform layer rates;
+//! * `live_session` — a playback session against the simulated network.
 //!
-//! Run one with `cargo run -p laqa-apps --example quickstart`.
+//! Run one with `cargo run -p laqa-apps --example quickstart`. (The
+//! tokio/UDP `streaming_session` example lives in the network-facing
+//! `laqa-net` crate, which builds separately from the hermetic default
+//! workspace — see DESIGN.md, "Hermetic offline builds".)
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

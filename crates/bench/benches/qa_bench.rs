@@ -1,98 +1,76 @@
-//! Criterion benchmarks for the quality-adaptation kernels — the code on
-//! the per-packet/per-tick hot path of figures 2, 4/5, 8–10 and every
-//! trace experiment.
+//! Microbenchmarks for the quality-adaptation kernels — the code on the
+//! per-packet/per-tick hot path of figures 2, 4/5, 8–10 and every trace
+//! experiment. Std-only (`laqa_bench::timing`), no criterion.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use laqa_bench::timing::Runner;
 use laqa_core::draining::plan_draining;
 use laqa_core::filling::{allocate_filling, next_fill_layer};
 use laqa_core::geometry::band_allocation;
+use laqa_core::nonlinear::{nl_band_allocation, nl_per_layer, LayerRates};
 use laqa_core::scenario::{buf_total, per_layer, Scenario};
 use laqa_core::{QaConfig, QaController, StateSequence};
+use std::hint::black_box;
 
-fn bench_geometry(c: &mut Criterion) {
-    let mut g = c.benchmark_group("geometry");
-    g.bench_function("band_allocation_5_layers", |b| {
-        b.iter(|| band_allocation(black_box(35_000.0), 10_000.0, 12_500.0, 5))
-    });
-    g.bench_function("buf_total_s2_k5", |b| {
-        b.iter(|| buf_total(Scenario::Two, 5, black_box(60_000.0), 5, 10_000.0, 12_500.0))
-    });
-    g.bench_function("per_layer_s2_k5", |b| {
-        b.iter(|| per_layer(Scenario::Two, 5, black_box(60_000.0), 5, 10_000.0, 12_500.0))
-    });
-    g.finish();
-}
+fn main() {
+    let mut r = Runner::from_args();
 
-fn bench_states(c: &mut Criterion) {
-    let mut g = c.benchmark_group("states");
+    r.bench("geometry/band_allocation_5_layers", || {
+        band_allocation(black_box(35_000.0), 10_000.0, 12_500.0, 5)
+    });
+    r.bench("geometry/buf_total_s2_k5", || {
+        buf_total(Scenario::Two, 5, black_box(60_000.0), 5, 10_000.0, 12_500.0)
+    });
+    r.bench("geometry/per_layer_s2_k5", || {
+        per_layer(Scenario::Two, 5, black_box(60_000.0), 5, 10_000.0, 12_500.0)
+    });
+
     for k in [2u32, 8, 16] {
-        g.bench_function(format!("state_sequence_build_k{k}"), |b| {
-            b.iter(|| StateSequence::build(black_box(60_000.0), 5, 10_000.0, 12_500.0, k))
+        r.bench(&format!("states/state_sequence_build_k{k}"), || {
+            StateSequence::build(black_box(60_000.0), 5, 10_000.0, 12_500.0, k)
         });
     }
-    g.finish();
-}
 
-fn bench_allocators(c: &mut Criterion) {
     let seq = StateSequence::build(60_000.0, 5, 10_000.0, 12_500.0, 8);
     let full = seq.states.last().unwrap().per_layer.clone();
     let half: Vec<f64> = full.iter().map(|x| x / 2.0).collect();
-    let mut g = c.benchmark_group("allocators");
-    g.bench_function("next_fill_layer", |b| {
-        b.iter(|| next_fill_layer(&seq, black_box(&half), 1.0))
+    r.bench("allocators/next_fill_layer", || {
+        next_fill_layer(&seq, black_box(&half), 1.0)
     });
-    g.bench_function("allocate_filling", |b| {
-        b.iter(|| allocate_filling(&seq, black_box(&half), 60_000.0, 0.05, 2, 1.0))
+    r.bench("allocators/allocate_filling", || {
+        allocate_filling(&seq, black_box(&half), 60_000.0, 0.05, 2, 1.0)
     });
-    g.bench_function("plan_draining", |b| {
-        b.iter(|| plan_draining(&seq, black_box(&full), 30_000.0, 0.05, 1.0))
+    r.bench("allocators/plan_draining", || {
+        plan_draining(&seq, black_box(&full), 30_000.0, 0.05, 1.0)
     });
-    g.finish();
-}
 
-fn bench_controller(c: &mut Criterion) {
-    let mut g = c.benchmark_group("controller");
-    g.bench_function("tick_filling", |b| {
+    {
         let mut qa = QaController::new(QaConfig::default()).unwrap();
         qa.set_slope(12_500.0);
         let mut now = 0.0;
-        b.iter(|| {
-            let r = qa.tick(now, black_box(45_000.0), 0.05);
-            for (layer, &rate) in r.per_layer_rate.iter().enumerate() {
+        r.bench("controller/tick_filling", || {
+            let tick = qa.tick(now, black_box(45_000.0), 0.05);
+            for (layer, &rate) in tick.per_layer_rate.iter().enumerate() {
                 qa.on_packet_delivered(layer, rate * 0.05);
             }
             now += 0.05;
-        })
-    });
-    g.bench_function("next_packet_layer", |b| {
+        });
+    }
+    {
         let mut qa = QaController::new(QaConfig::default()).unwrap();
         qa.set_slope(12_500.0);
         qa.tick(0.0, 45_000.0, 0.05);
-        b.iter(|| qa.next_packet_layer(black_box(1_000.0)))
-    });
-    g.finish();
-}
+        r.bench("controller/next_packet_layer", || {
+            qa.next_packet_layer(black_box(1_000.0))
+        });
+    }
 
-fn bench_nonlinear(c: &mut Criterion) {
-    use laqa_core::nonlinear::{nl_band_allocation, nl_per_layer, LayerRates};
-    use laqa_core::scenario::Scenario as Sc;
     let rates = LayerRates::exponential(6, 2_000.0, 1.7).unwrap();
-    let mut g = c.benchmark_group("nonlinear");
-    g.bench_function("nl_band_allocation_6_layers", |b| {
-        b.iter(|| nl_band_allocation(&rates, 6, black_box(25_000.0), 12_500.0))
+    r.bench("nonlinear/nl_band_allocation_6_layers", || {
+        nl_band_allocation(&rates, 6, black_box(25_000.0), 12_500.0)
     });
-    g.bench_function("nl_per_layer_s2_k4", |b| {
-        b.iter(|| nl_per_layer(&rates, 6, Sc::Two, 4, black_box(60_000.0), 12_500.0))
+    r.bench("nonlinear/nl_per_layer_s2_k4", || {
+        nl_per_layer(&rates, 6, Scenario::Two, 4, black_box(60_000.0), 12_500.0)
     });
-    g.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_geometry,
-    bench_states,
-    bench_allocators,
-    bench_controller,
-    bench_nonlinear
-);
-criterion_main!(benches);
+    r.finish();
+}

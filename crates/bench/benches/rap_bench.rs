@@ -1,62 +1,59 @@
-//! Criterion benchmarks for the RAP protocol machinery (per-packet and
-//! per-ACK costs of figure 1's sender and the streaming endpoints).
+//! Microbenchmarks for the RAP protocol machinery (per-packet and per-ACK
+//! costs of figure 1's sender and the streaming endpoints). Std-only
+//! (`laqa_bench::timing`), no criterion.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use laqa_bench::timing::Runner;
 use laqa_rap::{RapConfig, RapReceiverState, RapSender};
+use std::hint::black_box;
 
-fn bench_receiver(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rap_receiver");
-    g.bench_function("on_data_in_order", |b| {
+fn main() {
+    let mut r = Runner::from_args();
+
+    {
         let mut rx = RapReceiverState::new();
         let mut seq = 0u64;
-        b.iter(|| {
+        r.bench("rap_receiver/on_data_in_order", || {
             let ack = rx.on_data(black_box(seq));
             seq += 1;
             ack
-        })
-    });
-    g.bench_function("on_data_with_gaps", |b| {
+        });
+    }
+    {
         let mut rx = RapReceiverState::new();
         let mut seq = 0u64;
-        b.iter(|| {
+        r.bench("rap_receiver/on_data_with_gaps", || {
             // every 7th packet missing
             seq += if seq % 7 == 6 { 2 } else { 1 };
             rx.on_data(black_box(seq))
-        })
-    });
-    g.finish();
-}
+        });
+    }
 
-fn bench_sender(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rap_sender");
-    g.bench_function("register_send", |b| {
+    {
         let mut s = RapSender::new(RapConfig::default(), 0.0);
         let mut rx = RapReceiverState::new();
         let mut now = 0.0;
-        b.iter(|| {
+        r.bench("rap_sender/register_send", || {
             let seq = s.register_send(now, 1_000.0, 0);
             // keep the history bounded: ack immediately
             s.on_ack(now + 0.01, rx.on_data(seq));
             s.take_events();
             now += 0.001;
             seq
-        })
-    });
-    g.bench_function("ack_round_trip", |b| {
+        });
+    }
+    {
         let mut s = RapSender::new(RapConfig::default(), 0.0);
         let mut rx = RapReceiverState::new();
         let mut now = 0.0;
-        b.iter(|| {
+        r.bench("rap_sender/ack_round_trip", || {
             now += 0.001;
             s.poll_timers(now);
             let seq = s.register_send(now, 1_000.0, 0);
             let ack = rx.on_data(black_box(seq));
             s.on_ack(now + 0.04, ack);
             s.take_events().len()
-        })
-    });
-    g.finish();
-}
+        });
+    }
 
-criterion_group!(benches, bench_receiver, bench_sender);
-criterion_main!(benches);
+    r.finish();
+}

@@ -1,21 +1,24 @@
-//! Criterion benchmarks for the discrete-event simulator: engine
-//! throughput and the cost of the paper's scenario runs (figures 11–13,
-//! tables 1–2) per simulated second.
+//! Microbenchmarks for the discrete-event simulator: the cost of the
+//! paper's scenario runs (figures 11–13, tables 1–2) per simulated
+//! second, plus the campaign engine's fan-out overhead. Std-only
+//! (`laqa_bench::timing`), no criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use laqa_sim::{run_scenario, ScenarioConfig};
+use laqa_bench::timing::Runner;
+use laqa_sim::{run_campaign, run_scenario, CampaignSpec, ScenarioConfig, TestKind};
 
-fn bench_scenarios(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scenarios");
-    g.sample_size(10);
-    g.bench_function("t1_10s", |b| {
-        b.iter(|| run_scenario(&ScenarioConfig::t1(2, 10.0, 7)))
+fn main() {
+    let mut r = Runner::from_args();
+
+    r.bench("scenarios/t1_10s", || {
+        run_scenario(&ScenarioConfig::t1(2, 10.0, 7))
     });
-    g.bench_function("t2_10s", |b| {
-        b.iter(|| run_scenario(&ScenarioConfig::t2(2, 10.0, 7)))
+    r.bench("scenarios/t2_10s", || {
+        run_scenario(&ScenarioConfig::t2(2, 10.0, 7))
     });
-    g.finish();
+
+    let spec = CampaignSpec::grid(&[TestKind::T1], &[2], &[7, 21, 42, 77], 2.0);
+    r.bench("campaign/grid_4x2s_1_thread", || run_campaign(&spec, 1));
+    r.bench("campaign/grid_4x2s_4_threads", || run_campaign(&spec, 4));
+
+    r.finish();
 }
-
-criterion_group!(benches, bench_scenarios);
-criterion_main!(benches);

@@ -1,0 +1,216 @@
+//! `campaign` — parallel sweep driver over the paper's T1/T2 workloads.
+//!
+//! Re-derives Tables 1 and 2 as one multi-threaded campaign instead of
+//! the one-cell-at-a-time loops in `table1_efficiency`/`table2_drop_quality`,
+//! and doubles as the determinism harness: every mode cross-checks the
+//! campaign fingerprint across thread counts and fails loudly on any
+//! divergence.
+//!
+//! ```text
+//! campaign                 # full Table 1+2 sweep (50 sessions, 90 s each)
+//! campaign --smoke         # seconds-long sweep + 1-vs-2-thread replay check
+//! campaign --scaling       # 64-session speedup measurement (1 vs N threads)
+//! options: --threads N  --duration S  --kmax 2,3,4  --seeds 7,21  --out DIR
+//! ```
+
+use laqa_bench::cli::Args;
+use laqa_bench::outdir;
+use laqa_sim::{run_campaign, CampaignResult, CampaignSpec, SessionResult, TestKind};
+use laqa_trace::{pct, Table};
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().is_none_or(|a| a.starts_with("--")) {
+        raw.insert(0, "run".to_string());
+    }
+    let args = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.command != "run" {
+        // Catch e.g. `campaign smoke` (meaning `--smoke`) before it
+        // silently runs the full 50-session sweep instead.
+        eprintln!(
+            "error: unexpected argument '{}' — this binary takes options only \
+             (--smoke, --scaling, --threads N, --duration S, --kmax a,b, --seeds a,b, --out DIR)",
+            args.command
+        );
+        std::process::exit(2);
+    }
+    let result = if args.flag("smoke") {
+        cmd_smoke(&args)
+    } else if args.flag("scaling") {
+        cmd_scaling(&args)
+    } else {
+        cmd_tables(&args)
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+fn parse_list<T>(args: &Args, key: &str, default: &[T]) -> Result<Vec<T>, AnyError>
+where
+    T: std::str::FromStr + Copy,
+{
+    match args.options.get(key) {
+        None => Ok(default.to_vec()),
+        Some(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<T>()
+                    .map_err(|_| format!("invalid --{key} entry '{s}'").into())
+            })
+            .collect(),
+    }
+}
+
+/// Assert the sweep reproduces bit-identically on a different thread count.
+fn check_replay(spec: &CampaignSpec, reference: &CampaignResult, threads: usize) -> Result<(), AnyError> {
+    let replay = run_campaign(spec, threads);
+    if replay.fingerprint() != reference.fingerprint() {
+        return Err(format!(
+            "NON-DETERMINISM: fingerprint {:016x} with {} threads vs {:016x} with {}",
+            replay.fingerprint(),
+            replay.threads,
+            reference.fingerprint(),
+            reference.threads,
+        )
+        .into());
+    }
+    println!(
+        "replay check: {} sessions, fingerprint {:016x} identical at {} and {} threads",
+        spec.len(),
+        reference.fingerprint(),
+        reference.threads,
+        replay.threads,
+    );
+    Ok(())
+}
+
+/// Seconds-long sweep wired into `scripts/verify.sh`.
+fn cmd_smoke(args: &Args) -> Result<(), AnyError> {
+    let duration: f64 = args.get("duration", 8.0)?;
+    let spec = CampaignSpec::grid(&[TestKind::T1], &[2, 4], &[7, 21], duration);
+    let result = run_campaign(&spec, 2);
+    println!("{}", result.table());
+    check_replay(&spec, &result, 1)?;
+    println!("smoke ok: {} sessions in {:.2}s", spec.len(), result.wall_secs);
+    Ok(())
+}
+
+/// 64-session sweep timed at 1 worker and at `--threads` workers.
+fn cmd_scaling(args: &Args) -> Result<(), AnyError> {
+    let threads: usize = args.get("threads", default_threads().min(8))?;
+    let duration: f64 = args.get("duration", 12.0)?;
+    let seeds: Vec<u64> = parse_list(args, "seeds", &[7, 21, 42, 77, 99, 123, 256, 1024])?;
+    let k_values: Vec<u32> = parse_list(args, "kmax", &[2, 3, 4, 8])?;
+    let spec = CampaignSpec::grid(&TestKind::ALL, &k_values, &seeds, duration);
+    println!(
+        "scaling sweep: {} sessions of {duration:.0}s simulated time",
+        spec.len()
+    );
+    let serial = run_campaign(&spec, 1);
+    println!("  1 thread : {:>7.2}s wall", serial.wall_secs);
+    let parallel = run_campaign(&spec, threads);
+    println!("  {threads} threads: {:>7.2}s wall", parallel.wall_secs);
+    check_replay(&spec, &serial, threads)?;
+    let speedup = serial.wall_secs / parallel.wall_secs.max(1e-9);
+    println!("speedup: {speedup:.2}x with {threads} threads");
+    Ok(())
+}
+
+fn mean_over<T>(
+    result: &CampaignResult,
+    test: TestKind,
+    k: u32,
+    f: impl Fn(&SessionResult) -> T,
+) -> f64
+where
+    T: Into<f64>,
+{
+    let vals: Vec<f64> = result
+        .sessions
+        .iter()
+        .filter(|s| s.spec.test == test && s.spec.k_max == k)
+        .map(|s| f(s).into())
+        .collect();
+    vals.iter().sum::<f64>() / vals.len().max(1) as f64
+}
+
+/// The full Table 1 + Table 2 sweep as one campaign.
+fn cmd_tables(args: &Args) -> Result<(), AnyError> {
+    let threads: usize = args.get("threads", default_threads())?;
+    let duration: f64 = args.get("duration", 90.0)?;
+    let seeds: Vec<u64> = parse_list(args, "seeds", &[7, 21, 42, 77, 99])?;
+    let k_values: Vec<u32> = parse_list(args, "kmax", &[2, 3, 4, 5, 8])?;
+    let spec = CampaignSpec::grid(&TestKind::ALL, &k_values, &seeds, duration);
+    println!(
+        "running {} sessions ({duration:.0}s simulated each) on {threads} threads...",
+        spec.len()
+    );
+    let result = run_campaign(&spec, threads);
+    println!("{}", result.table());
+
+    let headers: Vec<String> = k_values.iter().map(|k| format!("K_max={k}")).collect();
+    let mut header_refs: Vec<&str> = vec!["test"];
+    header_refs.extend(headers.iter().map(String::as_str));
+
+    let mut t1 = Table::new(
+        "Table 1: buffering efficiency e (mean over drop events)",
+        &header_refs,
+    );
+    for &test in &TestKind::ALL {
+        let mut row = vec![test.label().to_string()];
+        for &k in &k_values {
+            row.push(pct(result.mean_metric(test, k, |s| s.efficiency)));
+        }
+        t1.row(row);
+    }
+    println!("{}", t1.render());
+
+    let mut t2 = Table::new(
+        "Table 2: avoidable drops / quality changes (mean per run)",
+        &header_refs,
+    );
+    for &test in &TestKind::ALL {
+        let mut row = vec![test.label().to_string()];
+        for &k in &k_values {
+            let avoid = pct(result.mean_metric(test, k, |s| s.avoidable_drops));
+            let changes = mean_over(&result, test, k, |s| s.quality_changes as f64);
+            row.push(format!("{avoid} / {changes:.1}"));
+        }
+        t2.row(row);
+    }
+    println!("{}", t2.render());
+
+    let dir = match args.options.get("out") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => outdir("campaign"),
+    };
+    for summary in result.summaries() {
+        let name = summary.experiment.replace('/', "_");
+        summary.write_json(dir.join(format!("{name}.json")))?;
+    }
+    println!(
+        "wrote {} summaries to {} (campaign fingerprint {:016x}, {:.1}s wall)",
+        result.sessions.len(),
+        dir.display(),
+        result.fingerprint(),
+        result.wall_secs,
+    );
+    Ok(())
+}

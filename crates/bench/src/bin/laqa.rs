@@ -3,8 +3,6 @@
 //! ```text
 //! laqa sim    [--test t1|t2] [--kmax N] [--duration S] [--seed N]
 //!             [--red] [--loss P] [--retransmit N] [--csv DIR]
-//! laqa net    [--bandwidth B] [--duration S] [--burst-frac F]
-//!             [--loss P] [--retransmit N]
 //! laqa states [--rate R] [--layers N] [--c C] [--slope S] [--kmax K]
 //! laqa bands  [--deficit D] [--layers N] [--c C] [--slope S]
 //!             [--exp-base B --exp-factor F]
@@ -15,7 +13,6 @@ use laqa_bench::{ascii_plot, window_mean};
 use laqa_core::geometry::band_allocation;
 use laqa_core::nonlinear::{nl_band_allocation, LayerRates};
 use laqa_core::StateSequence;
-use laqa_net::{run_session, SessionConfig};
 use laqa_sim::{run_scenario, QueueKind, RedConfig, ScenarioConfig};
 use laqa_trace::{Recorder, Table};
 
@@ -30,7 +27,6 @@ fn main() {
     };
     let result = match args.command.as_str() {
         "sim" => cmd_sim(&args),
-        "net" => cmd_net(&args),
         "states" => cmd_states(&args),
         "bands" => cmd_bands(&args),
         "help" | "--help" => {
@@ -55,9 +51,12 @@ fn usage() {
 
 subcommands:
   sim     run the paper's T1/T2 workload in the simulator
-  net     run a real-socket loopback streaming session
   states  print the monotone buffer-state path for an operating point
-  bands   print the optimal per-layer buffer bands for a deficit"
+  bands   print the optimal per-layer buffer bands for a deficit
+
+the real-socket streaming session lives in the standalone laqa-net
+crate (registry deps): cargo run --manifest-path crates/net/Cargo.toml
+--bin net_experiment"
     );
 }
 
@@ -109,45 +108,6 @@ fn cmd_sim(args: &Args) -> Result<(), AnyError> {
         rec.write_csv_dir(dir)?;
         println!("wrote CSVs to {dir}");
     }
-    Ok(())
-}
-
-fn cmd_net(args: &Args) -> Result<(), AnyError> {
-    let mut cfg = SessionConfig::default();
-    cfg.shaper.bandwidth = args.get("bandwidth", cfg.shaper.bandwidth)?;
-    cfg.shaper.loss_rate = args.get("loss", 0.0)?;
-    cfg.duration = args.get("duration", 10.0)?;
-    cfg.retransmit_protect = args.get("retransmit", 0)?;
-    let burst_frac: f64 = args.get("burst-frac", 0.0)?;
-    if burst_frac > 0.0 {
-        cfg.cross_traffic = Some((burst_frac * cfg.shaper.bandwidth, 500, 1.0 / 3.0, 2.0 / 3.0));
-    }
-    println!(
-        "streaming {:.0}s over a {:.0} B/s loopback bottleneck...",
-        cfg.duration, cfg.shaper.bandwidth
-    );
-    let rt = tokio::runtime::Builder::new_multi_thread()
-        .worker_threads(2)
-        .enable_all()
-        .build()?;
-    let report = rt.block_on(run_session(cfg))?;
-    println!("tx rate : {}", ascii_plot(&report.server.rate_trace, 64));
-    println!(
-        "layers  : {}",
-        ascii_plot(&report.server.n_active_trace, 64)
-    );
-    println!();
-    println!(
-        "sent / received  : {} / {}",
-        report.server.sent_packets, report.client.received
-    );
-    println!("drops            : {}", report.bottleneck_drops);
-    println!("retransmissions  : {}", report.server.retransmissions);
-    println!("corrupt payloads : {}", report.client.corrupt);
-    println!(
-        "quality changes  : {}",
-        report.server.metrics.quality_changes()
-    );
     Ok(())
 }
 

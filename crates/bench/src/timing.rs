@@ -1,0 +1,138 @@
+//! Std-only microbenchmark harness for the `harness = false` bench
+//! targets.
+//!
+//! The hermetic tier-1 build has no criterion (DESIGN.md, "Hermetic
+//! offline builds"), so the bench binaries time themselves with
+//! `std::time::Instant`: calibrate an iteration count to a fixed
+//! per-sample budget, take several samples, and report the median so a
+//! stray scheduler hiccup does not skew the figure. Use
+//! `std::hint::black_box` around inputs exactly as with criterion.
+//!
+//! `cargo bench` runs every registered benchmark; pass a substring to
+//! run a subset (`cargo bench -p laqa-bench --bench qa_bench -- band`).
+
+use std::time::Instant;
+
+/// Samples taken per benchmark; the median is reported.
+const SAMPLES: usize = 5;
+/// Target wall time per sample, seconds.
+const SAMPLE_BUDGET: f64 = 0.2;
+
+/// A named group of benchmarks, filtered by the process's CLI arguments.
+pub struct Runner {
+    filters: Vec<String>,
+    results: Vec<(String, f64)>,
+}
+
+impl Runner {
+    /// Build a runner from `std::env::args`, treating every non-flag
+    /// argument as a substring filter (so `cargo bench -- foo` works;
+    /// libtest-style flags such as `--bench` are ignored).
+    pub fn from_args() -> Runner {
+        Runner {
+            filters: std::env::args()
+                .skip(1)
+                .filter(|a| !a.starts_with('-'))
+                .collect(),
+            results: Vec::new(),
+        }
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    /// Time `f`, auto-calibrating the per-sample iteration count.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if !self.selected(name) {
+            return;
+        }
+        // Calibrate: grow the batch until one batch costs >= ~1% of the
+        // sample budget, then scale to the full budget.
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let secs = t.elapsed().as_secs_f64();
+            if secs >= SAMPLE_BUDGET / 100.0 || iters >= 1 << 30 {
+                break secs / iters as f64;
+            }
+            iters *= 8;
+        };
+        let per_sample = ((SAMPLE_BUDGET / per_iter.max(1e-12)) as u64).clamp(1, 1 << 32);
+        let mut samples = [0.0f64; SAMPLES];
+        for s in samples.iter_mut() {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(f());
+            }
+            *s = t.elapsed().as_secs_f64() / per_sample as f64;
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[SAMPLES / 2];
+        println!(
+            "{name:<40} {:>12}/iter   ({per_sample} iters/sample, {SAMPLES} samples)",
+            fmt_duration(median)
+        );
+        self.results.push((name.to_string(), median));
+    }
+
+    /// Print the closing summary line. Call once at the end of `main`.
+    pub fn finish(self) {
+        println!("\n{} benchmarks run", self.results.len());
+    }
+}
+
+fn fmt_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_records() {
+        let mut r = Runner {
+            filters: vec![],
+            results: vec![],
+        };
+        let mut x = 0u64;
+        r.bench("trivial", || {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(r.results.len(), 1);
+        assert!(r.results[0].1 > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_unmatched() {
+        let mut r = Runner {
+            filters: vec!["match-me".into()],
+            results: vec![],
+        };
+        r.bench("other", || 1);
+        assert!(r.results.is_empty());
+        r.bench("match-me-exactly", || 1);
+        assert_eq!(r.results.len(), 1);
+    }
+
+    #[test]
+    fn formats_durations() {
+        assert_eq!(fmt_duration(2.5), "2.500 s");
+        assert_eq!(fmt_duration(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_duration(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_duration(2.5e-9), "2.5 ns");
+    }
+}

@@ -1,0 +1,213 @@
+//! # laqa-check — a tiny deterministic property-test harness
+//!
+//! The workspace's property suites were written for `proptest`, but the
+//! tier-1 verify must run with **zero registry access** (see DESIGN.md,
+//! "Hermetic offline builds"). This crate replaces the subset of proptest
+//! the suites actually use: draw random-but-reproducible values from a
+//! seeded generator and run a closure over many cases, reporting the case
+//! number and seed on failure so any counterexample replays exactly.
+//!
+//! ```
+//! laqa_check::cases("doubling is monotone", 256, |g, _case| {
+//!     let x = g.f64_range(0.0, 1e6);
+//!     assert!(2.0 * x >= x);
+//! });
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+/// Default number of cases for a property (mirrors proptest's 256).
+pub const DEFAULT_CASES: usize = 256;
+
+/// A PCG-XSH-RR 64/32 generator: 64-bit state, 32-bit output, seeded
+/// through SplitMix64 so consecutive seeds give unrelated streams.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Gen {
+    /// New generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        let state = splitmix64(&mut s);
+        let inc = splitmix64(&mut s) | 1;
+        let mut g = Gen { state, inc };
+        g.next_u32();
+        g
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)` (proptest's `lo..hi` strategy).
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        lo + self.f64_unit() * (hi - lo)
+    }
+
+    /// Uniform `usize` in `lo..=hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + (self.next_u64() % (hi - lo + 1) as u64) as usize
+    }
+
+    /// Uniform `u32` in `lo..=hi`.
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.usize_in(lo as usize, hi as usize) as u32
+    }
+
+    /// Uniform `u64` in `lo..=hi`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_u64() % (hi - lo + 1)
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64_unit() < p
+    }
+
+    /// Vector of uniform `f64`s in `[lo, hi)` with a random length in
+    /// `len_lo..=len_hi` (proptest's `vec(lo..hi, len_lo..len_hi)`).
+    pub fn vec_f64(&mut self, lo: f64, hi: f64, len_lo: usize, len_hi: usize) -> Vec<f64> {
+        let len = self.usize_in(len_lo, len_hi);
+        (0..len).map(|_| self.f64_range(lo, hi)).collect()
+    }
+
+    /// One element of a slice, by reference.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.usize_in(0, items.len() - 1)]
+    }
+}
+
+/// Derive a per-property base seed from its name (FNV-1a), so adding or
+/// reordering properties never changes another property's cases.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `property` over `n` deterministic random cases. Panics from the
+/// property are re-raised after printing the case index and the exact
+/// seed, so a failure replays with [`Gen::new`] of that seed.
+pub fn cases(name: &str, n: usize, mut property: impl FnMut(&mut Gen, usize)) {
+    let base = name_seed(name);
+    for case in 0..n {
+        let seed = base.wrapping_add(case as u64);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g = Gen::new(seed);
+            property(&mut g, case);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "property '{name}' failed at case {case}/{n} \
+                 (replay with laqa_check::Gen::new({seed:#x}))"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let mut a = Gen::new(42);
+        let mut b = Gen::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Gen::new(43);
+        assert_ne!(Gen::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut g = Gen::new(7);
+        for _ in 0..10_000 {
+            let x = g.f64_range(-3.0, 5.5);
+            assert!((-3.0..5.5).contains(&x));
+            let n = g.usize_in(2, 9);
+            assert!((2..=9).contains(&n));
+            let k = g.u64_in(10, 10);
+            assert_eq!(k, 10);
+        }
+    }
+
+    #[test]
+    fn f64_unit_covers_the_interval() {
+        let mut g = Gen::new(1);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let x = g.f64_unit();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut g = Gen::new(3);
+        for _ in 0..1_000 {
+            let v = g.vec_f64(0.0, 1.0, 3, 7);
+            assert!((3..=7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn cases_runs_requested_count() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        cases("counting", 37, |_, _| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 37);
+    }
+
+    #[test]
+    fn same_property_name_same_cases() {
+        let mut first = Vec::new();
+        cases("stable", 5, |g, _| first.push(g.next_u64()));
+        let mut second = Vec::new();
+        cases("stable", 5, |g, _| second.push(g.next_u64()));
+        assert_eq!(first, second);
+    }
+}

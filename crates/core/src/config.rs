@@ -7,7 +7,6 @@
 //! generalized band geometry in [`crate::geometry`], but the controller's
 //! closed-form buffer states use the linear model, exactly as the paper does.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors produced when validating a [`QaConfig`].
@@ -67,7 +66,8 @@ impl std::error::Error for ConfigError {}
 /// **seconds**, and the additive-increase slope `S` in **bytes per second
 /// per second** — the units used throughout the paper's Appendix A once its
 /// "one packet per RTT" increase is expressed as a rate slope.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QaConfig {
     /// Per-layer consumption rate `C` (bytes/s). The paper's simulations use
     /// `C = 10 KB/s` (figure 11's consumption-rate gridlines).
@@ -243,20 +243,22 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "serde"))]
 mod serde_tests {
     use super::*;
 
     #[test]
-    fn config_json_round_trip() {
+    fn config_value_round_trip() {
         let cfg = QaConfig {
             layer_rate: 1_250.0,
             max_layers: 7,
             k_max: 3,
             ..QaConfig::default()
         };
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: QaConfig = serde_json::from_str(&json).unwrap();
+        let value = serde::Serialize::to_value(&cfg);
+        let back: QaConfig = serde::Deserialize::from_value(&value).unwrap();
         assert_eq!(cfg, back);
+        let json = serde::to_string(&cfg);
+        assert!(json.contains("\"layer_rate\":1250"), "json: {json}");
     }
 }

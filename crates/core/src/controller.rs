@@ -29,10 +29,10 @@ use crate::draining::plan_draining;
 use crate::filling::allocate_filling;
 use crate::metrics::{DropReason, MetricsCollector, QaEvent};
 use crate::states::StateSequence;
-use serde::{Deserialize, Serialize};
 
 /// Which side of the sawtooth the flow is on (figure 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Phase {
     /// Transmission rate at or above aggregate consumption: buffers fill.
     Filling,

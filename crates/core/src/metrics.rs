@@ -14,10 +14,10 @@
 //!   quantity the smoothing factor `K_max` trades against short-term
 //!   quality.
 
-use serde::{Deserialize, Serialize};
 
 /// Why a layer was dropped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DropReason {
     /// §2.2 rule: total buffering below the recovery deficit at backoff.
     InsufficientTotalBuffer,
@@ -31,7 +31,8 @@ pub enum DropReason {
 }
 
 /// One quality-adaptation event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum QaEvent {
     /// A layer was added; `n_active` is the count *after* the add.
     LayerAdded {
@@ -66,7 +67,8 @@ pub enum QaEvent {
 }
 
 /// Accumulates [`QaEvent`]s and derives the paper's evaluation metrics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MetricsCollector {
     events: Vec<QaEvent>,
 }

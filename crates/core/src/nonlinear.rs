@@ -17,10 +17,10 @@
 //! (cross-checked by tests and property tests).
 
 use crate::scenario::Scenario;
-use serde::{Deserialize, Serialize};
 
 /// A heterogeneous layer stack (bytes/s per layer, base first).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LayerRates {
     rates: Vec<f64>,
     /// Cumulative heights: `heights[i] = Σ_{j<i} rates[j]`, plus the total

@@ -29,10 +29,10 @@
 //! [`crate::states`]).
 
 use crate::geometry::{band_allocation, deficit, triangle_area};
-use serde::{Deserialize, Serialize};
 
 /// The two extremal multi-backoff loss patterns of §4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Scenario {
     /// All `k` backoffs at once at the sawtooth peak.
     One,

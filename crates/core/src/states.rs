@@ -19,10 +19,10 @@
 //! available for the ablation benchmarks.
 
 use crate::scenario::{min_backoffs_below, per_layer, Scenario};
-use serde::{Deserialize, Serialize};
 
 /// One optimal buffer state `(scenario, k)` with its per-layer targets.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BufferState {
     /// Which extremal loss pattern this state protects against.
     pub scenario: Scenario,
@@ -56,7 +56,8 @@ impl BufferState {
 }
 
 /// The ordered, monotone path of buffer states for a given operating point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StateSequence {
     /// Transmission rate (bytes/s) the sequence was computed for — the rate
     /// from which the hypothetical backoffs occur.

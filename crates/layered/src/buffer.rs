@@ -6,11 +6,11 @@
 //! experiments can reconstruct the paper's figure-2 playout diagram and
 //! measure actual (not estimated) occupancy.
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// One buffered chunk (usually one packet's payload).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BufferedChunk {
     /// Arrival time at the receiver (seconds).
     pub arrival: f64,
@@ -19,7 +19,8 @@ pub struct BufferedChunk {
 }
 
 /// FIFO byte buffer for one layer.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LayerBuffer {
     chunks: VecDeque<BufferedChunk>,
     buffered: f64,

@@ -8,7 +8,6 @@
 //! modelled here; the quality-adaptation controller's closed forms apply to
 //! the linear case, while the simulator and receiver handle either.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors constructing an encoding.
@@ -37,14 +36,16 @@ impl fmt::Display for EncodingError {
 impl std::error::Error for EncodingError {}
 
 /// One layer of a hierarchical encoding.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LayerSpec {
     /// Constant consumption rate of this layer (bytes/s).
     pub rate: f64,
 }
 
 /// A hierarchical encoding: base layer plus enhancement layers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LayeredEncoding {
     layers: Vec<LayerSpec>,
 }

@@ -8,10 +8,10 @@
 
 use crate::buffer::LayerBuffer;
 use crate::encoding::LayeredEncoding;
-use serde::{Deserialize, Serialize};
 
 /// Receiver-side statistics snapshot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ReceiverStats {
     /// Bytes currently buffered per layer.
     pub buffered: Vec<f64>,
@@ -28,7 +28,8 @@ pub struct ReceiverStats {
 }
 
 /// A receiving endpoint for a layered stream.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LayeredReceiver {
     encoding: LayeredEncoding,
     buffers: Vec<LayerBuffer>,

@@ -9,10 +9,10 @@
 //! tokio experiments) can verify integrity without shipping real video.
 
 use crate::encoding::LayeredEncoding;
-use serde::{Deserialize, Serialize};
 
 /// Identifies one packet of one layer within a stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PacketId {
     /// Layer index (0 = base).
     pub layer: u8,
@@ -21,7 +21,8 @@ pub struct PacketId {
 }
 
 /// A stored layered stream: an encoding, a duration, and a packetization.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LayeredStream {
     encoding: LayeredEncoding,
     /// Stream duration (seconds).

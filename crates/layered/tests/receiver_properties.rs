@@ -1,13 +1,18 @@
 //! Property-based tests for the layered media substrate.
+//!
+//! Randomization comes from `laqa_check` (a seeded in-repo harness) rather
+//! than proptest, so the suite runs with zero registry access.
 
+use laqa_check::{cases, DEFAULT_CASES};
 use laqa_layered::{LayerBuffer, LayeredEncoding, LayeredReceiver, LayeredStream, PacketId};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn buffer_conserves_bytes(
-        ops in proptest::collection::vec((0.0..10_000.0f64, any::<bool>()), 1..200),
-    ) {
+#[test]
+fn buffer_conserves_bytes() {
+    cases("buffer_conserves_bytes", DEFAULT_CASES, |g, _| {
+        let n_ops = g.usize_in(1, 199);
+        let ops: Vec<(f64, bool)> = (0..n_ops)
+            .map(|_| (g.f64_range(0.0, 10_000.0), g.bool(0.5)))
+            .collect();
         let mut b = LayerBuffer::new();
         let mut pushed = 0.0;
         let mut consumed = 0.0;
@@ -18,89 +23,113 @@ proptest! {
             } else {
                 consumed += b.consume(amount);
             }
-            prop_assert!(b.buffered() >= -1e-9);
+            assert!(b.buffered() >= -1e-9);
         }
-        prop_assert!((pushed - consumed - b.buffered()).abs() < 1e-6,
-            "pushed {pushed} consumed {consumed} left {}", b.buffered());
-    }
+        assert!(
+            (pushed - consumed - b.buffered()).abs() < 1e-6,
+            "pushed {pushed} consumed {consumed} left {}",
+            b.buffered()
+        );
+    });
+}
 
-    #[test]
-    fn consume_never_returns_more_than_requested(
-        pushes in proptest::collection::vec(0.0..5_000.0f64, 1..50),
-        want in 0.0..100_000.0f64,
-    ) {
-        let mut b = LayerBuffer::new();
-        for (i, &p) in pushes.iter().enumerate() {
-            b.push(i as f64, p);
-        }
-        let got = b.consume(want);
-        prop_assert!(got <= want + 1e-9);
-        prop_assert!(got <= pushes.iter().sum::<f64>() + 1e-9);
-    }
-
-    #[test]
-    fn receiver_position_advances_iff_playing(
-        feeds in proptest::collection::vec(0.0..2_000.0f64, 10..100),
-    ) {
-        let enc = LayeredEncoding::linear(3, 10_000.0).unwrap();
-        let mut r = LayeredReceiver::new(enc, 2, 0.5);
-        let mut t = 0.0;
-        for &f in &feeds {
-            r.on_data(t, 0, f);
-            r.on_data(t, 1, f);
-            let was_playing = r.playing();
-            let pos_before = r.position();
-            r.advance(0.1);
-            if was_playing {
-                prop_assert!((r.position() - pos_before - 0.1).abs() < 1e-9);
-            } else if !r.playing() {
-                prop_assert_eq!(r.position(), 0.0);
+#[test]
+fn consume_never_returns_more_than_requested() {
+    cases(
+        "consume_never_returns_more_than_requested",
+        DEFAULT_CASES,
+        |g, _| {
+            let pushes = g.vec_f64(0.0, 5_000.0, 1, 49);
+            let want = g.f64_range(0.0, 100_000.0);
+            let mut b = LayerBuffer::new();
+            for (i, &p) in pushes.iter().enumerate() {
+                b.push(i as f64, p);
             }
-            t += 0.1;
-        }
-    }
+            let got = b.consume(want);
+            assert!(got <= want + 1e-9);
+            assert!(got <= pushes.iter().sum::<f64>() + 1e-9);
+        },
+    );
+}
 
-    #[test]
-    fn stream_deadlines_monotone(
-        layer in 0u8..4,
-        seqs in proptest::collection::vec(0u64..10_000, 2..50),
-    ) {
+#[test]
+fn receiver_position_advances_iff_playing() {
+    cases(
+        "receiver_position_advances_iff_playing",
+        DEFAULT_CASES,
+        |g, _| {
+            let feeds = g.vec_f64(0.0, 2_000.0, 10, 99);
+            let enc = LayeredEncoding::linear(3, 10_000.0).unwrap();
+            let mut r = LayeredReceiver::new(enc, 2, 0.5);
+            let mut t = 0.0;
+            for &f in &feeds {
+                r.on_data(t, 0, f);
+                r.on_data(t, 1, f);
+                let was_playing = r.playing();
+                let pos_before = r.position();
+                r.advance(0.1);
+                if was_playing {
+                    assert!((r.position() - pos_before - 0.1).abs() < 1e-9);
+                } else if !r.playing() {
+                    assert_eq!(r.position(), 0.0);
+                }
+                t += 0.1;
+            }
+        },
+    );
+}
+
+#[test]
+fn stream_deadlines_monotone() {
+    cases("stream_deadlines_monotone", DEFAULT_CASES, |g, _| {
+        let layer = g.u32_in(0, 3) as u8;
+        let n_seqs = g.usize_in(2, 49);
+        let mut seqs: Vec<u64> = (0..n_seqs).map(|_| g.u64_in(0, 9_999)).collect();
         let enc = LayeredEncoding::exponential(4, 4_000.0, 2.0).unwrap();
         let s = LayeredStream::new(enc, 120.0, 1_000);
-        let mut sorted = seqs.clone();
-        sorted.sort_unstable();
+        seqs.sort_unstable();
         let mut last = -1.0;
-        for &seq in &sorted {
+        for &seq in &seqs {
             let d = s.deadline(PacketId { layer, seq });
-            prop_assert!(d >= last);
+            assert!(d >= last);
             last = d;
         }
-    }
+    });
+}
 
-    #[test]
-    fn payload_verification_rejects_any_flip(
-        seq in 0u64..1_000,
-        layer in 0u8..4,
-        len in 9usize..600,
-        flip in 0usize..600,
-    ) {
-        let enc = LayeredEncoding::linear(4, 10_000.0).unwrap();
-        let s = LayeredStream::new(enc, 60.0, 1_000);
-        let id = PacketId { layer, seq };
-        let mut p = s.payload(id, len);
-        prop_assert!(s.verify_payload(id, &p));
-        let idx = flip % len;
-        p[idx] ^= 0x01;
-        prop_assert!(!s.verify_payload(id, &p));
-    }
+#[test]
+fn payload_verification_rejects_any_flip() {
+    cases(
+        "payload_verification_rejects_any_flip",
+        DEFAULT_CASES,
+        |g, _| {
+            let seq = g.u64_in(0, 999);
+            let layer = g.u32_in(0, 3) as u8;
+            let len = g.usize_in(9, 599);
+            let flip = g.usize_in(0, 599);
+            let enc = LayeredEncoding::linear(4, 10_000.0).unwrap();
+            let s = LayeredStream::new(enc, 60.0, 1_000);
+            let id = PacketId { layer, seq };
+            let mut p = s.payload(id, len);
+            assert!(s.verify_payload(id, &p));
+            let idx = flip % len;
+            p[idx] ^= 0x01;
+            assert!(!s.verify_payload(id, &p));
+        },
+    );
+}
 
-    #[test]
-    fn layers_within_is_monotone_in_bandwidth(
-        bw1 in 0.0..100_000.0f64,
-        bw2 in 0.0..100_000.0f64,
-    ) {
-        let enc = LayeredEncoding::exponential(5, 2_000.0, 1.6).unwrap();
-        let (lo, hi) = if bw1 <= bw2 { (bw1, bw2) } else { (bw2, bw1) };
-        prop_assert!(enc.layers_within(lo) <= enc.layers_within(hi));
-    }
+#[test]
+fn layers_within_is_monotone_in_bandwidth() {
+    cases(
+        "layers_within_is_monotone_in_bandwidth",
+        DEFAULT_CASES,
+        |g, _| {
+            let bw1 = g.f64_range(0.0, 100_000.0);
+            let bw2 = g.f64_range(0.0, 100_000.0);
+            let enc = LayeredEncoding::exponential(5, 2_000.0, 1.6).unwrap();
+            let (lo, hi) = if bw1 <= bw2 { (bw1, bw2) } else { (bw2, bw1) };
+            assert!(enc.layers_within(lo) <= enc.layers_within(hi));
+        },
+    );
 }

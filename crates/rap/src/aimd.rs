@@ -16,10 +16,10 @@
 //! linear increase (`S = packet_size / srtt²` bytes/s²), and backoff
 //! notifications.
 
-use serde::{Deserialize, Serialize};
 
 /// AIMD rate state for a RAP flow.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AimdState {
     /// Payload bytes per packet (RAP adapts the gap, not the size).
     packet_size: f64,

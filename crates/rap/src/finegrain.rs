@@ -8,10 +8,10 @@
 //! mechanism because its sawtooth is easier to predict; we implement it so
 //! the ablation can quantify that choice, but it is off by default.
 
-use serde::{Deserialize, Serialize};
 
 /// Short/long RTT ratio estimator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FineGrain {
     short: f64,
     long: f64,

@@ -10,11 +10,11 @@
 //! report feeds both the AIMD backoff and the quality-adaptation buffer
 //! accounting.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Record of one transmitted, not-yet-resolved packet.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PacketRecord {
     /// Transmission time (seconds).
     pub send_time: f64,
@@ -26,7 +26,8 @@ pub struct PacketRecord {
 }
 
 /// A resolved loss.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LostPacket {
     /// Sequence number of the lost packet.
     pub seq: u64,
@@ -35,7 +36,8 @@ pub struct LostPacket {
 }
 
 /// Outstanding-packet table with loss inference.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TransmissionHistory {
     outstanding: BTreeMap<u64, PacketRecord>,
     /// Highest sequence the receiver has demonstrably received.

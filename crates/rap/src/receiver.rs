@@ -7,11 +7,11 @@
 //! robust to ACK loss on the reverse path — any later ACK repairs the
 //! sender's view.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Acknowledgement contents.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AckInfo {
     /// Sequence of the data packet that triggered this ACK.
     pub ack_seq: u64,
@@ -45,7 +45,8 @@ impl AckInfo {
 }
 
 /// Receiver-side reception state that mints [`AckInfo`]s.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RapReceiverState {
     /// Highest in-order sequence (None until seq 0 arrives).
     cum: Option<u64>,

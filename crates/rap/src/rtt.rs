@@ -4,10 +4,10 @@
 //! the same estimator TCP uses: an exponentially weighted moving average of
 //! RTT samples plus four mean deviations.
 
-use serde::{Deserialize, Serialize};
 
 /// Jacobson/Karels RTT estimator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RttEstimator {
     srtt: f64,
     rttvar: f64,

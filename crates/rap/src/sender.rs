@@ -27,10 +27,10 @@ use crate::finegrain::FineGrain;
 use crate::history::{LostPacket, PacketRecord, TransmissionHistory};
 use crate::receiver::AckInfo;
 use crate::rtt::RttEstimator;
-use serde::{Deserialize, Serialize};
 
 /// RAP sender configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RapConfig {
     /// Payload bytes per packet.
     pub packet_size: f64,
@@ -62,7 +62,8 @@ impl Default for RapConfig {
 }
 
 /// Why a backoff happened.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum BackoffCause {
     /// ACK-inferred packet loss.
     Loss,
@@ -71,7 +72,8 @@ pub enum BackoffCause {
 }
 
 /// Protocol events for the owner to act on.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RapEvent {
     /// Multiplicative decrease happened; `rate` is the post-backoff rate.
     Backoff {

@@ -15,10 +15,10 @@ use crate::history::{LostPacket, PacketRecord, TransmissionHistory};
 use crate::receiver::AckInfo;
 use crate::rtt::RttEstimator;
 use crate::sender::{BackoffCause, RapEvent};
-use serde::{Deserialize, Serialize};
 
 /// Window-sender configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WindowConfig {
     /// Payload bytes per packet.
     pub packet_size: f64,

@@ -1,9 +1,18 @@
 //! Property-based tests for the RAP protocol machinery: arbitrary loss,
 //! reordering and duplication patterns must never wedge the sender,
 //! corrupt its accounting, or break AIMD invariants.
+//!
+//! Randomization comes from `laqa_check` (a seeded in-repo harness) rather
+//! than proptest, so the suite runs with zero registry access.
 
+use laqa_check::{cases, Gen};
 use laqa_rap::{AckInfo, RapConfig, RapEvent, RapReceiverState, RapSender};
-use proptest::prelude::*;
+
+/// Random per-packet fate codes in `0..=3` (see `run_fates`).
+fn fate_vec(g: &mut Gen, len_lo: usize, len_hi: usize) -> Vec<u8> {
+    let len = g.usize_in(len_lo, len_hi);
+    (0..len).map(|_| g.u32_in(0, 3) as u8).collect()
+}
 
 /// Replay a randomized path: per-packet fates (delivered / lost /
 /// duplicated) and a bounded reorder depth.
@@ -88,68 +97,77 @@ fn seq_tag(i: usize) -> u8 {
     (i % 5) as u8
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn every_packet_resolves_exactly_once(
-        fates in proptest::collection::vec(0u8..=3, 50..200),
-        reorder in 0usize..3,
-    ) {
+#[test]
+fn every_packet_resolves_exactly_once() {
+    cases("every_packet_resolves_exactly_once", 24, |g, _| {
+        let fates = fate_vec(g, 50, 199);
+        let reorder = g.usize_in(0, 2);
         let (s, acked, lost) = run_fates(&fates, reorder);
         // After the drain loop, nothing is in flight and the sum of
         // resolutions equals the number of sends (duplicates resolve once).
-        prop_assert_eq!(s.in_flight(), 0, "unresolved packets remain");
-        prop_assert_eq!((acked + lost) as usize, fates.len(),
-            "acked {} + lost {} != sent {}", acked, lost, fates.len());
+        assert_eq!(s.in_flight(), 0, "unresolved packets remain");
+        assert_eq!(
+            (acked + lost) as usize,
+            fates.len(),
+            "acked {acked} + lost {lost} != sent {}",
+            fates.len()
+        );
         // Rate stays within sane bounds.
-        prop_assert!(s.rate() >= 1_000.0 - 1e-9);
-        prop_assert!(s.rate().is_finite());
-    }
+        assert!(s.rate() >= 1_000.0 - 1e-9);
+        assert!(s.rate().is_finite());
+    });
+}
 
-    #[test]
-    fn srtt_stays_positive_and_finite(
-        fates in proptest::collection::vec(0u8..=3, 50..150),
-    ) {
+#[test]
+fn srtt_stays_positive_and_finite() {
+    cases("srtt_stays_positive_and_finite", 24, |g, _| {
+        let fates = fate_vec(g, 50, 149);
         let (s, _, _) = run_fates(&fates, 0);
-        prop_assert!(s.srtt() > 0.0 && s.srtt().is_finite());
-        prop_assert!(s.slope() > 0.0 && s.slope().is_finite());
-    }
+        assert!(s.srtt() > 0.0 && s.srtt().is_finite());
+        assert!(s.slope() > 0.0 && s.slope().is_finite());
+    });
+}
 
-    #[test]
-    fn receiver_ack_info_is_self_consistent(
-        seqs in proptest::collection::vec(0u64..500, 1..300),
-    ) {
+#[test]
+fn receiver_ack_info_is_self_consistent() {
+    cases("receiver_ack_info_is_self_consistent", 24, |g, _| {
+        let n = g.usize_in(1, 299);
+        let seqs: Vec<u64> = (0..n).map(|_| g.u64_in(0, 499)).collect();
         let mut rx = RapReceiverState::new();
         let mut last: Option<AckInfo> = None;
         for &seq in &seqs {
             let ack = rx.on_data(seq);
             // The ack proves its own trigger and the cumulative prefix.
-            prop_assert!(ack.proves_received(ack.ack_seq));
+            assert!(ack.proves_received(ack.ack_seq));
             if ack.cum_seq != u64::MAX {
-                prop_assert!(ack.proves_received(ack.cum_seq));
-                prop_assert!(ack.cum_seq <= ack.highest);
+                assert!(ack.proves_received(ack.cum_seq));
+                assert!(ack.cum_seq <= ack.highest);
             }
-            prop_assert!(ack.ack_seq <= ack.highest);
+            assert!(ack.ack_seq <= ack.highest);
             // Highest and cum never move backwards.
             if let Some(prev) = last {
-                prop_assert!(ack.highest >= prev.highest);
+                assert!(ack.highest >= prev.highest);
                 if prev.cum_seq != u64::MAX {
-                    prop_assert!(ack.cum_seq != u64::MAX && ack.cum_seq >= prev.cum_seq);
+                    assert!(ack.cum_seq != u64::MAX && ack.cum_seq >= prev.cum_seq);
                 }
             }
             last = Some(ack);
         }
-    }
+    });
+}
 
-    #[test]
-    fn backoffs_never_exceed_loss_events(
-        fates in proptest::collection::vec(0u8..=3, 80..200),
-    ) {
+#[test]
+fn backoffs_never_exceed_loss_events() {
+    cases("backoffs_never_exceed_loss_events", 24, |g, _| {
+        let fates = fate_vec(g, 80, 199);
         // Count backoffs vs distinct losses: cluster suppression means
         // backoffs <= losses (and also <= sends).
         let mut s = RapSender::new(
-            RapConfig { initial_rate: 20_000.0, initial_rtt: 0.05, ..RapConfig::default() },
+            RapConfig {
+                initial_rate: 20_000.0,
+                initial_rtt: 0.05,
+                ..RapConfig::default()
+            },
             0.0,
         );
         let mut rx = RapReceiverState::new();
@@ -180,6 +198,6 @@ proptest! {
                 }
             }
         }
-        prop_assert!(backoffs <= losses + 1, "backoffs {} losses {}", backoffs, losses);
-    }
+        assert!(backoffs <= losses + 1, "backoffs {backoffs} losses {losses}");
+    });
 }

@@ -1,0 +1,478 @@
+//! Parallel scenario-campaign runner.
+//!
+//! The paper's tables are sweeps: every combination of workload (T1/T2),
+//! smoothing factor `K_max`, and seed is one independent simulator session.
+//! This module fans such a grid across OS threads with a work-stealing
+//! index queue, runs each discrete-event session in isolation, and
+//! aggregates the paper's metrics (buffering efficiency, avoidable drops,
+//! quality changes) into summary rows.
+//!
+//! **Determinism contract.** A session's result — including its 64-bit
+//! event-trace fingerprint — depends only on its [`SessionSpec`], never on
+//! which worker ran it, how many workers there were, or in what order the
+//! queue drained. Results are written into index-assigned slots, so the
+//! aggregate [`CampaignResult::fingerprint`] is bit-identical across
+//! thread counts; `tests/replay.rs` pins this with 1, 2 and 8 workers.
+//! Wall-clock fields are the one exception and are excluded from every
+//! fingerprint.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use laqa_core::metrics::QaEvent;
+use laqa_trace::{RunSummary, Table, TraceHasher};
+
+use crate::scenarios::{run_scenario, ScenarioConfig, ScenarioOutcome};
+
+/// Which of the paper's dumbbell workloads a session runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TestKind {
+    /// T1: one QA-RAP source vs 9 RAP + 10 TCP flows.
+    T1,
+    /// T2: T1 plus a CBR burst through the middle of the run.
+    T2,
+}
+
+impl TestKind {
+    /// Both workloads, in table order.
+    pub const ALL: [TestKind; 2] = [TestKind::T1, TestKind::T2];
+
+    /// Short label used in tables and summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TestKind::T1 => "T1",
+            TestKind::T2 => "T2",
+        }
+    }
+}
+
+/// One cell of the sweep grid: a fully-specified simulator session.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SessionSpec {
+    /// Workload.
+    pub test: TestKind,
+    /// QA smoothing factor `K_max`.
+    pub k_max: u32,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Simulated duration (seconds).
+    pub duration: f64,
+}
+
+impl SessionSpec {
+    /// The scenario configuration this spec denotes.
+    pub fn scenario(&self) -> ScenarioConfig {
+        match self.test {
+            TestKind::T1 => ScenarioConfig::t1(self.k_max, self.duration, self.seed),
+            TestKind::T2 => ScenarioConfig::t2(self.k_max, self.duration, self.seed),
+        }
+    }
+
+    /// Stable label, e.g. `T1/k3/seed42`.
+    pub fn label(&self) -> String {
+        format!("{}/k{}/seed{}", self.test.label(), self.k_max, self.seed)
+    }
+}
+
+/// A full sweep: the list of sessions to run.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CampaignSpec {
+    /// Sessions in grid order (test-major, then `K_max`, then seed).
+    pub sessions: Vec<SessionSpec>,
+}
+
+impl CampaignSpec {
+    /// Cartesian grid `tests × k_values × seeds`, each of `duration`
+    /// simulated seconds.
+    pub fn grid(tests: &[TestKind], k_values: &[u32], seeds: &[u64], duration: f64) -> Self {
+        let mut sessions = Vec::with_capacity(tests.len() * k_values.len() * seeds.len());
+        for &test in tests {
+            for &k_max in k_values {
+                for &seed in seeds {
+                    sessions.push(SessionSpec {
+                        test,
+                        k_max,
+                        seed,
+                        duration,
+                    });
+                }
+            }
+        }
+        CampaignSpec { sessions }
+    }
+
+    /// Number of sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}
+
+/// Paper metrics and the determinism fingerprint of one finished session.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SessionResult {
+    /// The spec this session ran.
+    pub spec: SessionSpec,
+    /// Buffering efficiency `(buf_total − buf_drop) / buf_total` over all
+    /// drops (`None` when nothing was ever dropped).
+    pub efficiency: Option<f64>,
+    /// Fraction of drops that were avoidable (`None` without drops).
+    pub avoidable_drops: Option<f64>,
+    /// Layer adds + drops (Table 2's quality-change count).
+    pub quality_changes: usize,
+    /// Layer adds.
+    pub adds: usize,
+    /// Layer drops.
+    pub drops: usize,
+    /// Base-layer stalls (should be zero in a healthy run).
+    pub stalls: usize,
+    /// Congestion backoffs the QA flow took.
+    pub backoffs: u64,
+    /// Packets dropped at the bottleneck (all flows).
+    pub bottleneck_drops: u64,
+    /// Receiver-observed playout underflows (all layers).
+    pub rx_underflows: u64,
+    /// Receiver-observed base-layer underflows.
+    pub rx_base_underflows: u64,
+    /// FNV-1a fingerprint of the session's event trace (see
+    /// [`hash_outcome`]).
+    pub trace_hash: u64,
+    /// Wall-clock seconds this session took (excluded from fingerprints).
+    pub wall_secs: f64,
+}
+
+impl SessionResult {
+    /// Fold everything except wall-clock into `h`.
+    fn fingerprint_into(&self, h: &mut TraceHasher) {
+        h.str(&self.spec.label());
+        h.f64(self.spec.duration);
+        h.f64(self.efficiency.unwrap_or(f64::NEG_INFINITY));
+        h.f64(self.avoidable_drops.unwrap_or(f64::NEG_INFINITY));
+        h.u64(self.quality_changes as u64);
+        h.u64(self.adds as u64);
+        h.u64(self.drops as u64);
+        h.u64(self.stalls as u64);
+        h.u64(self.backoffs);
+        h.u64(self.bottleneck_drops);
+        h.u64(self.rx_underflows);
+        h.u64(self.rx_base_underflows);
+        h.u64(self.trace_hash);
+    }
+
+    /// Machine-readable summary for EXPERIMENTS.md tooling.
+    pub fn summary(&self) -> RunSummary {
+        let mut s = RunSummary::new(format!("campaign/{}", self.spec.label()));
+        s.param("test", self.spec.test.label())
+            .param("k_max", self.spec.k_max)
+            .param("seed", self.spec.seed)
+            .param("duration", self.spec.duration);
+        if let Some(e) = self.efficiency {
+            s.metric("efficiency", e);
+        }
+        if let Some(a) = self.avoidable_drops {
+            s.metric("avoidable_drops", a);
+        }
+        s.metric("quality_changes", self.quality_changes as f64)
+            .metric("adds", self.adds as f64)
+            .metric("drops", self.drops as f64)
+            .metric("stalls", self.stalls as f64)
+            .metric("backoffs", self.backoffs as f64)
+            .metric("bottleneck_drops", self.bottleneck_drops as f64)
+            .metric("rx_underflows", self.rx_underflows as f64)
+            .metric("trace_hash_lo32", (self.trace_hash & 0xffff_ffff) as f64);
+        s
+    }
+}
+
+/// Aggregate of a finished sweep.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Per-session results, in spec order (independent of scheduling).
+    pub sessions: Vec<SessionResult>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole sweep (excluded from fingerprints).
+    pub wall_secs: f64,
+}
+
+impl CampaignResult {
+    /// Order-stable 64-bit digest of every session's metrics and trace
+    /// hash. Equal across runs with different thread counts.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = TraceHasher::new();
+        h.u64(self.sessions.len() as u64);
+        for s in &self.sessions {
+            s.fingerprint_into(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Paper-style text table of the sweep.
+    pub fn table(&self) -> String {
+        let mut tbl = Table::new(
+            "campaign results",
+            &[
+                "session", "eff", "avoid", "chg", "adds", "drops", "stalls", "backoffs",
+                "btl drops", "underflows", "trace hash",
+            ],
+        );
+        for s in &self.sessions {
+            let opt = |v: Option<f64>| match v {
+                Some(x) => format!("{x:.4}"),
+                None => "-".to_string(),
+            };
+            tbl.row(vec![
+                s.spec.label(),
+                opt(s.efficiency),
+                opt(s.avoidable_drops),
+                s.quality_changes.to_string(),
+                s.adds.to_string(),
+                s.drops.to_string(),
+                s.stalls.to_string(),
+                s.backoffs.to_string(),
+                s.bottleneck_drops.to_string(),
+                s.rx_underflows.to_string(),
+                format!("{:016x}", s.trace_hash),
+            ]);
+        }
+        tbl.render()
+    }
+
+    /// Machine-readable per-session summaries.
+    pub fn summaries(&self) -> Vec<RunSummary> {
+        self.sessions.iter().map(SessionResult::summary).collect()
+    }
+
+    /// Mean of a metric over sessions matching `test` and `k_max`.
+    pub fn mean_metric(
+        &self,
+        test: TestKind,
+        k_max: u32,
+        metric: impl Fn(&SessionResult) -> Option<f64>,
+    ) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .sessions
+            .iter()
+            .filter(|s| s.spec.test == test && s.spec.k_max == k_max)
+            .filter_map(metric)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+}
+
+/// Fold a scenario outcome's observable event trace into a 64-bit digest.
+///
+/// Covers the QA event log, the tick-level rate/layer traces, the
+/// bottleneck counters and the final buffer estimates; floats enter via
+/// their exact bit patterns, so two outcomes hash equal only when the
+/// simulated histories are bit-identical.
+pub fn hash_outcome(out: &ScenarioOutcome) -> u64 {
+    let mut h = TraceHasher::new();
+    h.u64(out.metrics.events().len() as u64);
+    for ev in out.metrics.events() {
+        hash_event(&mut h, ev);
+    }
+    h.samples(&out.traces.tx_rate.points);
+    h.samples(&out.traces.n_active.points);
+    h.samples(&out.queue_trace.points);
+    h.u64(out.backoffs);
+    h.u64(out.rx_underflows);
+    h.u64(out.rx_base_underflows);
+    h.u64(out.bottleneck.enqueued);
+    h.u64(out.bottleneck.dropped);
+    h.u64(out.bottleneck.random_losses);
+    h.u64(out.bottleneck.bytes_out);
+    h.u64(out.bottleneck.peak_queue as u64);
+    h.u64(out.final_buffers.len() as u64);
+    for &b in &out.final_buffers {
+        h.f64(b);
+    }
+    for series in [&out.rap_throughput, &out.tcp_goodput] {
+        h.u64(series.len() as u64);
+        for &v in series {
+            h.f64(v);
+        }
+    }
+    h.finish()
+}
+
+fn hash_event(h: &mut TraceHasher, ev: &QaEvent) {
+    match ev {
+        QaEvent::LayerAdded { time, n_active } => {
+            h.u64(1).f64(*time).u64(*n_active as u64);
+        }
+        QaEvent::LayerDropped {
+            time,
+            layer,
+            n_active,
+            buf_total,
+            buf_drop,
+            required,
+            reason,
+        } => {
+            h.u64(2)
+                .f64(*time)
+                .u64(*layer as u64)
+                .u64(*n_active as u64)
+                .f64(*buf_total)
+                .f64(*buf_drop)
+                .f64(*required)
+                .u64(*reason as u64);
+        }
+        QaEvent::BaseStall { time } => {
+            h.u64(3).f64(*time);
+        }
+    }
+}
+
+/// Run one session to a result (synchronously, on the calling thread).
+pub fn run_session(spec: &SessionSpec) -> SessionResult {
+    let started = Instant::now();
+    let out = run_scenario(&spec.scenario());
+    SessionResult {
+        spec: spec.clone(),
+        efficiency: out.metrics.efficiency(),
+        avoidable_drops: out.metrics.avoidable_drop_fraction(),
+        quality_changes: out.metrics.quality_changes(),
+        adds: out.metrics.adds(),
+        drops: out.metrics.drops(),
+        stalls: out.metrics.stalls(),
+        backoffs: out.backoffs,
+        bottleneck_drops: out.bottleneck.dropped,
+        rx_underflows: out.rx_underflows,
+        rx_base_underflows: out.rx_base_underflows,
+        trace_hash: hash_outcome(&out),
+        wall_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Run the sweep on `threads` worker threads (clamped to at least 1).
+///
+/// Workers steal session indices from a shared atomic counter — no
+/// per-thread pre-partitioning, so a slow session never idles the other
+/// workers — and deposit results into the slot matching the session's
+/// grid index. The returned order (and every fingerprint) is therefore
+/// identical for any thread count.
+pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> CampaignResult {
+    let threads = threads.max(1).min(spec.sessions.len().max(1));
+    let started = Instant::now();
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<SessionResult>>> =
+        Mutex::new(vec![None; spec.sessions.len()]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(session) = spec.sessions.get(i) else {
+                    break;
+                };
+                let result = run_session(session);
+                slots.lock().expect("campaign slot lock").insert_result(i, result);
+            });
+        }
+    });
+
+    let sessions: Vec<SessionResult> = slots
+        .into_inner()
+        .expect("campaign slot lock")
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("session {i} produced no result")))
+        .collect();
+    CampaignResult {
+        sessions,
+        threads,
+        wall_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Helper trait so the worker-loop line above stays readable.
+trait SlotInsert {
+    fn insert_result(&mut self, i: usize, r: SessionResult);
+}
+
+impl SlotInsert for Vec<Option<SessionResult>> {
+    fn insert_result(&mut self, i: usize, r: SessionResult) {
+        debug_assert!(self[i].is_none(), "session {i} ran twice");
+        self[i] = Some(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec::grid(&[TestKind::T1], &[2], &[7, 21], 4.0)
+    }
+
+    #[test]
+    fn grid_enumerates_test_major() {
+        let spec = CampaignSpec::grid(&TestKind::ALL, &[2, 4], &[1, 2], 10.0);
+        assert_eq!(spec.len(), 8);
+        assert_eq!(spec.sessions[0].label(), "T1/k2/seed1");
+        assert_eq!(spec.sessions[3].label(), "T1/k4/seed2");
+        assert_eq!(spec.sessions[4].label(), "T2/k2/seed1");
+    }
+
+    #[test]
+    fn single_session_is_reproducible() {
+        let spec = SessionSpec {
+            test: TestKind::T1,
+            k_max: 2,
+            seed: 7,
+            duration: 4.0,
+        };
+        let a = run_session(&spec);
+        let b = run_session(&spec);
+        assert_eq!(a.trace_hash, b.trace_hash);
+        assert_eq!(a.quality_changes, b.quality_changes);
+        assert_eq!(a.backoffs, b.backoffs);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let spec = tiny_spec();
+        let serial = run_campaign(&spec, 1);
+        let parallel = run_campaign(&spec, 4);
+        assert_eq!(serial.fingerprint(), parallel.fingerprint());
+        for (a, b) in serial.sessions.iter().zip(&parallel.sessions) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.trace_hash, b.trace_hash);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_traces() {
+        let spec = tiny_spec();
+        let r = run_campaign(&spec, 2);
+        assert_ne!(r.sessions[0].trace_hash, r.sessions[1].trace_hash);
+    }
+
+    #[test]
+    fn table_and_summaries_cover_every_session() {
+        let spec = tiny_spec();
+        let r = run_campaign(&spec, 2);
+        let table = r.table();
+        for s in &r.sessions {
+            assert!(table.contains(&s.spec.label()), "missing {}", s.spec.label());
+        }
+        let summaries = r.summaries();
+        assert_eq!(summaries.len(), spec.len());
+        assert!(summaries[0].experiment.starts_with("campaign/T1"));
+    }
+}

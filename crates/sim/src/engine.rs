@@ -7,8 +7,7 @@
 use crate::link::{Link, LinkConfig, LinkStats};
 use crate::packet::{AgentId, LinkId, Packet};
 use crate::time::{ns_to_secs, secs_to_ns, tx_time_ns};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SimRng;
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -51,7 +50,7 @@ pub struct WorldCore {
     queue: BinaryHeap<Reverse<Scheduled>>,
     links: Vec<Link>,
     next_uid: u64,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl WorldCore {
@@ -74,7 +73,7 @@ impl WorldCore {
             }
             Some(link_id) => {
                 let was_busy = self.links[link_id].busy;
-                let (u_loss, u_red) = (self.rng.gen::<f64>(), self.rng.gen::<f64>());
+                let (u_loss, u_red) = (self.rng.next_f64(), self.rng.next_f64());
                 if self.links[link_id].offer(pkt, u_loss, u_red) && !was_busy {
                     self.links[link_id].busy = true;
                     let head_size = self.links[link_id]
@@ -133,7 +132,7 @@ impl<'a> Ctx<'a> {
 
     /// Uniform random number in `[0, 1)` from the world's seeded RNG.
     pub fn rand(&mut self) -> f64 {
-        self.core.rng.gen::<f64>()
+        self.core.rng.next_f64()
     }
 
     /// Queue length of a link (packets), for diagnostics.
@@ -173,7 +172,7 @@ impl World {
                 queue: BinaryHeap::new(),
                 links: Vec::new(),
                 next_uid: 0,
-                rng: StdRng::seed_from_u64(seed),
+                rng: SimRng::seed_from_u64(seed),
             },
             agents: Vec::new(),
             started: false,

@@ -5,14 +5,18 @@
 //! dumbbell topologies ([`topology`]), and protocol agents ([`agents`]):
 //! RAP sources/sinks, a NewReno-style TCP for competing traffic, CBR
 //! bursts, and the quality-adaptive RAP streaming pair under test.
-//! [`scenarios`] assembles the paper's T1/T2 workloads.
+//! [`scenarios`] assembles the paper's T1/T2 workloads, and [`campaign`]
+//! fans grids of them across worker threads with bit-reproducible
+//! per-seed results.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod campaign;
 pub mod engine;
 pub mod link;
 pub mod packet;
+pub mod rng;
 pub mod scenarios;
 pub mod stats;
 pub mod time;
@@ -28,6 +32,10 @@ pub mod agents {
     pub mod tcp;
 }
 
+pub use campaign::{
+    hash_outcome, run_campaign, run_session, CampaignResult, CampaignSpec, SessionResult,
+    SessionSpec, TestKind,
+};
 pub use engine::{Agent, Ctx, World};
 pub use link::{Link, LinkConfig, LinkStats, QueueKind, RedConfig};
 pub use packet::{AgentId, LinkId, Packet, PacketKind};

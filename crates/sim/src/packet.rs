@@ -1,7 +1,6 @@
 //! Simulated packets and their protocol payloads.
 
 use laqa_rap::AckInfo;
-use serde::{Deserialize, Serialize};
 
 /// Agent identifier within a [`crate::engine::World`].
 pub type AgentId = usize;
@@ -11,7 +10,8 @@ pub type LinkId = usize;
 /// Protocol payload carried by a simulated packet. Header/payload bytes are
 /// abstracted into `size` on the [`Packet`]; this enum carries the fields
 /// the protocols actually read.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PacketKind {
     /// RAP data packet carrying one layered-video packet.
     RapData {
@@ -45,7 +45,8 @@ pub enum PacketKind {
 }
 
 /// A packet in flight through the simulated network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Packet {
     /// Globally unique id (assigned by the world; diagnostics only).
     pub uid: u64,

@@ -1,0 +1,107 @@
+//! The simulator's seeded random number generator.
+//!
+//! PCG-XSH-RR 64/32 (O'Neill 2014): 64-bit LCG state, 32-bit output with
+//! a state-dependent rotation. Small, fast, and — unlike pulling `rand`
+//! from a registry — fully owned by this crate, so the byte-exact random
+//! stream behind every scenario is pinned by the code itself. That is
+//! what lets the campaign engine promise bit-identical per-seed results
+//! forever (see `campaign` and DESIGN.md, "Hermetic offline builds").
+//!
+//! Seeding goes through SplitMix64 so small consecutive seeds (0, 1, 2…)
+//! still start from well-mixed, unrelated states.
+
+/// Deterministic PCG32 generator; the sole randomness source of a
+/// simulated world.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Generator for `seed`; equal seeds give byte-identical streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut s = seed;
+        let state = splitmix64(&mut s);
+        let inc = splitmix64(&mut s) | 1; // stream increment must be odd
+        let mut rng = SimRng { state, inc };
+        rng.next_u32(); // discard the (not yet mixed) first output
+        rng
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(0);
+        let mut b = SimRng::seed_from_u64(1);
+        let first: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let second: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn stream_is_pinned() {
+        // Regression pin: these exact values are part of the simulator's
+        // determinism contract — changing the generator invalidates every
+        // golden trace and campaign fingerprint.
+        let mut rng = SimRng::seed_from_u64(42);
+        assert_eq!(rng.next_u32(), 0x2ebb_eff8);
+        assert_eq!(rng.next_u32(), 0xb3bb_a67a);
+        assert_eq!(rng.next_u32(), 0xb373_da0c);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_well_spread() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -3,13 +3,17 @@
 //! Minimal time-series recording and export used by every experiment
 //! regenerator: [`series`] for raw samples and rate binning, [`recorder`]
 //! for collecting a run's series and writing CSVs, [`table`] for the
-//! paper-style aligned text tables, and [`summary`] for machine-readable
-//! run summaries.
+//! paper-style aligned text tables, [`summary`] for machine-readable run
+//! summaries, [`json`] for the self-contained JSON reader/writer behind
+//! them, and [`hash`] for stable 64-bit trace fingerprints used by the
+//! campaign engine's reproducibility checks.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod gnuplot;
+pub mod hash;
+pub mod json;
 pub mod recorder;
 pub mod series;
 pub mod stats;
@@ -17,6 +21,8 @@ pub mod summary;
 pub mod table;
 
 pub use gnuplot::{render_script, write_figure, Panel};
+pub use hash::TraceHasher;
+pub use json::{parse as parse_json, JsonError, JsonValue};
 pub use recorder::Recorder;
 pub use series::{RateBinner, TimeSeries};
 pub use stats::{histogram, percentile, summarize, SeriesStats};

@@ -1,9 +1,9 @@
 //! Time series: the raw material of every figure.
 
-use serde::{Deserialize, Serialize};
 
 /// A named `(time, value)` series.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TimeSeries {
     /// Series name (used as a CSV column header).
     pub name: String,

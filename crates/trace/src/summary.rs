@@ -1,13 +1,15 @@
 //! Machine-readable run summaries (JSON) consumed by EXPERIMENTS.md tooling
 //! and the cross-experiment comparison scripts.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
+use crate::json::JsonValue;
+
 /// Summary of one experiment run: scalar metrics plus free-form notes.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunSummary {
     /// Experiment id (e.g. "fig11", "table1/T1/kmax2").
     pub experiment: String,
@@ -48,7 +50,7 @@ impl RunSummary {
 
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("summary serializes")
+        self.to_value().to_pretty()
     }
 
     /// Write JSON to `path`, creating parent directories.
@@ -61,8 +63,83 @@ impl RunSummary {
     }
 
     /// Read a summary back from JSON.
-    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(text)
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = crate::json::parse(text).map_err(|e| e.to_string())?;
+        Self::from_value(&v)
+    }
+
+    /// Lower into the JSON value model.
+    pub fn to_value(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            (
+                "experiment".into(),
+                JsonValue::Str(self.experiment.clone()),
+            ),
+            (
+                "params".into(),
+                JsonValue::Obj(
+                    self.params
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "metrics".into(),
+                JsonValue::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "notes".into(),
+                JsonValue::Arr(
+                    self.notes
+                        .iter()
+                        .map(|n| JsonValue::Str(n.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Reconstruct from the JSON value model.
+    pub fn from_value(v: &JsonValue) -> Result<Self, String> {
+        let experiment = v
+            .get("experiment")
+            .and_then(JsonValue::as_str)
+            .ok_or("summary: missing 'experiment'")?
+            .to_string();
+        let mut params = BTreeMap::new();
+        for (k, val) in v.get("params").and_then(JsonValue::as_obj).unwrap_or(&[]) {
+            let s = val
+                .as_str()
+                .ok_or_else(|| format!("summary: param '{k}' is not a string"))?;
+            params.insert(k.clone(), s.to_string());
+        }
+        let mut metrics = BTreeMap::new();
+        for (k, val) in v.get("metrics").and_then(JsonValue::as_obj).unwrap_or(&[]) {
+            let n = val
+                .as_num()
+                .ok_or_else(|| format!("summary: metric '{k}' is not a number"))?;
+            metrics.insert(k.clone(), n);
+        }
+        let mut notes = Vec::new();
+        for note in v.get("notes").and_then(JsonValue::as_arr).unwrap_or(&[]) {
+            notes.push(
+                note.as_str()
+                    .ok_or("summary: note is not a string")?
+                    .to_string(),
+            );
+        }
+        Ok(RunSummary {
+            experiment,
+            params,
+            metrics,
+            notes,
+        })
     }
 }
 

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the hermetic default workspace.
+#
+# Runs entirely offline: the default workspace graph contains only local
+# path dependencies (see DESIGN.md, "Hermetic offline builds"), so every
+# step below must succeed with zero registry access. The network-facing
+# laqa-net crate is excluded from the workspace and is NOT covered here —
+# build it explicitly with `cargo build --manifest-path crates/net/Cargo.toml`
+# on a machine with registry access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== 1/4 build (release) =="
+cargo build --release
+
+echo "== 2/4 tests =="
+cargo test -q
+
+echo "== 3/4 clippy (deny warnings) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== 4/4 campaign smoke sweep =="
+cargo run --release -p laqa-bench --bin campaign -- --smoke
+
+echo "verify OK"

@@ -1,0 +1,393 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the laqa serde
+//! shim, implemented directly on `proc_macro` token streams so the crate
+//! needs no registry dependencies (no `syn`, no `quote`).
+//!
+//! Supported item shapes — exactly what the laqa workspace derives:
+//!
+//! * structs with named fields,
+//! * enums with unit, tuple, or named-field variants.
+//!
+//! Generic items are rejected with a `compile_error!`. The generated impls
+//! reference the shim through the `::serde` path, which consumers provide
+//! by renaming the shim package in their manifest:
+//! `serde = { package = "laqa-serde-shim", ... }`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// Derive `serde::Serialize` (shim) for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize` (shim) for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate(&item)
+            .parse()
+            .expect("shim derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error parses"),
+    }
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named fields.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+type Iter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter: Iter = input.into_iter().peekable();
+    let is_enum = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the attribute's bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(_) => {}
+            None => return Err("expected `struct` or `enum`".into()),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".into()),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "laqa serde shim cannot derive for generic type `{name}`"
+            ));
+        }
+    }
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!(
+                    "laqa serde shim cannot derive for unit/tuple struct `{name}`"
+                ))
+            }
+            Some(_) => {}
+            None => return Err(format!("no body found for `{name}`")),
+        }
+    };
+    let kind = if is_enum {
+        Kind::Enum(parse_variants(body.stream())?)
+    } else {
+        Kind::Struct(parse_named_fields(body.stream())?)
+    };
+    Ok(Item { name, kind })
+}
+
+/// Parse `field: Type, ...` from the inside of a brace group, returning
+/// the field names. Tracks `<`/`>` depth so commas inside generic argument
+/// lists do not terminate a field.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter: Iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let field = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{field}`")),
+        }
+        skip_type(&mut iter);
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter: Iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                VariantFields::Named(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_elems(g.stream());
+                iter.next();
+                VariantFields::Tuple(n)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Consume everything up to the variant separator (covers explicit
+        // discriminants, which the shim ignores).
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn skip_attrs_and_vis(iter: &mut Iter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Consume one type (everything up to a top-level `,` or the end),
+/// honouring `<`/`>` nesting.
+fn skip_type(iter: &mut Iter) {
+    let mut angle = 0i32;
+    while let Some(tt) = iter.peek() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    iter.next();
+                    return;
+                }
+                _ => {}
+            }
+        }
+        iter.next();
+    }
+}
+
+fn count_tuple_elems(stream: TokenStream) -> usize {
+    let mut iter: Iter = stream.into_iter().peekable();
+    let mut n = 0usize;
+    loop {
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_attrs_and_vis(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_type(&mut iter);
+        n += 1;
+    }
+    n
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Obj(::std::vec![{}])", entries.join(","))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from({vn:?}))"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Obj(::std::vec![(\
+                                 ::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Arr(::std::vec![{vals}]))])",
+                                binds = binds.join(","),
+                                vals = vals.join(",")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {fields} }} => \
+                                 ::serde::Value::Obj(::std::vec![(\
+                                 ::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Obj(::std::vec![{entries}]))])",
+                                fields = fields.join(","),
+                                entries = entries.join(",")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(","))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+           fn to_value(&self) -> ::serde::Value {{ {body} }}\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(entries, {f:?})?"))
+                .collect();
+            format!(
+                "let entries = v.as_obj().ok_or_else(|| \
+                 ::serde::Error::new(concat!(\"expected object for \", {name:?})))?;\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(",")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(n) => {
+                            let vals: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\
+                                 let items = inner.as_arr().ok_or_else(|| \
+                                   ::serde::Error::new(\"expected array payload\"))?;\
+                                 if items.len() != {n} {{ return ::std::result::Result::Err(\
+                                   ::serde::Error::new(\"wrong tuple arity\")); }}\
+                                 ::std::result::Result::Ok({name}::{vn}({vals}))\
+                                 }}",
+                                vals = vals.join(",")
+                            ))
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(fe, {f:?})?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\
+                                 let fe = inner.as_obj().ok_or_else(|| \
+                                   ::serde::Error::new(\"expected object payload\"))?;\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {inits} }})\
+                                 }}",
+                                inits = inits.join(",")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::std::option::Option::Some(s) = v.as_str() {{\
+                   return match s {{\
+                     {unit_arms}\
+                     other => ::std::result::Result::Err(::serde::Error::new(\
+                       format!(concat!(\"unknown variant '{{}}' of \", {name:?}), other))),\
+                   }};\
+                 }}\
+                 let entries = v.as_obj().ok_or_else(|| \
+                   ::serde::Error::new(concat!(\"expected tag for \", {name:?})))?;\
+                 if entries.len() != 1 {{ return ::std::result::Result::Err(\
+                   ::serde::Error::new(\"expected single-key variant object\")); }}\
+                 let (tag, inner) = (&entries[0].0, &entries[0].1);\
+                 let _ = inner;\
+                 match tag.as_str() {{\
+                   {payload_arms}\
+                   other => ::std::result::Result::Err(::serde::Error::new(\
+                     format!(concat!(\"unknown variant '{{}}' of \", {name:?}), other))),\
+                 }}",
+                unit_arms = unit_arms.join(""),
+                payload_arms = payload_arms.join(",")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+           fn from_value(v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\
+         }}"
+    )
+}
