@@ -11,7 +11,13 @@
 //! campaign --smoke         # seconds-long sweep + 1-vs-2-thread replay check
 //! campaign --scaling       # 64-session speedup measurement (1 vs N threads)
 //! options: --threads N  --duration S  --kmax 2,3,4  --seeds 7,21  --out DIR
+//!          --obs DIR      # enable laqa-obs and export the snapshot to DIR
 //! ```
+//!
+//! `--obs` turns the workspace-wide instrumentation on for the run and
+//! writes `metrics.json` / `spans.json` / `events.json` to DIR afterwards
+//! (render with `laqa obs-report --dir DIR`). Observability is inert:
+//! fingerprints are bit-identical with and without it.
 
 use laqa_bench::cli::Args;
 use laqa_bench::outdir;
@@ -35,10 +41,15 @@ fn main() {
         // silently runs the full 50-session sweep instead.
         eprintln!(
             "error: unexpected argument '{}' — this binary takes options only \
-             (--smoke, --scaling, --threads N, --duration S, --kmax a,b, --seeds a,b, --out DIR)",
+             (--smoke, --scaling, --threads N, --duration S, --kmax a,b, --seeds a,b, \
+             --out DIR, --obs DIR)",
             args.command
         );
         std::process::exit(2);
+    }
+    let obs_dir = args.options.get("obs").map(std::path::PathBuf::from);
+    if obs_dir.is_some() {
+        laqa_obs::set_enabled(true);
     }
     let result = if args.flag("smoke") {
         cmd_smoke(&args)
@@ -47,10 +58,31 @@ fn main() {
     } else {
         cmd_tables(&args)
     };
+    let result = result.and_then(|()| match &obs_dir {
+        Some(dir) => export_obs(dir),
+        None => Ok(()),
+    });
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);
     }
+}
+
+/// Write the accumulated obs snapshot to `dir` (metrics/spans/events JSON).
+fn export_obs(dir: &std::path::Path) -> Result<(), AnyError> {
+    laqa_obs::set_enabled(false);
+    let snap = laqa_obs::snapshot();
+    snap.write_dir(dir)?;
+    println!(
+        "obs: wrote snapshot to {} ({} counters, {} spans, {} events kept) — \
+         render with `laqa obs-report --dir {}`",
+        dir.display(),
+        snap.counters.len(),
+        snap.spans.len(),
+        snap.events.len(),
+        dir.display(),
+    );
+    Ok(())
 }
 
 type AnyError = Box<dyn std::error::Error>;

@@ -6,6 +6,7 @@
 //! laqa states [--rate R] [--layers N] [--c C] [--slope S] [--kmax K]
 //! laqa bands  [--deficit D] [--layers N] [--c C] [--slope S]
 //!             [--exp-base B --exp-factor F]
+//! laqa obs-report [--dir DIR]
 //! ```
 
 use laqa_bench::cli::Args;
@@ -29,6 +30,7 @@ fn main() {
         "sim" => cmd_sim(&args),
         "states" => cmd_states(&args),
         "bands" => cmd_bands(&args),
+        "obs-report" => cmd_obs_report(&args),
         "help" | "--help" => {
             usage();
             Ok(())
@@ -50,9 +52,10 @@ fn usage() {
         "laqa — layered quality adaptation toolkit
 
 subcommands:
-  sim     run the paper's T1/T2 workload in the simulator
-  states  print the monotone buffer-state path for an operating point
-  bands   print the optimal per-layer buffer bands for a deficit
+  sim         run the paper's T1/T2 workload in the simulator
+  states      print the monotone buffer-state path for an operating point
+  bands       print the optimal per-layer buffer bands for a deficit
+  obs-report  render an observability snapshot written by campaign --obs DIR
 
 the real-socket streaming session lives in the standalone laqa-net
 crate (registry deps): cargo run --manifest-path crates/net/Cargo.toml
@@ -107,6 +110,21 @@ fn cmd_sim(args: &Args) -> Result<(), AnyError> {
         }
         rec.write_csv_dir(dir)?;
         println!("wrote CSVs to {dir}");
+    }
+    Ok(())
+}
+
+/// Load the `metrics.json` / `spans.json` / `events.json` triple written
+/// by `campaign --obs DIR` and print it as aligned tables plus the merged
+/// event log.
+fn cmd_obs_report(args: &Args) -> Result<(), AnyError> {
+    let dir: String = args.get("dir", "target/obs".to_string())?;
+    let path = std::path::Path::new(&dir);
+    let snap = laqa_obs::Snapshot::read_dir(path)
+        .map_err(|e| format!("reading obs snapshot from {dir}: {e}"))?;
+    print!("{}", snap.render());
+    if snap.is_empty() {
+        println!("(snapshot is empty — was the run executed with --obs and obs enabled?)");
     }
     Ok(())
 }

@@ -40,6 +40,16 @@ pub enum Phase {
     Draining,
 }
 
+impl Phase {
+    /// Stable lowercase label used in observability exports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::Filling => "filling",
+            Phase::Draining => "draining",
+        }
+    }
+}
+
 /// Outcome of one allocation period.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TickReport {
@@ -182,6 +192,8 @@ impl QaController {
     /// Congestion-control backoff: the transmission rate fell to
     /// `post_rate`. Runs the §2.2 drop rule and arms the draining path.
     pub fn on_backoff(&mut self, now: f64, post_rate: f64) {
+        laqa_obs::counter!("qa.backoffs").inc();
+        let phase_before = self.phase;
         self.peak_rate = self.last_rate.max(post_rate);
         self.drain_seq = None; // floors must be re-derived at the new peak
         let total = self.total_buffer();
@@ -198,6 +210,7 @@ impl QaController {
         if post_rate < self.cfg.consumption(self.n_active) {
             self.phase = Phase::Draining;
         }
+        self.note_phase_transition(now, phase_before);
         self.last_rate = post_rate;
     }
 
@@ -221,6 +234,8 @@ impl QaController {
     /// seconds that just elapsed, make add/drop decisions, and compute the
     /// per-layer rates for the next period at transmission rate `rate`.
     pub fn tick(&mut self, now: f64, rate: f64, dt: f64) -> TickReport {
+        laqa_obs::counter!("qa.ticks").inc();
+        let phase_before = self.phase;
         let c = self.cfg.layer_rate;
         if !self.playing {
             // Playout begins once the base layer has banked the configured
@@ -249,6 +264,13 @@ impl QaController {
                 if i == 0 {
                     stalled = true;
                     self.metrics.record(QaEvent::BaseStall { time: now });
+                    laqa_obs::counter!("qa.base_stalls").inc();
+                    laqa_obs::event!(
+                        laqa_obs::Level::Warn,
+                        "qa.base_stall",
+                        now,
+                        "rate" => rate,
+                    );
                 } else {
                     top_underflow = true;
                 }
@@ -340,6 +362,7 @@ impl QaController {
             *credit = (*credit + r * dt).min(2.0 * r.max(c) * dt);
         }
 
+        self.note_phase_transition(now, phase_before);
         self.last_rate = rate;
         if self.phase == Phase::Filling {
             self.peak_rate = self.peak_rate.max(rate);
@@ -382,6 +405,21 @@ impl QaController {
         self.drain_seq.clone().expect("just built")
     }
 
+    /// Count and log a phase flip (observability only; no control effect).
+    fn note_phase_transition(&mut self, now: f64, before: Phase) {
+        if before != self.phase {
+            laqa_obs::counter!("qa.phase_transitions").inc();
+            laqa_obs::event!(
+                laqa_obs::Level::Info,
+                "qa.phase",
+                now,
+                "from" => before.label(),
+                "to" => self.phase.label(),
+                "n_active" => self.n_active,
+            );
+        }
+    }
+
     fn add_layer(&mut self, now: f64) {
         self.n_active += 1;
         self.bufs.push(0.0);
@@ -392,6 +430,13 @@ impl QaController {
             time: now,
             n_active: self.n_active,
         });
+        laqa_obs::counter!("qa.layer_adds").inc();
+        laqa_obs::event!(
+            laqa_obs::Level::Info,
+            "qa.layer_add",
+            now,
+            "n_active" => self.n_active,
+        );
     }
 
     fn drop_top_layer(&mut self, now: f64, rate: f64, reason: DropReason) {
@@ -419,6 +464,27 @@ impl QaController {
             required,
             reason,
         });
+        laqa_obs::counter!("qa.layer_drops").inc();
+        match reason {
+            DropReason::InsufficientTotalBuffer => {
+                laqa_obs::counter!("qa.layer_drops.insufficient_total_buffer").inc()
+            }
+            DropReason::DistributionShortfall => {
+                laqa_obs::counter!("qa.layer_drops.distribution_shortfall").inc()
+            }
+            DropReason::Underflow => laqa_obs::counter!("qa.layer_drops.underflow").inc(),
+        }
+        laqa_obs::event!(
+            laqa_obs::Level::Info,
+            "qa.layer_drop",
+            now,
+            "layer" => layer,
+            "n_active" => self.n_active,
+            "reason" => reason.label(),
+            "buf_total" => buf_total,
+            "buf_drop" => buf_drop,
+            "required" => required,
+        );
     }
 }
 

@@ -30,6 +30,17 @@ pub enum DropReason {
     Underflow,
 }
 
+impl DropReason {
+    /// Stable snake_case label used in observability exports and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DropReason::InsufficientTotalBuffer => "insufficient_total_buffer",
+            DropReason::DistributionShortfall => "distribution_shortfall",
+            DropReason::Underflow => "underflow",
+        }
+    }
+}
+
 /// One quality-adaptation event.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]

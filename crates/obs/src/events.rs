@@ -1,0 +1,283 @@
+//! Bounded per-thread ring-buffer event log.
+//!
+//! Each thread appends to its own ring (registered globally on first
+//! use), so logging never contends across workers; a ring holds the most
+//! recent [`RING_CAPACITY`] events and counts what it evicted. At export
+//! the rings are merged and sorted by `(sim-time, seq, target, fields)` —
+//! a deterministic total order for any deterministic run, regardless of
+//! which worker thread produced which event.
+//!
+//! Events are stamped with **simulation time** supplied by the caller
+//! (engine/controller sites pass their `now`); host-side producers such
+//! as the campaign workers pass `0.0` and rely on the sequence number.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Events retained per thread before the oldest are evicted.
+pub const RING_CAPACITY: usize = 4096;
+
+/// Event severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// High-volume diagnostics.
+    Debug,
+    /// Normal operational events (adds, backoffs, phase changes).
+    Info,
+    /// Conditions that should be rare in a healthy run (stalls).
+    Warn,
+}
+
+impl Level {
+    /// Lower-case label used in exports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+
+    /// Parse the export label back.
+    pub fn from_label(s: &str) -> Option<Level> {
+        match s {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" => Some(Level::Warn),
+            _ => None,
+        }
+    }
+}
+
+/// A typed `key=value` field payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Float.
+    F64(f64),
+    /// Static label (e.g. a `DropReason`).
+    Str(&'static str),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One structured log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEvent {
+    /// Simulation-time stamp (seconds); `0.0` for host-side events.
+    pub time: f64,
+    /// Per-thread sequence number (monotone within a producer thread).
+    pub seq: u64,
+    /// Severity.
+    pub level: Level,
+    /// Dotted event name, e.g. `qa.layer_drop`.
+    pub target: &'static str,
+    /// `key=value` payload in declaration order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl LogEvent {
+    /// Render as a single `t=… target k=v …` line (obs-report format).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("[{:<5}] t={:<10.4} {}", self.level.label(), self.time, self.target);
+        for (k, v) in &self.fields {
+            let _ = write!(out, " {k}={v}");
+        }
+        out
+    }
+}
+
+struct Ring {
+    events: VecDeque<LogEvent>,
+    next_seq: u64,
+    evicted: u64,
+}
+
+impl Ring {
+    fn new() -> Self {
+        Ring {
+            events: VecDeque::with_capacity(RING_CAPACITY),
+            next_seq: 0,
+            evicted: 0,
+        }
+    }
+}
+
+static ALL_RINGS: OnceLock<Mutex<Vec<Arc<Mutex<Ring>>>>> = OnceLock::new();
+
+fn all_rings() -> &'static Mutex<Vec<Arc<Mutex<Ring>>>> {
+    ALL_RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static THREAD_RING: RefCell<Option<Arc<Mutex<Ring>>>> = const { RefCell::new(None) };
+}
+
+fn with_thread_ring(f: impl FnOnce(&mut Ring)) {
+    THREAD_RING.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let ring = slot.get_or_insert_with(|| {
+            let ring = Arc::new(Mutex::new(Ring::new()));
+            all_rings().lock().expect("obs rings").push(ring.clone());
+            ring
+        });
+        f(&mut ring.lock().expect("obs ring"));
+    });
+}
+
+/// Append an event to the calling thread's ring. Callers should gate on
+/// [`crate::enabled`] first (the [`crate::event!`] macro does) so the
+/// field vector is never built while disabled; this function re-checks
+/// and drops the event if obs is off.
+pub fn log_event(level: Level, target: &'static str, time: f64, fields: Vec<(&'static str, Value)>) {
+    if !crate::enabled() {
+        return;
+    }
+    with_thread_ring(|ring| {
+        if ring.events.len() >= RING_CAPACITY {
+            ring.events.pop_front();
+            ring.evicted += 1;
+        }
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        ring.events.push_back(LogEvent {
+            time,
+            seq,
+            level,
+            target,
+            fields,
+        });
+    });
+}
+
+/// Merge every thread's ring into one deterministically ordered log.
+/// Returns `(events, total_evicted)`; eviction counts make silent
+/// truncation visible in reports.
+pub(crate) fn merged() -> (Vec<LogEvent>, u64) {
+    let mut out = Vec::new();
+    let mut evicted = 0;
+    for ring in all_rings().lock().expect("obs rings").iter() {
+        let ring = ring.lock().expect("obs ring");
+        out.extend(ring.events.iter().cloned());
+        evicted += ring.evicted;
+    }
+    out.sort_by(|a, b| {
+        a.time
+            .total_cmp(&b.time)
+            .then(a.seq.cmp(&b.seq))
+            .then(a.target.cmp(b.target))
+            .then_with(|| a.render().cmp(&b.render()))
+    });
+    (out, evicted)
+}
+
+/// Clear every ring (sequence numbers restart too).
+pub(crate) fn clear() {
+    for ring in all_rings().lock().expect("obs rings").iter() {
+        let mut ring = ring.lock().expect("obs ring");
+        ring.events.clear();
+        ring.next_seq = 0;
+        ring.evicted = 0;
+    }
+}
+
+/// Log a structured event with a sim-time stamp and `key => value`
+/// fields. While obs is disabled this costs one relaxed load and builds
+/// nothing.
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $target:literal, $time:expr $(, $k:literal => $v:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::log_event(
+                $level,
+                $target,
+                $time,
+                vec![$(($k, $crate::Value::from($v))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::TEST_LOCK;
+
+    #[test]
+    fn events_merge_sorted_by_time_then_seq() {
+        let _g = TEST_LOCK.lock().unwrap();
+        crate::reset();
+        crate::set_enabled(true);
+        event!(Level::Info, "ev.test.b", 2.0, "x" => 1u64);
+        event!(Level::Info, "ev.test.a", 1.0);
+        event!(Level::Warn, "ev.test.c", 1.0, "why" => "tie broken by seq");
+        crate::set_enabled(false);
+        let (events, evicted) = merged();
+        assert_eq!(evicted, 0);
+        let targets: Vec<&str> = events.iter().map(|e| e.target).collect();
+        assert_eq!(targets, vec!["ev.test.a", "ev.test.c", "ev.test.b"]);
+        assert!(events[1].render().contains("why=tie broken by seq"));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_evictions() {
+        let _g = TEST_LOCK.lock().unwrap();
+        crate::reset();
+        crate::set_enabled(true);
+        for i in 0..(RING_CAPACITY + 10) {
+            event!(Level::Debug, "ev.test.flood", 0.0, "i" => i);
+        }
+        crate::set_enabled(false);
+        let (events, evicted) = merged();
+        assert_eq!(events.len(), RING_CAPACITY);
+        assert_eq!(evicted, 10);
+        // Oldest were evicted: the first surviving seq is 10.
+        assert_eq!(events.first().unwrap().seq, 10);
+    }
+
+    #[test]
+    fn level_labels_round_trip() {
+        for l in [Level::Debug, Level::Info, Level::Warn] {
+            assert_eq!(Level::from_label(l.label()), Some(l));
+        }
+        assert_eq!(Level::from_label("nope"), None);
+    }
+}

@@ -1,0 +1,484 @@
+//! Snapshot/export layer: everything the registry, spans and event rings
+//! have accumulated, frozen into one value and rendered through
+//! `laqa-trace` — JSON files for `campaign --obs <dir>`, aligned text
+//! tables for `laqa obs-report`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use laqa_trace::{JsonValue, Table};
+
+use crate::events::{self, Level};
+use crate::registry::{self, HistogramSnapshot};
+use crate::span::{self, SpanSnapshot};
+
+/// An exported event: like [`crate::LogEvent`] but with owned strings so
+/// it survives a JSON round-trip through [`Snapshot::read_dir`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Simulation-time stamp (seconds); `0.0` for host-side events.
+    pub time: f64,
+    /// Per-thread sequence number.
+    pub seq: u64,
+    /// Severity.
+    pub level: Level,
+    /// Dotted event name.
+    pub target: String,
+    /// `key=value` payload in declaration order.
+    pub fields: Vec<(String, JsonValue)>,
+}
+
+impl EventRecord {
+    /// Render as a single `[level] t=… target k=v …` line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "[{:<5}] t={:<10.4} {}",
+            self.level.label(),
+            self.time,
+            self.target
+        );
+        for (k, v) in &self.fields {
+            match v {
+                JsonValue::Str(s) => {
+                    let _ = write!(out, " {k}={s}");
+                }
+                other => {
+                    let _ = write!(out, " {k}={}", other.to_compact());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for EventRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Point-in-time copy of every registered metric, span accumulator and
+/// the deterministically merged event log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Span accumulators by name.
+    pub spans: BTreeMap<String, SpanSnapshot>,
+    /// Merged event log, ordered by `(time, seq, target)`.
+    pub events: Vec<EventRecord>,
+    /// Events evicted from the bounded rings before this snapshot.
+    pub events_evicted: u64,
+}
+
+impl Snapshot {
+    /// Freeze the current state of every registry.
+    pub fn collect() -> Snapshot {
+        let (raw_events, evicted) = events::merged();
+        Snapshot {
+            counters: registry::snapshot_counters(),
+            gauges: registry::snapshot_gauges(),
+            histograms: registry::snapshot_histograms(),
+            spans: span::snapshot_spans(),
+            events: raw_events
+                .into_iter()
+                .map(|e| EventRecord {
+                    time: e.time,
+                    seq: e.seq,
+                    level: e.level,
+                    target: e.target.to_string(),
+                    fields: e
+                        .fields
+                        .into_iter()
+                        .map(|(k, v)| {
+                            let jv = match v {
+                                crate::Value::U64(n) => JsonValue::Num(n as f64),
+                                crate::Value::F64(x) => JsonValue::Num(x),
+                                crate::Value::Str(s) => JsonValue::Str(s.to_string()),
+                            };
+                            (k.to_string(), jv)
+                        })
+                        .collect(),
+                })
+                .collect(),
+            events_evicted: evicted,
+        }
+    }
+
+    /// Counter value by name, `None` if never registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Gauge value by name, `None` if never registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram by name, `None` if never registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Span accumulators by name, `None` if never registered.
+    pub fn span(&self, name: &str) -> Option<SpanSnapshot> {
+        self.spans.get(name).copied()
+    }
+
+    /// True when nothing was recorded (all zeros, no events).
+    pub fn is_empty(&self) -> bool {
+        self.counters.values().all(|&v| v == 0)
+            && self.histograms.iter().all(|h| h.count == 0)
+            && self.spans.values().all(|s| s.count == 0)
+            && self.events.is_empty()
+    }
+
+    fn metrics_json(&self) -> JsonValue {
+        let counters = JsonValue::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), JsonValue::Num(*v as f64)))
+                .collect(),
+        );
+        let gauges = JsonValue::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), JsonValue::Num(*v)))
+                .collect(),
+        );
+        let histograms = JsonValue::Arr(
+            self.histograms
+                .iter()
+                .map(|h| {
+                    JsonValue::Obj(vec![
+                        ("name".into(), JsonValue::Str(h.name.clone())),
+                        (
+                            "bounds".into(),
+                            JsonValue::Arr(h.bounds.iter().map(|&b| JsonValue::Num(b)).collect()),
+                        ),
+                        (
+                            "counts".into(),
+                            JsonValue::Arr(
+                                h.counts.iter().map(|&c| JsonValue::Num(c as f64)).collect(),
+                            ),
+                        ),
+                        ("count".into(), JsonValue::Num(h.count as f64)),
+                        ("sum".into(), JsonValue::Num(h.sum)),
+                    ])
+                })
+                .collect(),
+        );
+        JsonValue::Obj(vec![
+            ("counters".into(), counters),
+            ("gauges".into(), gauges),
+            ("histograms".into(), histograms),
+        ])
+    }
+
+    fn spans_json(&self) -> JsonValue {
+        JsonValue::Obj(
+            self.spans
+                .iter()
+                .map(|(name, s)| {
+                    (
+                        name.clone(),
+                        JsonValue::Obj(vec![
+                            ("count".into(), JsonValue::Num(s.count as f64)),
+                            ("total_ns".into(), JsonValue::Num(s.total_ns as f64)),
+                            ("max_ns".into(), JsonValue::Num(s.max_ns as f64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn events_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            (
+                "evicted".into(),
+                JsonValue::Num(self.events_evicted as f64),
+            ),
+            (
+                "events".into(),
+                JsonValue::Arr(
+                    self.events
+                        .iter()
+                        .map(|e| {
+                            JsonValue::Obj(vec![
+                                ("time".into(), JsonValue::Num(e.time)),
+                                ("seq".into(), JsonValue::Num(e.seq as f64)),
+                                ("level".into(), JsonValue::Str(e.level.label().into())),
+                                ("target".into(), JsonValue::Str(e.target.clone())),
+                                ("fields".into(), JsonValue::Obj(e.fields.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Write `metrics.json`, `spans.json` and `events.json` into `dir`
+    /// (created if missing).
+    pub fn write_dir(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("metrics.json"), self.metrics_json().to_pretty())?;
+        std::fs::write(dir.join("spans.json"), self.spans_json().to_pretty())?;
+        std::fs::write(dir.join("events.json"), self.events_json().to_pretty())?;
+        Ok(())
+    }
+
+    /// Read a snapshot previously written by [`Snapshot::write_dir`].
+    pub fn read_dir(dir: &Path) -> io::Result<Snapshot> {
+        let parse = |name: &str| -> io::Result<JsonValue> {
+            let text = std::fs::read_to_string(dir.join(name))?;
+            laqa_trace::json::parse(&text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{name}: {e}")))
+        };
+        let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+
+        let metrics = parse("metrics.json")?;
+        let mut snap = Snapshot::default();
+        for (k, v) in metrics
+            .get("counters")
+            .and_then(JsonValue::as_obj)
+            .ok_or_else(|| bad("metrics.json: missing counters"))?
+        {
+            snap.counters
+                .insert(k.clone(), v.as_num().unwrap_or(0.0) as u64);
+        }
+        for (k, v) in metrics
+            .get("gauges")
+            .and_then(JsonValue::as_obj)
+            .ok_or_else(|| bad("metrics.json: missing gauges"))?
+        {
+            snap.gauges.insert(k.clone(), v.as_num().unwrap_or(0.0));
+        }
+        for h in metrics
+            .get("histograms")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| bad("metrics.json: missing histograms"))?
+        {
+            snap.histograms.push(HistogramSnapshot {
+                name: h
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| bad("histogram missing name"))?
+                    .to_string(),
+                bounds: h
+                    .get("bounds")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or_else(|| bad("histogram missing bounds"))?
+                    .iter()
+                    .filter_map(JsonValue::as_num)
+                    .collect(),
+                counts: h
+                    .get("counts")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or_else(|| bad("histogram missing counts"))?
+                    .iter()
+                    .filter_map(|v| v.as_num().map(|n| n as u64))
+                    .collect(),
+                count: h.get("count").and_then(JsonValue::as_num).unwrap_or(0.0) as u64,
+                sum: h.get("sum").and_then(JsonValue::as_num).unwrap_or(0.0),
+            });
+        }
+
+        let spans = parse("spans.json")?;
+        for (name, s) in spans
+            .as_obj()
+            .ok_or_else(|| bad("spans.json: expected an object"))?
+        {
+            snap.spans.insert(
+                name.clone(),
+                SpanSnapshot {
+                    count: s.get("count").and_then(JsonValue::as_num).unwrap_or(0.0) as u64,
+                    total_ns: s.get("total_ns").and_then(JsonValue::as_num).unwrap_or(0.0) as u64,
+                    max_ns: s.get("max_ns").and_then(JsonValue::as_num).unwrap_or(0.0) as u64,
+                },
+            );
+        }
+
+        let events = parse("events.json")?;
+        snap.events_evicted = events
+            .get("evicted")
+            .and_then(JsonValue::as_num)
+            .unwrap_or(0.0) as u64;
+        for e in events
+            .get("events")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| bad("events.json: missing events"))?
+        {
+            let level_label = e
+                .get("level")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| bad("event missing level"))?;
+            snap.events.push(EventRecord {
+                time: e.get("time").and_then(JsonValue::as_num).unwrap_or(0.0),
+                seq: e.get("seq").and_then(JsonValue::as_num).unwrap_or(0.0) as u64,
+                level: Level::from_label(level_label)
+                    .ok_or_else(|| bad("event has unknown level"))?,
+                target: e
+                    .get("target")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| bad("event missing target"))?
+                    .to_string(),
+                fields: e
+                    .get("fields")
+                    .and_then(JsonValue::as_obj)
+                    .map(|fs| fs.to_vec())
+                    .unwrap_or_default(),
+            });
+        }
+        Ok(snap)
+    }
+
+    /// Render counters, gauges, histograms, spans and the merged event
+    /// log as aligned text tables (the `laqa obs-report` format).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+
+        let mut counters = Table::new("Counters", &["counter", "value"]);
+        for (name, v) in &self.counters {
+            counters.row(vec![name.clone(), v.to_string()]);
+        }
+        out.push_str(&counters.render());
+        out.push('\n');
+
+        if !self.gauges.is_empty() {
+            let mut gauges = Table::new("Gauges", &["gauge", "value"]);
+            for (name, v) in &self.gauges {
+                gauges.row(vec![name.clone(), format!("{v:.4}")]);
+            }
+            out.push_str(&gauges.render());
+            out.push('\n');
+        }
+
+        if !self.histograms.is_empty() {
+            let mut hists = Table::new("Histograms", &["histogram", "count", "mean", "buckets"]);
+            for h in &self.histograms {
+                let mut buckets = String::new();
+                for (i, c) in h.counts.iter().enumerate() {
+                    if i > 0 {
+                        buckets.push(' ');
+                    }
+                    match h.bounds.get(i) {
+                        Some(b) => buckets.push_str(&format!("<={b}:{c}")),
+                        None => buckets.push_str(&format!("inf:{c}")),
+                    }
+                }
+                hists.row(vec![
+                    h.name.clone(),
+                    h.count.to_string(),
+                    h.mean().map_or_else(|| "-".into(), |m| format!("{m:.4}")),
+                    buckets,
+                ]);
+            }
+            out.push_str(&hists.render());
+            out.push('\n');
+        }
+
+        let mut spans = Table::new(
+            "Spans (wall time)",
+            &["span", "count", "total ms", "mean us", "max us"],
+        );
+        for (name, s) in &self.spans {
+            spans.row(vec![
+                name.clone(),
+                s.count.to_string(),
+                format!("{:.3}", s.total_ns as f64 / 1e6),
+                s.mean_ns()
+                    .map_or_else(|| "-".into(), |m| format!("{:.2}", m / 1e3)),
+                format!("{:.2}", s.max_ns as f64 / 1e3),
+            ]);
+        }
+        out.push_str(&spans.render());
+        out.push('\n');
+
+        out.push_str(&format!(
+            "== Events ({} kept, {} evicted) ==\n",
+            self.events.len(),
+            self.events_evicted
+        ));
+        for e in &self.events {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::TEST_LOCK;
+    use crate::{counter, gauge, histogram};
+
+    #[test]
+    fn snapshot_write_read_round_trip() {
+        let _g = TEST_LOCK.lock().unwrap();
+        crate::reset();
+        crate::set_enabled(true);
+        counter!("export.test.ctr").add(7);
+        gauge!("export.test.gauge").set(1.25);
+        histogram!("export.test.hist", &[1.0, 4.0]).observe(2.0);
+        crate::span!("export.test.span");
+        crate::event!(
+            Level::Info,
+            "export.test.ev",
+            3.5,
+            "n" => 2u64,
+            "why" => "round trip"
+        );
+        crate::set_enabled(false);
+
+        let snap = crate::snapshot();
+        let dir = std::env::temp_dir().join("laqa-obs-export-test");
+        snap.write_dir(&dir).unwrap();
+        let back = Snapshot::read_dir(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_eq!(back.counter("export.test.ctr"), Some(7));
+        assert_eq!(back.gauge("export.test.gauge"), Some(1.25));
+        let h = back.histogram("export.test.hist").unwrap();
+        assert_eq!(h.counts, vec![0, 1, 0]);
+        assert_eq!(back.span("export.test.span").map(|s| s.count), Some(1));
+        let ev = back
+            .events
+            .iter()
+            .find(|e| e.target == "export.test.ev")
+            .unwrap();
+        assert_eq!(ev.time, 3.5);
+        assert!(ev.render().contains("why=round trip"));
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn render_includes_all_sections() {
+        let _g = TEST_LOCK.lock().unwrap();
+        crate::reset();
+        crate::set_enabled(true);
+        counter!("export.render.ctr").inc();
+        {
+            let _s = crate::span!("export.render.span");
+        }
+        crate::event!(Level::Warn, "export.render.ev", 0.5, "x" => 1u64);
+        crate::set_enabled(false);
+
+        let text = crate::snapshot().render();
+        assert!(text.contains("== Counters =="));
+        assert!(text.contains("export.render.ctr"));
+        assert!(text.contains("== Spans (wall time) =="));
+        assert!(text.contains("export.render.span"));
+        assert!(text.contains("== Events (1 kept, 0 evicted) =="));
+        assert!(text.contains("[warn ]"));
+    }
+}

@@ -1,0 +1,141 @@
+//! # laqa-obs — runtime observability for the QA/RAP/sim stack
+//!
+//! The paper's whole argument is about *internal* dynamics — filling and
+//! draining phases, per-layer buffer trajectories, add/drop decisions —
+//! yet until this crate the workspace could only see them post-hoc
+//! through figure CSVs and campaign fingerprints. `laqa-obs` provides
+//! the runtime substrate:
+//!
+//! * a **metrics registry** ([`registry`]) of named counters, gauges and
+//!   fixed-bucket histograms backed by relaxed atomics;
+//! * **span timing** ([`span`]) — RAII guards recording count / total /
+//!   max wall time per scope via `std::time::Instant` (the same clock
+//!   the `laqa-bench` harness times with);
+//! * a bounded **per-thread ring-buffer event log** ([`events`]) with
+//!   levels and `key=value` fields, merged deterministically by
+//!   `(sim-time, seq)` at export;
+//! * **exporters** ([`export`]) that render everything through
+//!   `laqa-trace` — JSON files for `campaign --obs <dir>` and aligned
+//!   text tables for `laqa obs-report`.
+//!
+//! ## Determinism / inertness contract
+//!
+//! Observability must never perturb a simulation:
+//!
+//! * **Disabled** (the default), every instrumentation site costs one
+//!   relaxed atomic load (the global [`enabled`] flag) and returns.
+//! * **Enabled**, instrumentation only *reads* simulation state; it
+//!   never touches `SimRng`, never schedules events, and never feeds
+//!   back into any control path. Campaign trace fingerprints are
+//!   bit-identical with obs on and off (`crates/sim/tests/`
+//!   `obs_inertness.rs` and `scripts/verify.sh` step 5 enforce this).
+//!
+//! ## Usage
+//!
+//! ```
+//! laqa_obs::set_enabled(true);
+//! laqa_obs::counter!("demo.widgets").inc();
+//! {
+//!     let _guard = laqa_obs::span!("demo.work");
+//!     // ... timed scope ...
+//! }
+//! laqa_obs::event!(laqa_obs::Level::Info, "demo.tick", 1.5,
+//!                  "n" => 3u64, "rate" => 2.5f64);
+//! let snap = laqa_obs::snapshot();
+//! assert_eq!(snap.counter("demo.widgets"), Some(1));
+//! laqa_obs::set_enabled(false);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod events;
+pub mod export;
+pub mod registry;
+pub mod span;
+
+pub use events::{log_event, Level, LogEvent, Value};
+pub use export::Snapshot;
+pub use registry::{Counter, Gauge, Histogram};
+pub use span::{Span, SpanGuard};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether instrumentation is live. One relaxed load — this is the
+/// entire cost of a disabled instrumentation site.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Globally enable or disable instrumentation. Off by default.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Snapshot every registered metric, span and the merged event log.
+pub fn snapshot() -> Snapshot {
+    Snapshot::collect()
+}
+
+/// Zero all counters/gauges/histograms/spans and clear the event rings.
+/// Intended for tests and for isolating consecutive `--obs` exports.
+pub fn reset() {
+    registry::reset_metrics();
+    span::reset_spans();
+    events::clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The enabled flag and the registries are process-global; tests that
+    /// toggle them serialize on this lock.
+    pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_sites_record_nothing() {
+        let _g = TEST_LOCK.lock().unwrap();
+        reset();
+        set_enabled(false);
+        counter!("lib.test.ctr").inc();
+        gauge!("lib.test.gauge").set(4.0);
+        {
+            let _s = span!("lib.test.span");
+        }
+        event!(Level::Info, "lib.test.ev", 0.0, "k" => 1u64);
+        let snap = snapshot();
+        // Disabled sites return before registering, so the snapshot has
+        // either no entry or a zeroed one (if a prior enabled test
+        // registered the name).
+        assert_eq!(snap.counter("lib.test.ctr").unwrap_or(0), 0);
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.span("lib.test.span").map_or(0, |s| s.count), 0);
+        assert!(snap.is_empty());
+    }
+
+    #[test]
+    fn enabled_sites_record_and_reset_clears() {
+        let _g = TEST_LOCK.lock().unwrap();
+        reset();
+        set_enabled(true);
+        counter!("lib.test2.ctr").add(3);
+        {
+            let _s = span!("lib.test2.span");
+        }
+        event!(Level::Warn, "lib.test2.ev", 2.0, "x" => "y");
+        set_enabled(false);
+        let snap = snapshot();
+        assert_eq!(snap.counter("lib.test2.ctr"), Some(3));
+        assert_eq!(snap.span("lib.test2.span").map(|s| s.count), Some(1));
+        assert_eq!(snap.events.len(), 1);
+        reset();
+        let snap = snapshot();
+        assert_eq!(snap.counter("lib.test2.ctr"), Some(0));
+        assert!(snap.events.is_empty());
+    }
+}

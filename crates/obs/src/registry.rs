@@ -1,0 +1,398 @@
+//! Named counters, gauges and fixed-bucket histograms behind relaxed
+//! atomics.
+//!
+//! Handles are `const`-constructible so an instrumentation site is one
+//! `static` plus one method call. The first touch of a handle registers
+//! its cell in the process-global store; every later touch is a cached
+//! pointer load. When [`crate::enabled`] is false, the mutating methods
+//! return after a single relaxed atomic load.
+//!
+//! If two sites declare the same metric name, snapshots merge them
+//! (counters and histogram buckets sum; for gauges the last registered
+//! cell wins).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+pub(crate) struct CounterCell {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+pub(crate) struct GaugeCell {
+    name: &'static str,
+    bits: AtomicU64,
+}
+
+pub(crate) struct HistogramCell {
+    name: &'static str,
+    bounds: &'static [f64],
+    /// One slot per bound plus a final overflow slot.
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+#[derive(Default)]
+struct Store {
+    counters: Mutex<Vec<Arc<CounterCell>>>,
+    gauges: Mutex<Vec<Arc<GaugeCell>>>,
+    histograms: Mutex<Vec<Arc<HistogramCell>>>,
+}
+
+static STORE: OnceLock<Store> = OnceLock::new();
+
+fn store() -> &'static Store {
+    STORE.get_or_init(Store::default)
+}
+
+/// A monotonically increasing event count (e.g. layer drops, backoffs).
+pub struct Counter {
+    name: &'static str,
+    cell: OnceLock<Arc<CounterCell>>,
+}
+
+impl Counter {
+    /// Const handle; the cell registers on first use.
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn cell(&self) -> &Arc<CounterCell> {
+        self.cell.get_or_init(|| {
+            let cell = Arc::new(CounterCell {
+                name: self.name,
+                value: AtomicU64::new(0),
+            });
+            store().counters.lock().expect("obs store").push(cell.clone());
+            cell
+        })
+    }
+
+    /// Add 1. No-op (one relaxed load) while obs is disabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`. No-op (one relaxed load) while obs is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.cell().value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value (reads regardless of the enabled flag).
+    pub fn get(&self) -> u64 {
+        self.cell().value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (e.g. a queue depth).
+pub struct Gauge {
+    name: &'static str,
+    cell: OnceLock<Arc<GaugeCell>>,
+}
+
+impl Gauge {
+    /// Const handle; the cell registers on first use.
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn cell(&self) -> &Arc<GaugeCell> {
+        self.cell.get_or_init(|| {
+            let cell = Arc::new(GaugeCell {
+                name: self.name,
+                bits: AtomicU64::new(0f64.to_bits()),
+            });
+            store().gauges.lock().expect("obs store").push(cell.clone());
+            cell
+        })
+    }
+
+    /// Store `v`. No-op (one relaxed load) while obs is disabled.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.cell().bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (reads regardless of the enabled flag).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell().bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram: `bounds` are inclusive upper edges, with an
+/// implicit final overflow bucket.
+pub struct Histogram {
+    name: &'static str,
+    bounds: &'static [f64],
+    cell: OnceLock<Arc<HistogramCell>>,
+}
+
+impl Histogram {
+    /// Const handle; `bounds` must be sorted ascending.
+    pub const fn new(name: &'static str, bounds: &'static [f64]) -> Self {
+        Histogram {
+            name,
+            bounds,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn cell(&self) -> &Arc<HistogramCell> {
+        self.cell.get_or_init(|| {
+            let cell = Arc::new(HistogramCell {
+                name: self.name,
+                bounds: self.bounds,
+                counts: (0..=self.bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            });
+            store()
+                .histograms
+                .lock()
+                .expect("obs store")
+                .push(cell.clone());
+            cell
+        })
+    }
+
+    /// Record one observation. No-op (one relaxed load) while disabled.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        let cell = self.cell();
+        let idx = cell
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(cell.bounds.len());
+        cell.counts[idx].fetch_add(1, Ordering::Relaxed);
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        // f64 accumulation via CAS on the bit pattern (std has no atomic
+        // float); contention is negligible at telemetry rates.
+        let mut cur = cell.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match cell
+                .sum_bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total number of observations (reads regardless of the flag).
+    pub fn count(&self) -> u64 {
+        self.cell().count.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Inclusive upper bucket edges (the final overflow bucket is
+    /// implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `bounds.len() + 1` entries.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// Snapshot all counters (merged by name, summed).
+pub(crate) fn snapshot_counters() -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for cell in store().counters.lock().expect("obs store").iter() {
+        *out.entry(cell.name.to_string()).or_insert(0) += cell.value.load(Ordering::Relaxed);
+    }
+    out
+}
+
+/// Snapshot all gauges (merged by name, last registered wins).
+pub(crate) fn snapshot_gauges() -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for cell in store().gauges.lock().expect("obs store").iter() {
+        out.insert(
+            cell.name.to_string(),
+            f64::from_bits(cell.bits.load(Ordering::Relaxed)),
+        );
+    }
+    out
+}
+
+/// Snapshot all histograms (merged by name when bounds agree).
+pub(crate) fn snapshot_histograms() -> Vec<HistogramSnapshot> {
+    let mut by_name: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
+    for cell in store().histograms.lock().expect("obs store").iter() {
+        let counts: Vec<u64> = cell
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let count = cell.count.load(Ordering::Relaxed);
+        let sum = f64::from_bits(cell.sum_bits.load(Ordering::Relaxed));
+        match by_name.get_mut(cell.name) {
+            Some(existing) if existing.bounds == cell.bounds => {
+                for (acc, c) in existing.counts.iter_mut().zip(&counts) {
+                    *acc += c;
+                }
+                existing.count += count;
+                existing.sum += sum;
+            }
+            Some(_) => {} // same name, different bounds: first wins
+            None => {
+                by_name.insert(
+                    cell.name.to_string(),
+                    HistogramSnapshot {
+                        name: cell.name.to_string(),
+                        bounds: cell.bounds.to_vec(),
+                        counts,
+                        count,
+                        sum,
+                    },
+                );
+            }
+        }
+    }
+    by_name.into_values().collect()
+}
+
+/// Zero every registered metric (cells stay registered).
+pub(crate) fn reset_metrics() {
+    let s = store();
+    for cell in s.counters.lock().expect("obs store").iter() {
+        cell.value.store(0, Ordering::Relaxed);
+    }
+    for cell in s.gauges.lock().expect("obs store").iter() {
+        cell.bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+    for cell in s.histograms.lock().expect("obs store").iter() {
+        for c in &cell.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        cell.count.store(0, Ordering::Relaxed);
+        cell.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Declare (or reuse) a [`Counter`] named by a string literal; expands to
+/// a `&'static Counter` backed by a per-call-site `static`.
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {{
+        static __LAQA_OBS_COUNTER: $crate::Counter = $crate::Counter::new($name);
+        &__LAQA_OBS_COUNTER
+    }};
+}
+
+/// Declare (or reuse) a [`Gauge`] named by a string literal.
+#[macro_export]
+macro_rules! gauge {
+    ($name:literal) => {{
+        static __LAQA_OBS_GAUGE: $crate::Gauge = $crate::Gauge::new($name);
+        &__LAQA_OBS_GAUGE
+    }};
+}
+
+/// Declare (or reuse) a [`Histogram`] with const bucket bounds.
+#[macro_export]
+macro_rules! histogram {
+    ($name:literal, $bounds:expr) => {{
+        static __LAQA_OBS_HIST: $crate::Histogram = $crate::Histogram::new($name, $bounds);
+        &__LAQA_OBS_HIST
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tests::TEST_LOCK;
+
+    #[test]
+    fn counter_gauge_histogram_round_trip() {
+        let _g = TEST_LOCK.lock().unwrap();
+        crate::reset();
+        crate::set_enabled(true);
+        let c = counter!("registry.test.ctr");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = gauge!("registry.test.gauge");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+
+        let h = histogram!("registry.test.hist", &[1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 50.0, 500.0, 7.0] {
+            h.observe(v);
+        }
+        crate::set_enabled(false);
+        let snaps = super::snapshot_histograms();
+        let snap = snaps
+            .iter()
+            .find(|s| s.name == "registry.test.hist")
+            .unwrap();
+        assert_eq!(snap.counts, vec![1, 2, 1, 1]);
+        assert_eq!(snap.count, 5);
+        assert!((snap.sum - 562.5).abs() < 1e-9);
+        assert!((snap.mean().unwrap() - 112.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_values_land_in_lower_bucket() {
+        let _g = TEST_LOCK.lock().unwrap();
+        crate::reset();
+        crate::set_enabled(true);
+        let h = histogram!("registry.test.edges", &[1.0, 2.0]);
+        h.observe(1.0); // inclusive upper edge
+        h.observe(2.0);
+        crate::set_enabled(false);
+        let snaps = super::snapshot_histograms();
+        let snap = snaps
+            .iter()
+            .find(|s| s.name == "registry.test.edges")
+            .unwrap();
+        assert_eq!(snap.counts, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn duplicate_counter_names_merge_in_snapshot() {
+        let _g = TEST_LOCK.lock().unwrap();
+        crate::reset();
+        crate::set_enabled(true);
+        counter!("registry.test.dup").add(2);
+        counter!("registry.test.dup").add(3); // distinct call site, same name
+        crate::set_enabled(false);
+        let counters = super::snapshot_counters();
+        assert_eq!(counters.get("registry.test.dup"), Some(&5));
+    }
+}

@@ -245,6 +245,12 @@ impl RapSender {
         if let Some(record) = self.history.mark_received(ack.ack_seq) {
             let sample = now - record.send_time;
             self.rtt.sample(sample);
+            laqa_obs::counter!("rap.rtt_samples").inc();
+            laqa_obs::histogram!(
+                "rap.rtt_ms",
+                &[10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0]
+            )
+            .observe(sample * 1e3);
             if let Some(f) = &mut self.fine {
                 f.sample(sample);
             }
@@ -308,9 +314,18 @@ impl RapSender {
                 rate,
                 cause: BackoffCause::Timeout,
             });
+            laqa_obs::counter!("rap.backoffs_timeout").inc();
+            laqa_obs::event!(
+                laqa_obs::Level::Warn,
+                "rap.timeout",
+                now,
+                "rate" => rate,
+                "lost" => losses.len(),
+            );
         }
         while now >= self.next_step {
             self.aimd.increase_step(self.rtt.srtt());
+            laqa_obs::counter!("rap.increase_steps").inc();
             self.events.push(RapEvent::RateIncrease {
                 time: self.next_step,
                 rate: self.aimd.rate(),
@@ -345,6 +360,14 @@ impl RapSender {
                 rate,
                 cause,
             });
+            laqa_obs::counter!("rap.backoffs_loss").inc();
+            laqa_obs::event!(
+                laqa_obs::Level::Info,
+                "rap.backoff",
+                now,
+                "rate" => rate,
+                "losses" => losses.len(),
+            );
         }
     }
 

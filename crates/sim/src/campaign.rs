@@ -148,6 +148,10 @@ pub struct SessionResult {
     pub trace_hash: u64,
     /// Wall-clock seconds this session took (excluded from fingerprints).
     pub wall_secs: f64,
+    /// Discrete events the engine dispatched (deterministic, but excluded
+    /// from fingerprints to keep existing goldens stable; with `wall_secs`
+    /// it yields the events/sec throughput in run summaries).
+    pub events_processed: u64,
 }
 
 impl SessionResult {
@@ -188,7 +192,8 @@ impl SessionResult {
             .metric("backoffs", self.backoffs as f64)
             .metric("bottleneck_drops", self.bottleneck_drops as f64)
             .metric("rx_underflows", self.rx_underflows as f64)
-            .metric("trace_hash_lo32", (self.trace_hash & 0xffff_ffff) as f64);
+            .metric("trace_hash_lo32", (self.trace_hash & 0xffff_ffff) as f64)
+            .timing(self.wall_secs, self.events_processed);
         s
     }
 }
@@ -342,6 +347,13 @@ fn hash_event(h: &mut TraceHasher, ev: &QaEvent) {
 pub fn run_session(spec: &SessionSpec) -> SessionResult {
     let started = Instant::now();
     let out = run_scenario(&spec.scenario());
+    let wall_secs = started.elapsed().as_secs_f64();
+    laqa_obs::counter!("campaign.sessions").inc();
+    laqa_obs::histogram!(
+        "campaign.session_wall_ms",
+        &[50.0, 200.0, 1000.0, 5000.0, 20000.0]
+    )
+    .observe(wall_secs * 1e3);
     SessionResult {
         spec: spec.clone(),
         efficiency: out.metrics.efficiency(),
@@ -355,7 +367,8 @@ pub fn run_session(spec: &SessionSpec) -> SessionResult {
         rx_underflows: out.rx_underflows,
         rx_base_underflows: out.rx_base_underflows,
         trace_hash: hash_outcome(&out),
-        wall_secs: started.elapsed().as_secs_f64(),
+        wall_secs,
+        events_processed: out.events_processed,
     }
 }
 
@@ -373,14 +386,26 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> CampaignResult {
     let slots: Mutex<Vec<Option<SessionResult>>> =
         Mutex::new(vec![None; spec.sessions.len()]);
 
+    laqa_obs::gauge!("campaign.threads").set(threads as f64);
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
+        let (next, slots) = (&next, &slots);
+        for worker in 0..threads {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(session) = spec.sessions.get(i) else {
                     break;
                 };
+                laqa_obs::counter!("campaign.steals").inc();
                 let result = run_session(session);
+                laqa_obs::event!(
+                    laqa_obs::Level::Debug,
+                    "campaign.cell",
+                    0.0,
+                    "worker" => worker,
+                    "cell" => i,
+                    "wall_ms" => result.wall_secs * 1e3,
+                    "events" => result.events_processed,
+                );
                 slots.lock().expect("campaign slot lock").insert_result(i, result);
             });
         }

@@ -51,6 +51,9 @@ pub struct WorldCore {
     links: Vec<Link>,
     next_uid: u64,
     rng: SimRng,
+    /// Events dispatched so far — a plain (always-on, deterministic)
+    /// counter used for run throughput summaries.
+    events_processed: u64,
 }
 
 impl WorldCore {
@@ -173,6 +176,7 @@ impl World {
                 links: Vec::new(),
                 next_uid: 0,
                 rng: SimRng::seed_from_u64(seed),
+                events_processed: 0,
             },
             agents: Vec::new(),
             started: false,
@@ -194,6 +198,11 @@ impl World {
     /// Current simulation time (seconds).
     pub fn now(&self) -> f64 {
         ns_to_secs(self.core.now_ns)
+    }
+
+    /// Total events dispatched by [`World::run_until`] so far.
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
     }
 
     /// Counters of a link.
@@ -257,6 +266,16 @@ impl World {
             }
             let Reverse(sched) = self.core.queue.pop().expect("peeked");
             self.core.now_ns = sched.time_ns;
+            self.core.events_processed += 1;
+            let _step = laqa_obs::span!("engine.step");
+            if laqa_obs::enabled() {
+                laqa_obs::counter!("engine.events").inc();
+                laqa_obs::histogram!(
+                    "engine.queue_depth",
+                    &[8.0, 32.0, 128.0, 512.0, 2048.0, 8192.0]
+                )
+                .observe(self.core.queue.len() as f64);
+            }
             match sched.event {
                 Event::LinkDone { link } => {
                     let (pkt, next_busy) = {

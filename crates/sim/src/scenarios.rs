@@ -124,6 +124,9 @@ pub struct ScenarioOutcome {
     pub final_buffers: Vec<f64>,
     /// Bottleneck queue occupancy over time (packets).
     pub queue_trace: TimeSeries,
+    /// Discrete events the engine dispatched during the run (deterministic;
+    /// feeds the events/sec throughput figure in run summaries).
+    pub events_processed: u64,
 }
 
 /// Build and run a scenario, returning the collected outcome.
@@ -269,6 +272,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
         .agent::<QueueMonitor>(monitor_id)
         .map(|m| m.series[0].clone())
         .unwrap_or_default();
+    let events_processed = world.events_processed();
     let src: &QaSourceAgent = world.agent(qa_src_id).unwrap();
     ScenarioOutcome {
         traces: src.traces.clone(),
@@ -282,6 +286,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
         tcp_goodput,
         final_buffers: src.qa().buffers().to_vec(),
         queue_trace,
+        events_processed,
     }
 }
 

@@ -32,7 +32,13 @@ pub struct SharingSummary {
     pub max_min_ratio: f64,
 }
 
-/// Summarize per-flow throughputs; `None` for empty input.
+/// Summarize per-flow throughputs; `None` only for empty input.
+///
+/// "No flows" and "all flows starved" are different situations: an
+/// all-zero input describes n flows that shared the link *equally badly*,
+/// so it yields a degenerate summary (`total = 0`, fairness 1.0,
+/// `max_min_ratio` 1.0) rather than `None`. With at least one non-zero
+/// and at least one zero flow the ratio is `∞` as before.
 pub fn summarize_sharing(xs: &[f64]) -> Option<SharingSummary> {
     if xs.is_empty() {
         return None;
@@ -44,8 +50,16 @@ pub fn summarize_sharing(xs: &[f64]) -> Option<SharingSummary> {
         n: xs.len(),
         total,
         mean: total / xs.len() as f64,
-        fairness: jain_fairness(xs)?,
-        max_min_ratio: if min > 0.0 { max / min } else { f64::INFINITY },
+        // jain_fairness is None only for the all-zero case here, where
+        // every flow got the same (zero) share: perfectly "fair".
+        fairness: jain_fairness(xs).unwrap_or(1.0),
+        max_min_ratio: if min > 0.0 {
+            max / min
+        } else if max > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        },
     })
 }
 
@@ -84,5 +98,22 @@ mod tests {
     fn starved_flow_gives_infinite_ratio() {
         let s = summarize_sharing(&[10.0, 0.0]).unwrap();
         assert!(s.max_min_ratio.is_infinite());
+    }
+
+    #[test]
+    fn empty_input_gives_none() {
+        assert_eq!(summarize_sharing(&[]), None);
+    }
+
+    #[test]
+    fn all_starved_flows_summarize_as_degenerate_not_none() {
+        // Distinct from "no flows": three flows all got zero. That is a
+        // real (catastrophic) sharing outcome, not an absence of data.
+        let s = summarize_sharing(&[0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.total, 0.0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.fairness, 1.0);
+        assert_eq!(s.max_min_ratio, 1.0);
     }
 }

@@ -1,0 +1,67 @@
+//! Observability must be inert: enabling `laqa-obs` instrumentation may
+//! not change a single bit of any campaign fingerprint. This is the
+//! in-tree half of the contract; `scripts/verify.sh` step 5 checks the
+//! same property end-to-end through the `campaign --obs` CLI.
+//!
+//! One test function on purpose: the obs enabled flag and registries are
+//! process-global, and a single test body is the only way to guarantee
+//! the off-run really executes with obs off.
+
+use laqa_sim::{run_campaign, CampaignSpec, TestKind};
+
+#[test]
+fn fingerprints_identical_with_obs_on_and_off() {
+    // 8 s per session: the QA flow joins at t = 5 s (ScenarioConfig
+    // default), so anything shorter never exercises the qa.* sites.
+    let spec = CampaignSpec::grid(&[TestKind::T1, TestKind::T2], &[2, 4], &[7, 21], 8.0);
+
+    // Reference sweep with observability off (the default).
+    assert!(!laqa_obs::enabled(), "obs must start disabled");
+    let off = run_campaign(&spec, 2);
+    let off_snapshot = laqa_obs::snapshot();
+    assert!(
+        off_snapshot.is_empty(),
+        "disabled instrumentation recorded state: {off_snapshot:?}"
+    );
+
+    // Same sweep with every instrumentation site live.
+    laqa_obs::reset();
+    laqa_obs::set_enabled(true);
+    let on = run_campaign(&spec, 2);
+    laqa_obs::set_enabled(false);
+    let snap = laqa_obs::snapshot();
+
+    assert_eq!(
+        off.fingerprint(),
+        on.fingerprint(),
+        "enabling obs changed the campaign fingerprint"
+    );
+
+    // The enabled run must actually have gone through the instrumented
+    // paths — otherwise this test would pass vacuously.
+    assert!(snap.counter("qa.ticks").unwrap_or(0) > 0, "no qa.ticks");
+    assert!(
+        snap.counter("engine.events").unwrap_or(0) > 0,
+        "no engine.events"
+    );
+    assert_eq!(
+        snap.counter("campaign.sessions"),
+        Some(spec.len() as u64),
+        "one campaign.sessions increment per session"
+    );
+    assert!(
+        snap.span("engine.step").map_or(0, |s| s.count) > 0,
+        "no engine.step spans"
+    );
+    assert!(!snap.events.is_empty(), "no events logged");
+
+    // Per-session metrics are deterministic even though wall time is not.
+    for (a, b) in off.sessions.iter().zip(on.sessions.iter()) {
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(
+            a.events_processed, b.events_processed,
+            "event count diverged for {:?}",
+            a.spec
+        );
+    }
+}

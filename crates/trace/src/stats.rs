@@ -23,10 +23,18 @@ pub struct SeriesStats {
     pub p95: f64,
 }
 
+/// True when any sample value is NaN — no order statistic or moment is
+/// meaningful then, so every function here returns `None` for such input
+/// rather than letting a NaN scramble the sort or poison a sum.
+fn has_nan(series: &TimeSeries) -> bool {
+    series.points.iter().any(|&(_, v)| v.is_nan())
+}
+
 /// Value at quantile `q ∈ [0, 1]` by linear interpolation between order
-/// statistics. `None` for an empty series or out-of-range `q`.
+/// statistics. `None` for an empty series, out-of-range (or NaN) `q`, or
+/// a series containing NaN values.
 pub fn percentile(series: &TimeSeries, q: f64) -> Option<f64> {
-    if series.points.is_empty() || !(0.0..=1.0).contains(&q) {
+    if series.points.is_empty() || !(0.0..=1.0).contains(&q) || has_nan(series) {
         return None;
     }
     let mut vals: Vec<f64> = series.points.iter().map(|&(_, v)| v).collect();
@@ -35,12 +43,17 @@ pub fn percentile(series: &TimeSeries, q: f64) -> Option<f64> {
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
     let frac = pos - lo as f64;
+    if frac == 0.0 {
+        // Exact order statistic: skip the interpolation, whose `inf * 0`
+        // term would turn an infinite sample into NaN.
+        return Some(vals[lo]);
+    }
     Some(vals[lo] * (1.0 - frac) + vals[hi] * frac)
 }
 
-/// Full summary; `None` for an empty series.
+/// Full summary; `None` for an empty series or one containing NaN values.
 pub fn summarize(series: &TimeSeries) -> Option<SeriesStats> {
-    if series.points.is_empty() {
+    if series.points.is_empty() || has_nan(series) {
         return None;
     }
     let n = series.points.len();
@@ -63,9 +76,10 @@ pub fn summarize(series: &TimeSeries) -> Option<SeriesStats> {
 }
 
 /// Fixed-width histogram of the values: returns `(bin_edges, counts)` with
-/// `bins + 1` edges. `None` for an empty series or `bins == 0`.
+/// `bins + 1` edges. `None` for an empty series, `bins == 0`, or a series
+/// containing NaN values.
 pub fn histogram(series: &TimeSeries, bins: usize) -> Option<(Vec<f64>, Vec<usize>)> {
-    if series.points.is_empty() || bins == 0 {
+    if series.points.is_empty() || bins == 0 || has_nan(series) {
         return None;
     }
     let min = series.min()?;
@@ -143,5 +157,44 @@ mod tests {
         let s = series(&[3.0, 3.0, 3.0]);
         let (_, counts) = histogram(&s, 4).unwrap();
         assert_eq!(counts.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn percentile_empty_series_is_none_for_every_quantile() {
+        let s = series(&[]);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(percentile(&s, q), None, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn percentile_single_sample_is_that_sample() {
+        let s = series(&[7.5]);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&s, q), Some(7.5), "q = {q}");
+        }
+        assert_eq!(percentile(&s, f64::NAN), None, "NaN quantile rejected");
+    }
+
+    #[test]
+    fn histogram_all_equal_values_land_in_one_bin() {
+        let s = series(&[2.0; 5]);
+        let (edges, counts) = histogram(&s, 3).unwrap();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(edges[0], 2.0);
+        // All mass in the first bin: a degenerate range must not panic or
+        // scatter counts.
+        assert_eq!(counts, vec![5, 0, 0]);
+    }
+
+    #[test]
+    fn nan_values_reject_all_statistics() {
+        let s = series(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(percentile(&s, 0.5), None);
+        assert_eq!(summarize(&s), None);
+        assert_eq!(histogram(&s, 4), None);
+        // Infinities are ordered and thus still allowed.
+        let inf = series(&[1.0, f64::INFINITY]);
+        assert_eq!(percentile(&inf, 1.0), Some(f64::INFINITY));
     }
 }

@@ -10,16 +10,35 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/4 build (release) =="
+echo "== 1/5 build (release) =="
 cargo build --release
 
-echo "== 2/4 tests =="
+echo "== 2/5 tests =="
 cargo test -q
 
-echo "== 3/4 clippy (deny warnings) =="
+echo "== 3/5 clippy (deny warnings) =="
 cargo clippy --all-targets -- -D warnings
 
-echo "== 4/4 campaign smoke sweep =="
+echo "== 4/5 campaign smoke sweep =="
 cargo run --release -p laqa-bench --bin campaign -- --smoke
+
+echo "== 5/5 observability inertness (fingerprints with --obs on vs off) =="
+# The smoke sweep prints one fingerprint line per replay check; enabling
+# the laqa-obs instrumentation must not change a single bit of any of
+# them (see crates/sim/tests/obs_inertness.rs for the in-tree half).
+obs_dir=target/obs-smoke
+rm -rf "$obs_dir"
+fp_off=$(cargo run --release -p laqa-bench --bin campaign -- --smoke \
+  | grep -oE 'fingerprint [0-9a-f]{16}')
+fp_on=$(cargo run --release -p laqa-bench --bin campaign -- --smoke --obs "$obs_dir" \
+  | grep -oE 'fingerprint [0-9a-f]{16}')
+if [ "$fp_off" != "$fp_on" ]; then
+  echo "FAIL: fingerprints diverge with observability enabled" >&2
+  echo "  obs off: $fp_off" >&2
+  echo "  obs on : $fp_on" >&2
+  exit 1
+fi
+echo "fingerprints identical with obs on/off: $fp_off"
+cargo run --release -p laqa-bench --bin laqa -- obs-report --dir "$obs_dir"
 
 echo "verify OK"
