@@ -10,7 +10,11 @@
 //! campaign                 # full Table 1+2 sweep (50 sessions, 90 s each)
 //! campaign --smoke         # seconds-long sweep + 1-vs-2-thread replay check
 //! campaign --scaling       # 64-session speedup measurement (1 vs N threads)
+//! campaign --faults        # fault-injection intensity sweep (recovery time,
+//!                          # layer-change rate, base-layer starvation)
+//! campaign --faults --smoke  # seconds-long fault sweep + replay check
 //! options: --threads N  --duration S  --kmax 2,3,4  --seeds 7,21  --out DIR
+//!          --intensity 0,0.5,1   # fault-suite intensities (with --faults)
 //!          --obs DIR      # enable laqa-obs and export the snapshot to DIR
 //! ```
 //!
@@ -41,8 +45,8 @@ fn main() {
         // silently runs the full 50-session sweep instead.
         eprintln!(
             "error: unexpected argument '{}' — this binary takes options only \
-             (--smoke, --scaling, --threads N, --duration S, --kmax a,b, --seeds a,b, \
-             --out DIR, --obs DIR)",
+             (--smoke, --scaling, --faults, --threads N, --duration S, --kmax a,b, \
+             --seeds a,b, --intensity a,b, --out DIR, --obs DIR)",
             args.command
         );
         std::process::exit(2);
@@ -51,7 +55,9 @@ fn main() {
     if obs_dir.is_some() {
         laqa_obs::set_enabled(true);
     }
-    let result = if args.flag("smoke") {
+    let result = if args.flag("faults") {
+        cmd_faults(&args)
+    } else if args.flag("smoke") {
         cmd_smoke(&args)
     } else if args.flag("scaling") {
         cmd_scaling(&args)
@@ -141,6 +147,86 @@ fn cmd_smoke(args: &Args) -> Result<(), AnyError> {
     println!("{}", result.table());
     check_replay(&spec, &result, 1)?;
     println!("smoke ok: {} sessions in {:.2}s", spec.len(), result.wall_secs);
+    Ok(())
+}
+
+/// Fault-injection intensity sweep: the `faults_suite` campaign. Reports
+/// the hardening metrics (recovery time after drops, layer-change rate,
+/// base-layer starvation) per intensity and cross-checks determinism the
+/// same way every other mode does.
+fn cmd_faults(args: &Args) -> Result<(), AnyError> {
+    let smoke = args.flag("smoke");
+    let threads: usize = args.get("threads", if smoke { 2 } else { default_threads() })?;
+    let duration: f64 = args.get("duration", if smoke { 12.0 } else { 45.0 })?;
+    let default_intensities: &[f64] = if smoke {
+        &[0.0, 1.0]
+    } else {
+        &[0.0, 0.25, 0.5, 0.75, 1.0]
+    };
+    let intensities: Vec<f64> = parse_list(args, "intensity", default_intensities)?;
+    let default_seeds: &[u64] = if smoke { &[7] } else { &[7, 21, 42] };
+    let seeds: Vec<u64> = parse_list(args, "seeds", default_seeds)?;
+    let k_values: Vec<u32> = parse_list(args, "kmax", &[2])?;
+    let spec = CampaignSpec::faults_grid(&[TestKind::T1], &k_values, &intensities, &seeds, duration);
+    println!(
+        "faults_suite: {} sessions ({duration:.0}s each) on {threads} threads, \
+         intensities {intensities:?}",
+        spec.len()
+    );
+    let result = run_campaign(&spec, threads);
+    println!("{}", result.table());
+
+    let mut tbl = Table::new(
+        "fault suite: stability vs intensity (mean over seeds)",
+        &["intensity", "chg/s", "recovery", "starved B", "stalls", "drops"],
+    );
+    for &i in &intensities {
+        let cells: Vec<&SessionResult> = result
+            .sessions
+            .iter()
+            .filter(|s| s.spec.fault_intensity.unwrap_or(0.0) == i)
+            .collect();
+        if cells.is_empty() {
+            continue;
+        }
+        let n = cells.len() as f64;
+        let mean = |f: &dyn Fn(&SessionResult) -> f64| -> f64 {
+            cells.iter().map(|s| f(s)).sum::<f64>() / n
+        };
+        let recoveries: Vec<f64> = cells.iter().filter_map(|s| s.recovery_secs_mean).collect();
+        let recovery = if recoveries.is_empty() {
+            "-".to_string()
+        } else {
+            format!(
+                "{:.2}s",
+                recoveries.iter().sum::<f64>() / recoveries.len() as f64
+            )
+        };
+        tbl.row(vec![
+            format!("{i:.2}"),
+            format!("{:.3}", mean(&|s| s.layer_change_rate)),
+            recovery,
+            format!("{:.0}", mean(&|s| s.base_starved_bytes)),
+            format!("{:.1}", mean(&|s| s.stalls as f64)),
+            format!("{:.1}", mean(&|s| s.drops as f64)),
+        ]);
+    }
+    println!("{}", tbl.render());
+    check_replay(&spec, &result, if threads == 1 { 2 } else { 1 })?;
+
+    if let Some(dir) = args.options.get("out") {
+        let dir = std::path::PathBuf::from(dir);
+        for summary in result.summaries() {
+            let name = summary.experiment.replace('/', "_");
+            summary.write_json(dir.join(format!("{name}.json")))?;
+        }
+        println!("wrote {} summaries to {}", result.sessions.len(), dir.display());
+    }
+    println!(
+        "faults ok: {} sessions in {:.2}s",
+        spec.len(),
+        result.wall_secs
+    );
     Ok(())
 }
 

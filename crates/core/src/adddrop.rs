@@ -36,23 +36,48 @@ impl AddCheck {
     }
 }
 
+/// Inputs to [`check_add`] beyond the two state sequences: the current
+/// buffer distribution, transmission rate, and the controller limits.
+#[derive(Debug, Clone, Copy)]
+pub struct AddInputs<'a> {
+    /// Per-layer buffered bytes (sender estimates).
+    pub bufs: &'a [f64],
+    /// Current transmission rate (bytes/s).
+    pub rate: f64,
+    /// Layers currently active.
+    pub n_active: usize,
+    /// Layers the encoding offers at most.
+    pub max_layers: usize,
+    /// Smoothing factor `K_max`.
+    pub k_max: u32,
+    /// Comparison slack (bytes).
+    pub eps: f64,
+}
+
 /// Evaluate the add conditions for growing from `n_active` to `n_active+1`
 /// layers. `seq` must be the current filling-phase state sequence (built for
-/// `n_active` layers at the current rate).
-pub fn check_add(
-    seq: &StateSequence,
-    bufs: &[f64],
-    rate: f64,
-    n_active: usize,
-    max_layers: usize,
-    k_max: u32,
-    eps: f64,
-) -> AddCheck {
+/// `n_active` layers at the current rate) and `next_seq` the sequence for
+/// the *post-add* configuration (`n_active+1` layers, same rate).
+///
+/// The buffer condition is checked against both: the current path (§3.1
+/// verbatim) and the post-add path (see
+/// [`StateSequence::satisfied_up_to_k_post_add`]). The second check matters
+/// most when consumption is small relative to the rate — the current path's
+/// triangles are then tiny and near-vacuous, yet the moment the layer is
+/// added the deficit a backoff must bridge jumps by a whole `C`, and the
+/// buffers have to already carry that protection.
+pub fn check_add(seq: &StateSequence, next_seq: &StateSequence, inputs: &AddInputs) -> AddCheck {
     let c = seq.layer_rate;
     AddCheck {
-        bandwidth_ok: rate >= (n_active as f64 + 1.0) * c,
-        buffer_ok: seq.satisfied_up_to_k(bufs, k_max, eps),
-        capacity_ok: n_active < max_layers,
+        bandwidth_ok: inputs.rate >= (inputs.n_active as f64 + 1.0) * c,
+        buffer_ok: seq.satisfied_up_to_k(inputs.bufs, inputs.k_max, inputs.eps)
+            && next_seq.satisfied_up_to_k_post_add(
+                inputs.bufs,
+                inputs.k_max,
+                inputs.eps,
+                inputs.n_active,
+            ),
+        capacity_ok: inputs.n_active < inputs.max_layers,
     }
 }
 
@@ -85,34 +110,67 @@ mod tests {
     const C: f64 = 10_000.0;
     const S: f64 = 25_000.0;
 
+    fn check(rate: f64, bufs: &[f64], n: usize, max_layers: usize) -> AddCheck {
+        let seq = StateSequence::build(rate, n, C, S, 8);
+        let next = StateSequence::build(rate, n + 1, C, S, 8);
+        check_add(
+            &seq,
+            &next,
+            &AddInputs {
+                bufs,
+                rate,
+                n_active: n,
+                max_layers,
+                k_max: 2,
+                eps: 1.0,
+            },
+        )
+    }
+
     #[test]
     fn add_requires_instantaneous_headroom() {
-        let seq = StateSequence::build(35_000.0, 3, C, S, 8);
-        let check = check_add(&seq, &[1e9; 3], 35_000.0, 3, 10, 2, 1.0);
-        assert!(!check.bandwidth_ok, "35 KB/s cannot carry 4 layers");
-        assert!(check.buffer_ok);
-        assert!(!check.all_ok());
+        let c = check(35_000.0, &[1e9; 3], 3, 10);
+        assert!(!c.bandwidth_ok, "35 KB/s cannot carry 4 layers");
+        assert!(c.buffer_ok);
+        assert!(!c.all_ok());
 
-        let seq = StateSequence::build(41_000.0, 3, C, S, 8);
-        let check = check_add(&seq, &[1e9; 3], 41_000.0, 3, 10, 2, 1.0);
-        assert!(check.all_ok());
+        let c = check(41_000.0, &[1e9; 3], 3, 10);
+        assert!(c.all_ok());
     }
 
     #[test]
     fn add_requires_buffer_condition() {
-        let seq = StateSequence::build(50_000.0, 3, C, S, 8);
-        let check = check_add(&seq, &[0.0; 3], 50_000.0, 3, 10, 2, 1.0);
-        assert!(check.bandwidth_ok);
-        assert!(!check.buffer_ok);
-        assert!(!check.all_ok());
+        let c = check(50_000.0, &[0.0; 3], 3, 10);
+        assert!(c.bandwidth_ok);
+        assert!(!c.buffer_ok);
+        assert!(!c.all_ok());
+    }
+
+    #[test]
+    fn add_requires_post_add_protection() {
+        // The buffers satisfy the 1-layer path (whose requirements are
+        // tiny: rate far above C makes k1 large and the triangles small) but
+        // not the base-layer share of the 2-layer path the add would enter.
+        let rate = 31_000.0;
+        let seq = StateSequence::build(rate, 1, C, S, 8);
+        let bufs = [400.0];
+        assert!(
+            seq.satisfied_up_to_k(&bufs, 2, 1.0),
+            "current path alone must pass, or this test shows nothing"
+        );
+        let c = check(rate, &bufs, 1, 10);
+        assert!(c.bandwidth_ok);
+        assert!(
+            !c.buffer_ok,
+            "post-add path must demand real base-layer reserve"
+        );
     }
 
     #[test]
     fn add_blocked_at_max_layers() {
-        let seq = StateSequence::build(50_000.0, 3, C, S, 8);
-        let check = check_add(&seq, &[1e9; 3], 50_000.0, 3, 3, 2, 1.0);
-        assert!(!check.capacity_ok);
-        assert!(!check.all_ok());
+        let c = check(50_000.0, &[1e9; 3], 3, 3);
+        assert!(!c.capacity_ok);
+        assert!(!c.all_ok());
     }
 
     #[test]

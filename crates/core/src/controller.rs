@@ -23,7 +23,7 @@
 //! debited by the layer's consumption rate once playout has started. Lost
 //! packets are simply never credited.
 
-use crate::adddrop::{check_add, drop_count, required_recovery_buffer};
+use crate::adddrop::{check_add, drop_count, required_recovery_buffer, AddInputs};
 use crate::config::{ConfigError, QaConfig};
 use crate::draining::plan_draining;
 use crate::filling::allocate_filling;
@@ -178,6 +178,12 @@ impl QaController {
     /// bandwidth-delay product — out of the buffer estimate; a send-time
     /// estimate is systematically optimistic by exactly that amount.
     pub fn on_packet_delivered(&mut self, layer: usize, bytes: f64) {
+        // A NaN/negative credit would poison the buffer estimate and every
+        // decision derived from it; transports under fault injection can
+        // surface such values, so reject them here.
+        if !(bytes.is_finite() && bytes > 0.0) {
+            return;
+        }
         if let Some(acc) = self.sent_acc.get_mut(layer) {
             *acc += bytes;
         }
@@ -192,6 +198,15 @@ impl QaController {
     /// Congestion-control backoff: the transmission rate fell to
     /// `post_rate`. Runs the §2.2 drop rule and arms the draining path.
     pub fn on_backoff(&mut self, now: f64, post_rate: f64) {
+        // A congestion controller in an RTO storm can report a collapsed
+        // rate of 0; anything non-finite or negative is treated the same —
+        // the worst legal input, which the drop rule resolves by shedding
+        // layers rather than corrupting state.
+        let post_rate = if post_rate.is_finite() {
+            post_rate.max(0.0)
+        } else {
+            0.0
+        };
         laqa_obs::counter!("qa.backoffs").inc();
         let phase_before = self.phase;
         self.peak_rate = self.last_rate.max(post_rate);
@@ -234,6 +249,13 @@ impl QaController {
     /// seconds that just elapsed, make add/drop decisions, and compute the
     /// per-layer rates for the next period at transmission rate `rate`.
     pub fn tick(&mut self, now: f64, rate: f64, dt: f64) -> TickReport {
+        // Sanitize adverse inputs (§2.2: every critical situation must be
+        // resolved by dropping layers, never by panicking or corrupting the
+        // accounting). A non-finite rate is treated as 0 — the draining
+        // path then sheds layers; a non-finite or negative dt settles no
+        // time at all.
+        let rate = if rate.is_finite() { rate.max(0.0) } else { 0.0 };
+        let dt = if dt.is_finite() { dt.max(0.0) } else { 0.0 };
         laqa_obs::counter!("qa.ticks").inc();
         let phase_before = self.phase;
         let c = self.cfg.layer_rate;
@@ -282,10 +304,27 @@ impl QaController {
             self.drop_top_layer(now, rate, DropReason::Underflow);
             dropped += 1;
         }
+        // The base layer sliding into debt is itself a critical situation
+        // (§2.2): quality yields before continuity. Shed the top layer once
+        // the debt crosses half the slack instead of letting the remaining
+        // margin burn while upper layers still hold allocation — past this
+        // point the whole transmission rate belongs to the base.
+        if self.n_active > 1 && self.bufs[0] < -0.5 * slack {
+            self.drop_top_layer(now, rate, DropReason::Underflow);
+            dropped += 1;
+        }
 
         // 2. Phase and decisions.
         let mut added = 0usize;
         let consumption = self.cfg.consumption(self.n_active);
+        // Base-layer protection floor: the underflow slack is the margin
+        // the stall detector above grants the fluid model, so a base buffer
+        // within a quarter-slack of that line is one bad period away from a
+        // visible stall. Below the floor, allocation policy bends toward
+        // the base layer (see both branches); while filling the trigger is
+        // an outright debt, since the state-path allocator already feeds
+        // the base first.
+        let protect = 0.75 * slack;
         if rate >= consumption {
             self.phase = Phase::Filling;
             // Build the filling path at the current rate and allocate.
@@ -301,14 +340,24 @@ impl QaController {
             // Add at most one layer per tick (the paper adds layers one at
             // a time; rationing the ramp also keeps a startup rate
             // overestimate from instantiating the whole encoding at once).
+            let next_seq = StateSequence::build(
+                rate,
+                self.n_active + 1,
+                self.cfg.layer_rate,
+                self.slope,
+                self.cfg.fill_horizon_backoffs,
+            );
             let check = check_add(
                 &seq,
-                &self.bufs,
-                rate,
-                self.n_active,
-                self.cfg.max_layers,
-                self.cfg.k_max,
-                self.cfg.epsilon_bytes,
+                &next_seq,
+                &AddInputs {
+                    bufs: &self.bufs,
+                    rate,
+                    n_active: self.n_active,
+                    max_layers: self.cfg.max_layers,
+                    k_max: self.cfg.k_max,
+                    eps: self.cfg.epsilon_bytes,
+                },
             );
             if check.all_ok() {
                 self.add_layer(now);
@@ -326,6 +375,21 @@ impl QaController {
                 }
             }
             self.alloc_rates = alloc.per_layer_rate;
+            // Base-layer protection while filling: the state path invests
+            // excess across all layers' targets, but with the base buffer
+            // near empty (e.g. right after a deep drop cascade) the §2.3
+            // priority applies — base buffering protects against every
+            // deeper drop, so the whole excess goes there until the floor
+            // is cleared.
+            if self.n_active > 1 && self.bufs[0] < 0.0 {
+                let c_total = self.cfg.consumption(self.n_active);
+                let boost = (rate - c_total).max(0.0);
+                for r in self.alloc_rates.iter_mut() {
+                    *r = c;
+                }
+                self.alloc_rates[0] = c + boost;
+                laqa_obs::counter!("qa.base_protect_ticks").inc();
+            }
         } else {
             self.phase = Phase::Draining;
             // §2.2 drop rule re-checked during the draining phase (rate may
@@ -351,6 +415,29 @@ impl QaController {
                 }
                 self.drop_top_layer(now, rate, DropReason::DistributionShortfall);
                 dropped += 1;
+            }
+            // Base-layer protection: the band profile (§2.4) deliberately
+            // serves the top of the stack from the network and drains the
+            // bottom from buffers, but once the base buffer has sunk below
+            // the underflow slack a further tick of that policy risks a
+            // visible stall. Steer send rate to the base layer first, taking
+            // it from the top layers' allocations (their buffered remnant is
+            // the first thing written off in a drop anyway).
+            if self.n_active > 1 && self.bufs[0] < protect {
+                let want = (c.min(rate) - self.alloc_rates[0]).max(0.0);
+                if want > 0.0 {
+                    let mut need = want;
+                    for i in (1..self.n_active).rev() {
+                        let take = self.alloc_rates[i].min(need);
+                        self.alloc_rates[i] -= take;
+                        need -= take;
+                        if need <= 0.0 {
+                            break;
+                        }
+                    }
+                    self.alloc_rates[0] += want - need;
+                    laqa_obs::counter!("qa.base_protect_ticks").inc();
+                }
             }
         }
 
@@ -596,6 +683,39 @@ mod tests {
         ctl.on_backoff(now, 10_000.0);
         assert!(ctl.n_active() < 3, "drop rule should shed layers");
         assert!(ctl.metrics().drops() > 0);
+    }
+
+    #[test]
+    fn draining_steers_rate_to_a_starving_base_layer() {
+        let mut ctl = controller();
+        ctl.set_slope(25_000.0);
+        let mut now = 0.0;
+        for _ in 0..3000 {
+            drive(&mut ctl, &mut now, 35_000.0, 0.1);
+            if ctl.n_active() == 3 {
+                break;
+            }
+        }
+        assert_eq!(ctl.n_active(), 3);
+        // Invert the distribution: base nearly dry (below the underflow
+        // slack), upper layers holding plenty. The band profile alone would
+        // keep draining the base toward a stall.
+        ctl.bufs[0] = 500.0;
+        ctl.bufs[1] = 5_000.0;
+        ctl.bufs[2] = 20_000.0;
+        let report = ctl.tick(now, 25_000.0, 0.1);
+        assert_eq!(report.phase, Phase::Draining);
+        assert_eq!(ctl.n_active(), 3);
+        let alloc = ctl.allocation();
+        assert!(
+            (alloc[0] - C).abs() < 1e-6,
+            "base must get its full consumption rate, got {alloc:?}"
+        );
+        assert!(
+            alloc[2] < C - 1e-6,
+            "the boost comes out of the top layer, got {alloc:?}"
+        );
+        assert!(alloc.iter().all(|&r| r >= 0.0), "no negative rates: {alloc:?}");
     }
 
     #[test]
@@ -910,6 +1030,70 @@ mod boundary_tests {
         let events = ctl.metrics_mut().take_events();
         assert!(!events.is_empty(), "adds should have been recorded");
         assert!(ctl.metrics().events().is_empty(), "drained");
+    }
+
+    #[test]
+    fn adversarial_inputs_never_panic_or_kill_base_layer() {
+        // Fault-injected transports can report collapsed, negative, huge or
+        // non-finite rates and degenerate tick intervals. Whatever arrives,
+        // the controller must resolve it by dropping layers (never below the
+        // base layer), keep every estimate finite, and never panic.
+        let mut ctl = QaController::new(QaConfig {
+            layer_rate: 10_000.0,
+            max_layers: 8,
+            k_max: 2,
+            ..QaConfig::default()
+        })
+        .unwrap();
+        let mut state: u64 = 0xDEAD_BEEF_CAFE_F00D;
+        let mut rand = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f64 / (1u64 << 24) as f64
+        };
+        let hostile = |u: f64, scale: f64| match (u * 8.0) as u32 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => -scale,
+            4 => 0.0,
+            5 => scale * 1e9,
+            _ => u * scale,
+        };
+        let mut now = 0.0;
+        for i in 0..20_000 {
+            match (rand() * 4.0) as u32 {
+                0 => ctl.on_backoff(now, hostile(rand(), 60_000.0)),
+                1 => {
+                    let rate = hostile(rand(), 60_000.0);
+                    let dt = hostile(rand(), 0.5);
+                    let r = ctl.tick(now, rate, dt);
+                    assert!(
+                        r.per_layer_rate.iter().all(|x| x.is_finite() && *x >= 0.0),
+                        "op {i}: allocation corrupted: {:?}",
+                        r.per_layer_rate
+                    );
+                    now += 0.01;
+                }
+                2 => ctl.on_packet_delivered((rand() * 10.0) as usize, hostile(rand(), 50_000.0)),
+                _ => {
+                    ctl.set_slope(hostile(rand(), 25_000.0));
+                    let _ = ctl.next_packet_layer(1_000.0);
+                }
+            }
+            assert!(ctl.n_active() >= 1, "op {i}: base layer must survive");
+            assert!(
+                ctl.buffers().iter().all(|b| b.is_finite()),
+                "op {i}: buffer estimate corrupted: {:?}",
+                ctl.buffers()
+            );
+        }
+        // After the storm the controller still works on sane inputs.
+        ctl.set_slope(25_000.0);
+        let r = ctl.tick(now, 25_000.0, 0.1);
+        assert!(r.n_active >= 1);
+        assert!(r.per_layer_rate.iter().all(|x| x.is_finite()));
     }
 
     #[test]

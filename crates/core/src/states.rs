@@ -167,6 +167,33 @@ impl StateSequence {
             .filter(|s| s.k <= k_max)
             .all(|s| s.satisfied_by(bufs, eps))
     }
+
+    /// The §3.1 smoothing condition evaluated against a *post-add* path:
+    /// for every state with `k ≤ k_max`, the first `existing` layers' shares
+    /// must be covered in aggregate, and the base layer's share must be
+    /// covered individually. The aggregate form reflects §4.2 substitution —
+    /// buffered data for a higher layer can stand in for a lower one — and
+    /// keeps the requirement reachable (the filling allocator parks leftover
+    /// rate in the base, not in upper layers). The base share is demanded
+    /// per-layer because nothing can substitute for it or refill it quickly
+    /// once the add lands and consumption jumps by a whole `C`. The
+    /// candidate layer's own share is excluded: it cannot have buffered
+    /// anything before it starts.
+    pub fn satisfied_up_to_k_post_add(
+        &self,
+        bufs: &[f64],
+        k_max: u32,
+        eps: f64,
+        existing: usize,
+    ) -> bool {
+        let have_base = bufs.first().copied().unwrap_or(0.0);
+        let have_total: f64 = bufs.iter().take(existing).map(|b| b.max(0.0)).sum();
+        self.states.iter().filter(|s| s.k <= k_max).all(|s| {
+            let want_base = s.per_layer.first().copied().unwrap_or(0.0);
+            let want_total: f64 = s.per_layer.iter().take(existing).sum();
+            have_base + eps >= want_base && have_total + eps >= want_total
+        })
+    }
 }
 
 #[cfg(test)]

@@ -28,6 +28,10 @@ pub struct LayerBuffer {
     starved: f64,
     /// Number of distinct consume calls that hit an empty/short buffer.
     underflow_events: u64,
+    /// Cumulative bytes thrown away by [`LayerBuffer::clear`] — data that
+    /// arrived but was written off when its layer was dropped. Without this
+    /// the efficiency/starvation summaries under-report loss.
+    discarded: f64,
 }
 
 impl LayerBuffer {
@@ -43,6 +47,7 @@ impl LayerBuffer {
         }
         self.chunks.push_back(BufferedChunk { arrival, bytes });
         self.buffered += bytes;
+        self.debug_check_invariant();
     }
 
     /// Bytes currently buffered.
@@ -58,6 +63,11 @@ impl LayerBuffer {
     /// Number of consume calls that found insufficient data.
     pub fn underflow_events(&self) -> u64 {
         self.underflow_events
+    }
+
+    /// Cumulative bytes discarded by [`LayerBuffer::clear`].
+    pub fn discarded_bytes(&self) -> f64 {
+        self.discarded
     }
 
     /// Arrival time of the oldest buffered chunk, if any.
@@ -88,6 +98,14 @@ impl LayerBuffer {
                 }
             }
         }
+        // `buffered` is maintained by repeated subtraction and can drift a
+        // few ULPs from the chunk sum over long runs — clamp so it can
+        // never go (or report) negative, and resynchronize exactly when
+        // the buffer empties.
+        if self.chunks.is_empty() || self.buffered < 0.0 {
+            self.buffered = 0.0;
+        }
+        self.debug_check_invariant();
         if remaining > 1e-9 {
             self.starved += remaining;
             self.underflow_events += 1;
@@ -96,10 +114,31 @@ impl LayerBuffer {
     }
 
     /// Discard everything (e.g. when the layer is dropped and its data is
-    /// written off for recovery purposes).
-    pub fn clear(&mut self) {
+    /// written off for recovery purposes). The thrown-away bytes are
+    /// accounted in [`LayerBuffer::discarded_bytes`]; returns the amount
+    /// discarded by this call.
+    pub fn clear(&mut self) -> f64 {
+        let dropped = self.buffered.max(0.0);
+        self.discarded += dropped;
         self.chunks.clear();
         self.buffered = 0.0;
+        dropped
+    }
+
+    /// Debug-build invariant: `buffered` tracks the chunk sum.
+    #[inline]
+    fn debug_check_invariant(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let sum: f64 = self.chunks.iter().map(|c| c.bytes).sum();
+            debug_assert!(
+                (self.buffered - sum).abs() <= 1e-6 * sum.max(1.0),
+                "buffered {} drifted from chunk sum {}",
+                self.buffered,
+                sum
+            );
+            debug_assert!(self.buffered >= 0.0, "buffered went negative");
+        }
     }
 }
 
@@ -160,5 +199,54 @@ mod tests {
         assert_eq!(b.buffered(), 0.0);
         assert_eq!(b.underflow_events(), 1);
         assert_eq!(b.oldest_arrival(), None);
+    }
+
+    #[test]
+    fn clear_accounts_discarded_bytes() {
+        let mut b = LayerBuffer::new();
+        b.push(0.0, 400.0);
+        b.push(0.1, 100.0);
+        b.consume(150.0);
+        assert_eq!(b.clear(), 350.0);
+        assert_eq!(b.discarded_bytes(), 350.0);
+        // A second clear of an empty buffer discards nothing more.
+        assert_eq!(b.clear(), 0.0);
+        assert_eq!(b.discarded_bytes(), 350.0);
+        // Discards accumulate across drop episodes.
+        b.push(1.0, 25.0);
+        b.clear();
+        assert_eq!(b.discarded_bytes(), 375.0);
+    }
+
+    #[test]
+    fn long_randomized_run_never_drifts_negative() {
+        // Awkward non-dyadic sizes maximize float drift; after hundreds of
+        // thousands of push/consume rounds the running total must still
+        // match the chunk sum and never report negative.
+        let mut b = LayerBuffer::new();
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut rand = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f64 / (1u64 << 24) as f64
+        };
+        for i in 0..200_000 {
+            let r = rand();
+            if r < 0.5 {
+                b.push(i as f64, 0.1 + 1_000.0 * rand() / 3.0);
+            } else {
+                // Often drain exactly to (or past) empty.
+                let want = if r < 0.6 {
+                    b.buffered() + 1.0
+                } else {
+                    b.buffered() * rand() / 7.0
+                };
+                b.consume(want);
+            }
+            assert!(b.buffered() >= 0.0, "buffered negative at op {i}");
+        }
+        b.consume(b.buffered() + 1.0);
+        assert_eq!(b.buffered(), 0.0, "empty buffer must report exactly zero");
     }
 }

@@ -19,6 +19,9 @@ pub struct ReceiverStats {
     pub underflows: Vec<u64>,
     /// Starved bytes per layer.
     pub starved: Vec<f64>,
+    /// Bytes written off per layer when its buffer was discarded (layer
+    /// drops); without this, loss summaries under-report.
+    pub discarded: Vec<f64>,
     /// Total bytes received per layer.
     pub received: Vec<f64>,
     /// Media position (seconds of content consumed).
@@ -137,9 +140,12 @@ impl LayeredReceiver {
         if layer >= self.buffers.len() {
             return 0.0;
         }
-        let b = self.buffers[layer].buffered();
-        self.buffers[layer].clear();
-        b
+        self.buffers[layer].clear()
+    }
+
+    /// Total bytes written off across all layers by buffer discards.
+    pub fn total_discarded(&self) -> f64 {
+        self.buffers.iter().map(|b| b.discarded_bytes()).sum()
     }
 
     /// Statistics snapshot.
@@ -148,6 +154,7 @@ impl LayeredReceiver {
             buffered: self.buffers.iter().map(|b| b.buffered()).collect(),
             underflows: self.buffers.iter().map(|b| b.underflow_events()).collect(),
             starved: self.buffers.iter().map(|b| b.starved_bytes()).collect(),
+            discarded: self.buffers.iter().map(|b| b.discarded_bytes()).collect(),
             received: self.received.clone(),
             position: self.position,
             playing: self.playing,
@@ -221,6 +228,22 @@ mod tests {
         assert_eq!(r.buffered(2), 0.0);
         assert_eq!(r.discard_layer_buffer(2), 0.0);
         assert_eq!(r.discard_layer_buffer(99), 0.0);
+    }
+
+    #[test]
+    fn discarded_bytes_surface_in_stats() {
+        let mut r = receiver(3);
+        r.on_data(0.0, 1, 2_000.0);
+        r.on_data(0.0, 2, 7_500.0);
+        r.discard_layer_buffer(2);
+        r.discard_layer_buffer(1);
+        r.on_data(1.0, 2, 500.0);
+        r.discard_layer_buffer(2);
+        let stats = r.stats();
+        assert_eq!(stats.discarded, vec![0.0, 2_000.0, 8_000.0, 0.0]);
+        assert_eq!(r.total_discarded(), 10_000.0);
+        // Discarded data is not starvation: no underflows were charged.
+        assert_eq!(stats.underflows, vec![0, 0, 0, 0]);
     }
 
     #[test]

@@ -17,7 +17,15 @@ pub struct RttEstimator {
     min_rto: f64,
     /// Upper bound on the returned RTO (seconds).
     max_rto: f64,
+    /// Karn-style exponential backoff exponent: each timeout doubles the
+    /// RTO (capped), a fresh sample resets it.
+    backoff: u32,
 }
+
+/// Cap on the backoff exponent: 2^6 = 64× the base RTO, which already
+/// exceeds `max_rto` for any plausible path — further doubling only risks
+/// overflow-style pathologies under RTO storms.
+const MAX_BACKOFF_EXP: u32 = 6;
 
 impl RttEstimator {
     /// New estimator with an initial guess of `initial_rtt` seconds.
@@ -33,6 +41,7 @@ impl RttEstimator {
             seeded: false,
             min_rto: 0.2,
             max_rto: 60.0,
+            backoff: 0,
         }
     }
 
@@ -51,9 +60,27 @@ impl RttEstimator {
         self.seeded
     }
 
-    /// Retransmission/idle timeout: `srtt + 4·rttvar`, clamped.
+    /// Retransmission/idle timeout: `srtt + 4·rttvar`, doubled per
+    /// unanswered timeout (Karn backoff), clamped to `[min_rto, max_rto]`.
     pub fn rto(&self) -> f64 {
-        (self.srtt + 4.0 * self.rttvar).clamp(self.min_rto, self.max_rto)
+        // Backoff multiplies the clamped base (classic Karn/BSD behaviour):
+        // a path whose raw base sits below `min_rto` must still double from
+        // `min_rto`, not silently absorb the first few doublings; the
+        // product is re-clamped so a storm can never push the timeout past
+        // the hard ceiling.
+        let base = (self.srtt + 4.0 * self.rttvar).max(self.min_rto);
+        (base * f64::from(1u32 << self.backoff)).min(self.max_rto)
+    }
+
+    /// Current backoff exponent (0 when no timeout is outstanding).
+    pub fn backoff_exponent(&self) -> u32 {
+        self.backoff
+    }
+
+    /// Clear the timeout backoff (e.g. on any ACK progress, even one that
+    /// yields no usable RTT sample).
+    pub fn reset_backoff(&mut self) {
+        self.backoff = 0;
     }
 
     /// Absorb an RTT sample (seconds). Non-finite or non-positive samples
@@ -62,6 +89,8 @@ impl RttEstimator {
         if !(rtt.is_finite() && rtt > 0.0) {
             return;
         }
+        // Karn: a valid sample means the path is answering again.
+        self.backoff = 0;
         if !self.seeded {
             self.srtt = rtt;
             self.rttvar = rtt / 2.0;
@@ -74,10 +103,14 @@ impl RttEstimator {
         self.rttvar += (err.abs() - self.rttvar) / 4.0;
     }
 
-    /// Double the variance term after a timeout (exponential RTO backoff is
-    /// applied by the caller via repeated calls).
+    /// Exponentially back off the RTO after a timeout. The estimate itself
+    /// (`srtt`/`rttvar`) is left alone — mutating the variance here both
+    /// corrupted the estimator with non-measurements and clamped `rttvar`
+    /// against `max_rto`, a bound on a different quantity entirely. The
+    /// multiplier is capped so repeated timeouts saturate instead of
+    /// overflowing.
     pub fn on_timeout(&mut self) {
-        self.rttvar = (self.rttvar * 2.0).min(self.max_rto);
+        self.backoff = (self.backoff + 1).min(MAX_BACKOFF_EXP);
     }
 }
 
@@ -134,12 +167,51 @@ mod tests {
     }
 
     #[test]
-    fn timeout_doubles_variance() {
+    fn timeout_doubles_rto_not_variance() {
         let mut e = RttEstimator::new(0.2);
         e.sample(0.2);
         let v = e.rttvar();
+        let rto = e.rto();
         e.on_timeout();
-        assert!((e.rttvar() - 2.0 * v).abs() < 1e-12);
+        assert!((e.rttvar() - v).abs() < 1e-12, "estimate untouched");
+        assert!((e.srtt() - 0.2).abs() < 1e-12, "estimate untouched");
+        assert!((e.rto() - 2.0 * rto).abs() < 1e-12, "RTO doubled");
+        assert_eq!(e.backoff_exponent(), 1);
+    }
+
+    #[test]
+    fn repeated_timeouts_saturate_at_caps() {
+        let mut e = RttEstimator::new(0.2);
+        e.sample(0.2);
+        // Far more timeouts than the exponent cap: the multiplier must
+        // saturate (no overflow, no runaway) and the RTO must respect the
+        // hard ceiling.
+        for _ in 0..1_000 {
+            e.on_timeout();
+        }
+        assert_eq!(e.backoff_exponent(), 6);
+        let base = e.srtt() + 4.0 * e.rttvar();
+        assert!((e.rto() - (base * 64.0).min(60.0)).abs() < 1e-12);
+        assert!(e.rto() <= 60.0, "RTO never exceeds max_rto");
+        assert!(e.rto().is_finite());
+    }
+
+    #[test]
+    fn sample_and_reset_clear_backoff() {
+        let mut e = RttEstimator::new(0.2);
+        e.sample(0.2);
+        e.on_timeout();
+        e.on_timeout();
+        assert_eq!(e.backoff_exponent(), 2);
+        e.sample(0.2);
+        assert_eq!(e.backoff_exponent(), 0, "valid sample clears backoff");
+        e.on_timeout();
+        e.reset_backoff();
+        assert_eq!(e.backoff_exponent(), 0);
+        // A garbage sample is ignored entirely and must not clear backoff.
+        e.on_timeout();
+        e.sample(f64::NAN);
+        assert_eq!(e.backoff_exponent(), 1);
     }
 
     #[test]

@@ -135,7 +135,8 @@ pub struct RapSender {
     recovery_seq: Option<u64>,
     /// Time of last ACK progress (for the timeout clock).
     last_progress: f64,
-    /// Consecutive timeouts (exponential RTO backoff).
+    /// Consecutive timeouts (stats only; the RTO backoff itself lives in
+    /// the estimator so it stays capped and clamped in one place).
     timeouts_in_row: u32,
     events: Vec<RapEvent>,
 }
@@ -184,6 +185,11 @@ impl RapSender {
         self.history.outstanding()
     }
 
+    /// Consecutive timeouts without intervening ACK progress.
+    pub fn timeouts_in_row(&self) -> u32 {
+        self.timeouts_in_row
+    }
+
     /// Configured packet size (bytes).
     pub fn packet_size(&self) -> f64 {
         self.cfg.packet_size
@@ -204,8 +210,11 @@ impl RapSender {
         if self.history.outstanding() == 0 {
             return f64::INFINITY;
         }
-        let rto = self.rtt.rto() * 2f64.powi(self.timeouts_in_row.min(6) as i32);
-        self.last_progress + rto
+        // The estimator's RTO already carries the capped exponential
+        // backoff and the [min_rto, max_rto] clamp — multiplying again
+        // here compounded the backoff and could push the deadline far
+        // past the intended ceiling.
+        self.last_progress + self.rtt.rto()
     }
 
     /// Register a transmission of `size` bytes tagged `tag`; returns the
@@ -241,6 +250,10 @@ impl RapSender {
     pub fn on_ack(&mut self, now: f64, ack: AckInfo) {
         self.last_progress = now;
         self.timeouts_in_row = 0;
+        // ACK progress ends the RTO backoff (same eager reset the sender
+        // has always applied to its consecutive-timeout counter — the
+        // exponent merely lives in the estimator now).
+        self.rtt.reset_backoff();
         // RTT sample from the acked packet, if it was still outstanding.
         if let Some(record) = self.history.mark_received(ack.ack_seq) {
             let sample = now - record.send_time;
@@ -519,6 +532,80 @@ mod tests {
         assert_eq!(cause, BackoffCause::Timeout);
         assert!(rate < rate_before);
         assert_eq!(s.in_flight(), 0);
+    }
+
+    #[test]
+    fn rto_storm_backs_off_capped_then_recovers_on_ack() {
+        // An unreachable receiver produces timeout after timeout: the gap
+        // between consecutive RTOs must grow exponentially, saturate at the
+        // cap instead of running away, and snap back once an ACK arrives.
+        let mut s = sender();
+        let mut now = 0.0;
+        let mut gaps: Vec<f64> = Vec::new();
+        for round in 0..9 {
+            s.register_send(now, 1_000.0, 0); // re-arms the timeout clock
+            let start = now;
+            loop {
+                now += 0.05;
+                s.poll_timers(now);
+                let fired = s.take_events().iter().any(|e| {
+                    matches!(
+                        e,
+                        RapEvent::Backoff {
+                            cause: BackoffCause::Timeout,
+                            ..
+                        }
+                    )
+                });
+                if fired {
+                    break;
+                }
+                assert!(
+                    now - start < 120.0,
+                    "round {round}: timeout never fired (deadline runaway)"
+                );
+            }
+            gaps.push(now - start);
+        }
+        assert_eq!(s.timeouts_in_row(), 9);
+        // Exponential growth until the 2^6 cap (base RTO 0.3 s → 19.2 s):
+        for i in 0..5 {
+            assert!(
+                gaps[i + 1] > gaps[i] * 1.5,
+                "gap {} -> {} did not back off",
+                gaps[i],
+                gaps[i + 1]
+            );
+        }
+        assert!(
+            (gaps[7] - gaps[6]).abs() < 0.11 && (gaps[8] - gaps[7]).abs() < 0.11,
+            "backoff must saturate at the cap: {gaps:?}"
+        );
+        assert!(gaps[8] < 60.0, "RTO stays under the hard ceiling");
+        // One ACK clears the storm: the next timeout is prompt again.
+        let mut rx = RapReceiverState::new();
+        let seq = s.register_send(now, 1_000.0, 0);
+        s.on_ack(now + 0.1, rx.on_data(seq));
+        assert_eq!(s.timeouts_in_row(), 0);
+        let start = now;
+        s.register_send(now, 1_000.0, 0);
+        loop {
+            now += 0.05;
+            s.poll_timers(now);
+            let fired = s
+                .take_events()
+                .iter()
+                .any(|e| matches!(e, RapEvent::Backoff { .. }));
+            if fired {
+                break;
+            }
+            assert!(now - start < 10.0, "post-recovery timeout must be prompt");
+        }
+        assert!(
+            now - start < 1.0,
+            "backoff did not reset after ACK: gap {}",
+            now - start
+        );
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub struct TcpAgent {
     ssthresh: f64,
     /// Next new sequence to send.
     next_seq: u64,
+    /// Highest sequence ever sent (+1): after an RTO rolls `next_seq`
+    /// back, anything below this is a retransmission.
+    snd_max: u64,
     /// Next expected by the receiver (all below acked).
     cum: u64,
     dup_acks: u32,
@@ -42,8 +45,11 @@ pub struct TcpAgent {
     rtt: RttEstimator,
     /// Segment whose RTT is being timed: (seq, send_time).
     timed: Option<(u64, f64)>,
+    /// Highest sequence outstanding at the last RTO: the Karn backoff
+    /// clears once the cumulative ACK passes this point (all data that
+    /// was in flight when the timer fired has been delivered).
+    rto_recover: u64,
     rto_epoch: u64,
-    backoff_pow: u32,
     start_at: f64,
     /// Stats: segments sent (incl. retransmissions).
     pub sent: u64,
@@ -70,13 +76,14 @@ impl TcpAgent {
             cwnd: 2.0,
             ssthresh: 64.0,
             next_seq: 0,
+            snd_max: 0,
             cum: 0,
             dup_acks: 0,
             recovery: None,
             rtt: RttEstimator::new(0.2),
             timed: None,
+            rto_recover: 0,
             rto_epoch: 0,
-            backoff_pow: 0,
             start_at,
             sent: 0,
             retransmits: 0,
@@ -118,7 +125,12 @@ impl TcpAgent {
         while self.flight() < window {
             let seq = self.next_seq;
             self.next_seq += 1;
-            self.transmit(ctx, seq, false);
+            // Below `snd_max` the window is walking back over go-back-N
+            // territory: those sends are retransmissions and must not be
+            // RTT-timed (Karn's rule — the ACK would be ambiguous).
+            let retx = seq < self.snd_max;
+            self.snd_max = self.snd_max.max(self.next_seq);
+            self.transmit(ctx, seq, retx);
         }
         self.arm_rto(ctx);
     }
@@ -128,7 +140,10 @@ impl TcpAgent {
             return;
         }
         self.rto_epoch += 1;
-        let rto = self.rtt.rto() * 2f64.powi(self.backoff_pow.min(6) as i32);
+        // The estimator's RTO already carries the capped exponential
+        // backoff; multiplying by a second local exponent compounded the
+        // two into 4^n growth under repeated timeouts.
+        let rto = self.rtt.rto();
         ctx.set_timer_after(rto, RTO_BASE | self.rto_epoch);
     }
 
@@ -143,7 +158,13 @@ impl TcpAgent {
         }
         self.cum = cum;
         self.dup_acks = 0;
-        self.backoff_pow = 0;
+        // Karn backoff ends only when everything outstanding at the
+        // timeout has been acked: partial progress during a loss episode
+        // keeps the timer conservative, but a recovered flow is not left
+        // pinned at a 64x RTO waiting for a fresh RTT sample.
+        if cum >= self.rto_recover {
+            self.rtt.reset_backoff();
+        }
         match self.recovery {
             Some(point) if cum > point => {
                 // Full recovery: deflate to ssthresh.
@@ -217,12 +238,16 @@ impl Agent for TcpAgent {
         self.cwnd = 1.0;
         self.recovery = None;
         self.dup_acks = 0;
-        self.backoff_pow = self.backoff_pow.saturating_add(1);
         self.rtt.on_timeout();
+        self.rto_recover = self.next_seq;
         self.timed = None;
-        let seq = self.cum;
-        self.transmit(ctx, seq, true);
-        self.arm_rto(ctx);
+        // Go-back-N (BSD: snd_nxt = snd_una): everything past the
+        // cumulative ACK is presumed lost. Without the rollback the dead
+        // flight keeps `flight() >= cwnd` and the window can never open —
+        // the flow is limited to one segment per exponentially backed-off
+        // RTO, which starves it outright under a loss burst.
+        self.next_seq = self.cum;
+        self.try_send(ctx);
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -23,6 +23,7 @@ use std::time::Instant;
 use laqa_core::metrics::QaEvent;
 use laqa_trace::{RunSummary, Table, TraceHasher};
 
+use crate::faults::FaultPlan;
 use crate::scenarios::{run_scenario, ScenarioConfig, ScenarioOutcome};
 
 /// Which of the paper's dumbbell workloads a session runs.
@@ -60,20 +61,32 @@ pub struct SessionSpec {
     pub seed: u64,
     /// Simulated duration (seconds).
     pub duration: f64,
+    /// Fault-suite intensity in `(0, 1]`; `None` runs the scenario with
+    /// no fault injection at all (see [`FaultPlan::suite`]).
+    pub fault_intensity: Option<f64>,
 }
 
 impl SessionSpec {
     /// The scenario configuration this spec denotes.
     pub fn scenario(&self) -> ScenarioConfig {
-        match self.test {
+        let mut cfg = match self.test {
             TestKind::T1 => ScenarioConfig::t1(self.k_max, self.duration, self.seed),
             TestKind::T2 => ScenarioConfig::t2(self.k_max, self.duration, self.seed),
+        };
+        if let Some(i) = self.fault_intensity {
+            cfg.faults = FaultPlan::suite(i);
         }
+        cfg
     }
 
-    /// Stable label, e.g. `T1/k3/seed42`.
+    /// Stable label, e.g. `T1/k3/seed42` (`T1/k3/seed42/f060` with a
+    /// fault suite at intensity 0.60).
     pub fn label(&self) -> String {
-        format!("{}/k{}/seed{}", self.test.label(), self.k_max, self.seed)
+        let base = format!("{}/k{}/seed{}", self.test.label(), self.k_max, self.seed);
+        match self.fault_intensity {
+            Some(i) => format!("{base}/f{:03}", (i * 100.0).round() as u32),
+            None => base,
+        }
     }
 }
 
@@ -98,7 +111,37 @@ impl CampaignSpec {
                         k_max,
                         seed,
                         duration,
+                        fault_intensity: None,
                     });
+                }
+            }
+        }
+        CampaignSpec { sessions }
+    }
+
+    /// Fault-intensity sweep: `tests × k_values × intensities × seeds`.
+    /// An intensity of exactly `0.0` runs the fault-free baseline cell
+    /// (useful as the reference column of a sweep table).
+    pub fn faults_grid(
+        tests: &[TestKind],
+        k_values: &[u32],
+        intensities: &[f64],
+        seeds: &[u64],
+        duration: f64,
+    ) -> Self {
+        let mut sessions = Vec::new();
+        for &test in tests {
+            for &k_max in k_values {
+                for &intensity in intensities {
+                    for &seed in seeds {
+                        sessions.push(SessionSpec {
+                            test,
+                            k_max,
+                            seed,
+                            duration,
+                            fault_intensity: (intensity > 0.0).then_some(intensity),
+                        });
+                    }
                 }
             }
         }
@@ -143,6 +186,19 @@ pub struct SessionResult {
     pub rx_underflows: u64,
     /// Receiver-observed base-layer underflows.
     pub rx_base_underflows: u64,
+    /// Quality changes per simulated second (the fault suite's headline
+    /// stability metric).
+    pub layer_change_rate: f64,
+    /// Mean seconds from a layer drop to the next layer add (`None` when
+    /// the run never dropped, or never re-added after its last drop) —
+    /// how fast the controller recovers quality after a fault.
+    pub recovery_secs_mean: Option<f64>,
+    /// Bytes the receiver's base layer wanted but could not play.
+    pub base_starved_bytes: f64,
+    /// Receiver bytes written off by layer drops.
+    pub discarded_bytes: f64,
+    /// Fault transitions injected (0 without a fault plan).
+    pub fault_transitions: u64,
     /// FNV-1a fingerprint of the session's event trace (see
     /// [`hash_outcome`]).
     pub trace_hash: u64,
@@ -169,6 +225,11 @@ impl SessionResult {
         h.u64(self.bottleneck_drops);
         h.u64(self.rx_underflows);
         h.u64(self.rx_base_underflows);
+        h.f64(self.layer_change_rate);
+        h.f64(self.recovery_secs_mean.unwrap_or(f64::NEG_INFINITY));
+        h.f64(self.base_starved_bytes);
+        h.f64(self.discarded_bytes);
+        h.u64(self.fault_transitions);
         h.u64(self.trace_hash);
     }
 
@@ -185,6 +246,12 @@ impl SessionResult {
         if let Some(a) = self.avoidable_drops {
             s.metric("avoidable_drops", a);
         }
+        if let Some(i) = self.spec.fault_intensity {
+            s.param("fault_intensity", i);
+        }
+        if let Some(r) = self.recovery_secs_mean {
+            s.metric("recovery_secs_mean", r);
+        }
         s.metric("quality_changes", self.quality_changes as f64)
             .metric("adds", self.adds as f64)
             .metric("drops", self.drops as f64)
@@ -192,6 +259,10 @@ impl SessionResult {
             .metric("backoffs", self.backoffs as f64)
             .metric("bottleneck_drops", self.bottleneck_drops as f64)
             .metric("rx_underflows", self.rx_underflows as f64)
+            .metric("layer_change_rate", self.layer_change_rate)
+            .metric("base_starved_bytes", self.base_starved_bytes)
+            .metric("discarded_bytes", self.discarded_bytes)
+            .metric("fault_transitions", self.fault_transitions as f64)
             .metric("trace_hash_lo32", (self.trace_hash & 0xffff_ffff) as f64)
             .timing(self.wall_secs, self.events_processed);
         s
@@ -227,7 +298,7 @@ impl CampaignResult {
             "campaign results",
             &[
                 "session", "eff", "avoid", "chg", "adds", "drops", "stalls", "backoffs",
-                "btl drops", "underflows", "trace hash",
+                "btl drops", "underflows", "recov", "starved", "trace hash",
             ],
         );
         for s in &self.sessions {
@@ -246,6 +317,11 @@ impl CampaignResult {
                 s.backoffs.to_string(),
                 s.bottleneck_drops.to_string(),
                 s.rx_underflows.to_string(),
+                match s.recovery_secs_mean {
+                    Some(r) => format!("{r:.2}s"),
+                    None => "-".to_string(),
+                },
+                format!("{:.0}", s.base_starved_bytes),
                 format!("{:016x}", s.trace_hash),
             ]);
         }
@@ -311,6 +387,14 @@ pub fn hash_outcome(out: &ScenarioOutcome) -> u64 {
             h.f64(v);
         }
     }
+    h.u64(out.fault_stats.flap_downs);
+    h.f64(out.fault_stats.flap_down_secs);
+    h.u64(out.fault_stats.rtt_spikes);
+    h.u64(out.fault_stats.loss_bursts);
+    h.u64(out.fault_stats.churn_joins);
+    h.u64(out.fault_stats.churn_packets);
+    h.f64(out.base_starved_bytes);
+    h.f64(out.discarded_bytes);
     h.finish()
 }
 
@@ -343,6 +427,32 @@ fn hash_event(h: &mut TraceHasher, ev: &QaEvent) {
     }
 }
 
+/// Mean seconds from the first drop of each degradation episode to the
+/// next layer add — the fault suite's recovery-time metric. `None` when
+/// no drop was ever followed by an add.
+pub fn mean_recovery_secs(events: &[QaEvent]) -> Option<f64> {
+    let mut gaps: Vec<f64> = Vec::new();
+    let mut episode_start: Option<f64> = None;
+    for ev in events {
+        match ev {
+            QaEvent::LayerDropped { time, .. } => {
+                episode_start.get_or_insert(*time);
+            }
+            QaEvent::LayerAdded { time, .. } => {
+                if let Some(t0) = episode_start.take() {
+                    gaps.push(time - t0);
+                }
+            }
+            _ => {}
+        }
+    }
+    if gaps.is_empty() {
+        None
+    } else {
+        Some(gaps.iter().sum::<f64>() / gaps.len() as f64)
+    }
+}
+
 /// Run one session to a result (synchronously, on the calling thread).
 pub fn run_session(spec: &SessionSpec) -> SessionResult {
     let started = Instant::now();
@@ -366,6 +476,11 @@ pub fn run_session(spec: &SessionSpec) -> SessionResult {
         bottleneck_drops: out.bottleneck.dropped,
         rx_underflows: out.rx_underflows,
         rx_base_underflows: out.rx_base_underflows,
+        layer_change_rate: out.metrics.quality_changes() as f64 / spec.duration.max(1e-9),
+        recovery_secs_mean: mean_recovery_secs(out.metrics.events()),
+        base_starved_bytes: out.base_starved_bytes,
+        discarded_bytes: out.discarded_bytes,
+        fault_transitions: out.fault_stats.transitions(),
         trace_hash: hash_outcome(&out),
         wall_secs,
         events_processed: out.events_processed,
@@ -461,6 +576,7 @@ mod tests {
             k_max: 2,
             seed: 7,
             duration: 4.0,
+            fault_intensity: None,
         };
         let a = run_session(&spec);
         let b = run_session(&spec);
@@ -479,6 +595,19 @@ mod tests {
             assert_eq!(a.spec, b.spec);
             assert_eq!(a.trace_hash, b.trace_hash);
         }
+    }
+
+    #[test]
+    fn faults_grid_enumerates_intensities_and_labels_them() {
+        let spec =
+            CampaignSpec::faults_grid(&[TestKind::T1], &[2], &[0.0, 0.5, 1.0], &[7], 10.0);
+        assert_eq!(spec.len(), 3);
+        assert_eq!(spec.sessions[0].label(), "T1/k2/seed7");
+        assert_eq!(spec.sessions[0].fault_intensity, None, "0.0 = baseline");
+        assert_eq!(spec.sessions[1].label(), "T1/k2/seed7/f050");
+        assert_eq!(spec.sessions[2].label(), "T1/k2/seed7/f100");
+        assert!(!spec.sessions[2].scenario().faults.is_none());
+        assert!(spec.sessions[0].scenario().faults.is_none());
     }
 
     #[test]

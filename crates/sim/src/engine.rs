@@ -142,6 +142,46 @@ impl<'a> Ctx<'a> {
     pub fn link_queue_len(&self, link: LinkId) -> usize {
         self.core.links[link].queue_len()
     }
+
+    /// Current configuration of a link.
+    pub fn link_config(&self, link: LinkId) -> LinkConfig {
+        self.core.links[link].cfg
+    }
+
+    /// Change a link's bandwidth at runtime (fault injection). The engine
+    /// reads the configuration when each packet *starts* serializing, so a
+    /// packet already in flight finishes at its old speed — exactly the
+    /// physical behaviour of a rate change mid-transmission.
+    pub fn set_link_bandwidth(&mut self, link: LinkId, bandwidth: f64) {
+        assert!(
+            bandwidth.is_finite() && bandwidth > 0.0,
+            "link bandwidth must be finite and positive, got {bandwidth}"
+        );
+        self.core.links[link].cfg.bandwidth = bandwidth;
+    }
+
+    /// Change a link's propagation delay at runtime (RTT-spike injection).
+    /// Applies to packets that *finish* serializing after the change;
+    /// packets already propagating keep their old arrival time, so packet
+    /// order on the wire can invert during a spike — as on a real rerouted
+    /// path.
+    pub fn set_link_delay(&mut self, link: LinkId, delay: f64) {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "link delay must be finite and non-negative, got {delay}"
+        );
+        self.core.links[link].cfg.delay = delay;
+    }
+
+    /// Change a link's random (non-congestive) loss probability at runtime
+    /// (burst-loss injection). Clamped to `[0, 1]`.
+    pub fn set_link_loss_rate(&mut self, link: LinkId, loss_rate: f64) {
+        assert!(
+            loss_rate.is_finite(),
+            "link loss rate must be finite, got {loss_rate}"
+        );
+        self.core.links[link].cfg.loss_rate = loss_rate.clamp(0.0, 1.0);
+    }
 }
 
 /// A network endpoint or middlebox with protocol behaviour.
@@ -208,6 +248,12 @@ impl World {
     /// Counters of a link.
     pub fn link_stats(&self, link: LinkId) -> LinkStats {
         self.core.links[link].stats
+    }
+
+    /// Current configuration of a link (reflects any runtime mutation done
+    /// through [`Ctx::set_link_bandwidth`] and friends).
+    pub fn link_config(&self, link: LinkId) -> LinkConfig {
+        self.core.links[link].cfg
     }
 
     /// Typed view of an agent (e.g. to pull stats after a run).
@@ -533,5 +579,75 @@ mod tests {
         let mut w = World::new(1);
         w.run_until(3.5);
         assert!((w.now() - 3.5).abs() < 1e-9);
+    }
+
+    /// Agent that rewrites a link's configuration when its timer fires.
+    struct Mutator {
+        link: LinkId,
+        at: f64,
+        bandwidth: f64,
+        delay: f64,
+        observed_before: Option<LinkConfig>,
+    }
+
+    impl Agent for Mutator {
+        fn start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer_at(self.at, 0);
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx, _pkt: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Ctx, _token: u64) {
+            self.observed_before = Some(ctx.link_config(self.link));
+            ctx.set_link_bandwidth(self.link, self.bandwidth);
+            ctx.set_link_delay(self.link, self.delay);
+            ctx.set_link_loss_rate(self.link, 2.0); // clamps to 1.0
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn runtime_link_mutation_applies_to_later_packets() {
+        let mut w = World::new(1);
+        let l = w.add_link(LinkConfig {
+            bandwidth: 100_000.0,
+            delay: 0.01,
+            queue_packets: 100,
+            ..LinkConfig::default()
+        });
+        let sink = w.add_agent(Box::new(Sink { arrivals: vec![] }));
+        // One packet at t=0 (old config: 10 ms tx + 10 ms prop = 0.020),
+        // one at t=0.1 — after the mutator halves bandwidth and grows the
+        // delay, so it takes 20 ms tx + 50 ms prop = arrival at 0.170...
+        // except loss_rate is now 1.0, so it never arrives at all.
+        let _src = w.add_agent(Box::new(Pinger {
+            peer: sink,
+            route: vec![l],
+            count: 2,
+            interval: 0.1,
+            sent: 0,
+        }));
+        let m = w.add_agent(Box::new(Mutator {
+            link: l,
+            at: 0.05,
+            bandwidth: 50_000.0,
+            delay: 0.05,
+            observed_before: None,
+        }));
+        w.run_until(1.0);
+        let s: &Sink = w.agent(sink).unwrap();
+        assert_eq!(s.arrivals.len(), 1, "second packet randomly lost");
+        assert!((s.arrivals[0].0 - 0.02).abs() < 1e-9);
+        assert_eq!(w.link_stats(l).random_losses, 1);
+        let cfg = w.link_config(l);
+        assert_eq!(cfg.bandwidth, 50_000.0);
+        assert_eq!(cfg.delay, 0.05);
+        assert_eq!(cfg.loss_rate, 1.0, "loss rate clamped to 1");
+        let m: &Mutator = w.agent(m).unwrap();
+        let before = m.observed_before.expect("mutator ran");
+        assert_eq!(before.bandwidth, 100_000.0, "pre-mutation view intact");
     }
 }

@@ -14,6 +14,7 @@
 
 pub mod campaign;
 pub mod engine;
+pub mod faults;
 pub mod link;
 pub mod packet;
 pub mod rng;
@@ -37,6 +38,7 @@ pub use campaign::{
     SessionSpec, TestKind,
 };
 pub use engine::{Agent, Ctx, World};
+pub use faults::{FaultInjector, FaultPlan, FaultStats, FaultWiring};
 pub use link::{Link, LinkConfig, LinkStats, QueueKind, RedConfig};
 pub use packet::{AgentId, LinkId, Packet, PacketKind};
 pub use scenarios::{run_scenario, ScenarioConfig, ScenarioOutcome};

@@ -133,35 +133,46 @@ impl Link {
     /// `true` when accepted (caller schedules the dequeue when the link
     /// was idle), `false` when dropped.
     pub fn offer(&mut self, pkt: Packet, u_loss: f64, u_red: f64) -> bool {
+        // The head of a non-empty queue is in (or about to enter) service;
+        // only the packets behind it occupy queue slots. This deliberately
+        // ignores `busy`: in the window between an enqueue and its dequeue
+        // scheduling the flag is still false, and counting by it let an
+        // "idle" link with a non-empty queue accept unboundedly.
+        let waiting = self.queue.len().saturating_sub(1);
+        // RED's average-queue estimate must see *every* arrival — including
+        // packets the random-loss process removes below — or the average is
+        // biased low under non-congestive loss.
+        let mut red_drop = false;
+        if let QueueKind::Red(red) = self.cfg.queue_kind {
+            self.red_avg = (1.0 - red.wq) * self.red_avg + red.wq * waiting as f64;
+            if self.red_avg >= red.max_th {
+                red_drop = true;
+            } else if self.red_avg > red.min_th {
+                let p =
+                    red.max_p * (self.red_avg - red.min_th) / (red.max_th - red.min_th).max(1e-9);
+                red_drop = u_red < p;
+            }
+        }
         if self.cfg.loss_rate > 0.0 && u_loss < self.cfg.loss_rate {
             self.stats.random_losses += 1;
             return false;
         }
-        // While busy, the queue's head is the packet in service; only the
-        // ones behind it occupy queue slots.
-        let waiting = self.queue.len().saturating_sub(usize::from(self.busy));
-        if let QueueKind::Red(red) = self.cfg.queue_kind {
-            self.red_avg = (1.0 - red.wq) * self.red_avg + red.wq * waiting as f64;
-            if self.red_avg >= red.max_th {
-                self.stats.dropped += 1;
-                return false;
-            }
-            if self.red_avg > red.min_th {
-                let p =
-                    red.max_p * (self.red_avg - red.min_th) / (red.max_th - red.min_th).max(1e-9);
-                if u_red < p {
-                    self.stats.dropped += 1;
-                    return false;
-                }
-            }
+        if red_drop {
+            self.stats.dropped += 1;
+            return false;
         }
-        if self.busy && waiting >= self.cfg.queue_packets {
+        // Drop-tail bound on queue occupancy whenever the queue is
+        // non-empty (an empty queue always accepts: the packet goes
+        // straight into service).
+        if !self.queue.is_empty() && waiting >= self.cfg.queue_packets {
             self.stats.dropped += 1;
             return false;
         }
         self.queue.push_back(pkt);
         self.stats.enqueued += 1;
-        self.stats.peak_queue = self.stats.peak_queue.max(self.queue.len());
+        // Peak counts *waiting* packets (excluding the head in service),
+        // consistent with the admission bound above.
+        self.stats.peak_queue = self.stats.peak_queue.max(self.queue.len() - 1);
         true
     }
 
@@ -238,7 +249,29 @@ mod tests {
         for i in 0..5 {
             offer(&mut l, pkt(i));
         }
-        assert_eq!(l.stats.peak_queue, 5);
+        // Five in the queue = one in (or entering) service + four waiting;
+        // peak counts the waiting packets, same as the admission bound.
+        assert_eq!(l.stats.peak_queue, 4);
+    }
+
+    #[test]
+    fn occupancy_bounded_even_when_not_marked_busy() {
+        // Regression: in the window between enqueue and dequeue scheduling
+        // `busy` is still false, and the old bound (`busy && ...`) let the
+        // queue grow without limit.
+        let mut l = Link::new(LinkConfig {
+            bandwidth: 1e6,
+            delay: 0.01,
+            queue_packets: 2,
+            ..LinkConfig::default()
+        });
+        assert!(offer(&mut l, pkt(1)), "empty queue accepts into service");
+        assert!(offer(&mut l, pkt(2)));
+        assert!(offer(&mut l, pkt(3)));
+        assert!(!offer(&mut l, pkt(4)), "bound applies while busy is false");
+        assert_eq!(l.queue.len(), 3);
+        assert_eq!(l.stats.dropped, 1);
+        assert_eq!(l.stats.peak_queue, 2);
     }
 
     #[test]
@@ -295,6 +328,36 @@ mod tests {
         }
         // avg >= 2 now: unconditional drop regardless of u_red.
         assert!(!l.offer(pkt(10), 0.9, 0.999));
+    }
+
+    #[test]
+    fn red_average_updates_on_randomly_lost_arrivals() {
+        // Regression: the random-loss process used to return before the RED
+        // estimate was touched, biasing `red_avg` low under non-congestive
+        // loss. Every arrival must update the average, lost or not.
+        let red = RedConfig {
+            min_th: 1.0,
+            max_th: 50.0,
+            max_p: 0.1,
+            wq: 1.0,
+        };
+        let mut l = Link::new(LinkConfig {
+            queue_packets: 100,
+            queue_kind: QueueKind::Red(red),
+            loss_rate: 1.0, // every offer is randomly lost
+            ..LinkConfig::default()
+        });
+        l.queue.push_back(pkt(0));
+        l.queue.push_back(pkt(1));
+        l.queue.push_back(pkt(2));
+        l.busy = true;
+        assert!(!l.offer(pkt(10), 0.0, 0.99), "randomly lost");
+        assert_eq!(l.stats.random_losses, 1);
+        assert!(
+            (l.red_avg - 2.0).abs() < 1e-12,
+            "red_avg must track the 2 waiting packets, got {}",
+            l.red_avg
+        );
     }
 
     #[test]

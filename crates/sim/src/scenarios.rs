@@ -4,6 +4,7 @@
 
 use crate::agents::cbr::{CbrAgent, CountingSink};
 use crate::agents::monitor::QueueMonitor;
+use crate::faults::{FaultInjector, FaultPlan, FaultStats, FaultWiring};
 use crate::agents::qa::{QaSinkAgent, QaSourceAgent, QaTraces};
 use crate::agents::rap::{RapFlowAgent, RapSinkAgent};
 use crate::agents::tcp::{TcpAgent, TcpSinkAgent};
@@ -43,6 +44,10 @@ pub struct ScenarioConfig {
     /// Layers `0..n` protected by selective retransmission (§1.3);
     /// 0 = off (the paper's evaluation setting).
     pub retransmit_protect: usize,
+    /// Fault-injection schedule. [`FaultPlan::none`] (the default for T1
+    /// and T2) adds no agent at all, so baseline trajectories — and every
+    /// seed-pinned golden built on them — stay bit-identical.
+    pub faults: FaultPlan,
 }
 
 impl ScenarioConfig {
@@ -85,6 +90,7 @@ impl ScenarioConfig {
             tick_dt: 0.05,
             qa_start: 5.0,
             retransmit_protect: 0,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -127,6 +133,15 @@ pub struct ScenarioOutcome {
     /// Discrete events the engine dispatched during the run (deterministic;
     /// feeds the events/sec throughput figure in run summaries).
     pub events_processed: u64,
+    /// Fault-injection transition counters (all zero when the scenario ran
+    /// without a fault plan).
+    pub fault_stats: FaultStats,
+    /// Bytes the receiver's *base layer* wanted but could not play
+    /// (starvation depth; zero in a healthy run).
+    pub base_starved_bytes: f64,
+    /// Receiver bytes written off by layer drops (satellite of the §5
+    /// efficiency metric; see `LayerBuffer::discarded_bytes`).
+    pub discarded_bytes: f64,
 }
 
 /// Build and run a scenario, returning the collected outcome.
@@ -237,6 +252,35 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
         )));
     }
 
+    // The fault injector (and its churn sink) exist only when the plan has
+    // at least one fault family enabled; an empty plan leaves the agent
+    // list, the link set and every RNG stream untouched.
+    let injector_id = if cfg.faults.is_none() {
+        None
+    } else {
+        let churn_sink = d.world.add_agent(Box::new(CountingSink::default()));
+        let churn_route = d.forward_route();
+        let churn_rate = cfg
+            .faults
+            .churn
+            .map(|c| c.rate_frac * cfg.dumbbell.bottleneck_bw)
+            .unwrap_or(0.0);
+        let wiring = FaultWiring {
+            forward: d.bottleneck(),
+            reverse: d.reverse_bottleneck(),
+            churn_dst: churn_sink,
+            churn_route,
+            churn_rate,
+            churn_packet: pkt,
+            churn_flow: 998,
+        };
+        Some(d.world.add_agent(Box::new(FaultInjector::new(
+            cfg.faults.clone(),
+            cfg.seed,
+            wiring,
+        ))))
+    };
+
     let bottleneck = d.bottleneck();
     let monitor_id = d.world.add_agent(Box::new(QueueMonitor::new(
         vec![bottleneck],
@@ -257,17 +301,24 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
         .collect();
 
     let bottleneck_stats = world.link_stats(bottleneck);
-    let (rx_buffers, rx_underflows, rx_base_underflows) = {
+    let (rx_buffers, rx_underflows, rx_base_underflows, base_starved_bytes, discarded_bytes) = {
         let sink: &QaSinkAgent = world.agent(qa_sink_id).unwrap();
-        let base = sink
-            .receiver
-            .stats()
-            .underflows
-            .first()
-            .copied()
-            .unwrap_or(0);
-        (sink.buffer_trace.clone(), sink.underflows, base)
+        let stats = sink.receiver.stats();
+        let base = stats.underflows.first().copied().unwrap_or(0);
+        let starved = stats.starved.first().copied().unwrap_or(0.0);
+        let discarded = sink.receiver.total_discarded();
+        (
+            sink.buffer_trace.clone(),
+            sink.underflows,
+            base,
+            starved,
+            discarded,
+        )
     };
+    let fault_stats = injector_id
+        .and_then(|id| world.agent::<FaultInjector>(id))
+        .map(|f| f.stats)
+        .unwrap_or_default();
     let queue_trace = world
         .agent::<QueueMonitor>(monitor_id)
         .map(|m| m.series[0].clone())
@@ -287,6 +338,9 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
         final_buffers: src.qa().buffers().to_vec(),
         queue_trace,
         events_processed,
+        fault_stats,
+        base_starved_bytes,
+        discarded_bytes,
     }
 }
 

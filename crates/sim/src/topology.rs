@@ -94,6 +94,11 @@ impl Dumbbell {
         self.fwd_bottleneck
     }
 
+    /// The shared reverse (ACK-path) bottleneck link.
+    pub fn reverse_bottleneck(&self) -> LinkId {
+        self.rev_bottleneck
+    }
+
     /// Configuration used.
     pub fn config(&self) -> DumbbellConfig {
         self.cfg

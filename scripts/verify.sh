@@ -10,19 +10,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/5 build (release) =="
+echo "== 1/6 build (release) =="
 cargo build --release
 
-echo "== 2/5 tests =="
+echo "== 2/6 tests =="
 cargo test -q
 
-echo "== 3/5 clippy (deny warnings) =="
+echo "== 3/6 clippy (deny warnings) =="
 cargo clippy --all-targets -- -D warnings
 
-echo "== 4/5 campaign smoke sweep =="
+echo "== 4/6 campaign smoke sweep =="
 cargo run --release -p laqa-bench --bin campaign -- --smoke
 
-echo "== 5/5 observability inertness (fingerprints with --obs on vs off) =="
+echo "== 5/6 observability inertness (fingerprints with --obs on vs off) =="
 # The smoke sweep prints one fingerprint line per replay check; enabling
 # the laqa-obs instrumentation must not change a single bit of any of
 # them (see crates/sim/tests/obs_inertness.rs for the in-tree half).
@@ -40,5 +40,21 @@ if [ "$fp_off" != "$fp_on" ]; then
 fi
 echo "fingerprints identical with obs on/off: $fp_off"
 cargo run --release -p laqa-bench --bin laqa -- obs-report --dir "$obs_dir"
+
+echo "== 6/6 fault-injection smoke (seed-replay fingerprint) =="
+# The fault sweep must be a pure function of its seeds: two consecutive
+# runs of the same grid (which also each self-check across thread
+# counts) must print the same campaign fingerprint.
+fault_fp_a=$(cargo run --release -p laqa-bench --bin campaign -- --faults --smoke \
+  | grep -oE 'fingerprint [0-9a-f]{16}')
+fault_fp_b=$(cargo run --release -p laqa-bench --bin campaign -- --faults --smoke \
+  | grep -oE 'fingerprint [0-9a-f]{16}')
+if [ -z "$fault_fp_a" ] || [ "$fault_fp_a" != "$fault_fp_b" ]; then
+  echo "FAIL: fault campaign fingerprints diverge between runs" >&2
+  echo "  run A: $fault_fp_a" >&2
+  echo "  run B: $fault_fp_b" >&2
+  exit 1
+fi
+echo "fault campaign replays bit-identically: $fault_fp_a"
 
 echo "verify OK"
