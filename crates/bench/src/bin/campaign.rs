@@ -16,6 +16,8 @@
 //! options: --threads N  --duration S  --kmax 2,3,4  --seeds 7,21  --out DIR
 //!          --intensity 0,0.5,1   # fault-suite intensities (with --faults)
 //!          --obs DIR      # enable laqa-obs and export the snapshot to DIR
+//!          --sched heap|wheel    # event-scheduler implementation (default wheel;
+//!                                # fingerprints are identical either way)
 //! ```
 //!
 //! `--obs` turns the workspace-wide instrumentation on for the run and
@@ -50,6 +52,15 @@ fn main() {
             args.command
         );
         std::process::exit(2);
+    }
+    if let Some(raw) = args.options.get("sched") {
+        match raw.parse::<laqa_sim::SchedulerKind>() {
+            Ok(kind) => laqa_sim::set_ambient_scheduler(kind),
+            Err(e) => {
+                eprintln!("error: --sched {raw}: {e}");
+                std::process::exit(2);
+            }
+        }
     }
     let obs_dir = args.options.get("obs").map(std::path::PathBuf::from);
     if obs_dir.is_some() {

@@ -88,6 +88,10 @@ pub struct QaController {
     peak_rate: f64,
     phase: Phase,
     drain_seq: Option<StateSequence>,
+    /// Scratch sequence reused by the per-tick filling-path rebuild.
+    fill_scratch: StateSequence,
+    /// Scratch sequence reused by the per-tick add-layer check.
+    next_scratch: StateSequence,
     /// Byte credits per layer for the packet scheduler.
     credits: Vec<f64>,
     /// Current per-layer allocation (bytes/s).
@@ -112,6 +116,8 @@ impl QaController {
             peak_rate: 0.0,
             phase: Phase::Filling,
             drain_seq: None,
+            fill_scratch: StateSequence::default(),
+            next_scratch: StateSequence::default(),
             credits: vec![0.0; n],
             alloc_rates: vec![0.0; n],
             playing: false,
@@ -327,8 +333,12 @@ impl QaController {
         let protect = 0.75 * slack;
         if rate >= consumption {
             self.phase = Phase::Filling;
-            // Build the filling path at the current rate and allocate.
-            let mut seq = self.fill_sequence(rate);
+            // Build the filling path at the current rate and allocate. The
+            // sequences are rebuilt in place into scratch storage: ticks
+            // run every period on the transport's hot path, and recycling
+            // the state vectors keeps the tick allocation-free.
+            let mut seq = std::mem::take(&mut self.fill_scratch);
+            self.rebuild_fill(&mut seq, rate, self.n_active);
             let mut alloc = allocate_filling(
                 &seq,
                 &self.bufs,
@@ -340,13 +350,8 @@ impl QaController {
             // Add at most one layer per tick (the paper adds layers one at
             // a time; rationing the ramp also keeps a startup rate
             // overestimate from instantiating the whole encoding at once).
-            let next_seq = StateSequence::build(
-                rate,
-                self.n_active + 1,
-                self.cfg.layer_rate,
-                self.slope,
-                self.cfg.fill_horizon_backoffs,
-            );
+            let mut next_seq = std::mem::take(&mut self.next_scratch);
+            self.rebuild_fill(&mut next_seq, rate, self.n_active + 1);
             let check = check_add(
                 &seq,
                 &next_seq,
@@ -359,11 +364,12 @@ impl QaController {
                     eps: self.cfg.epsilon_bytes,
                 },
             );
+            self.next_scratch = next_seq;
             if check.all_ok() {
                 self.add_layer(now);
                 added += 1;
                 if rate >= self.cfg.consumption(self.n_active) {
-                    seq = self.fill_sequence(rate);
+                    self.rebuild_fill(&mut seq, rate, self.n_active);
                     alloc = allocate_filling(
                         &seq,
                         &self.bufs,
@@ -374,6 +380,7 @@ impl QaController {
                     );
                 }
             }
+            self.fill_scratch = seq;
             self.alloc_rates = alloc.per_layer_rate;
             // Base-layer protection while filling: the state path invests
             // excess across all layers' targets, but with the base buffer
@@ -407,8 +414,9 @@ impl QaController {
             // band's worth of data is a genuine distribution failure.
             let critical = (0.5 * c * dt).max(self.cfg.epsilon_bytes);
             loop {
-                let seq = self.drain_sequence();
-                let plan = plan_draining(&seq, &self.bufs, rate, dt, self.cfg.epsilon_bytes);
+                self.ensure_drain_seq();
+                let seq = self.drain_seq.as_ref().expect("just built");
+                let plan = plan_draining(seq, &self.bufs, rate, dt, self.cfg.epsilon_bytes);
                 if plan.shortfall <= critical || self.n_active == 1 {
                     self.alloc_rates = plan.per_layer_rate;
                     break;
@@ -464,32 +472,37 @@ impl QaController {
         }
     }
 
-    fn fill_sequence(&self, rate: f64) -> StateSequence {
-        StateSequence::build(
+    /// Rebuild `seq` in place as the filling path for `n_active` layers at
+    /// `rate` (scratch-reuse form of the old per-tick `StateSequence::build`).
+    fn rebuild_fill(&self, seq: &mut StateSequence, rate: f64, n_active: usize) {
+        seq.rebuild(
             rate,
-            self.n_active,
+            n_active,
             self.cfg.layer_rate,
             self.slope,
             self.cfg.fill_horizon_backoffs,
-        )
+        );
     }
 
-    fn drain_sequence(&mut self) -> StateSequence {
+    /// Make `self.drain_seq` current for the present peak rate and layer
+    /// count, rebuilding in place (reusing its allocations) when stale.
+    fn ensure_drain_seq(&mut self) {
         let peak = self.peak_rate.max(self.cfg.consumption(self.n_active));
-        let rebuild = match &self.drain_seq {
+        let stale = match &self.drain_seq {
             Some(seq) => seq.n_active != self.n_active || (seq.rate - peak).abs() > 1e-9,
             None => true,
         };
-        if rebuild {
-            self.drain_seq = Some(StateSequence::build(
+        if stale {
+            let mut seq = self.drain_seq.take().unwrap_or_default();
+            seq.rebuild(
                 peak,
                 self.n_active,
                 self.cfg.layer_rate,
                 self.slope,
                 self.cfg.fill_horizon_backoffs,
-            ));
+            );
+            self.drain_seq = Some(seq);
         }
-        self.drain_seq.clone().expect("just built")
     }
 
     /// Count and log a phase flip (observability only; no control effect).

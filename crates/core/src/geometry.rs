@@ -97,10 +97,27 @@ pub fn band_allocation(
     slope: f64,
     n_layers: usize,
 ) -> Vec<f64> {
+    let mut shares = Vec::new();
+    band_allocation_into(deficit_rate, layer_rate, slope, n_layers, &mut shares);
+    shares
+}
+
+/// [`band_allocation`] writing into a caller-provided buffer, so hot paths
+/// (the per-tick state-sequence rebuild) can recycle allocations. `shares`
+/// is cleared and resized to `n_layers`; values are identical to the
+/// allocating variant.
+pub fn band_allocation_into(
+    deficit_rate: f64,
+    layer_rate: f64,
+    slope: f64,
+    n_layers: usize,
+    shares: &mut Vec<f64>,
+) {
     debug_assert!(layer_rate > 0.0 && slope > 0.0);
-    let mut shares = vec![0.0; n_layers];
+    shares.clear();
+    shares.resize(n_layers, 0.0);
     if deficit_rate <= 0.0 || n_layers == 0 {
-        return shares;
+        return;
     }
     let c = layer_rate;
     let d0 = deficit_rate;
@@ -128,7 +145,6 @@ pub fn band_allocation(
             shares[0] += missing;
         }
     }
-    shares
 }
 
 /// Per-layer *drain rates* at a given instant of the draining phase, under

@@ -28,7 +28,7 @@
 //! Scenario 1 states before Scenario 2 states of equal total (see
 //! [`crate::states`]).
 
-use crate::geometry::{band_allocation, deficit, triangle_area};
+use crate::geometry::{band_allocation_into, deficit, triangle_area};
 
 /// The two extremal multi-backoff loss patterns of §4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -123,34 +123,56 @@ pub fn per_layer(
     layer_rate: f64,
     slope: f64,
 ) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut tmp = Vec::new();
+    per_layer_into(scenario, k, rate, n_active, layer_rate, slope, &mut out, &mut tmp);
+    out
+}
+
+/// [`per_layer`] writing into caller-provided buffers so the per-tick
+/// state-sequence rebuild can recycle allocations. `out` receives the
+/// targets (cleared first); `tmp` is scratch for the Scenario-2 recurring
+/// triangle. Values are identical to the allocating variant.
+#[allow(clippy::too_many_arguments)]
+pub fn per_layer_into(
+    scenario: Scenario,
+    k: u32,
+    rate: f64,
+    n_active: usize,
+    layer_rate: f64,
+    slope: f64,
+    out: &mut Vec<f64>,
+    tmp: &mut Vec<f64>,
+) {
+    out.clear();
     let consumption = n_active as f64 * layer_rate;
     if n_active == 0 {
-        return Vec::new();
+        return;
     }
     if consumption <= 0.0 || k == 0 {
-        return vec![0.0; n_active];
+        out.resize(n_active, 0.0);
+        return;
     }
     let k1 = min_backoffs_below(rate, consumption);
     if k < k1 {
-        return vec![0.0; n_active];
+        out.resize(n_active, 0.0);
+        return;
     }
     match scenario {
         Scenario::One => {
             let post = rate / 2f64.powi(k as i32);
-            band_allocation(deficit(consumption, post), layer_rate, slope, n_active)
+            band_allocation_into(deficit(consumption, post), layer_rate, slope, n_active, out);
         }
         Scenario::Two => {
             let post = rate / 2f64.powi(k1 as i32);
-            let mut shares =
-                band_allocation(deficit(consumption, post), layer_rate, slope, n_active);
+            band_allocation_into(deficit(consumption, post), layer_rate, slope, n_active, out);
             if k > k1 {
-                let recurring = band_allocation(consumption / 2.0, layer_rate, slope, n_active);
+                band_allocation_into(consumption / 2.0, layer_rate, slope, n_active, tmp);
                 let mult = (k - k1) as f64;
-                for (s, r) in shares.iter_mut().zip(recurring.iter()) {
+                for (s, r) in out.iter_mut().zip(tmp.iter()) {
                     *s += mult * r;
                 }
             }
-            shares
         }
     }
 }

@@ -18,7 +18,7 @@
 //! state" and keeps the path drain-free; the pre-clamp targets are kept
 //! available for the ablation benchmarks.
 
-use crate::scenario::{min_backoffs_below, per_layer, Scenario};
+use crate::scenario::{min_backoffs_below, per_layer_into, Scenario};
 
 /// One optimal buffer state `(scenario, k)` with its per-layer targets.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,7 +56,7 @@ impl BufferState {
 }
 
 /// The ordered, monotone path of buffer states for a given operating point.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StateSequence {
     /// Transmission rate (bytes/s) the sequence was computed for — the rate
@@ -84,32 +84,62 @@ impl StateSequence {
     /// can stand in for the Scenario 2 one of equal total, §4), then the
     /// running per-layer maximum is applied.
     pub fn build(rate: f64, n_active: usize, layer_rate: f64, slope: f64, k_horizon: u32) -> Self {
+        let mut seq = StateSequence::default();
+        seq.rebuild(rate, n_active, layer_rate, slope, k_horizon);
+        seq
+    }
+
+    /// Recompute the sequence in place for a new operating point, recycling
+    /// the previous contents' allocations. Produces exactly the same value
+    /// as [`build`](Self::build) with the same arguments; the point is that
+    /// a caller ticking every period (the QA controller) reuses the state
+    /// and per-layer vectors instead of reallocating ~2 `Vec`s per state
+    /// per tick.
+    pub fn rebuild(
+        &mut self,
+        rate: f64,
+        n_active: usize,
+        layer_rate: f64,
+        slope: f64,
+        k_horizon: u32,
+    ) {
         let consumption = n_active as f64 * layer_rate;
         let k1 = if consumption > 0.0 {
             min_backoffs_below(rate, consumption)
         } else {
             1
         };
-        let mut states: Vec<BufferState> = Vec::new();
+        // Recycle every vector the previous contents owned.
+        let mut pool: Vec<Vec<f64>> = Vec::with_capacity(2 * self.states.len() + 1);
+        for st in self.states.drain(..) {
+            pool.push(st.raw_per_layer);
+            pool.push(st.per_layer);
+        }
+        let mut tmp = pool.pop().unwrap_or_default();
         for k in 1..=k_horizon {
             for &scenario in &Scenario::ALL {
                 if scenario == Scenario::Two && k <= k1 {
                     // Identical to Scenario 1 with k = k1; skip duplicates.
                     continue;
                 }
-                let raw = per_layer(scenario, k, rate, n_active, layer_rate, slope);
+                let mut raw = pool.pop().unwrap_or_default();
+                per_layer_into(scenario, k, rate, n_active, layer_rate, slope, &mut raw, &mut tmp);
                 if raw.iter().sum::<f64>() <= 0.0 {
+                    pool.push(raw);
                     continue; // k < k1: no draining phase, nothing to protect.
                 }
-                states.push(BufferState {
+                let mut clamped = pool.pop().unwrap_or_default();
+                clamped.clear();
+                clamped.extend_from_slice(&raw);
+                self.states.push(BufferState {
                     scenario,
                     k,
-                    per_layer: raw.clone(),
+                    per_layer: clamped,
                     raw_per_layer: raw,
                 });
             }
         }
-        states.sort_by(|a, b| {
+        self.states.sort_by(|a, b| {
             a.raw_total()
                 .partial_cmp(&b.raw_total())
                 .unwrap_or(std::cmp::Ordering::Equal)
@@ -123,9 +153,10 @@ impl StateSequence {
                 })
         });
         // Figure-10 monotonicity: running per-layer maximum.
-        let mut running = vec![0.0f64; n_active];
-        for state in &mut states {
-            for (target, run) in state.per_layer.iter_mut().zip(running.iter_mut()) {
+        tmp.clear();
+        tmp.resize(n_active, 0.0);
+        for state in &mut self.states {
+            for (target, run) in state.per_layer.iter_mut().zip(tmp.iter_mut()) {
                 if *target < *run {
                     *target = *run;
                 } else {
@@ -133,14 +164,11 @@ impl StateSequence {
                 }
             }
         }
-        StateSequence {
-            rate,
-            n_active,
-            layer_rate,
-            slope,
-            k1,
-            states,
-        }
+        self.rate = rate;
+        self.n_active = n_active;
+        self.layer_rate = layer_rate;
+        self.slope = slope;
+        self.k1 = k1;
     }
 
     /// Index of the first state not yet satisfied by `bufs`, or `None` when

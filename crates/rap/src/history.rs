@@ -10,7 +10,7 @@
 //! report feeds both the AIMD backoff and the quality-adaptation buffer
 //! accounting.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// Record of one transmitted, not-yet-resolved packet.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,10 +36,26 @@ pub struct LostPacket {
 }
 
 /// Outstanding-packet table with loss inference.
+///
+/// Sequence numbers from a RAP sender are assigned consecutively, so the
+/// unresolved set is a dense sliding window: it lives in a `VecDeque`
+/// ring indexed by `seq - base` rather than a tree, making every hot-path
+/// operation O(1) amortized with **zero steady-state allocation** (the
+/// ring's buffer is reused as the window slides). Resolved slots become
+/// `None` in place; the front is trimmed so the window never grows past
+/// the true in-flight span. All observable orders (resolution, loss
+/// reporting, byte summation) remain ascending-sequence, exactly as the
+/// previous `BTreeMap` implementation produced them.
 #[derive(Debug, Clone, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TransmissionHistory {
-    outstanding: BTreeMap<u64, PacketRecord>,
+    /// Window of sends, `window[i]` holding sequence `base + i`
+    /// (`None` once resolved).
+    window: VecDeque<Option<PacketRecord>>,
+    /// Sequence number of `window[0]`.
+    base: u64,
+    /// Unresolved (`Some`) entries in the window.
+    live: usize,
     /// Highest sequence the receiver has demonstrably received.
     highest_received: Option<u64>,
     reorder_threshold: u64,
@@ -50,7 +66,9 @@ impl TransmissionHistory {
     /// a hole before the hole is declared lost).
     pub fn new(reorder_threshold: u64) -> Self {
         TransmissionHistory {
-            outstanding: BTreeMap::new(),
+            window: VecDeque::new(),
+            base: 0,
+            live: 0,
             highest_received: None,
             reorder_threshold: reorder_threshold.max(1),
         }
@@ -58,39 +76,112 @@ impl TransmissionHistory {
 
     /// Number of unresolved packets.
     pub fn outstanding(&self) -> usize {
-        self.outstanding.len()
+        self.live
     }
 
     /// Bytes in flight (unresolved).
     pub fn outstanding_bytes(&self) -> f64 {
-        self.outstanding.values().map(|r| r.size).sum()
+        // Summed in ascending-sequence order (same order the tree
+        // iterated), so accumulated floating point is bit-identical.
+        self.window
+            .iter()
+            .filter_map(|slot| slot.as_ref().map(|r| r.size))
+            .sum()
     }
 
     /// Send time of the oldest unresolved packet.
     pub fn oldest_send_time(&self) -> Option<f64> {
-        self.outstanding.values().next().map(|r| r.send_time)
+        // The front slot is live whenever the window is non-empty (the
+        // trim invariant), but scan defensively rather than rely on it.
+        self.window
+            .iter()
+            .find_map(|slot| slot.as_ref().map(|r| r.send_time))
     }
 
-    /// Register a transmission.
+    /// Drop resolved slots off the front so `window[0]` is live (or the
+    /// window is empty). Keeps the ring bounded by the in-flight span.
+    fn trim_front(&mut self) {
+        while matches!(self.window.front(), Some(None)) {
+            self.window.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Register a transmission. Sequences are normally consecutive and
+    /// increasing (the sender's counter); any gap is represented by
+    /// resolved filler slots so out-of-pattern callers stay correct.
     pub fn on_send(&mut self, seq: u64, record: PacketRecord) {
-        self.outstanding.insert(seq, record);
+        if self.window.is_empty() {
+            self.base = seq;
+            self.window.push_back(Some(record));
+            self.live += 1;
+            return;
+        }
+        if seq < self.base {
+            while self.base - seq > 1 {
+                self.window.push_front(None);
+                self.base -= 1;
+            }
+            self.window.push_front(Some(record));
+            self.base = seq;
+            self.live += 1;
+            return;
+        }
+        let i = (seq - self.base) as usize;
+        if i < self.window.len() {
+            if self.window[i].replace(record).is_none() {
+                self.live += 1;
+            }
+            return;
+        }
+        while self.window.len() < i {
+            self.window.push_back(None);
+        }
+        self.window.push_back(Some(record));
+        self.live += 1;
     }
 
     /// Mark `seq` as received; returns its record (for RTT sampling) when it
     /// was outstanding.
     pub fn mark_received(&mut self, seq: u64) -> Option<PacketRecord> {
         self.highest_received = Some(self.highest_received.map_or(seq, |h| h.max(seq)));
-        self.outstanding.remove(&seq)
+        if seq < self.base {
+            return None;
+        }
+        let i = (seq - self.base) as usize;
+        let record = self.window.get_mut(i)?.take()?;
+        self.live -= 1;
+        self.trim_front();
+        Some(record)
+    }
+
+    /// Mark every sequence `<= cum` as received (cumulative ACK), calling
+    /// `resolved` once per record in ascending sequence order. The
+    /// allocation-free core of [`mark_received_upto`].
+    pub fn for_each_received_upto(
+        &mut self,
+        cum: u64,
+        mut resolved: impl FnMut(u64, PacketRecord),
+    ) {
+        self.highest_received = Some(self.highest_received.map_or(cum, |h| h.max(cum)));
+        while !self.window.is_empty() && self.base <= cum {
+            let seq = self.base;
+            let slot = self.window.pop_front().expect("checked non-empty");
+            self.base += 1;
+            if let Some(record) = slot {
+                self.live -= 1;
+                resolved(seq, record);
+            }
+        }
+        self.trim_front();
     }
 
     /// Mark every sequence `<= cum` as received (cumulative ACK); returns
     /// the records resolved by this call (for delivery accounting).
     pub fn mark_received_upto(&mut self, cum: u64) -> Vec<(u64, PacketRecord)> {
-        self.highest_received = Some(self.highest_received.map_or(cum, |h| h.max(cum)));
-        // Split off the still-outstanding suffix, keep it.
-        let keep = self.outstanding.split_off(&(cum + 1));
-        let resolved = std::mem::replace(&mut self.outstanding, keep);
-        resolved.into_iter().collect()
+        let mut out = Vec::new();
+        self.for_each_received_upto(cum, |seq, record| out.push((seq, record)));
+        out
     }
 
     /// Infer losses: every outstanding packet that precedes the highest
@@ -105,22 +196,36 @@ impl TransmissionHistory {
         }
         let cutoff = h - self.reorder_threshold;
         let mut lost = Vec::new();
-        let keys: Vec<u64> = self.outstanding.range(..=cutoff).map(|(&k, _)| k).collect();
-        for seq in keys {
-            if let Some(record) = self.outstanding.remove(&seq) {
+        while !self.window.is_empty() && self.base <= cutoff {
+            let seq = self.base;
+            let slot = self.window.pop_front().expect("checked non-empty");
+            self.base += 1;
+            if let Some(record) = slot {
+                self.live -= 1;
                 lost.push(LostPacket { seq, record });
             }
         }
+        self.trim_front();
         lost
     }
 
     /// Declare every outstanding packet lost (timeout). Returns them in
     /// sequence order.
     pub fn flush_all_as_lost(&mut self) -> Vec<LostPacket> {
-        let out = std::mem::take(&mut self.outstanding);
-        out.into_iter()
-            .map(|(seq, record)| LostPacket { seq, record })
-            .collect()
+        let base = self.base;
+        let out = self
+            .window
+            .drain(..)
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                slot.map(|record| LostPacket {
+                    seq: base + i as u64,
+                    record,
+                })
+            })
+            .collect();
+        self.live = 0;
+        out
     }
 }
 

@@ -104,19 +104,28 @@ impl RapReceiverState {
         }
         self.highest = Some(self.highest.map_or(seq, |h| h.max(seq)));
         let highest = self.highest.unwrap();
-        // Build the mask for highest-1 down to highest-64.
+        // Build the mask for highest-1 down to highest-64: bit `i` covers
+        // sequence `highest - 1 - i`, received iff at/below the cumulative
+        // pointer or parked in `pending`. Both sources translate to bit
+        // runs directly — the cumulative prefix is one shifted all-ones
+        // word, and `pending` (out-of-order holes only, normally empty)
+        // contributes one bit per member in window — so no per-bit probe
+        // loop is needed on this per-packet path.
         let mut mask = 0u64;
-        for i in 0..64u64 {
-            if highest > i {
-                let s = highest - 1 - i;
-                let got = match self.cum {
-                    Some(c) if s <= c => true,
-                    _ => self.pending.contains(&s),
-                };
-                if got {
-                    mask |= 1 << i;
-                }
+        if let (Some(c), true) = (self.cum, highest >= 1) {
+            let lo = highest - 1; // sequence covered by bit 0
+            if c >= lo {
+                mask = u64::MAX;
+            } else if lo - c < 64 {
+                mask = u64::MAX << (lo - c);
             }
+        }
+        for &p in self.pending.range(highest.saturating_sub(64)..highest) {
+            mask |= 1 << (highest - 1 - p);
+        }
+        if highest < 64 {
+            // Bits at and above `highest` would name negative sequences.
+            mask &= (1u64 << highest) - 1;
         }
         AckInfo {
             ack_seq: seq,

@@ -275,27 +275,38 @@ impl RapSender {
             });
         }
         if ack.cum_seq != u64::MAX {
-            for (seq, record) in self.history.mark_received_upto(ack.cum_seq) {
-                self.events.push(RapEvent::PacketAcked {
-                    time: now,
-                    seq,
-                    size: record.size,
-                    tag: record.tag,
+            let events = &mut self.events;
+            self.history
+                .for_each_received_upto(ack.cum_seq, |seq, record| {
+                    events.push(RapEvent::PacketAcked {
+                        time: now,
+                        seq,
+                        size: record.size,
+                        tag: record.tag,
+                    });
                 });
-            }
         }
-        // Mask-proven receptions.
+        // Mask-proven receptions: walk set bits only (bit `i` names
+        // sequence `highest - 1 - i`; bits at or above `highest` are
+        // invalid and masked off). Ascending bit order, same as the old
+        // 0..64 scan.
         if ack.highest >= 1 {
-            for i in 0..64u64 {
-                if ack.highest > i && ack.mask & (1 << i) != 0 {
-                    if let Some(record) = self.history.mark_received(ack.highest - 1 - i) {
-                        self.events.push(RapEvent::PacketAcked {
-                            time: now,
-                            seq: ack.highest - 1 - i,
-                            size: record.size,
-                            tag: record.tag,
-                        });
-                    }
+            let valid = if ack.highest >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << ack.highest) - 1
+            };
+            let mut bits = ack.mask & valid;
+            while bits != 0 {
+                let i = u64::from(bits.trailing_zeros());
+                bits &= bits - 1;
+                if let Some(record) = self.history.mark_received(ack.highest - 1 - i) {
+                    self.events.push(RapEvent::PacketAcked {
+                        time: now,
+                        seq: ack.highest - 1 - i,
+                        size: record.size,
+                        tag: record.tag,
+                    });
                 }
             }
         }
@@ -387,6 +398,13 @@ impl RapSender {
     /// Drain accumulated protocol events.
     pub fn take_events(&mut self) -> Vec<RapEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Drain accumulated protocol events into `out`, preserving both
+    /// buffers' capacity — the zero-allocation alternative to
+    /// [`take_events`](Self::take_events) for per-tick polling loops.
+    pub fn drain_events_into(&mut self, out: &mut Vec<RapEvent>) {
+        out.append(&mut self.events);
     }
 }
 

@@ -157,11 +157,20 @@ impl WindowSender {
             resolved.extend(self.history.mark_received_upto(ack.cum_seq));
         }
         if ack.highest >= 1 {
-            for i in 0..64u64 {
-                if ack.highest > i && ack.mask & (1 << i) != 0 {
-                    if let Some(r) = self.history.mark_received(ack.highest - 1 - i) {
-                        resolved.push((ack.highest - 1 - i, r));
-                    }
+            // Set bits only; bit `i` names sequence `highest - 1 - i` and
+            // bits at or above `highest` are invalid. Ascending bit order,
+            // same as the old 0..64 scan.
+            let valid = if ack.highest >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << ack.highest) - 1
+            };
+            let mut bits = ack.mask & valid;
+            while bits != 0 {
+                let i = u64::from(bits.trailing_zeros());
+                bits &= bits - 1;
+                if let Some(r) = self.history.mark_received(ack.highest - 1 - i) {
+                    resolved.push((ack.highest - 1 - i, r));
                 }
             }
         }
@@ -240,6 +249,13 @@ impl WindowSender {
     /// Drain accumulated events.
     pub fn take_events(&mut self) -> Vec<RapEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Drain accumulated events into `out`, preserving both buffers'
+    /// capacity — the zero-allocation alternative to
+    /// [`take_events`](Self::take_events) for per-tick polling loops.
+    pub fn drain_events_into(&mut self, out: &mut Vec<RapEvent>) {
+        out.append(&mut self.events);
     }
 }
 

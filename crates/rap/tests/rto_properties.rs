@@ -1,0 +1,111 @@
+//! Property tests for the Karn RTO backoff in [`laqa_rap::RttEstimator`]:
+//! across *any* interleaving of samples and timeouts, the timeout value
+//! must back off monotonically between samples, respect the hard cap, and
+//! snap fully back to the un-backed-off value on the first valid sample.
+
+use laqa_check::cases;
+use laqa_rap::RttEstimator;
+
+const MAX_RTO: f64 = 60.0;
+
+#[test]
+fn consecutive_timeouts_never_decrease_rto() {
+    cases("rto_monotone_backoff", 200, |g, _case| {
+        let mut e = RttEstimator::new(g.f64_range(0.001, 5.0));
+        // Optionally seed with real samples first.
+        for _ in 0..g.usize_in(0, 20) {
+            e.sample(g.f64_range(0.001, 2.0));
+        }
+        let mut prev = e.rto();
+        for _ in 0..g.usize_in(1, 40) {
+            e.on_timeout();
+            let now = e.rto();
+            assert!(
+                now >= prev - 1e-12,
+                "backoff went down: {prev} -> {now} (exp {})",
+                e.backoff_exponent()
+            );
+            assert!(now <= MAX_RTO + 1e-12, "cap violated: {now}");
+            assert!(now.is_finite());
+            prev = now;
+        }
+    });
+}
+
+#[test]
+fn rto_saturates_at_cap_under_timeout_storms() {
+    cases("rto_cap_saturation", 100, |g, _case| {
+        let mut e = RttEstimator::new(g.f64_range(0.01, 2.0));
+        for _ in 0..g.usize_in(0, 5) {
+            e.sample(g.f64_range(0.01, 2.0));
+        }
+        // Past the exponent cap every further timeout is a no-op.
+        for _ in 0..g.usize_in(10, 200) {
+            e.on_timeout();
+        }
+        let saturated = e.rto();
+        e.on_timeout();
+        assert_eq!(
+            e.rto().to_bits(),
+            saturated.to_bits(),
+            "saturated RTO must be a fixed point of on_timeout"
+        );
+        let base = (e.srtt() + 4.0 * e.rttvar()).max(0.2);
+        assert!((e.rto() - (base * 64.0).min(MAX_RTO)).abs() < 1e-9);
+    });
+}
+
+#[test]
+fn fresh_valid_sample_fully_resets_backoff() {
+    cases("rto_sample_reset", 200, |g, _case| {
+        let mut e = RttEstimator::new(g.f64_range(0.001, 5.0));
+        for _ in 0..g.usize_in(0, 10) {
+            e.sample(g.f64_range(0.001, 2.0));
+        }
+        for _ in 0..g.usize_in(1, 100) {
+            e.on_timeout();
+        }
+        assert!(e.backoff_exponent() >= 1);
+        // A parallel estimator that never saw the timeouts but absorbs the
+        // same sample: the reset must make the two agree exactly.
+        let mut clean = e.clone();
+        clean.reset_backoff();
+        let s = g.f64_range(0.001, 2.0);
+        e.sample(s);
+        clean.sample(s);
+        assert_eq!(e.backoff_exponent(), 0, "sample clears Karn backoff");
+        assert_eq!(
+            e.rto().to_bits(),
+            clean.rto().to_bits(),
+            "post-sample RTO carries no residue of the timeout history"
+        );
+        // Garbage samples are ignored entirely: no reset.
+        e.on_timeout();
+        let backed_off = e.rto();
+        for bad in [f64::NAN, f64::INFINITY, -1.0, 0.0] {
+            e.sample(bad);
+            assert_eq!(e.rto().to_bits(), backed_off.to_bits());
+            assert_eq!(e.backoff_exponent(), 1);
+        }
+    });
+}
+
+#[test]
+fn rto_always_within_bounds_for_any_history() {
+    cases("rto_bounds_fuzz", 300, |g, _case| {
+        let mut e = RttEstimator::new(g.f64_range(0.0001, 10.0));
+        for _ in 0..g.usize_in(1, 80) {
+            match g.u32_in(0, 3) {
+                0 => e.on_timeout(),
+                1 => e.reset_backoff(),
+                2 => e.sample(g.f64_range(1e-6, 30.0)),
+                _ => e.sample(f64::NAN),
+            }
+            let rto = e.rto();
+            assert!(
+                (0.2..=MAX_RTO).contains(&rto),
+                "rto {rto} outside [min_rto, max_rto]"
+            );
+        }
+    });
+}

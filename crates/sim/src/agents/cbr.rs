@@ -2,7 +2,7 @@
 //! that claims half the bottleneck and forces the QA flow to shed layers.
 
 use crate::engine::{Agent, Ctx};
-use crate::packet::{AgentId, LinkId, Packet, PacketKind};
+use crate::packet::{AgentId, Packet, PacketKind, Route};
 use std::any::Any;
 
 /// Unresponsive CBR traffic source.
@@ -10,7 +10,7 @@ pub struct CbrAgent {
     /// Destination agent.
     pub dst: AgentId,
     /// Forward route.
-    pub route: Vec<LinkId>,
+    pub route: Route,
     /// Flow id for stats.
     pub flow: u32,
     /// Send rate (bytes/s).
@@ -29,7 +29,7 @@ impl CbrAgent {
     /// New CBR source active in `[start_at, stop_at)`.
     pub fn new(
         dst: AgentId,
-        route: Vec<LinkId>,
+        route: impl Into<Route>,
         flow: u32,
         rate: f64,
         packet_size: u32,
@@ -39,7 +39,7 @@ impl CbrAgent {
         assert!(rate > 0.0 && packet_size > 0);
         CbrAgent {
             dst,
-            route,
+            route: route.into(),
             flow,
             rate,
             packet_size,

@@ -3,7 +3,7 @@
 //! under test in every figure of the paper's §5.
 
 use crate::engine::{Agent, Ctx};
-use crate::packet::{AgentId, LinkId, Packet, PacketKind};
+use crate::packet::{AgentId, Packet, PacketKind, Route};
 use laqa_core::{QaConfig, QaController};
 use laqa_layered::{LayeredEncoding, LayeredReceiver};
 use laqa_rap::{RapConfig, RapEvent, RapReceiverState, RapSender};
@@ -57,7 +57,7 @@ pub struct QaSourceAgent {
     /// Sink agent.
     pub dst: AgentId,
     /// Forward route.
-    pub route: Vec<LinkId>,
+    pub route: Route,
     /// Flow id.
     pub flow: u32,
     packet_size: u32,
@@ -82,13 +82,15 @@ pub struct QaSourceAgent {
     pub retransmissions: u64,
     /// Total backoffs observed.
     pub backoffs: u64,
+    /// Reused buffer for draining sender events without reallocating.
+    ev_scratch: Vec<RapEvent>,
 }
 
 impl QaSourceAgent {
     /// New QA source; `tick_dt` is the allocation period (seconds).
     pub fn new(
         dst: AgentId,
-        route: Vec<LinkId>,
+        route: impl Into<Route>,
         flow: u32,
         rap_cfg: RapConfig,
         qa_cfg: QaConfig,
@@ -101,7 +103,7 @@ impl QaSourceAgent {
             rap_config: rap_cfg,
             qa: QaController::new(qa_cfg).expect("valid QA config"),
             dst,
-            route,
+            route: route.into(),
             flow,
             packet_size,
             tick_dt,
@@ -114,6 +116,7 @@ impl QaSourceAgent {
             sent_per_layer: vec![0; max_layers],
             retransmissions: 0,
             backoffs: 0,
+            ev_scratch: Vec::new(),
         }
     }
 
@@ -128,7 +131,9 @@ impl QaSourceAgent {
     }
 
     fn drain_events(&mut self, now: f64) {
-        for e in self.rap.take_events() {
+        let mut events = std::mem::take(&mut self.ev_scratch);
+        self.rap.drain_events_into(&mut events);
+        for e in events.drain(..) {
             match e {
                 RapEvent::Backoff { rate, .. } => {
                     self.backoffs += 1;
@@ -145,6 +150,7 @@ impl QaSourceAgent {
                 RapEvent::RateIncrease { .. } => {}
             }
         }
+        self.ev_scratch = events;
     }
 
     fn record_tick(&mut self, now: f64, report: &laqa_core::TickReport) {
@@ -270,7 +276,7 @@ pub struct QaSinkAgent {
     /// Source agent id.
     pub src: AgentId,
     /// Reverse route.
-    pub reverse_route: Vec<LinkId>,
+    pub reverse_route: Route,
     /// Flow id.
     pub flow: u32,
     adv_dt: f64,
@@ -291,7 +297,7 @@ impl QaSinkAgent {
     /// consumption (use ~2x the server's value).
     pub fn new(
         src: AgentId,
-        reverse_route: Vec<LinkId>,
+        reverse_route: impl Into<Route>,
         flow: u32,
         encoding: LayeredEncoding,
         startup_secs: f64,
@@ -302,7 +308,7 @@ impl QaSinkAgent {
             rap_rx: RapReceiverState::new(),
             receiver: LayeredReceiver::new(encoding, 1, startup_secs),
             src,
-            reverse_route,
+            reverse_route: reverse_route.into(),
             flow,
             adv_dt,
             buffer_trace: (0..n)

@@ -6,7 +6,7 @@
 
 use crate::agents::qa::QaTraces;
 use crate::engine::{Agent, Ctx};
-use crate::packet::{AgentId, LinkId, Packet, PacketKind};
+use crate::packet::{AgentId, Packet, PacketKind, Route};
 use laqa_core::{QaConfig, QaController};
 use laqa_rap::{RapEvent, WindowConfig, WindowSender};
 use std::any::Any;
@@ -19,7 +19,7 @@ pub struct QaWindowSourceAgent {
     /// the wire format is the same).
     pub dst: AgentId,
     /// Forward route.
-    pub route: Vec<LinkId>,
+    pub route: Route,
     /// Flow id.
     pub flow: u32,
     packet_size: u32,
@@ -34,13 +34,15 @@ pub struct QaWindowSourceAgent {
     pub traces: QaTraces,
     /// Backoffs observed.
     pub backoffs: u64,
+    /// Reused buffer for draining sender events without reallocating.
+    ev_scratch: Vec<RapEvent>,
 }
 
 impl QaWindowSourceAgent {
     /// New window-CC QA source.
     pub fn new(
         dst: AgentId,
-        route: Vec<LinkId>,
+        route: impl Into<Route>,
         flow: u32,
         cc_cfg: WindowConfig,
         qa_cfg: QaConfig,
@@ -52,7 +54,7 @@ impl QaWindowSourceAgent {
             cc: WindowSender::new(cc_cfg, 0.0),
             qa: QaController::new(qa_cfg).expect("valid QA config"),
             dst,
-            route,
+            route: route.into(),
             flow,
             packet_size,
             tick_dt,
@@ -61,6 +63,7 @@ impl QaWindowSourceAgent {
             rate_est: 0.0,
             traces: QaTraces::new(max_layers),
             backoffs: 0,
+            ev_scratch: Vec::new(),
         }
     }
 
@@ -70,7 +73,9 @@ impl QaWindowSourceAgent {
     }
 
     fn drain_events(&mut self, now: f64) {
-        for e in self.cc.take_events() {
+        let mut events = std::mem::take(&mut self.ev_scratch);
+        self.cc.drain_events_into(&mut events);
+        for e in events.drain(..) {
             match e {
                 RapEvent::Backoff { .. } => {
                     self.backoffs += 1;
@@ -84,6 +89,7 @@ impl QaWindowSourceAgent {
                 RapEvent::PacketLost { .. } | RapEvent::RateIncrease { .. } => {}
             }
         }
+        self.ev_scratch = events;
     }
 
     fn pump(&mut self, ctx: &mut Ctx) {

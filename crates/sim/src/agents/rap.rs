@@ -2,7 +2,7 @@
 //! of the paper's tests, and the single flow of figure 1.
 
 use crate::engine::{Agent, Ctx};
-use crate::packet::{AgentId, LinkId, Packet, PacketKind};
+use crate::packet::{AgentId, Packet, PacketKind, Route};
 use laqa_rap::{RapConfig, RapEvent, RapReceiverState, RapSender};
 use laqa_trace::TimeSeries;
 use std::any::Any;
@@ -16,7 +16,7 @@ pub struct RapFlowAgent {
     /// Destination (sink) agent.
     pub dst: AgentId,
     /// Forward route.
-    pub route: Vec<LinkId>,
+    pub route: Route,
     /// Flow id.
     pub flow: u32,
     packet_size: u32,
@@ -34,17 +34,19 @@ pub struct RapFlowAgent {
     pub sent: u64,
     /// Packets reported lost.
     pub lost: u64,
+    /// Reused buffer for draining sender events without reallocating.
+    ev_scratch: Vec<RapEvent>,
 }
 
 impl RapFlowAgent {
     /// New RAP source with default protocol parameters.
-    pub fn new(dst: AgentId, route: Vec<LinkId>, flow: u32, cfg: RapConfig) -> Self {
+    pub fn new(dst: AgentId, route: impl Into<Route>, flow: u32, cfg: RapConfig) -> Self {
         let packet_size = cfg.packet_size as u32;
         RapFlowAgent {
             sender: RapSender::new(cfg.clone(), 0.0),
             sender_config: cfg,
             dst,
-            route,
+            route: route.into(),
             flow,
             packet_size,
             armed_at: f64::NEG_INFINITY,
@@ -54,6 +56,7 @@ impl RapFlowAgent {
             backoffs: 0,
             sent: 0,
             lost: 0,
+            ev_scratch: Vec::new(),
         }
     }
 
@@ -63,7 +66,9 @@ impl RapFlowAgent {
     }
 
     fn drain_events(&mut self, now: f64) {
-        for e in self.sender.take_events() {
+        let mut events = std::mem::take(&mut self.ev_scratch);
+        self.sender.drain_events_into(&mut events);
+        for e in events.drain(..) {
             match e {
                 RapEvent::Backoff { rate, .. } => {
                     self.backoffs += 1;
@@ -80,6 +85,7 @@ impl RapFlowAgent {
                 RapEvent::PacketAcked { .. } => {}
             }
         }
+        self.ev_scratch = events;
     }
 
     fn pump(&mut self, ctx: &mut Ctx) {
@@ -161,7 +167,7 @@ pub struct RapSinkAgent {
     /// The sender agent to ACK to.
     pub src: AgentId,
     /// Reverse route.
-    pub reverse_route: Vec<LinkId>,
+    pub reverse_route: Route,
     /// Flow id.
     pub flow: u32,
     /// Bytes of data received.
@@ -170,11 +176,11 @@ pub struct RapSinkAgent {
 
 impl RapSinkAgent {
     /// New sink ACKing to `src` over `reverse_route`.
-    pub fn new(src: AgentId, reverse_route: Vec<LinkId>, flow: u32) -> Self {
+    pub fn new(src: AgentId, reverse_route: impl Into<Route>, flow: u32) -> Self {
         RapSinkAgent {
             rx: RapReceiverState::new(),
             src,
-            reverse_route,
+            reverse_route: reverse_route.into(),
             flow,
             bytes_received: 0,
         }

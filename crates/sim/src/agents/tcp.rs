@@ -10,7 +10,7 @@
 //! needed.
 
 use crate::engine::{Agent, Ctx};
-use crate::packet::{AgentId, LinkId, Packet, PacketKind};
+use crate::packet::{AgentId, Packet, PacketKind, Route};
 use laqa_rap::RttEstimator;
 use std::any::Any;
 use std::collections::BTreeSet;
@@ -25,7 +25,7 @@ pub struct TcpAgent {
     /// Sink agent id.
     pub dst: AgentId,
     /// Forward route.
-    pub route: Vec<LinkId>,
+    pub route: Route,
     /// Flow id.
     pub flow: u32,
     packet_size: u32,
@@ -63,14 +63,14 @@ impl TcpAgent {
     /// New greedy TCP source starting at `start_at` seconds.
     pub fn new(
         dst: AgentId,
-        route: Vec<LinkId>,
+        route: impl Into<Route>,
         flow: u32,
         packet_size: u32,
         start_at: f64,
     ) -> Self {
         TcpAgent {
             dst,
-            route,
+            route: route.into(),
             flow,
             packet_size,
             cwnd: 2.0,
@@ -263,7 +263,7 @@ pub struct TcpSinkAgent {
     /// Sender agent id.
     pub src: AgentId,
     /// Reverse route.
-    pub reverse_route: Vec<LinkId>,
+    pub reverse_route: Route,
     /// Flow id.
     pub flow: u32,
     /// Next expected sequence.
@@ -277,10 +277,10 @@ pub struct TcpSinkAgent {
 
 impl TcpSinkAgent {
     /// New sink ACKing to `src`.
-    pub fn new(src: AgentId, reverse_route: Vec<LinkId>, flow: u32) -> Self {
+    pub fn new(src: AgentId, reverse_route: impl Into<Route>, flow: u32) -> Self {
         TcpSinkAgent {
             src,
-            reverse_route,
+            reverse_route: reverse_route.into(),
             flow,
             cum: 0,
             ooo: BTreeSet::new(),

@@ -24,7 +24,8 @@ use laqa_core::metrics::QaEvent;
 use laqa_trace::{RunSummary, Table, TraceHasher};
 
 use crate::faults::FaultPlan;
-use crate::scenarios::{run_scenario, ScenarioConfig, ScenarioOutcome};
+use crate::scenarios::{run_scenario_with, ScenarioConfig, ScenarioOutcome};
+use crate::sched::{ambient_scheduler, SchedulerKind};
 
 /// Which of the paper's dumbbell workloads a session runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -453,10 +454,18 @@ pub fn mean_recovery_secs(events: &[QaEvent]) -> Option<f64> {
     }
 }
 
-/// Run one session to a result (synchronously, on the calling thread).
+/// Run one session to a result (synchronously, on the calling thread),
+/// using the ambient event-scheduler kind.
 pub fn run_session(spec: &SessionSpec) -> SessionResult {
+    run_session_with(spec, ambient_scheduler())
+}
+
+/// Run one session on an explicit event-scheduler implementation. Every
+/// fingerprinted field of the result is independent of `sched`; only
+/// `wall_secs` (excluded from fingerprints) may differ.
+pub fn run_session_with(spec: &SessionSpec, sched: SchedulerKind) -> SessionResult {
     let started = Instant::now();
-    let out = run_scenario(&spec.scenario());
+    let out = run_scenario_with(&spec.scenario(), sched);
     let wall_secs = started.elapsed().as_secs_f64();
     laqa_obs::counter!("campaign.sessions").inc();
     laqa_obs::histogram!(
@@ -487,7 +496,8 @@ pub fn run_session(spec: &SessionSpec) -> SessionResult {
     }
 }
 
-/// Run the sweep on `threads` worker threads (clamped to at least 1).
+/// Run the sweep on `threads` worker threads (clamped to at least 1),
+/// using the ambient event-scheduler kind.
 ///
 /// Workers steal session indices from a shared atomic counter — no
 /// per-thread pre-partitioning, so a slow session never idles the other
@@ -495,6 +505,17 @@ pub fn run_session(spec: &SessionSpec) -> SessionResult {
 /// grid index. The returned order (and every fingerprint) is therefore
 /// identical for any thread count.
 pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> CampaignResult {
+    run_campaign_with(spec, threads, ambient_scheduler())
+}
+
+/// [`run_campaign`] on an explicit event-scheduler implementation. The
+/// campaign fingerprint is bit-identical for every `sched` and every
+/// thread count.
+pub fn run_campaign_with(
+    spec: &CampaignSpec,
+    threads: usize,
+    sched: SchedulerKind,
+) -> CampaignResult {
     let threads = threads.max(1).min(spec.sessions.len().max(1));
     let started = Instant::now();
     let next = AtomicUsize::new(0);
@@ -511,7 +532,7 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> CampaignResult {
                     break;
                 };
                 laqa_obs::counter!("campaign.steals").inc();
-                let result = run_session(session);
+                let result = run_session_with(session, sched);
                 laqa_obs::event!(
                     laqa_obs::Level::Debug,
                     "campaign.cell",

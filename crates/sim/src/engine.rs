@@ -2,15 +2,17 @@
 //!
 //! Deterministic by construction: time is integer nanoseconds, ties are
 //! broken by insertion sequence, and the only randomness flows through the
-//! world's seeded RNG.
+//! world's seeded RNG. The event queue itself is pluggable (see
+//! [`crate::sched`]): the default hierarchical timer wheel and the
+//! reference `BinaryHeap` drain in exactly the same `(time_ns, seq)`
+//! order, so a world's trajectory is bit-identical under either.
 
 use crate::link::{Link, LinkConfig, LinkStats};
 use crate::packet::{AgentId, LinkId, Packet};
+use crate::sched::{ambient_scheduler, AnyScheduler, Scheduler, SchedulerKind};
 use crate::time::{ns_to_secs, secs_to_ns, tx_time_ns};
 use crate::rng::SimRng;
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Things that can happen.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,31 +25,12 @@ enum Event {
     Timer { agent: AgentId, token: u64 },
 }
 
-#[derive(Debug, Clone, PartialEq)]
-struct Scheduled {
-    time_ns: u64,
-    seq: u64,
-    event: Event,
-}
-
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time_ns, self.seq).cmp(&(other.time_ns, other.seq))
-    }
-}
-
 /// Everything the world owns except the agents (so agent dispatch can
 /// borrow both mutably).
 pub struct WorldCore {
     now_ns: u64,
     seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    queue: AnyScheduler<Event>,
     links: Vec<Link>,
     next_uid: u64,
     rng: SimRng,
@@ -59,11 +42,7 @@ pub struct WorldCore {
 impl WorldCore {
     fn schedule(&mut self, at_ns: u64, event: Event) {
         let time_ns = at_ns.max(self.now_ns);
-        self.queue.push(Reverse(Scheduled {
-            time_ns,
-            seq: self.seq,
-            event,
-        }));
+        self.queue.schedule(time_ns, self.seq, event);
         self.seq += 1;
     }
 
@@ -206,13 +185,21 @@ pub struct World {
 }
 
 impl World {
-    /// New world with a deterministic RNG seed.
+    /// New world with a deterministic RNG seed, using the ambient
+    /// scheduler kind (see [`crate::sched::ambient_scheduler`]).
     pub fn new(seed: u64) -> Self {
+        Self::with_scheduler(seed, ambient_scheduler())
+    }
+
+    /// New world with an explicit event-scheduler implementation. The
+    /// simulated trajectory is bit-identical for every kind; the choice
+    /// only affects wall-clock speed.
+    pub fn with_scheduler(seed: u64, kind: SchedulerKind) -> Self {
         World {
             core: WorldCore {
                 now_ns: 0,
                 seq: 0,
-                queue: BinaryHeap::new(),
+                queue: AnyScheduler::new(kind),
                 links: Vec::new(),
                 next_uid: 0,
                 rng: SimRng::seed_from_u64(seed),
@@ -221,6 +208,11 @@ impl World {
             agents: Vec::new(),
             started: false,
         }
+    }
+
+    /// Which event-scheduler implementation this world runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.core.queue.kind()
     }
 
     /// Add a link; returns its id.
@@ -306,12 +298,8 @@ impl World {
     pub fn run_until(&mut self, t_end: f64) {
         self.ensure_started();
         let end_ns = secs_to_ns(t_end);
-        while let Some(Reverse(next)) = self.core.queue.peek() {
-            if next.time_ns > end_ns {
-                break;
-            }
-            let Reverse(sched) = self.core.queue.pop().expect("peeked");
-            self.core.now_ns = sched.time_ns;
+        while let Some((time_ns, _, event)) = self.core.queue.pop_next_at_or_before(end_ns) {
+            self.core.now_ns = time_ns;
             self.core.events_processed += 1;
             let _step = laqa_obs::span!("engine.step");
             if laqa_obs::enabled() {
@@ -322,7 +310,7 @@ impl World {
                 )
                 .observe(self.core.queue.len() as f64);
             }
-            match sched.event {
+            match event {
                 Event::LinkDone { link } => {
                     let (pkt, next_busy) = {
                         let l = &mut self.core.links[link];
@@ -366,13 +354,13 @@ impl World {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::PacketKind;
+    use crate::packet::{PacketKind, Route};
 
     /// Test agent: sends `count` packets to `peer` at `interval`, records
     /// arrivals with timestamps.
     struct Pinger {
         peer: AgentId,
-        route: Vec<LinkId>,
+        route: Route,
         count: u32,
         interval: f64,
         sent: u32,
@@ -437,7 +425,7 @@ mod tests {
         let sink = w.add_agent(Box::new(Sink { arrivals: vec![] }));
         let _src = w.add_agent(Box::new(Pinger {
             peer: sink,
-            route: vec![l],
+            route: vec![l].into(),
             count: 1,
             interval: 1.0,
             sent: 0,
@@ -464,7 +452,7 @@ mod tests {
         let sink = w.add_agent(Box::new(Sink { arrivals: vec![] }));
         let _src = w.add_agent(Box::new(Pinger {
             peer: sink,
-            route: vec![l],
+            route: vec![l].into(),
             count: 3,
             interval: 0.0, // all at t=0
             sent: 0,
@@ -493,7 +481,7 @@ mod tests {
         let sink = w.add_agent(Box::new(Sink { arrivals: vec![] }));
         let _src = w.add_agent(Box::new(Pinger {
             peer: sink,
-            route: vec![l],
+            route: vec![l].into(),
             count: 5,
             interval: 0.0,
             sent: 0,
@@ -523,7 +511,7 @@ mod tests {
         let sink = w.add_agent(Box::new(Sink { arrivals: vec![] }));
         let _src = w.add_agent(Box::new(Pinger {
             peer: sink,
-            route: vec![l1, l2],
+            route: vec![l1, l2].into(),
             count: 1,
             interval: 1.0,
             sent: 0,
@@ -548,7 +536,7 @@ mod tests {
             let sink = w.add_agent(Box::new(Sink { arrivals: vec![] }));
             let _ = w.add_agent(Box::new(Pinger {
                 peer: sink,
-                route: vec![l],
+                route: vec![l].into(),
                 count: 50,
                 interval: 0.013,
                 sent: 0,
@@ -565,7 +553,7 @@ mod tests {
         let sink = w.add_agent(Box::new(Sink { arrivals: vec![] }));
         let _src = w.add_agent(Box::new(Pinger {
             peer: sink,
-            route: vec![],
+            route: vec![].into(),
             count: 1,
             interval: 1.0,
             sent: 0,
@@ -625,7 +613,7 @@ mod tests {
         // except loss_rate is now 1.0, so it never arrives at all.
         let _src = w.add_agent(Box::new(Pinger {
             peer: sink,
-            route: vec![l],
+            route: vec![l].into(),
             count: 2,
             interval: 0.1,
             sent: 0,

@@ -30,7 +30,7 @@
 //! counters (`faults.*`) when observability is enabled.
 
 use crate::engine::{Agent, Ctx};
-use crate::packet::{AgentId, LinkId, Packet, PacketKind};
+use crate::packet::{AgentId, LinkId, Packet, PacketKind, Route};
 use crate::rng::SimRng;
 use std::any::Any;
 
@@ -201,7 +201,7 @@ pub struct FaultWiring {
     /// Destination agent for churn traffic.
     pub churn_dst: AgentId,
     /// Forward route for churn traffic.
-    pub churn_route: Vec<LinkId>,
+    pub churn_route: Route,
     /// Resolved churn rate (bytes/s while present).
     pub churn_rate: f64,
     /// Churn packet size (bytes).
@@ -468,7 +468,7 @@ mod tests {
                 forward: fwd,
                 reverse: rev,
                 churn_dst: sink,
-                churn_route: vec![fwd],
+                churn_route: vec![fwd].into(),
                 churn_rate: 25_000.0,
                 churn_packet: 250,
                 churn_flow: 998,

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod arena;
 pub mod campaign;
 pub mod engine;
 pub mod faults;
@@ -19,6 +20,7 @@ pub mod link;
 pub mod packet;
 pub mod rng;
 pub mod scenarios;
+pub mod sched;
 pub mod stats;
 pub mod time;
 pub mod topology;
@@ -34,13 +36,17 @@ pub mod agents {
 }
 
 pub use campaign::{
-    hash_outcome, run_campaign, run_session, CampaignResult, CampaignSpec, SessionResult,
-    SessionSpec, TestKind,
+    hash_outcome, run_campaign, run_campaign_with, run_session, run_session_with, CampaignResult,
+    CampaignSpec, SessionResult, SessionSpec, TestKind,
 };
 pub use engine::{Agent, Ctx, World};
 pub use faults::{FaultInjector, FaultPlan, FaultStats, FaultWiring};
 pub use link::{Link, LinkConfig, LinkStats, QueueKind, RedConfig};
-pub use packet::{AgentId, LinkId, Packet, PacketKind};
-pub use scenarios::{run_scenario, ScenarioConfig, ScenarioOutcome};
+pub use packet::{AgentId, LinkId, Packet, PacketKind, Route};
+pub use scenarios::{run_scenario, run_scenario_with, ScenarioConfig, ScenarioOutcome};
+pub use sched::{
+    ambient_scheduler, set_ambient_scheduler, AnyScheduler, EventKey, HeapScheduler, Scheduler,
+    SchedulerKind, TimerWheelScheduler,
+};
 pub use stats::{jain_fairness, summarize_sharing, SharingSummary};
 pub use topology::{Dumbbell, DumbbellConfig};

@@ -194,7 +194,7 @@ mod tests {
             size: 1000,
             kind: PacketKind::Cbr,
             dst: 0,
-            route: vec![],
+            route: vec![].into(),
             hop: 0,
             sent_at: 0.0,
         }

@@ -9,6 +9,7 @@ use crate::agents::qa::{QaSinkAgent, QaSourceAgent, QaTraces};
 use crate::agents::rap::{RapFlowAgent, RapSinkAgent};
 use crate::agents::tcp::{TcpAgent, TcpSinkAgent};
 use crate::link::LinkStats;
+use crate::sched::SchedulerKind;
 use crate::topology::{Dumbbell, DumbbellConfig};
 use laqa_core::{MetricsCollector, QaConfig};
 use laqa_layered::LayeredEncoding;
@@ -144,9 +145,18 @@ pub struct ScenarioOutcome {
     pub discarded_bytes: f64,
 }
 
-/// Build and run a scenario, returning the collected outcome.
+/// Build and run a scenario, returning the collected outcome. Uses the
+/// ambient event-scheduler kind (see [`crate::sched::ambient_scheduler`]).
 pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
-    let mut d = Dumbbell::new(cfg.dumbbell, cfg.seed);
+    run_scenario_with(cfg, crate::sched::ambient_scheduler())
+}
+
+/// Build and run a scenario on an explicit event-scheduler
+/// implementation. The outcome — including its
+/// [`crate::campaign::hash_outcome`] fingerprint — is bit-identical for
+/// every [`SchedulerKind`]; `tests/sched_differential.rs` pins this.
+pub fn run_scenario_with(cfg: &ScenarioConfig, sched: SchedulerKind) -> ScenarioOutcome {
+    let mut d = Dumbbell::with_scheduler(cfg.dumbbell, cfg.seed, sched);
     let pkt = cfg.rap.packet_size as u32;
     // Deterministic per-seed jitter for flow start times (phase effects in
     // drop-tail queues are otherwise identical across seeds).

@@ -1,0 +1,869 @@
+//! Event schedulers: the priority queue at the heart of the engine,
+//! behind a trait so the optimized implementation can always be checked
+//! against a reference oracle.
+//!
+//! Two implementations share one contract:
+//!
+//! * [`HeapScheduler`] — the original `BinaryHeap` queue, kept verbatim
+//!   as the **reference oracle**. O(log n) per operation, moves the full
+//!   event record on every sift.
+//! * [`TimerWheelScheduler`] — a hierarchical timer wheel: near-future
+//!   events hash into integer-nanosecond bucket slots (O(1) insert),
+//!   far-future events overflow into a `BTreeMap` ordered by exact key,
+//!   and every record is parked once in a [`Slab`](crate::arena::Slab)
+//!   arena so only 20-byte keys circulate.
+//!
+//! **Ordering contract.** Events drain in strictly increasing
+//! `(time_ns, seq)` order — exactly the tie-break the engine has always
+//! used. `seq` values must be unique and strictly increasing across
+//! [`Scheduler::schedule`] calls, and `time_ns` must never be below the
+//! time of the most recently popped event (the engine clamps times to
+//! `now` before scheduling). Under that contract the two implementations
+//! are *bit-identical*: `crates/sim/tests/sched_differential.rs` proves
+//! it over every golden, fault and campaign workload, and the
+//! `sched_properties` suite over randomized insert/pop/cancel traces.
+
+use crate::arena::Slab;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Handle to a scheduled event, for cancellation.
+///
+/// Keys are validated by the globally unique `seq`, so cancelling an
+/// event that already fired (or was already cancelled) is a safe no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventKey {
+    /// The unique sequence number passed to [`Scheduler::schedule`].
+    pub seq: u64,
+    /// Implementation-private slot hint (slab index for the wheel).
+    slot: u32,
+}
+
+/// The engine's event-queue abstraction (min-queue on `(time_ns, seq)`).
+pub trait Scheduler<T> {
+    /// Insert `item` to fire at `time_ns`. `seq` must be unique and
+    /// strictly increasing across calls on this scheduler.
+    fn schedule(&mut self, time_ns: u64, seq: u64, item: T) -> EventKey;
+
+    /// Cancel a scheduled event. Returns `true` when a live event was
+    /// removed; cancelling an already-popped or already-cancelled key is
+    /// a no-op returning `false` (the reference heap, which cannot check
+    /// liveness cheaply, may return `true` for such keys — callers that
+    /// need the strict answer track liveness themselves).
+    fn cancel(&mut self, key: EventKey) -> bool;
+
+    /// `(time_ns, seq)` of the next event without removing it.
+    fn peek_next(&mut self) -> Option<(u64, u64)>;
+
+    /// Remove and return the next event as `(time_ns, seq, item)`.
+    fn pop_next(&mut self) -> Option<(u64, u64, T)>;
+
+    /// Pop the next event only if it fires at or before `bound_ns`.
+    /// Behaviourally `peek_next` + conditional `pop_next`; implementations
+    /// override it to do the head search once (this is the engine hot
+    /// loop's only entry point).
+    fn pop_next_at_or_before(&mut self, bound_ns: u64) -> Option<(u64, u64, T)> {
+        match self.peek_next() {
+            Some((t, _)) if t <= bound_ns => self.pop_next(),
+            _ => None,
+        }
+    }
+
+    /// Number of live (scheduled, not yet popped or cancelled) events.
+    fn len(&self) -> usize;
+
+    /// True when no live events remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation: the original BinaryHeap queue.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+struct HeapEntry<T> {
+    time_ns: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T: PartialEq> Eq for HeapEntry<T> {}
+impl<T: PartialEq> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: PartialEq> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time_ns, self.seq).cmp(&(other.time_ns, other.seq))
+    }
+}
+
+/// The original engine queue — a `BinaryHeap` min-ordered by
+/// `(time_ns, seq)` — kept as the reference oracle the timer wheel is
+/// differentially tested against. Cancellation is by tombstone: the
+/// entry stays in the heap and is skipped at pop.
+#[derive(Debug, Default)]
+pub struct HeapScheduler<T> {
+    heap: BinaryHeap<Reverse<HeapEntry<T>>>,
+    /// Seqs cancelled but not yet popped-over (empty in engine use; the
+    /// engine never cancels).
+    tombstones: HashSet<u64>,
+}
+
+impl<T: PartialEq> HeapScheduler<T> {
+    /// New empty scheduler.
+    pub fn new() -> Self {
+        HeapScheduler {
+            heap: BinaryHeap::new(),
+            tombstones: HashSet::new(),
+        }
+    }
+
+    fn skip_tombstones(&mut self) {
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if self.tombstones.is_empty() || !self.tombstones.remove(&head.seq) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+impl<T: PartialEq> Scheduler<T> for HeapScheduler<T> {
+    fn schedule(&mut self, time_ns: u64, seq: u64, item: T) -> EventKey {
+        self.heap.push(Reverse(HeapEntry { time_ns, seq, item }));
+        EventKey {
+            seq,
+            slot: u32::MAX,
+        }
+    }
+
+    fn cancel(&mut self, key: EventKey) -> bool {
+        self.tombstones.insert(key.seq)
+    }
+
+    fn peek_next(&mut self) -> Option<(u64, u64)> {
+        self.skip_tombstones();
+        self.heap.peek().map(|Reverse(e)| (e.time_ns, e.seq))
+    }
+
+    fn pop_next(&mut self) -> Option<(u64, u64, T)> {
+        self.skip_tombstones();
+        self.heap.pop().map(|Reverse(e)| (e.time_ns, e.seq, e.item))
+    }
+
+    fn pop_next_at_or_before(&mut self, bound_ns: u64) -> Option<(u64, u64, T)> {
+        self.skip_tombstones();
+        match self.heap.peek() {
+            Some(Reverse(e)) if e.time_ns <= bound_ns => self
+                .heap
+                .pop()
+                .map(|Reverse(e)| (e.time_ns, e.seq, e.item)),
+            _ => None,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len().saturating_sub(self.tombstones.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timer-wheel implementation.
+// ---------------------------------------------------------------------------
+
+/// Bucket granularity: `2^21` ns ≈ 2.1 ms per slot. Coarse enough that a
+/// slot batches several events at simulation packet rates (the batch is
+/// sorted once and drained O(1) per event), fine enough that sorts stay
+/// tiny. Granularity does not limit precision — exact `time_ns` is kept
+/// in the key and ordered within the slot.
+const GRAN_SHIFT: u32 = 21;
+/// `2^12 = 4096` slots → a horizon of ~4.3 s of simulated time. Events
+/// farther out (session starts, RTO backoffs, CBR burst edges) go to the
+/// overflow tree and re-enter through the cursor scan.
+const SLOT_BITS: u32 = 12;
+const SLOT_COUNT: usize = 1 << SLOT_BITS;
+const SLOT_MASK: u64 = (SLOT_COUNT as u64) - 1;
+/// Bitmap words covering the slots (64 slots per word).
+const BITMAP_WORDS: usize = SLOT_COUNT / 64;
+
+/// Compact key circulated through wheel structures; the record itself
+/// stays in the slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct WheelKey {
+    time_ns: u64,
+    seq: u64,
+    idx: u32,
+}
+
+/// Sentinel stored into a record's `seq` by [`TimerWheelScheduler::cancel`]:
+/// the record is dead and is reclaimed lazily by whichever structure holds
+/// its sole reference (slot chain, drain, or overflow). Engine
+/// sequence numbers count up from zero and can never reach it.
+const DEAD_SEQ: u64 = u64::MAX;
+
+/// Index sentinel terminating a slot's intrusive chain.
+const NONE_IDX: u32 = u32::MAX;
+
+/// One scheduled event parked in the slab. `next` threads the record into
+/// its slot's intrusive LIFO chain (unused — `NONE_IDX` — for records
+/// referenced by `drain` or `overflow`), so steady-state scheduling
+/// performs no allocation at all: slot buckets are linked lists through
+/// slab storage, not per-slot vectors.
+#[derive(Debug, Clone)]
+struct Rec<T> {
+    time_ns: u64,
+    seq: u64,
+    next: u32,
+    item: T,
+}
+
+/// Hierarchical timer-wheel scheduler (see module docs).
+///
+/// * **Near future** (`< ~268 ms` ahead of the cursor): O(1) push into
+///   `slots[tick & MASK]`; a per-word occupancy bitmap lets the cursor
+///   skip runs of empty slots 64 at a time.
+/// * **Far future**: exact-keyed `BTreeMap` — O(log m) on the small
+///   population of long timers only.
+/// * **Active tick**: when the cursor lands on a tick its events are
+///   sorted once (keys are unique, so `sort_unstable` is deterministic)
+///   and drained back-to-front; events scheduled *at or behind* the
+///   active tick while it drains (the engine's "deliver now" path) are
+///   merged into the sorted drain vector by binary-search insertion —
+///   such events fire almost immediately, so they land at or near the
+///   pop end and the shift is effectively free, preserving exact
+///   `(time_ns, seq)` order without a side heap.
+#[derive(Debug)]
+pub struct TimerWheelScheduler<T> {
+    /// Event records, addressed by the `idx` of a [`WheelKey`]. The
+    /// record's `seq` is stored alongside so stale keys are detectable.
+    slab: Slab<Rec<T>>,
+    /// Near-future buckets: head index of each slot's intrusive chain
+    /// (`NONE_IDX` when empty).
+    slots: Box<[u32]>,
+    /// One bit per slot: set while the slot's chain is non-empty.
+    occupied: [u64; BITMAP_WORDS],
+    /// Tick (time_ns >> GRAN_SHIFT) the wheel is currently draining.
+    cursor_tick: u64,
+    /// Current tick's events, sorted descending so `pop()` is O(1).
+    /// Same-tick schedules merge in by sorted insertion.
+    drain: Vec<WheelKey>,
+    /// Far-future events beyond the wheel horizon, exact-keyed.
+    overflow: BTreeMap<(u64, u64), u32>,
+    /// Live events (excludes cancelled).
+    live: usize,
+}
+
+impl<T> Default for TimerWheelScheduler<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimerWheelScheduler<T> {
+    /// New empty wheel with the cursor at time zero.
+    pub fn new() -> Self {
+        TimerWheelScheduler {
+            slab: Slab::new(),
+            slots: vec![NONE_IDX; SLOT_COUNT].into_boxed_slice(),
+            occupied: [0u64; BITMAP_WORDS],
+            cursor_tick: 0,
+            drain: Vec::new(),
+            overflow: BTreeMap::new(),
+            live: 0,
+        }
+    }
+
+    fn set_bit(&mut self, slot: usize) {
+        self.occupied[slot >> 6] |= 1u64 << (slot & 63);
+    }
+
+    fn clear_bit(&mut self, slot: usize) {
+        self.occupied[slot >> 6] &= !(1u64 << (slot & 63));
+    }
+
+    /// True when `key` still references its live slab record.
+    fn is_live(&self, key: &WheelKey) -> bool {
+        matches!(self.slab.get(key.idx), Some(rec) if rec.seq == key.seq)
+    }
+
+    /// Reclaim the slab slot behind a pruned key. Keys staged in `drain`
+    /// are their record's sole reference, so a dead record found here can
+    /// only be freed here.
+    fn reclaim_if_dead(&mut self, idx: u32) {
+        if matches!(self.slab.get(idx), Some(rec) if rec.seq == DEAD_SEQ) {
+            self.slab.remove(idx);
+        }
+    }
+
+    /// First tick in `(from, from + SLOT_COUNT]` whose slot list is
+    /// non-empty, found by scanning the occupancy bitmap word-wise.
+    fn next_occupied_tick(&self, from: u64) -> Option<u64> {
+        let start = (from + 1) & SLOT_MASK;
+        let mut scanned = 0usize;
+        let mut word_idx = (start >> 6) as usize;
+        let mut bit = (start & 63) as u32;
+        while scanned < SLOT_COUNT {
+            let word = self.occupied[word_idx] >> bit;
+            if word != 0 {
+                let slot = ((word_idx as u64) << 6) + u64::from(bit + word.trailing_zeros());
+                // Translate the slot back to an absolute tick > `from`.
+                let base = (from + 1) & !SLOT_MASK;
+                let tick = if slot >= ((from + 1) & SLOT_MASK) {
+                    base + slot
+                } else {
+                    base + SLOT_COUNT as u64 + slot
+                };
+                return Some(tick);
+            }
+            scanned += 64 - bit as usize;
+            word_idx = (word_idx + 1) % BITMAP_WORDS;
+            bit = 0;
+        }
+        None
+    }
+
+    /// Move the cursor to the next tick holding events and load them into
+    /// `drain`. Returns `false` when the wheel holds no live events.
+    fn advance_cursor(&mut self) -> bool {
+        if self.live == 0 {
+            // Everything left (if anything) is cancelled debris; reset so
+            // the backing storage is reclaimed and scans stay short.
+            if !self.slab.is_empty() || !self.overflow.is_empty() {
+                self.slab.clear();
+                self.overflow.clear();
+                self.slots.fill(NONE_IDX);
+                self.occupied = [0u64; BITMAP_WORDS];
+                self.drain.clear();
+            }
+            return false;
+        }
+        let mut from = self.cursor_tick;
+        loop {
+            let slot_tick = self.next_occupied_tick(from);
+            let overflow_tick = self
+                .overflow
+                .first_key_value()
+                .map(|((t, _), _)| t >> GRAN_SHIFT);
+            let target = match (slot_tick, overflow_tick) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                // live > 0 but nothing in slots within a lap or in the
+                // overflow: the remaining events sit in slots more than a
+                // full lap behind their fire tick, which cannot happen —
+                // every slot insert targets a tick within one lap.
+                (None, None) => unreachable!("live events but no occupied slot or overflow"),
+            };
+            // Collect the target tick's events by walking the slot chain;
+            // dead records are reclaimed here, future-lap residents are
+            // relinked (bucket order is irrelevant — the drain sort below
+            // restores exact order).
+            let slot = (target & SLOT_MASK) as usize;
+            if slot_tick == Some(target) {
+                let mut idx = self.slots[slot];
+                let mut kept = NONE_IDX;
+                while idx != NONE_IDX {
+                    let rec = self.slab.get(idx).expect("slot chain entry is parked");
+                    let (time_ns, seq, next) = (rec.time_ns, rec.seq, rec.next);
+                    if seq == DEAD_SEQ {
+                        self.slab.remove(idx);
+                    } else if time_ns >> GRAN_SHIFT == target {
+                        self.drain.push(WheelKey { time_ns, seq, idx });
+                    } else {
+                        self.slab.get_mut(idx).expect("checked live").next = kept;
+                        kept = idx;
+                    }
+                    idx = next;
+                }
+                self.slots[slot] = kept;
+                if kept == NONE_IDX {
+                    self.clear_bit(slot);
+                }
+            }
+            // ...and any overflow entries that fire on the same tick.
+            while let Some((&(t, s), &idx)) = self.overflow.first_key_value() {
+                if t >> GRAN_SHIFT != target {
+                    break;
+                }
+                self.overflow.remove(&(t, s));
+                if matches!(self.slab.get(idx), Some(rec) if rec.seq == DEAD_SEQ) {
+                    self.slab.remove(idx);
+                } else {
+                    self.drain.push(WheelKey {
+                        time_ns: t,
+                        seq: s,
+                        idx,
+                    });
+                }
+            }
+            self.cursor_tick = target;
+            if self.drain.is_empty() {
+                // Bitmap hit was a future-lap entry; keep scanning.
+                from = target;
+                continue;
+            }
+            // Descending sort: unique keys make this fully deterministic.
+            self.drain
+                .sort_unstable_by_key(|k| Reverse((k.time_ns, k.seq)));
+            return true;
+        }
+    }
+
+    /// Drop cancelled keys from the drain tail, then ensure at least one
+    /// live event is staged (advancing the cursor as needed).
+    /// Returns `false` when the scheduler is out of live events.
+    fn settle(&mut self) -> bool {
+        loop {
+            while let Some(&k) = self.drain.last() {
+                if self.is_live(&k) {
+                    break;
+                }
+                self.reclaim_if_dead(k.idx);
+                self.drain.pop();
+            }
+            if !self.drain.is_empty() {
+                return true;
+            }
+            if !self.advance_cursor() {
+                return false;
+            }
+        }
+    }
+}
+
+impl<T> Scheduler<T> for TimerWheelScheduler<T> {
+    fn schedule(&mut self, time_ns: u64, seq: u64, item: T) -> EventKey {
+        debug_assert_ne!(seq, DEAD_SEQ, "sequence space exhausted");
+        let tick = time_ns >> GRAN_SHIFT;
+        let idx;
+        if tick <= self.cursor_tick {
+            // At (or — for clamped times — behind) the active tick: merge
+            // into the sorted drain vector so ordering against the
+            // partially drained tick stays exact. Such events fire nearly
+            // immediately, so the insertion point is at or near the pop
+            // end and the shift is a few keys at most.
+            idx = self.slab.insert(Rec {
+                time_ns,
+                seq,
+                next: NONE_IDX,
+                item,
+            });
+            let pos = self
+                .drain
+                .partition_point(|k| (k.time_ns, k.seq) > (time_ns, seq));
+            self.drain.insert(pos, WheelKey { time_ns, seq, idx });
+        } else if tick - self.cursor_tick < SLOT_COUNT as u64 {
+            let slot = (tick & SLOT_MASK) as usize;
+            idx = self.slab.insert(Rec {
+                time_ns,
+                seq,
+                next: self.slots[slot],
+                item,
+            });
+            self.slots[slot] = idx;
+            self.set_bit(slot);
+        } else {
+            idx = self.slab.insert(Rec {
+                time_ns,
+                seq,
+                next: NONE_IDX,
+                item,
+            });
+            self.overflow.insert((time_ns, seq), idx);
+        }
+        self.live += 1;
+        EventKey { seq, slot: idx }
+    }
+
+    fn cancel(&mut self, key: EventKey) -> bool {
+        match self.slab.get_mut(key.slot) {
+            Some(rec) if rec.seq == key.seq => {
+                // Mark dead in place; the record (and its payload) is
+                // reclaimed lazily by whichever structure holds its sole
+                // reference — unlinking a chain interior here would cost
+                // a walk, and correctness only needs the seq mismatch.
+                rec.seq = DEAD_SEQ;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn peek_next(&mut self) -> Option<(u64, u64)> {
+        if !self.settle() {
+            return None;
+        }
+        self.drain.last().map(|k| (k.time_ns, k.seq))
+    }
+
+    fn pop_next(&mut self) -> Option<(u64, u64, T)> {
+        if !self.settle() {
+            return None;
+        }
+        let key = self.drain.pop().expect("settle staged a head");
+        let rec = self.slab.remove(key.idx).expect("head key is live");
+        self.live -= 1;
+        Some((key.time_ns, key.seq, rec.item))
+    }
+
+    fn pop_next_at_or_before(&mut self, bound_ns: u64) -> Option<(u64, u64, T)> {
+        // Fused peek + pop — the engine hot loop's only entry point. Unlike
+        // `pop_next` this skips the up-front liveness checks: a staged key
+        // is its record's sole reference, so `slab.remove` returns either
+        // the live record (seq matches) or the same record marked dead —
+        // in which case the removal *is* the reclaim and we retry. A dead
+        // candidate losing the head race only delays a live event behind
+        // an even-smaller dead key, never reorders live events.
+        loop {
+            let Some(&key) = self.drain.last() else {
+                if !self.advance_cursor() {
+                    return None;
+                }
+                continue;
+            };
+            if key.time_ns > bound_ns {
+                // A dead candidate here stays staged for a later settle;
+                // any live head fires no earlier, so None stands.
+                return None;
+            }
+            self.drain.pop();
+            match self.slab.remove(key.idx) {
+                Some(rec) if rec.seq == key.seq => {
+                    self.live -= 1;
+                    return Some((key.time_ns, key.seq, rec.item));
+                }
+                // Cancelled while staged; the remove above reclaimed it.
+                _ => continue,
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler selection.
+// ---------------------------------------------------------------------------
+
+/// Which event-queue implementation a [`crate::engine::World`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// The original `BinaryHeap` queue (the differential-testing oracle).
+    Reference,
+    /// The hierarchical timer wheel (the default).
+    #[default]
+    Wheel,
+}
+
+impl SchedulerKind {
+    /// Both kinds, reference first (the order differential harnesses use).
+    pub const ALL: [SchedulerKind; 2] = [SchedulerKind::Reference, SchedulerKind::Wheel];
+
+    /// Short label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerKind::Reference => "heap",
+            SchedulerKind::Wheel => "wheel",
+        }
+    }
+}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "heap" | "reference" | "binheap" => Ok(SchedulerKind::Reference),
+            "wheel" | "timer-wheel" => Ok(SchedulerKind::Wheel),
+            other => Err(format!(
+                "unknown scheduler '{other}' (expected 'heap' or 'wheel')"
+            )),
+        }
+    }
+}
+
+/// Either scheduler behind one enum, so the engine's hot loop uses a
+/// two-way match instead of virtual dispatch.
+#[derive(Debug)]
+pub enum AnyScheduler<T> {
+    /// Reference `BinaryHeap` queue.
+    Heap(HeapScheduler<T>),
+    /// Timer wheel.
+    Wheel(Box<TimerWheelScheduler<T>>),
+}
+
+impl<T: PartialEq> AnyScheduler<T> {
+    /// New empty scheduler of the requested kind.
+    pub fn new(kind: SchedulerKind) -> Self {
+        match kind {
+            SchedulerKind::Reference => AnyScheduler::Heap(HeapScheduler::new()),
+            SchedulerKind::Wheel => AnyScheduler::Wheel(Box::default()),
+        }
+    }
+
+    /// Which kind this is.
+    pub fn kind(&self) -> SchedulerKind {
+        match self {
+            AnyScheduler::Heap(_) => SchedulerKind::Reference,
+            AnyScheduler::Wheel(_) => SchedulerKind::Wheel,
+        }
+    }
+}
+
+impl<T: PartialEq> Scheduler<T> for AnyScheduler<T> {
+    fn schedule(&mut self, time_ns: u64, seq: u64, item: T) -> EventKey {
+        match self {
+            AnyScheduler::Heap(s) => s.schedule(time_ns, seq, item),
+            AnyScheduler::Wheel(s) => s.schedule(time_ns, seq, item),
+        }
+    }
+    fn cancel(&mut self, key: EventKey) -> bool {
+        match self {
+            AnyScheduler::Heap(s) => s.cancel(key),
+            AnyScheduler::Wheel(s) => s.cancel(key),
+        }
+    }
+    fn peek_next(&mut self) -> Option<(u64, u64)> {
+        match self {
+            AnyScheduler::Heap(s) => s.peek_next(),
+            AnyScheduler::Wheel(s) => s.peek_next(),
+        }
+    }
+    fn pop_next(&mut self) -> Option<(u64, u64, T)> {
+        match self {
+            AnyScheduler::Heap(s) => s.pop_next(),
+            AnyScheduler::Wheel(s) => s.pop_next(),
+        }
+    }
+    fn pop_next_at_or_before(&mut self, bound_ns: u64) -> Option<(u64, u64, T)> {
+        match self {
+            AnyScheduler::Heap(s) => s.pop_next_at_or_before(bound_ns),
+            AnyScheduler::Wheel(s) => s.pop_next_at_or_before(bound_ns),
+        }
+    }
+    fn len(&self) -> usize {
+        match self {
+            AnyScheduler::Heap(s) => s.len(),
+            AnyScheduler::Wheel(s) => s.len(),
+        }
+    }
+}
+
+/// Ambient default used by [`crate::engine::World::new`]:
+/// 0 = unset (read `LAQA_SCHED` once), 1 = Reference, 2 = Wheel.
+static AMBIENT: AtomicU8 = AtomicU8::new(0);
+static ENV_KIND: OnceLock<SchedulerKind> = OnceLock::new();
+
+fn env_kind() -> SchedulerKind {
+    *ENV_KIND.get_or_init(|| {
+        std::env::var("LAQA_SCHED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_default()
+    })
+}
+
+/// The ambient scheduler kind new worlds are built with: whatever
+/// [`set_ambient_scheduler`] last installed, else the `LAQA_SCHED`
+/// environment variable (`heap` or `wheel`), else [`SchedulerKind::Wheel`].
+pub fn ambient_scheduler() -> SchedulerKind {
+    match AMBIENT.load(Ordering::Relaxed) {
+        1 => SchedulerKind::Reference,
+        2 => SchedulerKind::Wheel,
+        _ => env_kind(),
+    }
+}
+
+/// Override the ambient scheduler kind process-wide (differential
+/// harnesses flip this between runs; per-world control is
+/// [`crate::engine::World::with_scheduler`]).
+pub fn set_ambient_scheduler(kind: SchedulerKind) {
+    let v = match kind {
+        SchedulerKind::Reference => 1,
+        SchedulerKind::Wheel => 2,
+    };
+    AMBIENT.store(v, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all<S: Scheduler<u32>>(s: &mut S) -> Vec<(u64, u64, u32)> {
+        let mut out = Vec::new();
+        while let Some(next) = s.pop_next() {
+            out.push(next);
+        }
+        out
+    }
+
+    fn both() -> (HeapScheduler<u32>, TimerWheelScheduler<u32>) {
+        (HeapScheduler::new(), TimerWheelScheduler::new())
+    }
+
+    #[test]
+    fn drains_in_time_seq_order() {
+        let (mut h, mut w) = both();
+        // Same-time burst (seq breaks ties), plus out-of-order inserts.
+        let events = [
+            (5_000u64, 0u64),
+            (1_000, 1),
+            (5_000, 2),
+            (1_000, 3),
+            (70_000_000, 4), // different near slot
+            (5_000, 5),
+        ];
+        for &(t, s) in &events {
+            h.schedule(t, s, s as u32);
+            w.schedule(t, s, s as u32);
+        }
+        let expect = vec![
+            (1_000, 1, 1),
+            (1_000, 3, 3),
+            (5_000, 0, 0),
+            (5_000, 2, 2),
+            (5_000, 5, 5),
+            (70_000_000, 4, 4),
+        ];
+        assert_eq!(drain_all(&mut h), expect);
+        assert_eq!(drain_all(&mut w), expect);
+    }
+
+    #[test]
+    fn far_future_overflow_round_trips() {
+        let mut w: TimerWheelScheduler<u32> = TimerWheelScheduler::new();
+        let horizon = (SLOT_COUNT as u64) << GRAN_SHIFT;
+        w.schedule(horizon * 10, 0, 10);
+        w.schedule(3, 1, 1);
+        w.schedule(horizon * 3, 2, 3);
+        w.schedule(u64::MAX, 3, 99);
+        assert_eq!(
+            drain_all(&mut w),
+            vec![
+                (3, 1, 1),
+                (horizon * 3, 2, 3),
+                (horizon * 10, 0, 10),
+                (u64::MAX, 3, 99),
+            ]
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn insert_at_active_tick_during_drain_keeps_order() {
+        let mut w: TimerWheelScheduler<u32> = TimerWheelScheduler::new();
+        w.schedule(100, 0, 0);
+        w.schedule(200, 1, 1);
+        assert_eq!(w.pop_next(), Some((100, 0, 0)));
+        // The engine's "deliver now" path: schedule at the popped time.
+        w.schedule(100, 2, 2);
+        w.schedule(150, 3, 3);
+        assert_eq!(w.pop_next(), Some((100, 2, 2)));
+        assert_eq!(w.pop_next(), Some((150, 3, 3)));
+        assert_eq!(w.pop_next(), Some((200, 1, 1)));
+    }
+
+    #[test]
+    fn peek_matches_pop_and_does_not_consume() {
+        let (mut h, mut w) = both();
+        for s in [
+            &mut h as &mut dyn Scheduler<u32>,
+            &mut w as &mut dyn Scheduler<u32>,
+        ] {
+            s.schedule(9, 0, 0);
+            s.schedule(4, 1, 1);
+            assert_eq!(s.peek_next(), Some((4, 1)));
+            assert_eq!(s.peek_next(), Some((4, 1)), "peek is idempotent");
+            assert_eq!(s.pop_next(), Some((4, 1, 1)));
+            assert_eq!(s.peek_next(), Some((9, 0)));
+        }
+    }
+
+    #[test]
+    fn cancel_removes_event_everywhere() {
+        let horizon = (SLOT_COUNT as u64) << GRAN_SHIFT;
+        let mut w: TimerWheelScheduler<u32> = TimerWheelScheduler::new();
+        let near = w.schedule(50, 0, 0);
+        let far = w.schedule(horizon * 2, 1, 1);
+        let keep = w.schedule(60, 2, 2);
+        assert_eq!(w.len(), 3);
+        assert!(w.cancel(near));
+        assert!(w.cancel(far));
+        assert!(!w.cancel(near), "double cancel is a no-op");
+        assert_eq!(w.len(), 1);
+        assert_eq!(drain_all(&mut w), vec![(60, 2, 2)]);
+        assert!(!w.cancel(keep), "cancel after pop is a no-op");
+    }
+
+    #[test]
+    fn cancelled_slab_slot_reuse_does_not_resurrect() {
+        let mut w: TimerWheelScheduler<u32> = TimerWheelScheduler::new();
+        let a = w.schedule(100, 0, 0);
+        assert!(w.cancel(a));
+        // Reuses a's slab slot with a different seq; the stale key in the
+        // slot list must not surface b twice nor resurrect a.
+        w.schedule(100, 1, 1);
+        assert_eq!(drain_all(&mut w), vec![(100, 1, 1)]);
+    }
+
+    #[test]
+    fn wheel_empties_and_restarts_cleanly() {
+        let mut w: TimerWheelScheduler<u32> = TimerWheelScheduler::new();
+        w.schedule(1 << 20, 0, 0);
+        assert_eq!(drain_all(&mut w), vec![(1 << 20, 0, 0)]);
+        assert_eq!(w.pop_next(), None);
+        // Restart after empty, at a later time (monotone contract).
+        w.schedule(1 << 21, 1, 1);
+        w.schedule((1 << 20) + 5, 2, 2);
+        assert_eq!(
+            drain_all(&mut w),
+            vec![((1 << 20) + 5, 2, 2), (1 << 21, 1, 1)]
+        );
+    }
+
+    #[test]
+    fn heap_tombstone_cancel_skips_at_pop() {
+        let mut h: HeapScheduler<u32> = HeapScheduler::new();
+        let a = h.schedule(10, 0, 0);
+        h.schedule(20, 1, 1);
+        assert!(h.cancel(a));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.pop_next(), Some((20, 1, 1)));
+        assert_eq!(h.pop_next(), None);
+    }
+
+    #[test]
+    fn slot_collision_across_laps_resolves() {
+        // Two events a whole lap apart share a slot; the earlier must
+        // drain first and the later must survive in the slot.
+        let lap = (SLOT_COUNT as u64) << GRAN_SHIFT;
+        let mut w: TimerWheelScheduler<u32> = TimerWheelScheduler::new();
+        let t0 = 7 << GRAN_SHIFT;
+        w.schedule(t0, 0, 0);
+        assert_eq!(w.pop_next(), Some((t0, 0, 0)));
+        // Cursor now at tick 7; same slot, next lap, is within horizon.
+        w.schedule(t0 + lap, 1, 1);
+        w.schedule(t0 + 5, 2, 2); // active tick
+        assert_eq!(w.pop_next(), Some((t0 + 5, 2, 2)));
+        assert_eq!(w.pop_next(), Some((t0 + lap, 1, 1)));
+    }
+
+    #[test]
+    fn kind_parsing_and_labels() {
+        assert_eq!("heap".parse::<SchedulerKind>(), Ok(SchedulerKind::Reference));
+        assert_eq!("wheel".parse::<SchedulerKind>(), Ok(SchedulerKind::Wheel));
+        assert!("nope".parse::<SchedulerKind>().is_err());
+        assert_eq!(SchedulerKind::Reference.label(), "heap");
+        assert_eq!(SchedulerKind::Wheel.label(), "wheel");
+        assert_eq!(AnyScheduler::<u32>::new(SchedulerKind::Wheel).kind(), SchedulerKind::Wheel);
+    }
+}
+

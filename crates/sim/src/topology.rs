@@ -3,7 +3,8 @@
 
 use crate::engine::World;
 use crate::link::{LinkConfig, QueueKind};
-use crate::packet::LinkId;
+use crate::packet::{LinkId, Route};
+use crate::sched::{ambient_scheduler, SchedulerKind};
 
 /// Dumbbell parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,9 +64,15 @@ pub struct Dumbbell {
 }
 
 impl Dumbbell {
-    /// Create the shared links in a fresh world.
+    /// Create the shared links in a fresh world (ambient scheduler kind).
     pub fn new(cfg: DumbbellConfig, seed: u64) -> Self {
-        let mut world = World::new(seed);
+        Self::with_scheduler(cfg, seed, ambient_scheduler())
+    }
+
+    /// Create the shared links in a fresh world driven by an explicit
+    /// event-scheduler implementation.
+    pub fn with_scheduler(cfg: DumbbellConfig, seed: u64, kind: SchedulerKind) -> Self {
+        let mut world = World::with_scheduler(seed, kind);
         let fwd_bottleneck = world.add_link(LinkConfig {
             bandwidth: cfg.bottleneck_bw,
             delay: cfg.bottleneck_delay,
@@ -106,25 +113,25 @@ impl Dumbbell {
 
     /// Create a fresh access link and return the forward route
     /// `[access, bottleneck]` for one flow.
-    pub fn forward_route(&mut self) -> Vec<LinkId> {
+    pub fn forward_route(&mut self) -> Route {
         let access = self.world.add_link(LinkConfig {
             bandwidth: self.cfg.access_bw,
             delay: self.cfg.access_delay,
             queue_packets: 10_000,
             ..LinkConfig::default()
         });
-        vec![access, self.fwd_bottleneck]
+        Route::from(vec![access, self.fwd_bottleneck])
     }
 
     /// Reverse route `[rev_bottleneck, rev_access]` for one flow's ACKs.
-    pub fn reverse_route(&mut self) -> Vec<LinkId> {
+    pub fn reverse_route(&mut self) -> Route {
         let access = self.world.add_link(LinkConfig {
             bandwidth: self.cfg.access_bw,
             delay: self.cfg.access_delay,
             queue_packets: 10_000,
             ..LinkConfig::default()
         });
-        vec![self.rev_bottleneck, access]
+        Route::from(vec![self.rev_bottleneck, access])
     }
 }
 

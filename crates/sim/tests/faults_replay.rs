@@ -15,6 +15,30 @@ fn faulted_t1(intensity: f64, duration: f64, seed: u64) -> ScenarioConfig {
 }
 
 #[test]
+fn zero_intensity_suite_is_fingerprint_identical_to_faultless_baseline() {
+    // `FaultPlan::suite(0.0)` must compose onto any scenario as a perfect
+    // no-op: not "statistically similar", but the *same bits* — no
+    // injector agent, no extra RNG draws, no extra scheduler events.
+    for cfg in [
+        ScenarioConfig::t1(2, 10.0, 7),
+        ScenarioConfig::t1(4, 8.0, 42),
+        ScenarioConfig::t2(2, 12.0, 21),
+    ] {
+        let mut faulted = cfg.clone();
+        faulted.faults = FaultPlan::suite(0.0);
+        let base_out = run_scenario(&cfg);
+        let faulted_out = run_scenario(&faulted);
+        assert_eq!(
+            hash_outcome(&base_out),
+            hash_outcome(&faulted_out),
+            "suite(0.0) perturbed the trajectory"
+        );
+        assert_eq!(base_out.events_processed, faulted_out.events_processed);
+        assert_eq!(faulted_out.fault_stats.transitions(), 0);
+    }
+}
+
+#[test]
 fn fault_run_replays_bit_identically_per_seed() {
     let cfg = faulted_t1(0.8, 12.0, 7);
     let a = run_scenario(&cfg);

@@ -1,0 +1,191 @@
+//! Property tests for the event schedulers, driven by `laqa_check`'s
+//! seeded generator: random insert/pop/cancel workloads must drain in
+//! strict `(time_ns, seq)` order on both implementations, and the two
+//! implementations must agree item-for-item on every workload.
+
+use laqa_check::{cases, Gen};
+use laqa_sim::{EventKey, HeapScheduler, Scheduler, SchedulerKind, TimerWheelScheduler};
+
+/// One scripted step of a scheduler workload.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Schedule at `now + delta_ns`.
+    Insert { delta_ns: u64 },
+    /// Pop the head (if any), advancing `now` to its deadline.
+    Pop,
+    /// Cancel the pending key at `index % pending.len()` (if any).
+    Cancel { index: usize },
+}
+
+/// Generate a workload mixing near-future inserts, same-tick bursts,
+/// far-future (overflow-tree) deadlines, pops, and cancels.
+fn gen_ops(g: &mut Gen, len: usize) -> Vec<Op> {
+    // ~268 ms of wheel horizon at 65.5 µs granularity; anything past
+    // `1 << 28` ns lands in the overflow tree.
+    const FAR: u64 = 40_000_000_000; // 40 s — deep overflow territory
+    (0..len)
+        .map(|_| match g.u32_in(0, 9) {
+            // Dense near-future inserts, including zero-delay (same tick
+            // as `now` — must still pop after already-due earlier seqs).
+            0..=2 => Op::Insert {
+                delta_ns: g.u64_in(0, 2_000_000),
+            },
+            // Same-tick burst: identical deadline, seq must break the tie.
+            3 => Op::Insert { delta_ns: 65_536 },
+            // Mid-range: within the wheel's slot horizon.
+            4 => Op::Insert {
+                delta_ns: g.u64_in(0, 200_000_000),
+            },
+            // Far future: overflow tree, up to a max-horizon outlier.
+            5 => Op::Insert {
+                delta_ns: g.u64_in(1 << 28, FAR),
+            },
+            6 | 7 => Op::Pop,
+            _ => Op::Cancel {
+                index: g.usize_in(0, 63),
+            },
+        })
+        .collect()
+}
+
+/// Replay `ops` against `sched`, checking the strict drain order as we
+/// go. Returns the popped `(time_ns, seq, item)` triples.
+fn replay(sched: &mut dyn Scheduler<u64>, ops: &[Op]) -> Vec<(u64, u64, u64)> {
+    let mut now = 0u64;
+    let mut seq = 0u64;
+    let mut pending: Vec<EventKey> = Vec::new();
+    let mut popped = Vec::new();
+    let mut last: Option<(u64, u64)> = None;
+    for op in ops {
+        match *op {
+            Op::Insert { delta_ns } => {
+                let key = sched.schedule(now + delta_ns, seq, seq);
+                pending.push(key);
+                seq += 1;
+            }
+            Op::Pop => {
+                let peeked = sched.peek_next();
+                if let Some((t, s, item)) = sched.pop_next() {
+                    assert_eq!(peeked, Some((t, s)), "peek/pop disagree");
+                    assert!(t >= now, "time went backwards: {t} < {now}");
+                    if let Some(prev) = last {
+                        assert!(
+                            (t, s) > prev,
+                            "drain order violated: {:?} after {prev:?}",
+                            (t, s)
+                        );
+                    }
+                    assert_eq!(item, s, "item/seq pairing corrupted");
+                    last = Some((t, s));
+                    now = t;
+                    popped.push((t, s, item));
+                }
+            }
+            Op::Cancel { index } => {
+                if !pending.is_empty() {
+                    let key = pending.swap_remove(index % pending.len());
+                    // May be false if the event already popped — both
+                    // impls must agree on that via the popped list.
+                    sched.cancel(key);
+                }
+            }
+        }
+    }
+    // Drain the rest; order must stay strict.
+    while let Some((t, s, item)) = sched.pop_next() {
+        if let Some(prev) = last {
+            assert!((t, s) > prev, "tail drain order violated");
+        }
+        assert_eq!(item, s);
+        last = Some((t, s));
+        popped.push((t, s, item));
+    }
+    assert!(sched.is_empty(), "drained scheduler reports len {}", sched.len());
+    popped
+}
+
+#[test]
+fn random_workloads_drain_identically_on_both_schedulers() {
+    cases("sched_differential_ops", 200, |g, case| {
+        let len = g.usize_in(10, 400);
+        let ops = gen_ops(g, len);
+        let mut heap = HeapScheduler::<u64>::new();
+        let mut wheel = TimerWheelScheduler::<u64>::new();
+        let a = replay(&mut heap, &ops);
+        let b = replay(&mut wheel, &ops);
+        assert_eq!(a, b, "case {case}: wheel drain differs from heap oracle");
+    });
+}
+
+#[test]
+fn same_tick_bursts_drain_in_seq_order() {
+    cases("sched_same_tick", 50, |g, _case| {
+        let n = g.usize_in(2, 300);
+        let t = g.u64_in(0, 1 << 40);
+        for kind in SchedulerKind::ALL {
+            let mut s = laqa_sim::AnyScheduler::<u64>::new(kind);
+            for seq in 0..n as u64 {
+                s.schedule(t, seq, seq);
+            }
+            for expect in 0..n as u64 {
+                let (pt, ps, item) = s.pop_next().expect("burst entry");
+                assert_eq!((pt, ps, item), (t, expect, expect), "{}", kind.label());
+            }
+            assert!(s.pop_next().is_none());
+        }
+    });
+}
+
+#[test]
+fn max_horizon_far_future_events_survive_round_trip() {
+    cases("sched_far_future", 50, |g, _case| {
+        let mut wheel = TimerWheelScheduler::<u64>::new();
+        // A near event, then outliers across the whole u64-safe horizon
+        // (days of simulated time) that must pop in deadline order.
+        let mut expect: Vec<(u64, u64)> = Vec::new();
+        let n = g.usize_in(2, 40);
+        for seq in 0..n as u64 {
+            let t = if seq == 0 { 0 } else { g.u64_in(1, 1 << 50) };
+            wheel.schedule(t, seq, seq);
+            expect.push((t, seq));
+        }
+        expect.sort_unstable();
+        for &(t, s) in &expect {
+            assert_eq!(wheel.pop_next(), Some((t, s, s)));
+        }
+        assert!(wheel.is_empty());
+    });
+}
+
+#[test]
+fn cancel_is_exact_on_both_schedulers() {
+    cases("sched_cancel", 100, |g, _case| {
+        let n = g.usize_in(4, 100);
+        let drop_mask: Vec<bool> = (0..n).map(|_| g.bool(0.5)).collect();
+        // One shared deadline script so both scheduler kinds see the
+        // exact same workload.
+        let times: Vec<u64> = (0..n).map(|_| g.u64_in(0, 1 << 34)).collect();
+        for kind in SchedulerKind::ALL {
+            let mut s = laqa_sim::AnyScheduler::<u64>::new(kind);
+            let mut keys = Vec::new();
+            for seq in 0..n as u64 {
+                let t = times[seq as usize];
+                keys.push((s.schedule(t, seq, seq), t, seq));
+            }
+            let mut survivors: Vec<(u64, u64)> = Vec::new();
+            for (i, (key, t, seq)) in keys.into_iter().enumerate() {
+                if drop_mask[i] {
+                    assert!(s.cancel(key), "{}: live cancel failed", kind.label());
+                } else {
+                    survivors.push((t, seq));
+                }
+            }
+            survivors.sort_unstable();
+            assert_eq!(s.len(), survivors.len(), "{}", kind.label());
+            for (t, seq) in survivors {
+                assert_eq!(s.pop_next(), Some((t, seq, seq)), "{}", kind.label());
+            }
+            assert!(s.pop_next().is_none());
+        }
+    });
+}

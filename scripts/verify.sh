@@ -10,19 +10,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/6 build (release) =="
+echo "== 1/7 build (release) =="
 cargo build --release
 
-echo "== 2/6 tests =="
+echo "== 2/7 tests =="
 cargo test -q
 
-echo "== 3/6 clippy (deny warnings) =="
+echo "== 3/7 clippy (deny warnings) =="
 cargo clippy --all-targets -- -D warnings
 
-echo "== 4/6 campaign smoke sweep =="
+echo "== 4/7 campaign smoke sweep =="
 cargo run --release -p laqa-bench --bin campaign -- --smoke
 
-echo "== 5/6 observability inertness (fingerprints with --obs on vs off) =="
+echo "== 5/7 observability inertness (fingerprints with --obs on vs off) =="
 # The smoke sweep prints one fingerprint line per replay check; enabling
 # the laqa-obs instrumentation must not change a single bit of any of
 # them (see crates/sim/tests/obs_inertness.rs for the in-tree half).
@@ -41,7 +41,7 @@ fi
 echo "fingerprints identical with obs on/off: $fp_off"
 cargo run --release -p laqa-bench --bin laqa -- obs-report --dir "$obs_dir"
 
-echo "== 6/6 fault-injection smoke (seed-replay fingerprint) =="
+echo "== 6/7 fault-injection smoke (seed-replay fingerprint) =="
 # The fault sweep must be a pure function of its seeds: two consecutive
 # runs of the same grid (which also each self-check across thread
 # counts) must print the same campaign fingerprint.
@@ -56,5 +56,15 @@ if [ -z "$fault_fp_a" ] || [ "$fault_fp_a" != "$fault_fp_b" ]; then
   exit 1
 fi
 echo "fault campaign replays bit-identically: $fault_fp_a"
+
+echo "== 7/7 scheduler differential harness + bench smoke =="
+# The timer wheel must replay every workload bit-identically to the
+# BinaryHeap reference oracle (crates/sim/tests/sched_differential.rs),
+# and the perf harness re-checks fingerprint agreement while measuring.
+# Throughput is recorded into BENCH_sched.json for trend tracking, not
+# gated — only fingerprint divergence fails this step (the bench exits
+# non-zero on any heap/wheel mismatch).
+cargo test -q --release -p laqa-sim --test sched_differential
+cargo run --release -p laqa-bench --bin sched -- --smoke
 
 echo "verify OK"
