@@ -1,0 +1,379 @@
+//! `campaign_bench` — warm-world campaign executor baseline.
+//!
+//! Sweeps the campaign smoke grid across thread counts on cold vs. warm
+//! worlds under both scheduler kinds, cross-checks that every one of the
+//! `{cold, warm} × {threads} × {heap, wheel}` fingerprints is bit-identical
+//! (exiting non-zero on any divergence — warm pools and the geometry memo
+//! must be invisible to the simulation), probes steady-state allocations
+//! for a warm pool's second session, and writes `BENCH_campaign.json` at
+//! the repo root so campaign throughput is tracked in-tree.
+//!
+//! ```text
+//! campaign_bench                   # full baseline (3 reps, best-of)
+//! campaign_bench --smoke           # 1 rep, short duration (CI wiring)
+//! options: --threads LIST (default 1,2,8,16)  --reps N  --duration S
+//!          --out FILE  --check FILE (>20% events/sec regression gate)
+//! ```
+
+use laqa_bench::cli::Args;
+use laqa_sim::{
+    run_campaign_fold, run_campaign_opts, run_session_pooled, CampaignOptions, CampaignSpec,
+    SchedulerKind, SessionSpec, TestKind, WorldPool,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapped with allocation counters: the whole point of
+/// the warm-world path is the allocations it does *not* make, so the
+/// report pins allocs/session per mode as a hard number.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// laqa crates are all `deny(unsafe_code)`; the one unavoidable unsafe
+// surface (the global-allocator hook) lives here in the bench binary.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+type AnyError = Box<dyn std::error::Error>;
+
+/// One measured cell: a (world mode, scheduler, thread count) triple.
+struct Cell {
+    mode: &'static str,
+    sched: SchedulerKind,
+    threads: usize,
+    fingerprint: u64,
+    events: u64,
+    /// Best-of-reps worker wall time (merge excluded; seconds).
+    wall_secs: f64,
+    merge_secs: f64,
+    allocations: u64,
+    sessions: usize,
+}
+
+impl Cell {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs.max(1e-9)
+    }
+    fn allocs_per_session(&self) -> u64 {
+        self.allocations / self.sessions.max(1) as u64
+    }
+}
+
+fn measure_rep(spec: &CampaignSpec, opts: CampaignOptions, mode: &'static str) -> Cell {
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let result = run_campaign_opts(spec, opts);
+    Cell {
+        mode,
+        sched: opts.sched,
+        threads: opts.threads,
+        fingerprint: result.fingerprint(),
+        events: result.sessions.iter().map(|s| s.events_processed).sum(),
+        wall_secs: result.wall_secs,
+        merge_secs: result.merge_secs,
+        allocations: ALLOCS.load(Ordering::Relaxed) - a0,
+        sessions: result.sessions.len(),
+    }
+}
+
+/// Best-of-`reps` for one configuration, with a discarded warmup rep and a
+/// rep-to-rep fingerprint assert.
+fn measure(spec: &CampaignSpec, opts: CampaignOptions, mode: &'static str, reps: usize) -> Cell {
+    let _ = measure_rep(spec, opts, mode);
+    let mut best: Option<Cell> = None;
+    for _ in 0..reps.max(1) {
+        let cell = measure_rep(spec, opts, mode);
+        match &best {
+            Some(prev) => {
+                assert_eq!(
+                    prev.fingerprint, cell.fingerprint,
+                    "{mode}/{}/t{}: rep-to-rep divergence",
+                    opts.sched.label(),
+                    opts.threads
+                );
+                if cell.wall_secs < prev.wall_secs {
+                    best = Some(cell);
+                }
+            }
+            None => best = Some(cell),
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// Steady-state probe: allocations charged to a warm pool's second session
+/// (the first pays world construction; from the second on, engine storage
+/// is recycled and geometry derivations hit the memo). This is the number
+/// `crates/bench/tests/warm_alloc.rs` budgets.
+fn steady_state_allocs(duration: f64) -> (u64, u64) {
+    let spec = SessionSpec {
+        test: TestKind::T1,
+        k_max: 2,
+        seed: 7,
+        duration,
+        fault_intensity: None,
+    };
+    let mut pool = WorldPool::new();
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let _ = run_session_pooled(&spec, SchedulerKind::Wheel, &mut pool);
+    let first = ALLOCS.load(Ordering::Relaxed) - a0;
+    let a1 = ALLOCS.load(Ordering::Relaxed);
+    let _ = run_session_pooled(&spec, SchedulerKind::Wheel, &mut pool);
+    let second = ALLOCS.load(Ordering::Relaxed) - a1;
+    (first, second)
+}
+
+fn default_out() -> std::path::PathBuf {
+    // crates/bench -> repo root, independent of cargo's working directory.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_campaign.json")
+}
+
+/// Pull `"key": <number>` out of a baseline JSON by string scan (the
+/// bench JSON is handwritten, flat, and trusted — no parser needed).
+fn scan_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn run(args: &Args) -> Result<(), AnyError> {
+    let smoke = args.flag("smoke");
+    let reps: usize = args.get("reps", if smoke { 1 } else { 3 })?;
+    // Even the smoke duration stays past qa_start (5 s) so the QA
+    // controller — and with it the geometry memo — is actually exercised.
+    let duration: f64 = args.get("duration", if smoke { 6.0 } else { 8.0 })?;
+    let thread_counts: Vec<usize> = args.get_list("threads", &[1, 2, 8, 16])?;
+
+    // 16 sessions (T1 × k{2,4} × 8 seeds) so a 16-thread run actually gets
+    // one session per worker instead of clamping down.
+    let seeds: [u64; 8] = [7, 21, 35, 49, 63, 77, 91, 105];
+    let spec = CampaignSpec::grid(&[TestKind::T1], &[2, 4], &seeds, duration);
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &sched in SchedulerKind::ALL.iter() {
+        for &threads in &thread_counts {
+            for (mode, opts) in [
+                ("cold", CampaignOptions::new(threads).sched(sched).cold()),
+                ("warm", CampaignOptions::new(threads).sched(sched)),
+            ] {
+                eprintln!(
+                    "measuring {mode}/{}/t{threads} ({} sessions, {reps} rep(s))...",
+                    sched.label(),
+                    spec.len()
+                );
+                cells.push(measure(&spec, opts, mode, reps));
+            }
+        }
+    }
+
+    // Fingerprint gate: every {mode, sched, threads} combination must
+    // reproduce the same campaign bit for bit.
+    let fp0 = cells[0].fingerprint;
+    for c in &cells {
+        if c.fingerprint != fp0 {
+            return Err(format!(
+                "EXECUTOR DIVERGENCE: {}/{}/t{} fingerprint {:016x} != {:016x}",
+                c.mode,
+                c.sched.label(),
+                c.threads,
+                c.fingerprint,
+                fp0
+            )
+            .into());
+        }
+    }
+
+    // The streaming fold must reproduce the full-mode fingerprint too.
+    let fold = run_campaign_fold(
+        &spec,
+        CampaignOptions::new(*thread_counts.iter().max().unwrap_or(&1)),
+        0u64,
+        |acc, r| *acc += r.events_processed,
+    );
+    if fold.fingerprint != fp0 {
+        return Err(format!(
+            "STREAMING DIVERGENCE: fold fingerprint {:016x} != full {:016x}",
+            fold.fingerprint, fp0
+        )
+        .into());
+    }
+
+    let (cold_first, warm_second) = steady_state_allocs(duration);
+
+    println!(
+        "{:<6} {:>6} {:>3} {:>12} {:>10} {:>12} {:>14} {:>10}",
+        "mode", "sched", "thr", "events", "wall (s)", "events/s", "allocs/sess", "merge (ms)"
+    );
+    for c in &cells {
+        println!(
+            "{:<6} {:>6} {:>3} {:>12} {:>10.3} {:>12.0} {:>14} {:>10.3}",
+            c.mode,
+            c.sched.label(),
+            c.threads,
+            c.events,
+            c.wall_secs,
+            c.events_per_sec(),
+            c.allocs_per_session(),
+            c.merge_secs * 1e3
+        );
+    }
+
+    let find = |mode: &str, sched: SchedulerKind, threads: usize| -> Option<&Cell> {
+        cells
+            .iter()
+            .find(|c| c.mode == mode && c.sched == sched && c.threads == threads)
+    };
+    let base_threads = *thread_counts.first().unwrap_or(&1);
+    let warm_vs_cold = match (
+        find("warm", SchedulerKind::Wheel, base_threads),
+        find("cold", SchedulerKind::Wheel, base_threads),
+    ) {
+        (Some(w), Some(c)) => w.events_per_sec() / c.events_per_sec().max(1e-9),
+        _ => 1.0,
+    };
+    let agg_8_vs_1 = match (
+        find("warm", SchedulerKind::Wheel, 8),
+        find("warm", SchedulerKind::Wheel, 1),
+    ) {
+        (Some(w8), Some(w1)) => w8.events_per_sec() / w1.events_per_sec().max(1e-9),
+        _ => 1.0,
+    };
+    let overall: f64 = {
+        let events: u64 = cells.iter().map(|c| c.events).sum();
+        let wall: f64 = cells.iter().map(|c| c.wall_secs).sum();
+        events as f64 / wall.max(1e-9)
+    };
+    println!(
+        "warm/cold @{base_threads} thread(s) (wheel): {warm_vs_cold:.2}x; \
+         warm 8-vs-1 threads: {agg_8_vs_1:.2}x; overall {overall:.0} events/s"
+    );
+    println!(
+        "steady-state allocs: first (cold) session {cold_first}, second (warm) {warm_second}"
+    );
+
+    if let Some(path) = args.options.get("check") {
+        let baseline = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+        match scan_number(&baseline, "events_per_sec_overall") {
+            Some(base_eps) if base_eps > 0.0 => {
+                let ratio = overall / base_eps;
+                println!(
+                    "regression gate: {overall:.0} events/s vs baseline {base_eps:.0} \
+                     ({ratio:.2}x)"
+                );
+                if ratio < 0.8 {
+                    return Err(format!(
+                        "PERF REGRESSION: events/sec dropped >20% vs {path} \
+                         ({overall:.0} vs {base_eps:.0})"
+                    )
+                    .into());
+                }
+            }
+            _ => return Err(format!("baseline {path} has no events_per_sec_overall").into()),
+        }
+    }
+
+    let out = args
+        .options
+        .get("out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(default_out);
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"campaign\",\n");
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!("  \"duration_secs\": {duration},\n"));
+    json.push_str(&format!(
+        "  \"grid\": {{\"tests\": [\"T1\"], \"k_values\": [2, 4], \"seeds\": {}, \
+         \"sessions\": {}}},\n",
+        seeds.len(),
+        spec.len()
+    ));
+    json.push_str(&format!(
+        "  \"thread_counts\": [{}],\n",
+        thread_counts
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!(
+        "  \"speedup_warm_vs_cold_1thread\": {warm_vs_cold:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"speedup_warm_8_vs_1_threads\": {agg_8_vs_1:.4},\n"
+    ));
+    json.push_str(&format!("  \"events_per_sec_overall\": {overall:.1},\n"));
+    json.push_str(&format!(
+        "  \"steady_state_allocs\": {{\"first_session\": {cold_first}, \
+         \"second_session_warm\": {warm_second}}},\n"
+    ));
+    json.push_str(&format!("  \"fingerprint\": \"{fp0:016x}\",\n"));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"scheduler\": \"{}\", \"threads\": {}, \
+             \"events\": {}, \"wall_secs\": {:.6}, \"merge_secs\": {:.6}, \
+             \"events_per_sec\": {:.1}, \"allocs_per_session\": {}}}{}\n",
+            c.mode,
+            c.sched.label(),
+            c.threads,
+            c.events,
+            c.wall_secs,
+            c.merge_secs,
+            c.events_per_sec(),
+            c.allocs_per_session(),
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json)?;
+    println!("wrote {}", out.display());
+    Ok(())
+}
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().is_none_or(|a| a.starts_with("--")) {
+        raw.insert(0, "run".to_string());
+    }
+    let args = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.command != "run" {
+        eprintln!(
+            "error: unexpected argument '{}' — this binary takes options only \
+             (--smoke, --threads LIST, --duration S, --reps N, --out FILE, --check FILE)",
+            args.command
+        );
+        std::process::exit(2);
+    }
+    if let Err(e) = run(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

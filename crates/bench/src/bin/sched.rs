@@ -11,7 +11,11 @@
 //! sched --smoke            # 1 rep, shorter durations (CI wiring)
 //! options: --threads N (default 1: scheduler-bound timing)
 //!          --duration S  --reps N  --out FILE
+//!          --kmax LIST (default 2,4)  --seeds LIST (default 7,21)
 //! ```
+//!
+//! Every knob — including the grid — is recorded in the output JSON so
+//! bench trajectories are comparable across machines and configurations.
 
 use laqa_bench::cli::Args;
 use laqa_sim::{run_campaign_with, CampaignSpec, SchedulerKind, TestKind};
@@ -141,10 +145,17 @@ fn run(args: &Args) -> Result<(), AnyError> {
     let threads: usize = args.get("threads", 1)?;
     let reps: usize = args.get("reps", if smoke { 1 } else { 3 })?;
     let duration: f64 = args.get("duration", if smoke { 4.0 } else { 8.0 })?;
+    let k_values: Vec<u32> = args.get_list("kmax", &[2, 4])?;
+    let seeds: Vec<u64> = args.get_list("seeds", &[7, 21])?;
 
-    let smoke_spec = CampaignSpec::grid(&[TestKind::T1], &[2, 4], &[7, 21], duration);
-    let faults_spec =
-        CampaignSpec::faults_grid(&[TestKind::T1], &[2], &[0.0, 1.0], &[7], duration.max(10.0));
+    let smoke_spec = CampaignSpec::grid(&[TestKind::T1], &k_values, &seeds, duration);
+    let faults_spec = CampaignSpec::faults_grid(
+        &[TestKind::T1],
+        &k_values[..1.min(k_values.len())],
+        &[0.0, 1.0],
+        &seeds[..1.min(seeds.len())],
+        duration.max(10.0),
+    );
     let workloads: [(&'static str, &CampaignSpec); 2] =
         [("campaign_smoke", &smoke_spec), ("faults_suite", &faults_spec)];
 
@@ -218,6 +229,12 @@ fn run(args: &Args) -> Result<(), AnyError> {
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"reps\": {reps},\n"));
     json.push_str(&format!("  \"duration_secs\": {duration},\n"));
+    let join = |v: Vec<String>| v.join(", ");
+    json.push_str(&format!(
+        "  \"grid\": {{\"tests\": [\"T1\"], \"k_values\": [{}], \"seeds\": [{}]}},\n",
+        join(k_values.iter().map(|k| k.to_string()).collect()),
+        join(seeds.iter().map(|s| s.to_string()).collect())
+    ));
     json.push_str(&format!(
         "  \"speedup_campaign_smoke\": {smoke_ratio:.4},\n  \"speedup_faults_suite\": {faults_ratio:.4},\n"
     ));

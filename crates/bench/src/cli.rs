@@ -79,6 +79,26 @@ impl Args {
     pub fn flag(&self, key: &str) -> bool {
         self.options.get(key).map(|v| v == "true").unwrap_or(false)
     }
+
+    /// Comma-separated typed list option (e.g. `--seeds 7,21,35`), falling
+    /// back to `default` when absent. Empty segments are rejected.
+    pub fn get_list<T>(&self, key: &str, default: &[T]) -> Result<Vec<T>, ArgError>
+    where
+        T: std::str::FromStr + Clone,
+    {
+        match self.options.get(key) {
+            None => Ok(default.to_vec()),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim().parse().map_err(|_| ArgError::BadValue {
+                        key: key.to_string(),
+                        value: v.clone(),
+                    })
+                })
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +146,15 @@ mod tests {
             parse("sim extra"),
             Err(ArgError::UnexpectedPositional(_))
         ));
+    }
+
+    #[test]
+    fn parses_comma_lists_with_default() {
+        let a = parse("run --seeds 7,21,35").unwrap();
+        assert_eq!(a.get_list::<u64>("seeds", &[1]).unwrap(), vec![7, 21, 35]);
+        assert_eq!(a.get_list::<u64>("absent", &[1, 2]).unwrap(), vec![1, 2]);
+        let a = parse("run --seeds 7,,9").unwrap();
+        assert!(a.get_list::<u64>("seeds", &[]).is_err());
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Steady-state allocation guard for the warm-world campaign path.
+//!
+//! PR 4 pinned the in-session allocator win (266k → 29k allocs per run);
+//! this pins the cross-session one: once a worker's [`WorldPool`] is warm,
+//! the next session must run within a small fixed allocation budget —
+//! engine storage (scheduler slab, link ring buffers, agents vector) is
+//! recycled and geometry derivations hit the shared memo, so only agent
+//! construction and result extraction still allocate.
+//!
+//! Lives in `crates/bench/tests` because the laqa crates are
+//! `deny(unsafe_code)` and the counting `#[global_allocator]` is the one
+//! unavoidable unsafe surface. Single `#[test]` on purpose: the counter is
+//! process-global, and sibling tests running on other threads would bleed
+//! into the measurement.
+
+use laqa_sim::{
+    run_session_pooled, run_session_with, SchedulerKind, SessionSpec, TestKind, WorldPool,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations allowed for the second (warm) session. Measured: ~1 980 at
+/// 8 s (agent construction, trace growth, result extraction clones),
+/// against ~5 600 for the cold first session. The budget leaves slack for
+/// allocator-library drift without letting a cold-start regression (2.8x
+/// more) sneak past.
+const WARM_SESSION_ALLOC_BUDGET: u64 = 2_500;
+
+#[test]
+fn second_warm_pool_session_stays_under_alloc_budget() {
+    let spec = SessionSpec {
+        test: TestKind::T1,
+        k_max: 2,
+        seed: 7,
+        // Past qa_start (5 s): the QA controller must actually tick, or
+        // the geometry-memo assertions below would pass vacuously.
+        duration: 8.0,
+        fault_intensity: None,
+    };
+    let mut pool = WorldPool::new();
+
+    // Session 1: cold — pays world construction and warms the pool.
+    let first = run_session_pooled(&spec, SchedulerKind::Wheel, &mut pool);
+    assert!(pool.is_warm(), "pool must bank the retired world");
+
+    // Session 2: warm — the guarded measurement.
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let second = run_session_pooled(&spec, SchedulerKind::Wheel, &mut pool);
+    let warm_allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+
+    assert_eq!(
+        first.trace_hash, second.trace_hash,
+        "same spec through the same pool must replay bit-identically"
+    );
+    let standalone = run_session_with(&spec, SchedulerKind::Wheel);
+    assert_eq!(
+        standalone.trace_hash, second.trace_hash,
+        "pooled session must match a cold standalone run"
+    );
+    let (hits, misses) = pool.geometry_stats();
+    assert!(hits > 0, "repeated spec must hit the geometry memo");
+    assert!(misses > 0, "first session must have populated the memo");
+
+    assert!(
+        warm_allocs <= WARM_SESSION_ALLOC_BUDGET,
+        "steady-state warm session allocated {warm_allocs} times \
+         (budget {WARM_SESSION_ALLOC_BUDGET}); the warm-world reuse path regressed"
+    );
+}

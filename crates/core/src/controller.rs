@@ -98,6 +98,11 @@ pub struct QaController {
     alloc_rates: Vec<f64>,
     /// True once `now >= playout_delay`: consumption is being charged.
     playing: bool,
+    /// Optional shared memo for state-sequence derivations; when set,
+    /// every fill/drain rebuild goes through it (see
+    /// [`crate::GeometryCache`]). `None` keeps the standalone rebuild
+    /// path — results are bit-identical either way.
+    geo_cache: Option<crate::SharedGeometryCache>,
     metrics: MetricsCollector,
 }
 
@@ -121,6 +126,7 @@ impl QaController {
             credits: vec![0.0; n],
             alloc_rates: vec![0.0; n],
             playing: false,
+            geo_cache: None,
             metrics: MetricsCollector::new(),
         })
     }
@@ -475,13 +481,40 @@ impl QaController {
     /// Rebuild `seq` in place as the filling path for `n_active` layers at
     /// `rate` (scratch-reuse form of the old per-tick `StateSequence::build`).
     fn rebuild_fill(&self, seq: &mut StateSequence, rate: f64, n_active: usize) {
-        seq.rebuild(
-            rate,
-            n_active,
-            self.cfg.layer_rate,
-            self.slope,
-            self.cfg.fill_horizon_backoffs,
-        );
+        self.rebuild_seq(seq, rate, n_active);
+    }
+
+    /// Route a rebuild through the shared geometry memo when one is
+    /// attached, falling back to a direct [`StateSequence::rebuild`]. The
+    /// resulting sequence is bit-identical on both paths (the cache keys
+    /// on exact float bit patterns), so attaching a cache can never
+    /// change a trajectory.
+    fn rebuild_seq(&self, seq: &mut StateSequence, rate: f64, n_active: usize) {
+        if let Some(cache) = &self.geo_cache {
+            cache.lock().expect("geometry cache poisoned").rebuild_memoized(
+                seq,
+                rate,
+                n_active,
+                self.cfg.layer_rate,
+                self.slope,
+                self.cfg.fill_horizon_backoffs,
+            );
+        } else {
+            seq.rebuild(
+                rate,
+                n_active,
+                self.cfg.layer_rate,
+                self.slope,
+                self.cfg.fill_horizon_backoffs,
+            );
+        }
+    }
+
+    /// Attach a shared geometry memo cache (campaign workers share one per
+    /// worker across all sessions they run). Pass-through for results:
+    /// controller trajectories are unchanged by construction.
+    pub fn set_geometry_cache(&mut self, cache: crate::SharedGeometryCache) {
+        self.geo_cache = Some(cache);
     }
 
     /// Make `self.drain_seq` current for the present peak rate and layer
@@ -494,13 +527,7 @@ impl QaController {
         };
         if stale {
             let mut seq = self.drain_seq.take().unwrap_or_default();
-            seq.rebuild(
-                peak,
-                self.n_active,
-                self.cfg.layer_rate,
-                self.slope,
-                self.cfg.fill_horizon_backoffs,
-            );
+            self.rebuild_seq(&mut seq, peak, self.n_active);
             self.drain_seq = Some(seq);
         }
     }

@@ -19,6 +19,8 @@
 //! available for the ablation benchmarks.
 
 use crate::scenario::{min_backoffs_below, per_layer_into, Scenario};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// One optimal buffer state `(scenario, k)` with its per-layer targets.
 #[derive(Debug, Clone, PartialEq)]
@@ -171,6 +173,30 @@ impl StateSequence {
         self.k1 = k1;
     }
 
+    /// Overwrite `self` with a copy of `src`, recycling every vector `self`
+    /// already owns. Equivalent to `self.clone_from(src)` except that no
+    /// allocation happens once `self` has the capacity — the memo-cache hit
+    /// path ([`GeometryCache`]) copies a cached sequence into per-tick
+    /// scratch storage this way.
+    pub fn copy_from(&mut self, src: &StateSequence) {
+        self.rate = src.rate;
+        self.n_active = src.n_active;
+        self.layer_rate = src.layer_rate;
+        self.slope = src.slope;
+        self.k1 = src.k1;
+        self.states.truncate(src.states.len());
+        let copied = self.states.len();
+        for (dst, s) in self.states.iter_mut().zip(src.states.iter()) {
+            dst.scenario = s.scenario;
+            dst.k = s.k;
+            dst.raw_per_layer.clear();
+            dst.raw_per_layer.extend_from_slice(&s.raw_per_layer);
+            dst.per_layer.clear();
+            dst.per_layer.extend_from_slice(&s.per_layer);
+        }
+        self.states.extend(src.states.iter().skip(copied).cloned());
+    }
+
     /// Index of the first state not yet satisfied by `bufs`, or `None` when
     /// every state on the path is satisfied.
     pub fn first_unsatisfied(&self, bufs: &[f64], eps: f64) -> Option<usize> {
@@ -221,6 +247,107 @@ impl StateSequence {
             let want_total: f64 = s.per_layer.iter().take(existing).sum();
             have_base + eps >= want_base && have_total + eps >= want_total
         })
+    }
+}
+
+/// Exact operating-point key of a [`StateSequence`] derivation. Floats
+/// enter via their bit patterns, so a hit can only ever return a sequence
+/// that `rebuild` with the same arguments would have produced bit for bit
+/// — memoization is value-transparent by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct GeoKey {
+    rate_bits: u64,
+    n_active: usize,
+    layer_rate_bits: u64,
+    slope_bits: u64,
+    k_horizon: u32,
+}
+
+/// Memo cache for [`StateSequence`] derivations, keyed by the exact
+/// operating point `(rate, n_active, C, S, k_horizon)`.
+///
+/// Grid sweeps re-derive identical sequences whenever two sessions (or two
+/// ticks) pass through the same operating point — replayed cells hit on
+/// every tick, first-run cells on repeated rates (rate caps, pre-start
+/// defaults, drain plateaus). One cache is meant to be shared per campaign
+/// *worker* (wrapped in `Arc<Mutex<_>>`, see [`SharedGeometryCache`]) and
+/// live as long as the worker's world pool; entries are immutable once
+/// inserted and the population is capped, so memory stays bounded on
+/// grids whose operating points never repeat.
+#[derive(Debug, Default)]
+pub struct GeometryCache {
+    map: HashMap<GeoKey, StateSequence>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Shared handle campaign workers hand to every [`crate::QaController`]
+/// they build: `Mutex` (not `RefCell`) so controllers stay `Send`.
+pub type SharedGeometryCache = Arc<Mutex<GeometryCache>>;
+
+impl GeometryCache {
+    /// Entries kept at most; past this population, misses still rebuild
+    /// correctly but are no longer inserted (the sweep's operating points
+    /// evidently do not repeat, so growing further buys nothing).
+    pub const MAX_ENTRIES: usize = 4096;
+
+    /// Fresh empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fresh shareable cache handle.
+    pub fn shared() -> SharedGeometryCache {
+        Arc::new(Mutex::new(Self::new()))
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Cached operating points.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// [`StateSequence::rebuild`] through the memo: on a hit, `seq` is
+    /// overwritten from the cached copy (recycling its allocations); on a
+    /// miss it is rebuilt and the result memoized. The value of `seq`
+    /// afterwards is bit-identical to an uncached rebuild either way.
+    pub fn rebuild_memoized(
+        &mut self,
+        seq: &mut StateSequence,
+        rate: f64,
+        n_active: usize,
+        layer_rate: f64,
+        slope: f64,
+        k_horizon: u32,
+    ) {
+        let key = GeoKey {
+            rate_bits: rate.to_bits(),
+            n_active,
+            layer_rate_bits: layer_rate.to_bits(),
+            slope_bits: slope.to_bits(),
+            k_horizon,
+        };
+        if let Some(cached) = self.map.get(&key) {
+            self.hits += 1;
+            laqa_obs::counter!("qa.geometry_cache.hits").inc();
+            seq.copy_from(cached);
+            return;
+        }
+        self.misses += 1;
+        laqa_obs::counter!("qa.geometry_cache.misses").inc();
+        seq.rebuild(rate, n_active, layer_rate, slope, k_horizon);
+        if self.map.len() < Self::MAX_ENTRIES {
+            self.map.insert(key, seq.clone());
+        }
     }
 }
 

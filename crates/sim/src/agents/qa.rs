@@ -125,6 +125,13 @@ impl QaSourceAgent {
         &self.qa
     }
 
+    /// Mutable controller access for pre-run wiring (e.g. attaching a
+    /// shared [`laqa_core::GeometryCache`] before the agent enters the
+    /// world).
+    pub fn qa_mut(&mut self) -> &mut QaController {
+        &mut self.qa
+    }
+
     /// The RAP sender, for post-run inspection.
     pub fn rap(&self) -> &RapSender {
         &self.rap

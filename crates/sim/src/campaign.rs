@@ -10,12 +10,22 @@
 //! **Determinism contract.** A session's result — including its 64-bit
 //! event-trace fingerprint — depends only on its [`SessionSpec`], never on
 //! which worker ran it, how many workers there were, or in what order the
-//! queue drained. Results are written into index-assigned slots, so the
-//! aggregate [`CampaignResult::fingerprint`] is bit-identical across
-//! thread counts; `tests/replay.rs` pins this with 1, 2 and 8 workers.
-//! Wall-clock fields are the one exception and are excluded from every
-//! fingerprint.
+//! queue drained. Each worker deposits `(index, result)` pairs into its own
+//! private buffer; a single-threaded merge afterwards places them by grid
+//! index, so the aggregate [`CampaignResult::fingerprint`] is bit-identical
+//! across thread counts; `tests/replay.rs` pins this with 1, 2, 8 and 16
+//! workers. Wall-clock fields are the one exception and are excluded from
+//! every fingerprint.
+//!
+//! **Warm worlds.** By default each worker keeps a [`WorldPool`]: the
+//! engine storage (scheduler slab, link ring buffers, agents vector) of
+//! every session it finishes is salvaged and recycled into the next one,
+//! and all its QA controllers share one geometry memo. This is purely an
+//! allocator optimisation — [`CampaignOptions::cold`] runs the identical
+//! simulation with fresh worlds and must produce the identical fingerprint
+//! (`laqa-bench campaign` gates this).
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -24,7 +34,9 @@ use laqa_core::metrics::QaEvent;
 use laqa_trace::{RunSummary, Table, TraceHasher};
 
 use crate::faults::FaultPlan;
-use crate::scenarios::{run_scenario_with, ScenarioConfig, ScenarioOutcome};
+use crate::scenarios::{
+    run_scenario_pooled, run_scenario_with, ScenarioConfig, ScenarioOutcome, WorldPool,
+};
 use crate::sched::{ambient_scheduler, SchedulerKind};
 
 /// Which of the paper's dumbbell workloads a session runs.
@@ -277,8 +289,15 @@ pub struct CampaignResult {
     pub sessions: Vec<SessionResult>,
     /// Worker threads used.
     pub threads: usize,
-    /// Wall-clock seconds for the whole sweep (excluded from fingerprints).
+    /// Wall-clock seconds the worker threads spent simulating — from
+    /// launch until the last worker finished, merge excluded — so
+    /// events/sec computed against this measures simulation, not
+    /// aggregation. Excluded from fingerprints.
     pub wall_secs: f64,
+    /// Wall-clock seconds of the final single-threaded result merge
+    /// (buffer collection and index placement). Excluded from
+    /// fingerprints.
+    pub merge_secs: f64,
 }
 
 impl CampaignResult {
@@ -466,7 +485,25 @@ pub fn run_session(spec: &SessionSpec) -> SessionResult {
 pub fn run_session_with(spec: &SessionSpec, sched: SchedulerKind) -> SessionResult {
     let started = Instant::now();
     let out = run_scenario_with(&spec.scenario(), sched);
-    let wall_secs = started.elapsed().as_secs_f64();
+    outcome_to_result(spec, out, started.elapsed().as_secs_f64())
+}
+
+/// Run one session through a worker's [`WorldPool`] (warm-world path):
+/// the pool's salvaged engine storage and shared geometry memo are reused
+/// and this session's world is banked back for the next call. Every
+/// fingerprinted field is identical to [`run_session_with`].
+pub fn run_session_pooled(
+    spec: &SessionSpec,
+    sched: SchedulerKind,
+    pool: &mut WorldPool,
+) -> SessionResult {
+    let started = Instant::now();
+    let out = run_scenario_pooled(&spec.scenario(), sched, pool);
+    outcome_to_result(spec, out, started.elapsed().as_secs_f64())
+}
+
+/// Distill a finished scenario into its [`SessionResult`] row.
+fn outcome_to_result(spec: &SessionSpec, out: ScenarioOutcome, wall_secs: f64) -> SessionResult {
     laqa_obs::counter!("campaign.sessions").inc();
     laqa_obs::histogram!(
         "campaign.session_wall_ms",
@@ -516,40 +553,118 @@ pub fn run_campaign_with(
     threads: usize,
     sched: SchedulerKind,
 ) -> CampaignResult {
-    let threads = threads.max(1).min(spec.sessions.len().max(1));
+    run_campaign_opts(spec, CampaignOptions::new(threads).sched(sched))
+}
+
+/// How a campaign executes. Everything here is invisible to the simulated
+/// results — only wall-clock and allocator behaviour change.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignOptions {
+    /// Worker threads (clamped to `[1, sessions]` at run time).
+    pub threads: usize,
+    /// Event-scheduler implementation every session runs on.
+    pub sched: SchedulerKind,
+    /// Keep a warm [`WorldPool`] per worker (the default). `false` builds
+    /// every session's world from scratch — the cold baseline the bench
+    /// compares against.
+    pub warm: bool,
+}
+
+impl CampaignOptions {
+    /// Defaults: ambient scheduler, warm world pools.
+    pub fn new(threads: usize) -> Self {
+        CampaignOptions {
+            threads,
+            sched: ambient_scheduler(),
+            warm: true,
+        }
+    }
+
+    /// Select the event-scheduler implementation.
+    pub fn sched(mut self, sched: SchedulerKind) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Disable world reuse (cold worlds).
+    pub fn cold(mut self) -> Self {
+        self.warm = false;
+        self
+    }
+}
+
+/// Per-worker steal-and-run loop shared by both executors. `deposit` is
+/// called with `(worker, index, result)` for every finished session.
+fn worker_loop(
+    spec: &CampaignSpec,
+    opts: CampaignOptions,
+    worker: usize,
+    next: &AtomicUsize,
+    mut deposit: impl FnMut(usize, SessionResult),
+) {
+    let mut pool = opts.warm.then(WorldPool::new);
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(session) = spec.sessions.get(i) else {
+            break;
+        };
+        laqa_obs::counter!("campaign.steals").inc();
+        let result = match pool.as_mut() {
+            Some(pool) => run_session_pooled(session, opts.sched, pool),
+            None => run_session_with(session, opts.sched),
+        };
+        laqa_obs::event!(
+            laqa_obs::Level::Debug,
+            "campaign.cell",
+            0.0,
+            "worker" => worker,
+            "cell" => i,
+            "wall_ms" => result.wall_secs * 1e3,
+            "events" => result.events_processed,
+        );
+        deposit(i, result);
+    }
+}
+
+/// Run the sweep under explicit [`CampaignOptions`]. Workers steal session
+/// indices from a shared atomic counter and deposit `(index, result)` into
+/// their own private buffers — no shared lock anywhere on the hot path —
+/// and a deterministic index-ordered merge assembles the final vector
+/// after the last worker exits. The fingerprint is bit-identical for
+/// every thread count, scheduler kind, and warm/cold setting.
+pub fn run_campaign_opts(spec: &CampaignSpec, opts: CampaignOptions) -> CampaignResult {
+    let threads = opts.threads.max(1).min(spec.sessions.len().max(1));
     let started = Instant::now();
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<SessionResult>>> =
-        Mutex::new(vec![None; spec.sessions.len()]);
 
     laqa_obs::gauge!("campaign.threads").set(threads as f64);
-    std::thread::scope(|scope| {
-        let (next, slots) = (&next, &slots);
-        for worker in 0..threads {
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(session) = spec.sessions.get(i) else {
-                    break;
-                };
-                laqa_obs::counter!("campaign.steals").inc();
-                let result = run_session_with(session, sched);
-                laqa_obs::event!(
-                    laqa_obs::Level::Debug,
-                    "campaign.cell",
-                    0.0,
-                    "worker" => worker,
-                    "cell" => i,
-                    "wall_ms" => result.wall_secs * 1e3,
-                    "events" => result.events_processed,
-                );
-                slots.lock().expect("campaign slot lock").insert_result(i, result);
-            });
-        }
+    let (buffers, wall_secs) = std::thread::scope(|scope| {
+        let next = &next;
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let mut buf: Vec<(usize, SessionResult)> = Vec::new();
+                    worker_loop(spec, opts, worker, next, |i, r| buf.push((i, r)));
+                    buf
+                })
+            })
+            .collect();
+        let buffers: Vec<Vec<(usize, SessionResult)>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker panicked"))
+            .collect();
+        // All workers have exited: this is the simulation wall time; the
+        // merge below is timed separately (see CampaignResult::wall_secs).
+        (buffers, started.elapsed().as_secs_f64())
     });
 
+    let merge_started = Instant::now();
+    let mut slots: Vec<Option<SessionResult>> = vec![None; spec.sessions.len()];
+    for (i, result) in buffers.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "session {i} ran twice");
+        slots[i] = Some(result);
+    }
     let sessions: Vec<SessionResult> = slots
-        .into_inner()
-        .expect("campaign slot lock")
         .into_iter()
         .enumerate()
         .map(|(i, r)| r.unwrap_or_else(|| panic!("session {i} produced no result")))
@@ -557,19 +672,100 @@ pub fn run_campaign_with(
     CampaignResult {
         sessions,
         threads,
-        wall_secs: started.elapsed().as_secs_f64(),
+        wall_secs,
+        merge_secs: merge_started.elapsed().as_secs_f64(),
     }
 }
 
-/// Helper trait so the worker-loop line above stays readable.
-trait SlotInsert {
-    fn insert_result(&mut self, i: usize, r: SessionResult);
+/// Result of a streaming [`run_campaign_fold`] sweep.
+#[derive(Debug, Clone)]
+pub struct CampaignFold<A> {
+    /// The fold accumulator after every session was applied in grid order.
+    pub acc: A,
+    /// Same 64-bit digest [`CampaignResult::fingerprint`] would have
+    /// produced for this sweep — bit-identical to the full-result mode.
+    pub fingerprint: u64,
+    /// Sessions executed (== the spec's length).
+    pub sessions_run: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_secs: f64,
 }
 
-impl SlotInsert for Vec<Option<SessionResult>> {
-    fn insert_result(&mut self, i: usize, r: SessionResult) {
-        debug_assert!(self[i].is_none(), "session {i} ran twice");
-        self[i] = Some(r);
+/// Reorder buffer behind [`run_campaign_fold`]: results arrive in steal
+/// order but are folded strictly by grid index, so the accumulator and the
+/// incremental fingerprint see the same sequence a single-threaded run
+/// would. Out-of-order results wait in `pending` — at most one in-flight
+/// session per other worker, so memory stays bounded by the thread count
+/// rather than the grid size.
+struct FoldState<A> {
+    next_emit: usize,
+    pending: BTreeMap<usize, SessionResult>,
+    acc: A,
+    hasher: TraceHasher,
+}
+
+/// Streaming/bounded-memory campaign execution: instead of materialising
+/// every [`SessionResult`], fold each one into `acc` in strict grid order
+/// and keep only the accumulator. The returned fingerprint is
+/// bit-identical to [`CampaignResult::fingerprint`] on the same spec (the
+/// replay suite pins this), so grids too large to hold in memory still
+/// verify against full-mode runs.
+pub fn run_campaign_fold<A, F>(
+    spec: &CampaignSpec,
+    opts: CampaignOptions,
+    init: A,
+    fold: F,
+) -> CampaignFold<A>
+where
+    A: Send,
+    F: Fn(&mut A, SessionResult) + Sync,
+{
+    let threads = opts.threads.max(1).min(spec.sessions.len().max(1));
+    let started = Instant::now();
+    let next = AtomicUsize::new(0);
+    let mut hasher = TraceHasher::new();
+    hasher.u64(spec.sessions.len() as u64);
+    let state = Mutex::new(FoldState {
+        next_emit: 0,
+        pending: BTreeMap::new(),
+        acc: init,
+        hasher,
+    });
+
+    laqa_obs::gauge!("campaign.threads").set(threads as f64);
+    std::thread::scope(|scope| {
+        let (next, state, fold) = (&next, &state, &fold);
+        for worker in 0..threads {
+            scope.spawn(move || {
+                worker_loop(spec, opts, worker, next, |i, result| {
+                    let mut st = state.lock().expect("campaign fold lock");
+                    st.pending.insert(i, result);
+                    while let Some(ready) = {
+                        let at = st.next_emit;
+                        st.pending.remove(&at)
+                    } {
+                        ready.fingerprint_into(&mut st.hasher);
+                        fold(&mut st.acc, ready);
+                        st.next_emit += 1;
+                    }
+                });
+            });
+        }
+    });
+
+    let state = state.into_inner().expect("campaign fold lock");
+    assert!(
+        state.pending.is_empty() && state.next_emit == spec.sessions.len(),
+        "fold executor finished with unconsumed results"
+    );
+    CampaignFold {
+        acc: state.acc,
+        fingerprint: state.hasher.finish(),
+        sessions_run: state.next_emit,
+        threads,
+        wall_secs: started.elapsed().as_secs_f64(),
     }
 }
 

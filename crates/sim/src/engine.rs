@@ -32,6 +32,11 @@ pub struct WorldCore {
     seq: u64,
     queue: AnyScheduler<Event>,
     links: Vec<Link>,
+    /// Link shells salvaged from a retired world (warm-world reuse):
+    /// [`World::add_link`] pops one and [`Link::reset`]s it instead of
+    /// allocating, so the queues' ring buffers carry over. Stored in
+    /// reverse creation order so `pop()` re-hands them out positionally.
+    spare_links: Vec<Link>,
     next_uid: u64,
     rng: SimRng,
     /// Events dispatched so far — a plain (always-on, deterministic)
@@ -177,6 +182,20 @@ pub trait Agent: 'static {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
+/// The reusable carcass of a retired [`World`]: the scheduler (reset but
+/// with slab/heap capacity intact), the emptied links vector, the link
+/// shells themselves, and the cleared agents vector. Feed it to
+/// [`World::with_salvage`] to build the next session's world without
+/// repaying those allocations. Purely an allocation-recycling vehicle —
+/// a world built from salvage is observationally identical to a fresh
+/// one (pinned by the warm-vs-cold fingerprint tests).
+pub struct WorldSalvage {
+    queue: AnyScheduler<Event>,
+    links: Vec<Link>,
+    spare_links: Vec<Link>,
+    agents: Vec<Option<Box<dyn Agent>>>,
+}
+
 /// The simulated world: links, agents, and the event loop.
 pub struct World {
     core: WorldCore,
@@ -201,6 +220,7 @@ impl World {
                 seq: 0,
                 queue: AnyScheduler::new(kind),
                 links: Vec::new(),
+                spare_links: Vec::new(),
                 next_uid: 0,
                 rng: SimRng::seed_from_u64(seed),
                 events_processed: 0,
@@ -210,14 +230,80 @@ impl World {
         }
     }
 
+    /// New world recycling the storage of a retired one (see
+    /// [`World::salvage`]). The salvaged scheduler is reused only when its
+    /// kind matches `kind`; trajectory-relevant state (time, seq, RNG,
+    /// uid counter, event counter) always starts fresh from `seed`.
+    pub fn with_salvage(seed: u64, kind: SchedulerKind, salvage: WorldSalvage) -> Self {
+        let WorldSalvage {
+            queue,
+            links,
+            mut spare_links,
+            agents,
+        } = salvage;
+        let queue = if queue.kind() == kind {
+            queue
+        } else {
+            AnyScheduler::new(kind)
+        };
+        // `links` arrives emptied with capacity; the shells live in
+        // `spare_links`. A mismatched topology is harmless — leftover
+        // shells are dropped with the world, missing ones are allocated.
+        spare_links.reverse();
+        World {
+            core: WorldCore {
+                now_ns: 0,
+                seq: 0,
+                queue,
+                links,
+                spare_links,
+                next_uid: 0,
+                rng: SimRng::seed_from_u64(seed),
+                events_processed: 0,
+            },
+            agents,
+            started: false,
+        }
+    }
+
+    /// Retire this world, keeping its reusable storage: the scheduler is
+    /// [`Scheduler::reset`] (capacity kept), link shells move to the spare
+    /// pool in creation order, and the agents vector is emptied (the boxed
+    /// agents themselves are dropped — their internal state is per-session
+    /// and cheap relative to the engine structures).
+    pub fn salvage(mut self) -> WorldSalvage {
+        self.core.queue.reset();
+        let mut links = std::mem::take(&mut self.core.links);
+        let mut spare_links = std::mem::take(&mut self.core.spare_links);
+        spare_links.clear();
+        spare_links.append(&mut links);
+        let mut agents = self.agents;
+        agents.clear();
+        WorldSalvage {
+            queue: self.core.queue,
+            links,
+            spare_links,
+            agents,
+        }
+    }
+
     /// Which event-scheduler implementation this world runs on.
     pub fn scheduler_kind(&self) -> SchedulerKind {
         self.core.queue.kind()
     }
 
-    /// Add a link; returns its id.
+    /// Add a link; returns its id. Reuses a salvaged link shell when one
+    /// is available (warm-world path), which keeps the queue's ring
+    /// buffer allocation from the previous session.
     pub fn add_link(&mut self, cfg: LinkConfig) -> LinkId {
-        self.core.links.push(Link::new(cfg));
+        let link = match self.core.spare_links.pop() {
+            Some(mut shell) => {
+                shell.reset(cfg);
+                shell
+            }
+            None => Link::new(cfg),
+        };
+        self.core.links.push(link);
         self.core.links.len() - 1
     }
 

@@ -36,14 +36,18 @@ pub mod agents {
 }
 
 pub use campaign::{
-    hash_outcome, run_campaign, run_campaign_with, run_session, run_session_with, CampaignResult,
-    CampaignSpec, SessionResult, SessionSpec, TestKind,
+    hash_outcome, run_campaign, run_campaign_fold, run_campaign_opts, run_campaign_with,
+    run_session, run_session_pooled, run_session_with, CampaignFold, CampaignOptions,
+    CampaignResult, CampaignSpec, SessionResult, SessionSpec, TestKind,
 };
-pub use engine::{Agent, Ctx, World};
+pub use engine::{Agent, Ctx, World, WorldSalvage};
 pub use faults::{FaultInjector, FaultPlan, FaultStats, FaultWiring};
 pub use link::{Link, LinkConfig, LinkStats, QueueKind, RedConfig};
 pub use packet::{AgentId, LinkId, Packet, PacketKind, Route};
-pub use scenarios::{run_scenario, run_scenario_with, ScenarioConfig, ScenarioOutcome};
+pub use scenarios::{
+    run_scenario, run_scenario_pooled, run_scenario_with, ScenarioConfig, ScenarioOutcome,
+    WorldPool,
+};
 pub use sched::{
     ambient_scheduler, set_ambient_scheduler, AnyScheduler, EventKey, HeapScheduler, Scheduler,
     SchedulerKind, TimerWheelScheduler,

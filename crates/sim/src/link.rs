@@ -128,6 +128,17 @@ impl Link {
         }
     }
 
+    /// Reconfigure an idle-again link shell for a new session, keeping the
+    /// queue's backing ring buffer allocated. State afterwards is
+    /// indistinguishable from `Link::new(cfg)` apart from capacity.
+    pub fn reset(&mut self, cfg: LinkConfig) {
+        self.cfg = cfg;
+        self.queue.clear();
+        self.busy = false;
+        self.red_avg = 0.0;
+        self.stats = LinkStats::default();
+    }
+
     /// Offer a packet to the link. `u_loss` and `u_red` are uniform
     /// `[0, 1)` samples consumed by the loss and RED processes. Returns
     /// `true` when accepted (caller schedules the dequeue when the link

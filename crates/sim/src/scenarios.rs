@@ -8,6 +8,7 @@ use crate::faults::{FaultInjector, FaultPlan, FaultStats, FaultWiring};
 use crate::agents::qa::{QaSinkAgent, QaSourceAgent, QaTraces};
 use crate::agents::rap::{RapFlowAgent, RapSinkAgent};
 use crate::agents::tcp::{TcpAgent, TcpSinkAgent};
+use crate::engine::{World, WorldSalvage};
 use crate::link::LinkStats;
 use crate::sched::SchedulerKind;
 use crate::topology::{Dumbbell, DumbbellConfig};
@@ -156,7 +157,75 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
 /// [`crate::campaign::hash_outcome`] fingerprint — is bit-identical for
 /// every [`SchedulerKind`]; `tests/sched_differential.rs` pins this.
 pub fn run_scenario_with(cfg: &ScenarioConfig, sched: SchedulerKind) -> ScenarioOutcome {
-    let mut d = Dumbbell::with_scheduler(cfg.dumbbell, cfg.seed, sched);
+    let world = World::with_scheduler(cfg.seed, sched);
+    run_scenario_core(cfg, world, None).0
+}
+
+/// Warm per-worker world state: the salvaged engine storage of the last
+/// session this worker ran plus a shared QA geometry memo. One pool lives
+/// on each campaign worker thread; from its second session onward the
+/// scheduler slab, link ring buffers and agents vector are recycled and
+/// geometry derivations hit the memo, which is where the warm-world
+/// speedup comes from. Results are bit-identical to the cold path — the
+/// pool is invisible to the simulation (pinned by replay tests and the
+/// `laqa-bench campaign` fingerprint gate).
+#[derive(Default)]
+pub struct WorldPool {
+    salvage: Option<WorldSalvage>,
+    geometry: Option<laqa_core::SharedGeometryCache>,
+}
+
+impl WorldPool {
+    /// Fresh pool: first session is cold, everything after is warm.
+    pub fn new() -> Self {
+        WorldPool {
+            salvage: None,
+            geometry: Some(laqa_core::GeometryCache::shared()),
+        }
+    }
+
+    /// Geometry-memo `(hits, misses)` so far (zeros for a fresh pool).
+    pub fn geometry_stats(&self) -> (u64, u64) {
+        self.geometry
+            .as_ref()
+            .map(|g| g.lock().expect("geometry cache poisoned").stats())
+            .unwrap_or((0, 0))
+    }
+
+    /// True once a retired world's storage is banked for reuse.
+    pub fn is_warm(&self) -> bool {
+        self.salvage.is_some()
+    }
+}
+
+/// Run a scenario through a [`WorldPool`], recycling the pool's salvaged
+/// engine storage and shared geometry memo, then banking this session's
+/// world back into the pool. Bit-identical outcome to
+/// [`run_scenario_with`].
+pub fn run_scenario_pooled(
+    cfg: &ScenarioConfig,
+    sched: SchedulerKind,
+    pool: &mut WorldPool,
+) -> ScenarioOutcome {
+    let world = match pool.salvage.take() {
+        Some(salvage) => World::with_salvage(cfg.seed, sched, salvage),
+        None => World::with_scheduler(cfg.seed, sched),
+    };
+    let (outcome, world) = run_scenario_core(cfg, world, pool.geometry.as_ref());
+    pool.salvage = Some(world.salvage());
+    outcome
+}
+
+/// Shared scenario body: populate `world` with the dumbbell and agents,
+/// run it, extract the outcome, and hand the world back so pooled callers
+/// can salvage its storage. `geometry`, when present, is attached to the
+/// QA controller so state-sequence derivations go through the shared memo.
+fn run_scenario_core(
+    cfg: &ScenarioConfig,
+    world: World,
+    geometry: Option<&laqa_core::SharedGeometryCache>,
+) -> (ScenarioOutcome, World) {
+    let mut d = Dumbbell::with_world(cfg.dumbbell, world);
     let pkt = cfg.rap.packet_size as u32;
     // Deterministic per-seed jitter for flow start times (phase effects in
     // drop-tail queues are otherwise identical across seeds).
@@ -201,6 +270,9 @@ pub fn run_scenario_with(cfg: &ScenarioConfig, sched: SchedulerKind) -> Scenario
         );
         src.start_at = cfg.qa_start;
         src.retransmit_protect = cfg.retransmit_protect;
+        if let Some(cache) = geometry {
+            src.qa_mut().set_geometry_cache(cache.clone());
+        }
         assert_eq!(d.world.add_agent(Box::new(src)), qa_src_id);
     }
 
@@ -335,7 +407,7 @@ pub fn run_scenario_with(cfg: &ScenarioConfig, sched: SchedulerKind) -> Scenario
         .unwrap_or_default();
     let events_processed = world.events_processed();
     let src: &QaSourceAgent = world.agent(qa_src_id).unwrap();
-    ScenarioOutcome {
+    let outcome = ScenarioOutcome {
         traces: src.traces.clone(),
         metrics: src.qa().metrics().clone(),
         rx_buffers,
@@ -351,7 +423,8 @@ pub fn run_scenario_with(cfg: &ScenarioConfig, sched: SchedulerKind) -> Scenario
         fault_stats,
         base_starved_bytes,
         discarded_bytes,
-    }
+    };
+    (outcome, world)
 }
 
 #[cfg(test)]

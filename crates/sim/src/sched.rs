@@ -78,6 +78,13 @@ pub trait Scheduler<T> {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Drop every event and return to the just-constructed logical state
+    /// (cursor at time zero, no tombstones) while keeping backing storage
+    /// — slab capacity, drain buffer, heap array — allocated for reuse.
+    /// The warm-world pool resets a retired session's scheduler this way
+    /// instead of rebuilding one from scratch.
+    fn reset(&mut self);
 }
 
 // ---------------------------------------------------------------------------
@@ -170,6 +177,11 @@ impl<T: PartialEq> Scheduler<T> for HeapScheduler<T> {
 
     fn len(&self) -> usize {
         self.heap.len().saturating_sub(self.tombstones.len())
+    }
+
+    fn reset(&mut self) {
+        self.heap.clear();
+        self.tombstones.clear();
     }
 }
 
@@ -548,6 +560,16 @@ impl<T> Scheduler<T> for TimerWheelScheduler<T> {
     fn len(&self) -> usize {
         self.live
     }
+
+    fn reset(&mut self) {
+        self.slab.clear();
+        self.slots.fill(NONE_IDX);
+        self.occupied = [0u64; BITMAP_WORDS];
+        self.cursor_tick = 0;
+        self.drain.clear();
+        self.overflow.clear();
+        self.live = 0;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -653,6 +675,12 @@ impl<T: PartialEq> Scheduler<T> for AnyScheduler<T> {
         match self {
             AnyScheduler::Heap(s) => s.len(),
             AnyScheduler::Wheel(s) => s.len(),
+        }
+    }
+    fn reset(&mut self) {
+        match self {
+            AnyScheduler::Heap(s) => s.reset(),
+            AnyScheduler::Wheel(s) => s.reset(),
         }
     }
 }

@@ -72,7 +72,13 @@ impl Dumbbell {
     /// Create the shared links in a fresh world driven by an explicit
     /// event-scheduler implementation.
     pub fn with_scheduler(cfg: DumbbellConfig, seed: u64, kind: SchedulerKind) -> Self {
-        let mut world = World::with_scheduler(seed, kind);
+        Self::with_world(cfg, World::with_scheduler(seed, kind))
+    }
+
+    /// Create the shared links in a caller-supplied world — the hook the
+    /// warm-world pool uses to pass a [`World::with_salvage`] world whose
+    /// scheduler and link storage carry over from the previous session.
+    pub fn with_world(cfg: DumbbellConfig, mut world: World) -> Self {
         let fwd_bottleneck = world.add_link(LinkConfig {
             bandwidth: cfg.bottleneck_bw,
             delay: cfg.bottleneck_delay,

@@ -6,7 +6,10 @@
 //! session computes*, because every session owns its seed-derived RNG and
 //! results land in spec-order slots.
 
-use laqa_sim::{run_campaign, run_session, CampaignSpec, TestKind};
+use laqa_sim::{
+    run_campaign, run_campaign_fold, run_campaign_opts, run_session, CampaignOptions,
+    CampaignSpec, TestKind,
+};
 
 fn sweep() -> CampaignSpec {
     CampaignSpec::grid(&TestKind::ALL, &[2, 4], &[7, 21, 42], 6.0)
@@ -66,6 +69,74 @@ fn campaign_sessions_match_standalone_runs() {
             spec.label()
         );
     }
+}
+
+#[test]
+fn fingerprint_identical_with_16_workers() {
+    // More workers than CPU cores and (with the tiny grid below) more
+    // workers than sessions: heavy oversubscription must not perturb a
+    // single bit of the aggregate.
+    let spec = sweep();
+    let one = run_campaign(&spec, 1);
+    let sixteen = run_campaign(&spec, 16);
+    assert_eq!(one.fingerprint(), sixteen.fingerprint());
+    assert_eq!(sixteen.threads, 16.min(spec.len()));
+}
+
+#[test]
+fn more_threads_than_sessions_clamps_and_replays() {
+    let spec = CampaignSpec::grid(&[TestKind::T1], &[2], &[7, 21], 4.0);
+    let wide = run_campaign(&spec, 64);
+    assert_eq!(wide.threads, 2, "threads clamp to the session count");
+    assert_eq!(wide.sessions.len(), 2);
+    let narrow = run_campaign(&spec, 1);
+    assert_eq!(wide.fingerprint(), narrow.fingerprint());
+}
+
+#[test]
+fn empty_campaign_runs_to_an_empty_result() {
+    let spec = CampaignSpec::default();
+    let r = run_campaign(&spec, 8);
+    assert!(r.sessions.is_empty());
+    assert_eq!(r.threads, 1, "an empty sweep still clamps to one worker");
+    // The fingerprint of emptiness is still well-defined and stable.
+    assert_eq!(r.fingerprint(), run_campaign(&spec, 1).fingerprint());
+    let folded = run_campaign_fold(&spec, CampaignOptions::new(4), 0usize, |n, _| *n += 1);
+    assert_eq!(folded.acc, 0);
+    assert_eq!(folded.fingerprint, r.fingerprint());
+}
+
+#[test]
+fn warm_and_cold_worlds_replay_identically() {
+    // The warm-world pool (engine salvage + geometry memo) is pure
+    // allocator recycling: against cold per-session worlds the campaign
+    // must be bit-identical, across thread counts.
+    let spec = sweep();
+    let cold = run_campaign_opts(&spec, CampaignOptions::new(1).cold());
+    let warm = run_campaign_opts(&spec, CampaignOptions::new(1));
+    assert_eq!(cold.fingerprint(), warm.fingerprint());
+    let warm4 = run_campaign_opts(&spec, CampaignOptions::new(4));
+    assert_eq!(cold.fingerprint(), warm4.fingerprint());
+    for (a, b) in cold.sessions.iter().zip(&warm.sessions) {
+        assert_eq!(a.trace_hash, b.trace_hash, "warm diverged: {}", a.spec.label());
+    }
+}
+
+#[test]
+fn streaming_fold_matches_full_fingerprint_in_grid_order() {
+    let spec = sweep();
+    let full = run_campaign(&spec, 1);
+    let folded = run_campaign_fold(
+        &spec,
+        CampaignOptions::new(8),
+        Vec::new(),
+        |labels: &mut Vec<String>, r| labels.push(r.spec.label()),
+    );
+    assert_eq!(folded.fingerprint, full.fingerprint());
+    assert_eq!(folded.sessions_run, spec.len());
+    // The fold saw sessions in grid order regardless of steal order.
+    let expected: Vec<String> = spec.sessions.iter().map(|s| s.label()).collect();
+    assert_eq!(folded.acc, expected);
 }
 
 #[test]
