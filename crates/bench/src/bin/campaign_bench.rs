@@ -11,8 +11,11 @@
 //! ```text
 //! campaign_bench                   # full baseline (3 reps, best-of)
 //! campaign_bench --smoke           # 1 rep, short duration (CI wiring)
+//! campaign_bench --mega            # add megasession-executor cells and
+//!                                  # the 64-session mega-vs-per-cell probe
 //! options: --threads LIST (default 1,2,8,16)  --reps N  --duration S
-//!          --out FILE  --check FILE (>20% events/sec regression gate)
+//!          --out FILE  --check FILE (>20% events/sec regression gate;
+//!          with --mega also gates the mega executor's events/sec)
 //! ```
 
 use laqa_bench::cli::Args;
@@ -118,11 +121,13 @@ fn measure(spec: &CampaignSpec, opts: CampaignOptions, mode: &'static str, reps:
     best.expect("reps >= 1")
 }
 
-/// Steady-state probe: allocations charged to a warm pool's second session
-/// (the first pays world construction; from the second on, engine storage
-/// is recycled and geometry derivations hit the memo). This is the number
+/// Steady-state probe: allocations charged to a warm pool's successive
+/// sessions. The first pays world construction; the second still pays the
+/// geometry memo's two-touch admission clones (every key now on its
+/// second miss); from the third on, engine storage is recycled and every
+/// repeated derivation hits the memo. The third session is the number
 /// `crates/bench/tests/warm_alloc.rs` budgets.
-fn steady_state_allocs(duration: f64) -> (u64, u64) {
+fn steady_state_allocs(duration: f64) -> (u64, u64, u64) {
     let spec = SessionSpec {
         test: TestKind::T1,
         k_max: 2,
@@ -131,13 +136,15 @@ fn steady_state_allocs(duration: f64) -> (u64, u64) {
         fault_intensity: None,
     };
     let mut pool = WorldPool::new();
-    let a0 = ALLOCS.load(Ordering::Relaxed);
-    let _ = run_session_pooled(&spec, SchedulerKind::Wheel, &mut pool);
-    let first = ALLOCS.load(Ordering::Relaxed) - a0;
-    let a1 = ALLOCS.load(Ordering::Relaxed);
-    let _ = run_session_pooled(&spec, SchedulerKind::Wheel, &mut pool);
-    let second = ALLOCS.load(Ordering::Relaxed) - a1;
-    (first, second)
+    let mut session = || {
+        let a0 = ALLOCS.load(Ordering::Relaxed);
+        let _ = run_session_pooled(&spec, SchedulerKind::Wheel, &mut pool);
+        ALLOCS.load(Ordering::Relaxed) - a0
+    };
+    let first = session();
+    let second = session();
+    let third = session();
+    (first, second, third)
 }
 
 fn default_out() -> std::path::PathBuf {
@@ -159,6 +166,7 @@ fn scan_number(json: &str, key: &str) -> Option<f64> {
 
 fn run(args: &Args) -> Result<(), AnyError> {
     let smoke = args.flag("smoke");
+    let mega = args.flag("mega");
     let reps: usize = args.get("reps", if smoke { 1 } else { 3 })?;
     // Even the smoke duration stays past qa_start (5 s) so the QA
     // controller — and with it the geometry memo — is actually exercised.
@@ -173,10 +181,14 @@ fn run(args: &Args) -> Result<(), AnyError> {
     let mut cells: Vec<Cell> = Vec::new();
     for &sched in SchedulerKind::ALL.iter() {
         for &threads in &thread_counts {
-            for (mode, opts) in [
+            let mut modes = vec![
                 ("cold", CampaignOptions::new(threads).sched(sched).cold()),
                 ("warm", CampaignOptions::new(threads).sched(sched)),
-            ] {
+            ];
+            if mega {
+                modes.push(("mega", CampaignOptions::new(threads).sched(sched).mega()));
+            }
+            for (mode, opts) in modes {
                 eprintln!(
                     "measuring {mode}/{}/t{threads} ({} sessions, {reps} rep(s))...",
                     sched.label(),
@@ -219,7 +231,37 @@ fn run(args: &Args) -> Result<(), AnyError> {
         .into());
     }
 
-    let (cold_first, warm_second) = steady_state_allocs(duration);
+    let (cold_first, warm_second, warm_third) = steady_state_allocs(duration);
+
+    // 64-session single-thread probe: the per-cell executor vs one
+    // MegaEngine multiplexing the whole grid in a single chunk. Reported
+    // as an honest ratio — the per-cell path is already warm-pooled and
+    // allocation-free in steady state, so the mega executor's win here is
+    // engine-reuse and batching, not a order-of-magnitude miracle.
+    let mut mega64: Option<(Cell, Cell)> = None;
+    if mega {
+        let seeds64: Vec<u64> = (0..16).map(|i| 7 + 14 * i).collect();
+        let wide = CampaignSpec::grid(&[TestKind::T1, TestKind::T2], &[2, 4], &seeds64, duration);
+        eprintln!(
+            "measuring 64-session single-thread probe ({} sessions)...",
+            wide.len()
+        );
+        let per_cell = measure(&wide, CampaignOptions::new(1), "percell64", reps);
+        let mega_wide = measure(
+            &wide,
+            CampaignOptions::new(1).mega().mega_chunk(wide.len()),
+            "mega64",
+            reps,
+        );
+        if per_cell.fingerprint != mega_wide.fingerprint {
+            return Err(format!(
+                "EXECUTOR DIVERGENCE: 64-session mega fingerprint {:016x} != per-cell {:016x}",
+                mega_wide.fingerprint, per_cell.fingerprint
+            )
+            .into());
+        }
+        mega64 = Some((per_cell, mega_wide));
+    }
 
     println!(
         "{:<6} {:>6} {:>3} {:>12} {:>10} {:>12} {:>14} {:>10}",
@@ -259,17 +301,37 @@ fn run(args: &Args) -> Result<(), AnyError> {
         (Some(w8), Some(w1)) => w8.events_per_sec() / w1.events_per_sec().max(1e-9),
         _ => 1.0,
     };
+    // Overall events/sec over the cold+warm cells only — the number every
+    // historical baseline's `--check` gate compares against; mega cells
+    // get their own aggregate below so the two gates stay independent.
     let overall: f64 = {
-        let events: u64 = cells.iter().map(|c| c.events).sum();
-        let wall: f64 = cells.iter().map(|c| c.wall_secs).sum();
+        let base: Vec<&Cell> = cells.iter().filter(|c| c.mode != "mega").collect();
+        let events: u64 = base.iter().map(|c| c.events).sum();
+        let wall: f64 = base.iter().map(|c| c.wall_secs).sum();
         events as f64 / wall.max(1e-9)
     };
+    let mega_overall: Option<f64> = mega.then(|| {
+        let m: Vec<&Cell> = cells.iter().filter(|c| c.mode == "mega").collect();
+        let events: u64 = m.iter().map(|c| c.events).sum();
+        let wall: f64 = m.iter().map(|c| c.wall_secs).sum();
+        events as f64 / wall.max(1e-9)
+    });
+    let mega_vs_percell_64 = mega64
+        .as_ref()
+        .map(|(p, m)| m.events_per_sec() / p.events_per_sec().max(1e-9));
     println!(
         "warm/cold @{base_threads} thread(s) (wheel): {warm_vs_cold:.2}x; \
          warm 8-vs-1 threads: {agg_8_vs_1:.2}x; overall {overall:.0} events/s"
     );
+    if let (Some(mo), Some(ratio)) = (mega_overall, mega_vs_percell_64) {
+        println!(
+            "mega executor: overall {mo:.0} events/s; \
+             64-session single-thread mega vs per-cell: {ratio:.2}x"
+        );
+    }
     println!(
-        "steady-state allocs: first (cold) session {cold_first}, second (warm) {warm_second}"
+        "steady-state allocs: first (cold) session {cold_first}, second (warm, memo \
+         admission) {warm_second}, third (steady) {warm_third}"
     );
 
     if let Some(path) = args.options.get("check") {
@@ -291,6 +353,27 @@ fn run(args: &Args) -> Result<(), AnyError> {
                 }
             }
             _ => return Err(format!("baseline {path} has no events_per_sec_overall").into()),
+        }
+        // Gate the mega executor too — but only when this run measured it
+        // and the baseline recorded it (older baselines predate the mega
+        // executor and must keep passing).
+        if let (Some(mo), Some(base_mega)) =
+            (mega_overall, scan_number(&baseline, "mega_events_per_sec"))
+        {
+            if base_mega > 0.0 {
+                let ratio = mo / base_mega;
+                println!(
+                    "mega regression gate: {mo:.0} events/s vs baseline {base_mega:.0} \
+                     ({ratio:.2}x)"
+                );
+                if ratio < 0.8 {
+                    return Err(format!(
+                        "PERF REGRESSION: mega events/sec dropped >20% vs {path} \
+                         ({mo:.0} vs {base_mega:.0})"
+                    )
+                    .into());
+                }
+            }
         }
     }
 
@@ -324,9 +407,22 @@ fn run(args: &Args) -> Result<(), AnyError> {
         "  \"speedup_warm_8_vs_1_threads\": {agg_8_vs_1:.4},\n"
     ));
     json.push_str(&format!("  \"events_per_sec_overall\": {overall:.1},\n"));
+    if let Some(mo) = mega_overall {
+        json.push_str(&format!("  \"mega_events_per_sec\": {mo:.1},\n"));
+    }
+    if let (Some((p, m)), Some(ratio)) = (&mega64, mega_vs_percell_64) {
+        json.push_str(&format!(
+            "  \"mega_vs_percell_64sessions\": {{\"sessions\": {}, \"threads\": 1, \
+             \"percell_events_per_sec\": {:.1}, \"mega_events_per_sec\": {:.1}, \
+             \"speedup\": {ratio:.4}}},\n",
+            p.sessions,
+            p.events_per_sec(),
+            m.events_per_sec()
+        ));
+    }
     json.push_str(&format!(
         "  \"steady_state_allocs\": {{\"first_session\": {cold_first}, \
-         \"second_session_warm\": {warm_second}}},\n"
+         \"second_session_warm\": {warm_second}, \"third_session_steady\": {warm_third}}},\n"
     ));
     json.push_str(&format!("  \"fingerprint\": \"{fp0:016x}\",\n"));
     json.push_str("  \"cells\": [\n");
@@ -367,7 +463,8 @@ fn main() {
     if args.command != "run" {
         eprintln!(
             "error: unexpected argument '{}' — this binary takes options only \
-             (--smoke, --threads LIST, --duration S, --reps N, --out FILE, --check FILE)",
+             (--smoke, --mega, --threads LIST, --duration S, --reps N, --out FILE, \
+             --check FILE)",
             args.command
         );
         std::process::exit(2);

@@ -19,7 +19,7 @@
 //! available for the ablation benchmarks.
 
 use crate::scenario::{min_backoffs_below, per_layer_into, Scenario};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 /// One optimal buffer state `(scenario, k)` with its per-layer targets.
@@ -277,6 +277,15 @@ struct GeoKey {
 #[derive(Debug, Default)]
 pub struct GeometryCache {
     map: HashMap<GeoKey, StateSequence>,
+    /// Two-touch admission filter: keys missed exactly once so far. A
+    /// sequence is cloned into `map` only on its *second* miss — an
+    /// operating point seen once and never again (seed-dependent transient
+    /// rates make up most of a session's misses) costs one `HashSet` entry
+    /// instead of a full `StateSequence` clone. Warm campaign workers
+    /// previously cloned ~2.6k never-reused sequences per session into
+    /// the shared memo; admission-on-reuse removes those allocations
+    /// without changing any hit result.
+    seen_once: HashSet<GeoKey>,
     hits: u64,
     misses: u64,
 }
@@ -290,6 +299,12 @@ impl GeometryCache {
     /// correctly but are no longer inserted (the sweep's operating points
     /// evidently do not repeat, so growing further buys nothing).
     pub const MAX_ENTRIES: usize = 4096;
+
+    /// Admission-filter population cap. When the filter fills up it is
+    /// cleared wholesale — repeat keys then need two fresh misses to be
+    /// admitted, which only delays (never prevents) memoization of a
+    /// genuinely recurring operating point.
+    pub const MAX_SEEN_ONCE: usize = 4 * Self::MAX_ENTRIES;
 
     /// Fresh empty cache.
     pub fn new() -> Self {
@@ -345,8 +360,13 @@ impl GeometryCache {
         self.misses += 1;
         laqa_obs::counter!("qa.geometry_cache.misses").inc();
         seq.rebuild(rate, n_active, layer_rate, slope, k_horizon);
-        if self.map.len() < Self::MAX_ENTRIES {
+        if self.map.len() < Self::MAX_ENTRIES && self.seen_once.remove(&key) {
             self.map.insert(key, seq.clone());
+        } else if self.map.len() < Self::MAX_ENTRIES {
+            if self.seen_once.len() >= Self::MAX_SEEN_ONCE {
+                self.seen_once.clear();
+            }
+            self.seen_once.insert(key);
         }
     }
 }
@@ -495,5 +515,33 @@ mod tests {
             assert_eq!(st.per_layer.len(), 1);
             assert!(st.per_layer[0] > 0.0);
         }
+    }
+
+    #[test]
+    fn geometry_cache_admits_on_second_miss_only() {
+        let mut cache = GeometryCache::new();
+        let mut seq = StateSequence::default();
+        let probe = |cache: &mut GeometryCache, seq: &mut StateSequence, rate: f64| {
+            cache.rebuild_memoized(seq, rate, 3, C, S, 5);
+        };
+        // First miss: rebuilt but not memoized (one-shot keys stay out).
+        probe(&mut cache, &mut seq, 40_000.0);
+        assert_eq!(cache.stats(), (0, 1));
+        assert!(cache.is_empty());
+        // Second miss on the same key: admitted.
+        probe(&mut cache, &mut seq, 40_000.0);
+        assert_eq!(cache.stats(), (0, 2));
+        assert_eq!(cache.len(), 1);
+        // Third occurrence: a hit, bit-identical to a cold rebuild.
+        probe(&mut cache, &mut seq, 40_000.0);
+        assert_eq!(cache.stats(), (1, 2));
+        let fresh = StateSequence::build(40_000.0, 3, C, S, 5);
+        assert_eq!(seq.states.len(), fresh.states.len());
+        for (a, b) in seq.states.iter().zip(&fresh.states) {
+            assert_eq!(a.per_layer, b.per_layer);
+        }
+        // A different one-shot key still stays out of the memo.
+        probe(&mut cache, &mut seq, 41_000.0);
+        assert_eq!(cache.len(), 1);
     }
 }

@@ -16,7 +16,7 @@ use std::any::Any;
 
 /// Things that can happen.
 #[derive(Debug, Clone, PartialEq)]
-enum Event {
+pub(crate) enum Event {
     /// The head-of-line packet of `link` finished serializing.
     LinkDone { link: LinkId },
     /// `pkt` arrives at its next hop (link or destination agent).
@@ -25,53 +25,166 @@ enum Event {
     Timer { agent: AgentId, token: u64 },
 }
 
-/// Everything the world owns except the agents (so agent dispatch can
-/// borrow both mutably).
-pub struct WorldCore {
-    now_ns: u64,
-    seq: u64,
-    queue: AnyScheduler<Event>,
-    links: Vec<Link>,
+/// A session-tagged event in the shared megasession queue (see
+/// [`crate::mega::MegaEngine`]): the engine [`Event`] plus the owning
+/// session's slot and epoch. The epoch is the lazy-cancel guard — when a
+/// session is retired its slot's epoch is bumped, so events still in
+/// flight for the old occupant are recognized as stale and dropped
+/// instead of firing into whatever session reuses the slot.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct MegaEvent {
+    /// Session slot in the engine's [`crate::mega::SessionTable`].
+    pub(crate) session: u32,
+    /// The slot's epoch when this event was scheduled.
+    pub(crate) epoch: u32,
+    pub(crate) kind: MegaEventKind,
+}
+
+/// What a [`MegaEvent`] carries.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum MegaEventKind {
+    /// Call `start()` on every agent of the session (the megasession
+    /// analogue of [`World::run_until`]'s lazy start, scheduled at the
+    /// session's global start offset so staggered joins work).
+    Start,
+    /// An ordinary engine event for the session.
+    Engine(Event),
+}
+
+/// Everything one session owns except its agents and its event queue:
+/// local clock, links, RNG, uid and event counters. A solo [`World`]
+/// pairs one of these with its own queue; the megasession engine keeps a
+/// column of them sharing a single queue.
+pub(crate) struct SessionCore {
+    pub(crate) now_ns: u64,
+    pub(crate) links: Vec<Link>,
     /// Link shells salvaged from a retired world (warm-world reuse):
     /// [`World::add_link`] pops one and [`Link::reset`]s it instead of
     /// allocating, so the queues' ring buffers carry over. Stored in
     /// reverse creation order so `pop()` re-hands them out positionally.
-    spare_links: Vec<Link>,
-    next_uid: u64,
-    rng: SimRng,
+    pub(crate) spare_links: Vec<Link>,
+    pub(crate) next_uid: u64,
+    pub(crate) rng: SimRng,
     /// Events dispatched so far — a plain (always-on, deterministic)
     /// counter used for run throughput summaries.
-    events_processed: u64,
+    pub(crate) events_processed: u64,
 }
 
-impl WorldCore {
-    fn schedule(&mut self, at_ns: u64, event: Event) {
-        let time_ns = at_ns.max(self.now_ns);
-        self.queue.schedule(time_ns, self.seq, event);
-        self.seq += 1;
+impl SessionCore {
+    /// Fresh per-session state seeded from `seed`, clock at zero.
+    pub(crate) fn fresh(seed: u64) -> Self {
+        SessionCore {
+            now_ns: 0,
+            links: Vec::new(),
+            spare_links: Vec::new(),
+            next_uid: 0,
+            rng: SimRng::seed_from_u64(seed),
+            events_processed: 0,
+        }
+    }
+}
+
+/// Where a session's events go: a solo world's own queue, or the shared
+/// megasession queue with session/epoch tagging and a global-time offset.
+///
+/// All times passed through [`QueueRef::schedule`] are *session-local*
+/// nanoseconds; the clamp to "not before now" happens in local time so a
+/// session behaves bit-identically whether it runs alone (offset 0) or
+/// multiplexed at an arbitrary start offset. The `seq` counter is the
+/// solo world's own in `Solo` and the mega engine's global one in `Mega`
+/// — either way it is strictly increasing over this session's inserts,
+/// which is all the per-session `(time, seq)` dispatch order depends on.
+pub(crate) enum QueueRef<'a> {
+    /// A solo [`World`]'s private queue.
+    Solo {
+        queue: &'a mut AnyScheduler<Event>,
+        seq: &'a mut u64,
+    },
+    /// The shared megasession queue.
+    Mega {
+        queue: &'a mut AnyScheduler<MegaEvent>,
+        seq: &'a mut u64,
+        session: u32,
+        epoch: u32,
+        /// Global time of the session's local zero (its start offset).
+        offset_ns: u64,
+    },
+}
+
+impl QueueRef<'_> {
+    /// Reborrow for a nested dispatch (the enum holds `&mut`s, so a plain
+    /// copy is impossible; this is the standard reborrow dance).
+    pub(crate) fn reborrow(&mut self) -> QueueRef<'_> {
+        match self {
+            QueueRef::Solo { queue, seq } => QueueRef::Solo { queue, seq },
+            QueueRef::Mega {
+                queue,
+                seq,
+                session,
+                epoch,
+                offset_ns,
+            } => QueueRef::Mega {
+                queue,
+                seq,
+                session: *session,
+                epoch: *epoch,
+                offset_ns: *offset_ns,
+            },
+        }
     }
 
-    /// Put `pkt` onto its next link (or deliver directly when routeless).
-    fn route_packet(&mut self, pkt: Packet) {
-        match pkt.next_link() {
-            None => {
-                // Already at the destination: deliver immediately.
-                self.schedule(self.now_ns, Event::Arrive { pkt });
+    /// Schedule `event` at session-local `at_ns` (clamped to the session's
+    /// local `now_ns`).
+    fn schedule(&mut self, now_ns: u64, at_ns: u64, event: Event) {
+        let local_ns = at_ns.max(now_ns);
+        match self {
+            QueueRef::Solo { queue, seq } => {
+                queue.schedule(local_ns, **seq, event);
+                **seq += 1;
             }
-            Some(link_id) => {
-                let was_busy = self.links[link_id].busy;
-                let (u_loss, u_red) = (self.rng.next_f64(), self.rng.next_f64());
-                if self.links[link_id].offer(pkt, u_loss, u_red) && !was_busy {
-                    self.links[link_id].busy = true;
-                    let head_size = self.links[link_id]
-                        .queue
-                        .front()
-                        .map(|p| p.size)
-                        .expect("offer accepted");
-                    let bw = self.links[link_id].cfg.bandwidth;
-                    let done = self.now_ns.saturating_add(tx_time_ns(head_size, bw));
-                    self.schedule(done, Event::LinkDone { link: link_id });
-                }
+            QueueRef::Mega {
+                queue,
+                seq,
+                session,
+                epoch,
+                offset_ns,
+            } => {
+                let global_ns = local_ns.saturating_add(*offset_ns);
+                queue.schedule(
+                    global_ns,
+                    **seq,
+                    MegaEvent {
+                        session: *session,
+                        epoch: *epoch,
+                        kind: MegaEventKind::Engine(event),
+                    },
+                );
+                **seq += 1;
+            }
+        }
+    }
+}
+
+/// Put `pkt` onto its next link (or deliver directly when routeless).
+fn route_packet(core: &mut SessionCore, queue: &mut QueueRef<'_>, pkt: Packet) {
+    match pkt.next_link() {
+        None => {
+            // Already at the destination: deliver immediately.
+            queue.schedule(core.now_ns, core.now_ns, Event::Arrive { pkt });
+        }
+        Some(link_id) => {
+            let was_busy = core.links[link_id].busy;
+            let (u_loss, u_red) = (core.rng.next_f64(), core.rng.next_f64());
+            if core.links[link_id].offer(pkt, u_loss, u_red) && !was_busy {
+                core.links[link_id].busy = true;
+                let head_size = core.links[link_id]
+                    .queue
+                    .front()
+                    .map(|p| p.size)
+                    .expect("offer accepted");
+                let bw = core.links[link_id].cfg.bandwidth;
+                let done = core.now_ns.saturating_add(tx_time_ns(head_size, bw));
+                queue.schedule(core.now_ns, done, Event::LinkDone { link: link_id });
             }
         }
     }
@@ -83,7 +196,8 @@ pub struct Ctx<'a> {
     pub now: f64,
     /// The agent being dispatched.
     pub agent_id: AgentId,
-    core: &'a mut WorldCore,
+    core: &'a mut SessionCore,
+    queue: QueueRef<'a>,
 }
 
 impl<'a> Ctx<'a> {
@@ -97,13 +211,14 @@ impl<'a> Ctx<'a> {
     /// Transmit a packet along its route.
     pub fn send(&mut self, mut pkt: Packet) {
         pkt.sent_at = self.now;
-        self.core.route_packet(pkt);
+        route_packet(self.core, &mut self.queue, pkt);
     }
 
     /// Arm a timer to fire at absolute time `at` seconds.
     pub fn set_timer_at(&mut self, at: f64, token: u64) {
         let at_ns = secs_to_ns(at.max(0.0));
-        self.core.schedule(
+        self.queue.schedule(
+            self.core.now_ns,
             at_ns,
             Event::Timer {
                 agent: self.agent_id,
@@ -190,17 +305,23 @@ pub trait Agent: 'static {
 /// a world built from salvage is observationally identical to a fresh
 /// one (pinned by the warm-vs-cold fingerprint tests).
 pub struct WorldSalvage {
-    queue: AnyScheduler<Event>,
-    links: Vec<Link>,
-    spare_links: Vec<Link>,
-    agents: Vec<Option<Box<dyn Agent>>>,
+    pub(crate) queue: AnyScheduler<Event>,
+    pub(crate) links: Vec<Link>,
+    pub(crate) spare_links: Vec<Link>,
+    pub(crate) agents: Vec<Option<Box<dyn Agent>>>,
 }
 
 /// The simulated world: links, agents, and the event loop.
+///
+/// Fields are crate-visible so the megasession engine
+/// ([`crate::mega::MegaEngine`]) can absorb an unstarted world's parts
+/// into its session table columns.
 pub struct World {
-    core: WorldCore,
-    agents: Vec<Option<Box<dyn Agent>>>,
-    started: bool,
+    pub(crate) core: SessionCore,
+    pub(crate) queue: AnyScheduler<Event>,
+    pub(crate) seq: u64,
+    pub(crate) agents: Vec<Option<Box<dyn Agent>>>,
+    pub(crate) started: bool,
 }
 
 impl World {
@@ -215,16 +336,9 @@ impl World {
     /// only affects wall-clock speed.
     pub fn with_scheduler(seed: u64, kind: SchedulerKind) -> Self {
         World {
-            core: WorldCore {
-                now_ns: 0,
-                seq: 0,
-                queue: AnyScheduler::new(kind),
-                links: Vec::new(),
-                spare_links: Vec::new(),
-                next_uid: 0,
-                rng: SimRng::seed_from_u64(seed),
-                events_processed: 0,
-            },
+            core: SessionCore::fresh(seed),
+            queue: AnyScheduler::new(kind),
+            seq: 0,
             agents: Vec::new(),
             started: false,
         }
@@ -251,16 +365,16 @@ impl World {
         // shells are dropped with the world, missing ones are allocated.
         spare_links.reverse();
         World {
-            core: WorldCore {
+            core: SessionCore {
                 now_ns: 0,
-                seq: 0,
-                queue,
                 links,
                 spare_links,
                 next_uid: 0,
                 rng: SimRng::seed_from_u64(seed),
                 events_processed: 0,
             },
+            queue,
+            seq: 0,
             agents,
             started: false,
         }
@@ -272,7 +386,7 @@ impl World {
     /// agents themselves are dropped — their internal state is per-session
     /// and cheap relative to the engine structures).
     pub fn salvage(mut self) -> WorldSalvage {
-        self.core.queue.reset();
+        self.queue.reset();
         let mut links = std::mem::take(&mut self.core.links);
         let mut spare_links = std::mem::take(&mut self.core.spare_links);
         spare_links.clear();
@@ -280,7 +394,7 @@ impl World {
         let mut agents = self.agents;
         agents.clear();
         WorldSalvage {
-            queue: self.core.queue,
+            queue: self.queue,
             links,
             spare_links,
             agents,
@@ -289,7 +403,7 @@ impl World {
 
     /// Which event-scheduler implementation this world runs on.
     pub fn scheduler_kind(&self) -> SchedulerKind {
-        self.core.queue.kind()
+        self.queue.kind()
     }
 
     /// Add a link; returns its id. Reuses a salvaged link shell when one
@@ -348,34 +462,19 @@ impl World {
             .downcast_mut::<T>()
     }
 
-    fn dispatch_agent(
-        agents: &mut [Option<Box<dyn Agent>>],
-        core: &mut WorldCore,
-        id: AgentId,
-        f: impl FnOnce(&mut dyn Agent, &mut Ctx),
-    ) {
-        let Some(slot) = agents.get_mut(id) else {
-            return;
-        };
-        let Some(mut agent) = slot.take() else { return };
-        {
-            let mut ctx = Ctx {
-                now: ns_to_secs(core.now_ns),
-                agent_id: id,
-                core,
-            };
-            f(agent.as_mut(), &mut ctx);
-        }
-        agents[id] = Some(agent);
-    }
-
     fn ensure_started(&mut self) {
         if self.started {
             return;
         }
         self.started = true;
         for id in 0..self.agents.len() {
-            Self::dispatch_agent(&mut self.agents, &mut self.core, id, |a, ctx| a.start(ctx));
+            let mut queue = QueueRef::Solo {
+                queue: &mut self.queue,
+                seq: &mut self.seq,
+            };
+            dispatch_agent(&mut self.agents, &mut self.core, &mut queue, id, |a, ctx| {
+                a.start(ctx)
+            });
         }
     }
 
@@ -384,7 +483,7 @@ impl World {
     pub fn run_until(&mut self, t_end: f64) {
         self.ensure_started();
         let end_ns = secs_to_ns(t_end);
-        while let Some((time_ns, _, event)) = self.core.queue.pop_next_at_or_before(end_ns) {
+        while let Some((time_ns, _, event)) = self.queue.pop_next_at_or_before(end_ns) {
             self.core.now_ns = time_ns;
             self.core.events_processed += 1;
             let _step = laqa_obs::span!("engine.step");
@@ -394,46 +493,88 @@ impl World {
                     "engine.queue_depth",
                     &[8.0, 32.0, 128.0, 512.0, 2048.0, 8192.0]
                 )
-                .observe(self.core.queue.len() as f64);
+                .observe(self.queue.len() as f64);
             }
-            match event {
-                Event::LinkDone { link } => {
-                    let (pkt, next_busy) = {
-                        let l = &mut self.core.links[link];
-                        let mut pkt = l.queue.pop_front().expect("busy link has head");
-                        l.stats.bytes_out += pkt.size as u64;
-                        pkt.advance_hop();
-                        let next = l.queue.front().map(|p| p.size);
-                        l.busy = next.is_some();
-                        (pkt, next)
-                    };
-                    let delay_ns = secs_to_ns(self.core.links[link].cfg.delay);
-                    let arrive = self.core.now_ns.saturating_add(delay_ns);
-                    self.core.schedule(arrive, Event::Arrive { pkt });
-                    if let Some(size) = next_busy {
-                        let bw = self.core.links[link].cfg.bandwidth;
-                        let done = self.core.now_ns.saturating_add(tx_time_ns(size, bw));
-                        self.core.schedule(done, Event::LinkDone { link });
-                    }
-                }
-                Event::Arrive { pkt } => {
-                    if pkt.at_destination() {
-                        let id = pkt.dst;
-                        Self::dispatch_agent(&mut self.agents, &mut self.core, id, |a, ctx| {
-                            a.on_packet(ctx, pkt)
-                        });
-                    } else {
-                        self.core.route_packet(pkt);
-                    }
-                }
-                Event::Timer { agent, token } => {
-                    Self::dispatch_agent(&mut self.agents, &mut self.core, agent, |a, ctx| {
-                        a.on_timer(ctx, token)
-                    });
-                }
-            }
+            let mut queue = QueueRef::Solo {
+                queue: &mut self.queue,
+                seq: &mut self.seq,
+            };
+            dispatch_event(&mut self.core, &mut self.agents, &mut queue, event);
         }
         self.core.now_ns = self.core.now_ns.max(end_ns);
+    }
+}
+
+/// Run one agent callback with a freshly assembled [`Ctx`]. The agent box
+/// is taken out of its slot for the duration of the call (so the agent
+/// can schedule, send, and mutate links through `ctx` while borrowed) and
+/// restored afterwards. Shared verbatim by solo worlds and the
+/// megasession engine — this is what makes a multiplexed session's
+/// dispatch bit-identical to an isolated one.
+pub(crate) fn dispatch_agent(
+    agents: &mut [Option<Box<dyn Agent>>],
+    core: &mut SessionCore,
+    queue: &mut QueueRef<'_>,
+    id: AgentId,
+    f: impl FnOnce(&mut dyn Agent, &mut Ctx),
+) {
+    let Some(slot) = agents.get_mut(id) else {
+        return;
+    };
+    let Some(mut agent) = slot.take() else { return };
+    {
+        let mut ctx = Ctx {
+            now: ns_to_secs(core.now_ns),
+            agent_id: id,
+            core,
+            queue: queue.reborrow(),
+        };
+        f(agent.as_mut(), &mut ctx);
+    }
+    agents[id] = Some(agent);
+}
+
+/// Process one engine [`Event`] against a session's state. `core.now_ns`
+/// must already be set to the event's (session-local) time. Factored out
+/// of [`World::run_until`] so the megasession engine dispatches the exact
+/// same code path per event.
+pub(crate) fn dispatch_event(
+    core: &mut SessionCore,
+    agents: &mut [Option<Box<dyn Agent>>],
+    queue: &mut QueueRef<'_>,
+    event: Event,
+) {
+    match event {
+        Event::LinkDone { link } => {
+            let (pkt, next_busy) = {
+                let l = &mut core.links[link];
+                let mut pkt = l.queue.pop_front().expect("busy link has head");
+                l.stats.bytes_out += pkt.size as u64;
+                pkt.advance_hop();
+                let next = l.queue.front().map(|p| p.size);
+                l.busy = next.is_some();
+                (pkt, next)
+            };
+            let delay_ns = secs_to_ns(core.links[link].cfg.delay);
+            let arrive = core.now_ns.saturating_add(delay_ns);
+            queue.schedule(core.now_ns, arrive, Event::Arrive { pkt });
+            if let Some(size) = next_busy {
+                let bw = core.links[link].cfg.bandwidth;
+                let done = core.now_ns.saturating_add(tx_time_ns(size, bw));
+                queue.schedule(core.now_ns, done, Event::LinkDone { link });
+            }
+        }
+        Event::Arrive { pkt } => {
+            if pkt.at_destination() {
+                let id = pkt.dst;
+                dispatch_agent(agents, core, queue, id, |a, ctx| a.on_packet(ctx, pkt));
+            } else {
+                route_packet(core, queue, pkt);
+            }
+        }
+        Event::Timer { agent, token } => {
+            dispatch_agent(agents, core, queue, agent, |a, ctx| a.on_timer(ctx, token));
+        }
     }
 }
 

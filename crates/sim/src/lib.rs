@@ -17,6 +17,7 @@ pub mod campaign;
 pub mod engine;
 pub mod faults;
 pub mod link;
+pub mod mega;
 pub mod packet;
 pub mod rng;
 pub mod scenarios;
@@ -43,10 +44,11 @@ pub use campaign::{
 pub use engine::{Agent, Ctx, World, WorldSalvage};
 pub use faults::{FaultInjector, FaultPlan, FaultStats, FaultWiring};
 pub use link::{Link, LinkConfig, LinkStats, QueueKind, RedConfig};
+pub use mega::{MegaEngine, MegaSessionView, SessionId};
 pub use packet::{AgentId, LinkId, Packet, PacketKind, Route};
 pub use scenarios::{
-    run_scenario, run_scenario_pooled, run_scenario_with, ScenarioConfig, ScenarioOutcome,
-    WorldPool,
+    run_scenario, run_scenario_pooled, run_scenario_with, run_scenarios_mega,
+    run_scenarios_mega_staggered, ScenarioConfig, ScenarioOutcome, WorldPool,
 };
 pub use sched::{
     ambient_scheduler, set_ambient_scheduler, AnyScheduler, EventKey, HeapScheduler, Scheduler,

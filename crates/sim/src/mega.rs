@@ -1,0 +1,702 @@
+//! Megasession engine: many QA/RAP sessions multiplexed on one shared
+//! event queue (one timer wheel, one packet arena).
+//!
+//! A campaign of N sessions used to be N independent [`World`]s, each
+//! with its own scheduler, even though the sessions share no state — so
+//! per-session setup (queue construction, wheel cursor scans over sparse
+//! occupancy) was paid N times. [`MegaEngine`] instead absorbs unstarted
+//! worlds into a struct-of-arrays [`SessionTable`] and runs them all on a
+//! single queue whose events carry a `(session, epoch)` tag.
+//!
+//! **Equivalence argument.** Sessions share nothing mutable except the
+//! queue and the global insertion-sequence counter. Every event a session
+//! schedules gets a globally increasing `seq`, so the *relative* insertion
+//! order of one session's events is the same as it would be in isolation;
+//! the queue dispatches in `(time, seq)` order, so the subsequence of
+//! dispatches belonging to one session is exactly its isolated dispatch
+//! sequence; each dispatch runs the same shared
+//! [`crate::engine::dispatch_event`] code against per-session state and a
+//! per-session RNG. By induction over dispatches, every session's
+//! trajectory is bit-identical to an isolated run — cross-session
+//! interleaving at equal timestamps is unobservable because no state
+//! crosses sessions. `tests/mega_differential.rs` and
+//! `tests/mega_properties.rs` pin this.
+//!
+//! **Batching.** Events due at one timestamp are drained together and
+//! stable-sorted by session slot, so consecutive dispatches hit one
+//! session's cache-warm columns; stability preserves each session's
+//! `seq` order, which is all correctness needs. Events scheduled *during*
+//! the batch for the same timestamp are drained and dispatched in
+//! follow-up rounds before time advances — exactly where the queue would
+//! have placed them (they carry larger seqs than anything drained
+//! earlier).
+//!
+//! **Teardown.** Retiring a session bumps its slot's epoch; events still
+//! in the shared queue for the old occupant are lazily dropped when they
+//! surface (counted as `mega.token_recycles`), so a reused slot can never
+//! receive a predecessor's timers.
+
+use crate::engine::{
+    dispatch_agent, dispatch_event, Agent, Event, MegaEvent, MegaEventKind, QueueRef, SessionCore,
+    World, WorldSalvage,
+};
+use crate::link::{LinkConfig, LinkStats};
+use crate::packet::{AgentId, LinkId};
+use crate::sched::{ambient_scheduler, AnyScheduler, Scheduler, SchedulerKind};
+use crate::time::{ns_to_secs, secs_to_ns};
+
+/// Handle to a session inside a [`MegaEngine`]: its table slot plus the
+/// epoch the slot had when the session was admitted. Stale handles (from
+/// before a slot was recycled) are detected and rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionId {
+    slot: u32,
+    epoch: u32,
+}
+
+impl SessionId {
+    /// The session's slot index (stable while the session is live).
+    pub fn slot(&self) -> u32 {
+        self.slot
+    }
+}
+
+/// Struct-of-arrays session state: column `i` of every vector belongs to
+/// the session in slot `i`. Splitting the columns (instead of a
+/// `Vec<Session>` of structs) lets the dispatch loop borrow one session's
+/// core and agents without touching its neighbours', and keeps the
+/// per-slot bookkeeping (epochs, offsets, liveness) densely packed for
+/// the batch grouping pass.
+#[derive(Default)]
+struct SessionTable {
+    /// Per-session engine state (clock, links, RNG, counters).
+    cores: Vec<SessionCore>,
+    /// Per-session agent columns.
+    agents: Vec<Vec<Option<Box<dyn Agent>>>>,
+    /// Slot reuse guard: bumped on retire, checked on every dispatch.
+    epochs: Vec<u32>,
+    /// Global time of each session's local zero (its start offset).
+    offsets_ns: Vec<u64>,
+    /// Global time past which the session's events are dropped
+    /// (an isolated `run_until` would have left them unprocessed).
+    ends_ns: Vec<u64>,
+    /// Slot occupancy.
+    live: Vec<bool>,
+    /// Free slots, reused LIFO.
+    free: Vec<u32>,
+}
+
+/// Read-only view of one live session inside a [`MegaEngine`], for stats
+/// extraction after a run — the megasession analogue of the accessor
+/// surface on [`World`].
+pub struct MegaSessionView<'a> {
+    core: &'a SessionCore,
+    agents: &'a [Option<Box<dyn Agent>>],
+}
+
+impl MegaSessionView<'_> {
+    /// Typed view of an agent (e.g. to pull stats after a run).
+    pub fn agent<T: 'static>(&self, id: AgentId) -> Option<&T> {
+        self.agents.get(id)?.as_ref()?.as_any().downcast_ref::<T>()
+    }
+
+    /// Counters of a link.
+    pub fn link_stats(&self, link: LinkId) -> LinkStats {
+        self.core.links[link].stats
+    }
+
+    /// Current configuration of a link.
+    pub fn link_config(&self, link: LinkId) -> LinkConfig {
+        self.core.links[link].cfg
+    }
+
+    /// Events dispatched for this session so far.
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+}
+
+/// Multiplexes many sessions on one shared event queue. See the module
+/// docs for the equivalence and teardown story.
+pub struct MegaEngine {
+    /// Global clock (nanoseconds). Session-local time is
+    /// `now_ns - offsets_ns[slot]`.
+    now_ns: u64,
+    /// Global insertion sequence shared by every session.
+    seq: u64,
+    queue: AnyScheduler<MegaEvent>,
+    table: SessionTable,
+    /// Solo queues taken from absorbed worlds, handed back (reset) with
+    /// the [`WorldSalvage`] of retired sessions so warm pools keep their
+    /// scheduler capacity.
+    spare_queues: Vec<AnyScheduler<Event>>,
+    /// Scratch for one timestamp's batch (capacity reused across ticks).
+    batch: Vec<MegaEvent>,
+    /// Stale events dropped by the epoch guard since construction.
+    token_recycles: u64,
+    /// Live sessions.
+    live_count: usize,
+}
+
+impl MegaEngine {
+    /// New empty engine on the ambient scheduler kind.
+    pub fn new() -> Self {
+        Self::with_scheduler(ambient_scheduler())
+    }
+
+    /// New empty engine on an explicit scheduler kind. As with solo
+    /// worlds, the kind changes wall-clock speed only, never results.
+    pub fn with_scheduler(kind: SchedulerKind) -> Self {
+        MegaEngine {
+            now_ns: 0,
+            seq: 0,
+            queue: AnyScheduler::new(kind),
+            table: SessionTable::default(),
+            spare_queues: Vec::new(),
+            batch: Vec::new(),
+            token_recycles: 0,
+            live_count: 0,
+        }
+    }
+
+    /// Which event-scheduler implementation the shared queue runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.queue.kind()
+    }
+
+    /// Current global simulation time (seconds).
+    pub fn now(&self) -> f64 {
+        ns_to_secs(self.now_ns)
+    }
+
+    /// Stale events dropped by the epoch guard (each one is a timer or
+    /// packet of an already-retired session that surfaced after its slot
+    /// was freed or reused).
+    pub fn token_recycles(&self) -> u64 {
+        self.token_recycles
+    }
+
+    /// Live (admitted, not retired) sessions.
+    pub fn sessions_live(&self) -> usize {
+        self.live_count
+    }
+
+    /// Pre-size the session table for `sessions` more sessions and the
+    /// shared queue (wheel slab / heap array) for `events_hint` more
+    /// in-flight events, so absorbing a batch grows storage once.
+    pub fn reserve(&mut self, sessions: usize, events_hint: usize) {
+        self.table.cores.reserve(sessions);
+        self.table.agents.reserve(sessions);
+        self.table.epochs.reserve(sessions);
+        self.table.offsets_ns.reserve(sessions);
+        self.table.ends_ns.reserve(sessions);
+        self.table.live.reserve(sessions);
+        self.queue.reserve(events_hint);
+    }
+
+    /// Absorb an unstarted [`World`] as a new session that starts (agents'
+    /// `start()` callbacks) at global time `start_at` seconds — its local
+    /// clock runs from zero there — and stops processing events
+    /// `duration` simulated seconds later, exactly like an isolated
+    /// `world.run_until(duration)`.
+    ///
+    /// The world's own queue must be empty (nothing schedules before
+    /// start); it is banked and handed back with a retired session's
+    /// [`WorldSalvage`]. Slots of retired sessions are reused LIFO.
+    pub fn add_world(&mut self, world: World, start_at: f64, duration: f64) -> SessionId {
+        let start_ns = secs_to_ns(start_at);
+        assert!(
+            start_ns >= self.now_ns,
+            "session start {start_at}s precedes engine time {}s",
+            self.now()
+        );
+        assert!(!world.started, "absorbed world must be unstarted");
+        assert!(
+            world.queue.is_empty(),
+            "absorbed world must have an empty event queue"
+        );
+        let World {
+            core,
+            queue,
+            agents,
+            ..
+        } = world;
+        self.spare_queues.push(queue);
+        let end_ns = start_ns.saturating_add(secs_to_ns(duration.max(0.0)));
+        let slot = match self.table.free.pop() {
+            Some(slot) => {
+                let i = slot as usize;
+                self.table.cores[i] = core;
+                self.table.agents[i] = agents;
+                self.table.offsets_ns[i] = start_ns;
+                self.table.ends_ns[i] = end_ns;
+                self.table.live[i] = true;
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.table.cores.len()).expect("session table overflow");
+                self.table.cores.push(core);
+                self.table.agents.push(agents);
+                self.table.epochs.push(0);
+                self.table.offsets_ns.push(start_ns);
+                self.table.ends_ns.push(end_ns);
+                self.table.live.push(true);
+                slot
+            }
+        };
+        self.live_count += 1;
+        laqa_obs::gauge!("mega.sessions_live").set(self.live_count as f64);
+        let epoch = self.table.epochs[slot as usize];
+        self.queue.schedule(
+            start_ns,
+            self.seq,
+            MegaEvent {
+                session: slot,
+                epoch,
+                kind: MegaEventKind::Start,
+            },
+        );
+        self.seq += 1;
+        SessionId { slot, epoch }
+    }
+
+    /// Read-only view of a live session for stats extraction.
+    ///
+    /// # Panics
+    /// On a stale (already-retired slot) handle.
+    pub fn session(&self, sid: SessionId) -> MegaSessionView<'_> {
+        let i = sid.slot as usize;
+        assert!(
+            self.table.live[i] && self.table.epochs[i] == sid.epoch,
+            "stale session handle: slot {} epoch {}",
+            sid.slot,
+            sid.epoch
+        );
+        MegaSessionView {
+            core: &self.table.cores[i],
+            agents: &self.table.agents[i],
+        }
+    }
+
+    /// Retire a session, freeing its slot for reuse and returning its
+    /// engine storage as a [`WorldSalvage`] (with one of the banked solo
+    /// queues) so warm pools recycle exactly what a solo
+    /// [`World::salvage`] would have handed back. Events the session
+    /// still has in the shared queue are invalidated by the epoch bump
+    /// and dropped lazily when they surface.
+    pub fn retire(&mut self, sid: SessionId) -> WorldSalvage {
+        let i = sid.slot as usize;
+        assert!(
+            self.table.live[i] && self.table.epochs[i] == sid.epoch,
+            "retire of a dead or recycled session: slot {} epoch {}",
+            sid.slot,
+            sid.epoch
+        );
+        self.table.epochs[i] = self.table.epochs[i].wrapping_add(1);
+        self.table.live[i] = false;
+        self.table.free.push(sid.slot);
+        self.live_count -= 1;
+        laqa_obs::gauge!("mega.sessions_live").set(self.live_count as f64);
+
+        let core = std::mem::replace(&mut self.table.cores[i], SessionCore::fresh(0));
+        let mut agents = std::mem::take(&mut self.table.agents[i]);
+        agents.clear();
+        let mut queue = self
+            .spare_queues
+            .pop()
+            .unwrap_or_else(|| AnyScheduler::new(self.queue.kind()));
+        queue.reset();
+        // Mirror World::salvage: link shells move to the spare pool in
+        // creation order, the emptied links vector keeps its capacity.
+        let SessionCore {
+            mut links,
+            mut spare_links,
+            ..
+        } = core;
+        spare_links.clear();
+        spare_links.append(&mut links);
+        WorldSalvage {
+            queue,
+            links,
+            spare_links,
+            agents,
+        }
+    }
+
+    /// Run every session's events up to *global* time `t_end` seconds
+    /// (events at exactly `t_end` are processed, as in
+    /// [`World::run_until`]). Sessions whose end time has passed drop
+    /// their surfacing events; running past every session's end is
+    /// harmless.
+    pub fn run_until(&mut self, t_end: f64) {
+        let end_ns = secs_to_ns(t_end);
+        while let Some((time_ns, _, ev)) = self.queue.pop_next_at_or_before(end_ns) {
+            self.now_ns = time_ns;
+            let mut batch = std::mem::take(&mut self.batch);
+            batch.push(ev);
+            // `time_ns` was the queue's minimum, so this drains exactly
+            // the events due at this timestamp, already in seq order.
+            while let Some((_, _, more)) = self.queue.pop_next_at_or_before(time_ns) {
+                batch.push(more);
+            }
+            loop {
+                // Stable grouping by session: per-session seq order (the
+                // only order correctness depends on) is preserved, and
+                // consecutive dispatches reuse one session's cache-warm
+                // state.
+                if batch.len() > 1 {
+                    batch.sort_by_key(|e| e.session);
+                }
+                if laqa_obs::enabled() {
+                    laqa_obs::histogram!(
+                        "mega.batch_size",
+                        &[1.0, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0]
+                    )
+                    .observe(batch.len() as f64);
+                }
+                for ev in batch.drain(..) {
+                    self.dispatch(time_ns, ev);
+                }
+                // Dispatches may have scheduled more events at this very
+                // timestamp (zero-delay chains); they carry larger seqs
+                // than everything just dispatched, so a follow-up round
+                // is exactly the order an isolated world would use.
+                while let Some((_, _, more)) = self.queue.pop_next_at_or_before(time_ns) {
+                    batch.push(more);
+                }
+                if batch.is_empty() {
+                    break;
+                }
+            }
+            self.batch = batch;
+        }
+        self.now_ns = self.now_ns.max(end_ns);
+        // Sessions that outlived their own end keep their local clock at
+        // the last dispatched event; pin it to the session end the way a
+        // solo run_until pins `now` to its bound.
+        for i in 0..self.table.cores.len() {
+            if self.table.live[i] {
+                let bound = self.table.ends_ns[i].min(self.now_ns);
+                let local_bound = bound.saturating_sub(self.table.offsets_ns[i]);
+                let core = &mut self.table.cores[i];
+                core.now_ns = core.now_ns.max(local_bound);
+            }
+        }
+    }
+
+    /// Dispatch one tagged event at global `time_ns`.
+    fn dispatch(&mut self, time_ns: u64, ev: MegaEvent) {
+        let i = ev.session as usize;
+        if self.table.epochs[i] != ev.epoch {
+            // Scheduled by a previous occupant of this slot (or by this
+            // session before it was retired): lazily cancelled.
+            self.token_recycles += 1;
+            laqa_obs::counter!("mega.token_recycles").inc();
+            return;
+        }
+        debug_assert!(
+            self.table.live[i],
+            "current-epoch event fired into freed session slot {i}"
+        );
+        if time_ns > self.table.ends_ns[i] {
+            // Past this session's end: an isolated world's run_until
+            // would have left the event sitting unprocessed.
+            return;
+        }
+        let offset_ns = self.table.offsets_ns[i];
+        let core = &mut self.table.cores[i];
+        core.now_ns = time_ns - offset_ns;
+        let agents = &mut self.table.agents[i];
+        let mut queue = QueueRef::Mega {
+            queue: &mut self.queue,
+            seq: &mut self.seq,
+            session: ev.session,
+            epoch: ev.epoch,
+            offset_ns,
+        };
+        match ev.kind {
+            MegaEventKind::Start => {
+                // The solo engine's lazy start, at the session's offset:
+                // one start() sweep over the agent column. Not counted in
+                // events_processed (World::ensure_started doesn't count
+                // either).
+                for id in 0..agents.len() {
+                    dispatch_agent(agents, core, &mut queue, id, |a, ctx| a.start(ctx));
+                }
+            }
+            MegaEventKind::Engine(event) => {
+                core.events_processed += 1;
+                dispatch_event(core, agents, &mut queue, event);
+            }
+        }
+    }
+}
+
+impl Default for MegaEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packet, PacketKind, Route};
+    use crate::Ctx;
+    use std::any::Any;
+
+    /// Sends `count` packets to `peer` at `interval`, starting at t=0.
+    struct Pinger {
+        peer: AgentId,
+        route: Route,
+        count: u32,
+        interval: f64,
+        sent: u32,
+    }
+    /// Records `(time, uid)` arrivals.
+    struct Sink {
+        arrivals: Vec<(f64, u64)>,
+    }
+
+    impl Agent for Pinger {
+        fn start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer_at(0.0, 0);
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx, _pkt: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Ctx, _token: u64) {
+            if self.sent >= self.count {
+                return;
+            }
+            let uid = ctx.alloc_uid();
+            ctx.send(Packet {
+                uid,
+                flow: 1,
+                size: 1_000,
+                kind: PacketKind::Cbr,
+                dst: self.peer,
+                route: self.route.clone(),
+                hop: 0,
+                sent_at: ctx.now,
+            });
+            self.sent += 1;
+            ctx.set_timer_after(self.interval, 0);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    impl Agent for Sink {
+        fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+            self.arrivals.push((ctx.now, pkt.uid));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// A two-agent ping world whose trajectory depends on the seed (loss
+    /// draws) — enough signal to detect any cross-session bleed.
+    fn ping_world(seed: u64, count: u32) -> (World, AgentId) {
+        let mut w = World::with_scheduler(seed, SchedulerKind::Wheel);
+        let l = w.add_link(LinkConfig {
+            bandwidth: 80_000.0,
+            delay: 0.004,
+            queue_packets: 4,
+            loss_rate: 0.1,
+            ..LinkConfig::default()
+        });
+        let sink = w.add_agent(Box::new(Sink { arrivals: vec![] }));
+        let _src = w.add_agent(Box::new(Pinger {
+            peer: sink,
+            route: vec![l].into(),
+            count,
+            interval: 0.017,
+            sent: 0,
+        }));
+        (w, sink)
+    }
+
+    fn solo_arrivals(seed: u64, count: u32, duration: f64) -> Vec<(f64, u64)> {
+        let (mut w, sink) = ping_world(seed, count);
+        w.run_until(duration);
+        w.agent::<Sink>(sink).unwrap().arrivals.clone()
+    }
+
+    #[test]
+    fn multiplexed_sessions_match_isolated_runs() {
+        let mut engine = MegaEngine::with_scheduler(SchedulerKind::Wheel);
+        let mut sids = Vec::new();
+        for seed in [3u64, 7, 11, 42] {
+            let (w, sink) = ping_world(seed, 40);
+            sids.push((seed, engine.add_world(w, 0.0, 2.0), sink));
+        }
+        engine.run_until(2.0);
+        for &(seed, sid, sink) in &sids {
+            let mega = engine
+                .session(sid)
+                .agent::<Sink>(sink)
+                .unwrap()
+                .arrivals
+                .clone();
+            assert_eq!(
+                mega,
+                solo_arrivals(seed, 40, 2.0),
+                "seed {seed} diverged under multiplexing"
+            );
+        }
+    }
+
+    #[test]
+    fn staggered_starts_run_in_local_time() {
+        // The same seed started at three different global offsets must
+        // produce identical local-time trajectories.
+        let mut engine = MegaEngine::new();
+        let mut sids = Vec::new();
+        for (k, offset) in [0.0, 0.35, 1.2].into_iter().enumerate() {
+            let (w, sink) = ping_world(9, 25);
+            sids.push((k, offset, engine.add_world(w, offset, 1.5), sink));
+        }
+        engine.run_until(3.0);
+        let reference = solo_arrivals(9, 25, 1.5);
+        for &(k, offset, sid, sink) in &sids {
+            let got = engine
+                .session(sid)
+                .agent::<Sink>(sink)
+                .unwrap()
+                .arrivals
+                .clone();
+            assert_eq!(got, reference, "offset {offset} (session {k}) diverged");
+        }
+    }
+
+    #[test]
+    fn retire_returns_salvage_and_frees_slot() {
+        let mut engine = MegaEngine::new();
+        let (w, sink) = ping_world(5, 10);
+        let sid = engine.add_world(w, 0.0, 1.0);
+        assert_eq!(engine.sessions_live(), 1);
+        engine.run_until(1.0);
+        let arrivals = engine
+            .session(sid)
+            .agent::<Sink>(sink)
+            .unwrap()
+            .arrivals
+            .len();
+        assert!(arrivals > 0);
+        let salvage = engine.retire(sid);
+        assert_eq!(engine.sessions_live(), 0);
+        // The salvage is usable for a warm solo world.
+        let mut w2 = World::with_salvage(5, SchedulerKind::Wheel, salvage);
+        assert_eq!(w2.events_processed(), 0);
+        w2.run_until(0.1);
+    }
+
+    #[test]
+    fn stale_tokens_from_freed_sessions_never_reach_reused_slots() {
+        // Session A is retired mid-run with timers and packets still in
+        // the shared queue; session B immediately reuses its slot. A's
+        // in-flight events must be dropped by the epoch guard — B's
+        // trajectory stays bit-identical to an isolated run — and each
+        // drop is counted as a token recycle.
+        let mut engine = MegaEngine::new();
+        let (wa, _) = ping_world(21, 1_000);
+        let sid_a = engine.add_world(wa, 0.0, 10.0);
+        engine.run_until(0.5);
+        let _ = engine.retire(sid_a);
+
+        let (wb, sink_b) = ping_world(33, 30);
+        let sid_b = engine.add_world(wb, engine.now(), 2.0);
+        assert_eq!(
+            sid_b.slot(),
+            sid_a.slot(),
+            "slot must be reused for the guard to be exercised"
+        );
+        engine.run_until(engine.now() + 2.0);
+
+        assert!(
+            engine.token_recycles() > 0,
+            "retiring mid-run must leave stale events for the guard to drop"
+        );
+        let got = engine
+            .session(sid_b)
+            .agent::<Sink>(sink_b)
+            .unwrap()
+            .arrivals
+            .clone();
+        assert_eq!(
+            got,
+            solo_arrivals(33, 30, 2.0),
+            "reused slot inherited state from the retired session"
+        );
+    }
+
+    #[test]
+    fn session_past_its_end_stops_processing() {
+        // One long and one short session: the short one's agents must see
+        // nothing after its own end even though the engine runs on.
+        let mut engine = MegaEngine::new();
+        let (w_short, sink_s) = ping_world(2, 1_000);
+        let (w_long, sink_l) = ping_world(4, 1_000);
+        let sid_s = engine.add_world(w_short, 0.0, 0.5);
+        let sid_l = engine.add_world(w_long, 0.0, 2.0);
+        engine.run_until(2.0);
+        let short = engine
+            .session(sid_s)
+            .agent::<Sink>(sink_s)
+            .unwrap()
+            .arrivals
+            .clone();
+        assert_eq!(short, solo_arrivals(2, 1_000, 0.5));
+        let long = engine
+            .session(sid_l)
+            .agent::<Sink>(sink_l)
+            .unwrap()
+            .arrivals
+            .clone();
+        assert_eq!(long, solo_arrivals(4, 1_000, 2.0));
+    }
+
+    #[test]
+    fn engine_agrees_across_scheduler_kinds() {
+        let run = |kind: SchedulerKind| {
+            let mut engine = MegaEngine::with_scheduler(kind);
+            let mut sids = Vec::new();
+            for seed in [1u64, 2, 3] {
+                let (w, sink) = ping_world(seed, 60);
+                sids.push((engine.add_world(w, 0.2 * seed as f64, 2.0), sink));
+            }
+            engine.run_until(3.0);
+            sids.iter()
+                .map(|&(sid, sink)| {
+                    engine
+                        .session(sid)
+                        .agent::<Sink>(sink)
+                        .unwrap()
+                        .arrivals
+                        .clone()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(SchedulerKind::Reference), run(SchedulerKind::Wheel));
+    }
+
+    #[test]
+    fn reserve_is_inert() {
+        let mut a = MegaEngine::new();
+        a.reserve(64, 4096);
+        let mut b = MegaEngine::new();
+        for engine in [&mut a, &mut b] {
+            let (w, _) = ping_world(13, 20);
+            engine.add_world(w, 0.0, 1.0);
+            engine.run_until(1.0);
+        }
+        assert_eq!(a.seq, b.seq, "reserve changed the trajectory");
+    }
+}

@@ -10,6 +10,8 @@ use crate::agents::rap::{RapFlowAgent, RapSinkAgent};
 use crate::agents::tcp::{TcpAgent, TcpSinkAgent};
 use crate::engine::{World, WorldSalvage};
 use crate::link::LinkStats;
+use crate::mega::{MegaEngine, MegaSessionView};
+use crate::packet::{AgentId, LinkId};
 use crate::sched::SchedulerKind;
 use crate::topology::{Dumbbell, DumbbellConfig};
 use laqa_core::{MetricsCollector, QaConfig};
@@ -161,17 +163,56 @@ pub fn run_scenario_with(cfg: &ScenarioConfig, sched: SchedulerKind) -> Scenario
     run_scenario_core(cfg, world, None).0
 }
 
-/// Warm per-worker world state: the salvaged engine storage of the last
-/// session this worker ran plus a shared QA geometry memo. One pool lives
-/// on each campaign worker thread; from its second session onward the
+/// Run several scenarios multiplexed on one [`MegaEngine`] (all starting
+/// at global time zero), returning outcomes in input order. Every outcome
+/// — including its [`crate::campaign::hash_outcome`] fingerprint — is
+/// bit-identical to [`run_scenario_with`] on the same config;
+/// `tests/mega_differential.rs` pins this.
+pub fn run_scenarios_mega(cfgs: &[ScenarioConfig], sched: SchedulerKind) -> Vec<ScenarioOutcome> {
+    let staggered: Vec<(ScenarioConfig, f64)> =
+        cfgs.iter().map(|cfg| (cfg.clone(), 0.0)).collect();
+    run_scenarios_mega_staggered(&staggered, sched)
+}
+
+/// [`run_scenarios_mega`] with a per-session global start offset
+/// (seconds): session `i` begins its local time zero at `offset_i`. The
+/// offset shifts when the session runs, never what it computes — each
+/// outcome stays bit-identical to an isolated [`run_scenario_with`].
+pub fn run_scenarios_mega_staggered(
+    cfgs: &[(ScenarioConfig, f64)],
+    sched: SchedulerKind,
+) -> Vec<ScenarioOutcome> {
+    let mut engine = MegaEngine::with_scheduler(sched);
+    engine.reserve(cfgs.len(), cfgs.len() * 64);
+    let mut admitted = Vec::with_capacity(cfgs.len());
+    let mut t_end = 0.0f64;
+    for (cfg, offset) in cfgs {
+        let world = World::with_scheduler(cfg.seed, sched);
+        let (world, handles) = build_scenario(cfg, world, None);
+        let sid = engine.add_world(world, *offset, cfg.duration);
+        t_end = t_end.max(offset + cfg.duration);
+        admitted.push((cfg, handles, sid));
+    }
+    engine.run_until(t_end);
+    admitted
+        .into_iter()
+        .map(|(cfg, handles, sid)| extract_outcome(cfg, &engine.session(sid), &handles))
+        .collect()
+}
+
+/// Warm per-worker world state: salvaged engine storage of sessions this
+/// worker already ran plus a shared QA geometry memo. One pool lives on
+/// each campaign worker thread; from its second session onward the
 /// scheduler slab, link ring buffers and agents vector are recycled and
 /// geometry derivations hit the memo, which is where the warm-world
 /// speedup comes from. Results are bit-identical to the cold path — the
 /// pool is invisible to the simulation (pinned by replay tests and the
-/// `laqa-bench campaign` fingerprint gate).
+/// `laqa-bench campaign` fingerprint gate). The bank holds multiple
+/// salvages because a mega worker retires a whole chunk of sessions at
+/// once before building the next chunk.
 #[derive(Default)]
 pub struct WorldPool {
-    salvage: Option<WorldSalvage>,
+    salvages: Vec<WorldSalvage>,
     geometry: Option<laqa_core::SharedGeometryCache>,
 }
 
@@ -179,7 +220,7 @@ impl WorldPool {
     /// Fresh pool: first session is cold, everything after is warm.
     pub fn new() -> Self {
         WorldPool {
-            salvage: None,
+            salvages: Vec::new(),
             geometry: Some(laqa_core::GeometryCache::shared()),
         }
     }
@@ -194,7 +235,22 @@ impl WorldPool {
 
     /// True once a retired world's storage is banked for reuse.
     pub fn is_warm(&self) -> bool {
-        self.salvage.is_some()
+        !self.salvages.is_empty()
+    }
+
+    /// Withdraw one banked salvage, if any (LIFO).
+    pub(crate) fn take_salvage(&mut self) -> Option<WorldSalvage> {
+        self.salvages.pop()
+    }
+
+    /// Bank a retired world's storage for the next session.
+    pub(crate) fn bank_salvage(&mut self, salvage: WorldSalvage) {
+        self.salvages.push(salvage);
+    }
+
+    /// The shared QA geometry memo, if this pool carries one.
+    pub(crate) fn geometry(&self) -> Option<&laqa_core::SharedGeometryCache> {
+        self.geometry.as_ref()
     }
 }
 
@@ -207,13 +263,63 @@ pub fn run_scenario_pooled(
     sched: SchedulerKind,
     pool: &mut WorldPool,
 ) -> ScenarioOutcome {
-    let world = match pool.salvage.take() {
+    let world = match pool.take_salvage() {
         Some(salvage) => World::with_salvage(cfg.seed, sched, salvage),
         None => World::with_scheduler(cfg.seed, sched),
     };
-    let (outcome, world) = run_scenario_core(cfg, world, pool.geometry.as_ref());
-    pool.salvage = Some(world.salvage());
+    let (outcome, world) = run_scenario_core(cfg, world, pool.geometry());
+    pool.bank_salvage(world.salvage());
     outcome
+}
+
+/// Agent ids and link handles recorded while building a scenario, so the
+/// outcome can be extracted later from whichever engine ran the world —
+/// solo [`World::run_until`] or a multiplexed [`MegaEngine`] slot.
+pub(crate) struct ScenarioHandles {
+    qa_sink: AgentId,
+    qa_src: AgentId,
+    rap_sinks: Vec<AgentId>,
+    tcp_sinks: Vec<AgentId>,
+    injector: Option<AgentId>,
+    monitor: AgentId,
+    bottleneck: LinkId,
+}
+
+/// Read-only access to a finished session's state, abstracting over a
+/// solo [`World`] and a [`MegaSessionView`] into the megasession table.
+/// Both impls delegate to identically-shaped inherent methods, so
+/// extraction code is byte-for-byte the same on either path.
+pub(crate) trait OutcomeSource {
+    /// Downcast the agent at `id`, if present and of type `T`.
+    fn agent<T: 'static>(&self, id: AgentId) -> Option<&T>;
+    /// Counters of link `link`.
+    fn link_stats(&self, link: LinkId) -> LinkStats;
+    /// Events dispatched for this session.
+    fn events_processed(&self) -> u64;
+}
+
+impl OutcomeSource for World {
+    fn agent<T: 'static>(&self, id: AgentId) -> Option<&T> {
+        World::agent(self, id)
+    }
+    fn link_stats(&self, link: LinkId) -> LinkStats {
+        World::link_stats(self, link)
+    }
+    fn events_processed(&self) -> u64 {
+        World::events_processed(self)
+    }
+}
+
+impl OutcomeSource for MegaSessionView<'_> {
+    fn agent<T: 'static>(&self, id: AgentId) -> Option<&T> {
+        MegaSessionView::agent(self, id)
+    }
+    fn link_stats(&self, link: LinkId) -> LinkStats {
+        MegaSessionView::link_stats(self, link)
+    }
+    fn events_processed(&self) -> u64 {
+        MegaSessionView::events_processed(self)
+    }
 }
 
 /// Shared scenario body: populate `world` with the dumbbell and agents,
@@ -225,6 +331,22 @@ fn run_scenario_core(
     world: World,
     geometry: Option<&laqa_core::SharedGeometryCache>,
 ) -> (ScenarioOutcome, World) {
+    let (mut world, handles) = build_scenario(cfg, world, geometry);
+    world.run_until(cfg.duration);
+    let outcome = extract_outcome(cfg, &world, &handles);
+    (outcome, world)
+}
+
+/// Populate `world` with the scenario's dumbbell and agents without
+/// running it; the returned [`ScenarioHandles`] lets [`extract_outcome`]
+/// find everything afterward. Construction order — and therefore every
+/// agent id, link id and RNG draw — is identical to what the monolithic
+/// scenario body always did, so trajectories stay bit-identical.
+pub(crate) fn build_scenario(
+    cfg: &ScenarioConfig,
+    world: World,
+    geometry: Option<&laqa_core::SharedGeometryCache>,
+) -> (World, ScenarioHandles) {
     let mut d = Dumbbell::with_world(cfg.dumbbell, world);
     let pkt = cfg.rap.packet_size as u32;
     // Deterministic per-seed jitter for flow start times (phase effects in
@@ -368,23 +490,44 @@ fn run_scenario_core(
         vec![bottleneck],
         cfg.tick_dt * 4.0,
     )));
-    let mut world = d.world;
-    world.run_until(cfg.duration);
+    (
+        d.world,
+        ScenarioHandles {
+            qa_sink: qa_sink_id,
+            qa_src: qa_src_id,
+            rap_sinks,
+            tcp_sinks,
+            injector: injector_id,
+            monitor: monitor_id,
+            bottleneck,
+        },
+    )
+}
 
-    let rap_throughput: Vec<f64> = rap_sinks
+/// Collect a [`ScenarioOutcome`] from a finished session, whichever
+/// engine ran it (see [`OutcomeSource`]).
+pub(crate) fn extract_outcome<S: OutcomeSource>(
+    cfg: &ScenarioConfig,
+    world: &S,
+    handles: &ScenarioHandles,
+) -> ScenarioOutcome {
+    let pkt = cfg.rap.packet_size as u32;
+    let rap_throughput: Vec<f64> = handles
+        .rap_sinks
         .iter()
         .map(|&s| world.agent::<RapSinkAgent>(s).unwrap().bytes_received as f64 / cfg.duration)
         .collect();
-    let tcp_goodput: Vec<f64> = tcp_sinks
+    let tcp_goodput: Vec<f64> = handles
+        .tcp_sinks
         .iter()
         .map(|&s| {
             world.agent::<TcpSinkAgent>(s).unwrap().delivered as f64 * pkt as f64 / cfg.duration
         })
         .collect();
 
-    let bottleneck_stats = world.link_stats(bottleneck);
+    let bottleneck_stats = world.link_stats(handles.bottleneck);
     let (rx_buffers, rx_underflows, rx_base_underflows, base_starved_bytes, discarded_bytes) = {
-        let sink: &QaSinkAgent = world.agent(qa_sink_id).unwrap();
+        let sink: &QaSinkAgent = world.agent(handles.qa_sink).unwrap();
         let stats = sink.receiver.stats();
         let base = stats.underflows.first().copied().unwrap_or(0);
         let starved = stats.starved.first().copied().unwrap_or(0.0);
@@ -397,17 +540,18 @@ fn run_scenario_core(
             discarded,
         )
     };
-    let fault_stats = injector_id
+    let fault_stats = handles
+        .injector
         .and_then(|id| world.agent::<FaultInjector>(id))
         .map(|f| f.stats)
         .unwrap_or_default();
     let queue_trace = world
-        .agent::<QueueMonitor>(monitor_id)
+        .agent::<QueueMonitor>(handles.monitor)
         .map(|m| m.series[0].clone())
         .unwrap_or_default();
     let events_processed = world.events_processed();
-    let src: &QaSourceAgent = world.agent(qa_src_id).unwrap();
-    let outcome = ScenarioOutcome {
+    let src: &QaSourceAgent = world.agent(handles.qa_src).unwrap();
+    ScenarioOutcome {
         traces: src.traces.clone(),
         metrics: src.qa().metrics().clone(),
         rx_buffers,
@@ -423,8 +567,7 @@ fn run_scenario_core(
         fault_stats,
         base_starved_bytes,
         discarded_bytes,
-    };
-    (outcome, world)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,149 @@
+//! Differential replay: the megasession engine must be observationally
+//! indistinguishable from per-world runs.
+//!
+//! Every test runs the same workloads once through isolated `World`s and
+//! once multiplexed on a shared [`laqa_sim::MegaEngine`] (via the
+//! `run_scenarios_mega*` helpers or the campaign mega executor) and
+//! requires bit-identical per-session trace fingerprints. The per-world
+//! path is the oracle — it is the original engine kept verbatim — so any
+//! divergence is a multiplexing bug (cross-session state bleed, event
+//! misordering, RNG stream sharing), not a tolerance question. Covered
+//! surface: the goldens' scenario configs (T1/T2 across `K_max`), the
+//! fault suite across intensities, staggered global start times, and the
+//! threaded campaign grid under every combination of scheduler kind,
+//! warm/cold pools and steal-chunk size.
+
+use laqa_sim::campaign::{run_campaign_opts, CampaignOptions, CampaignSpec, TestKind};
+use laqa_sim::faults::FaultPlan;
+use laqa_sim::{
+    hash_outcome, run_scenario_with, run_scenarios_mega, run_scenarios_mega_staggered,
+    ScenarioConfig, SchedulerKind,
+};
+
+/// Run every config isolated and all of them multiplexed on one engine
+/// (under both scheduler kinds) and assert identical outcome hashes
+/// session by session.
+fn assert_mega_agrees(cfgs: &[ScenarioConfig], what: &str) {
+    for kind in SchedulerKind::ALL {
+        let mega = run_scenarios_mega(cfgs, kind);
+        assert_eq!(mega.len(), cfgs.len());
+        for (i, (cfg, out)) in cfgs.iter().zip(&mega).enumerate() {
+            let solo = run_scenario_with(cfg, kind);
+            assert_eq!(
+                hash_outcome(&solo),
+                hash_outcome(out),
+                "{what} session {i} under {}: mega trace diverged from per-world oracle",
+                kind.label()
+            );
+            assert_eq!(
+                solo.events_processed, out.events_processed,
+                "{what} session {i} under {}: event counts diverged",
+                kind.label()
+            );
+            assert_eq!(solo.fault_stats, out.fault_stats);
+        }
+    }
+}
+
+#[test]
+fn goldens_scenarios_agree_with_per_world_runs() {
+    // The scenario configs underlying the repo's golden traces — T1 across
+    // the K_max values the figures sweep plus T2 with its CBR burst — all
+    // multiplexed into ONE engine at once, so heterogeneous sessions
+    // interleave on the shared queue.
+    let cfgs = vec![
+        ScenarioConfig::t1(1, 10.0, 7),
+        ScenarioConfig::t1(2, 10.0, 7),
+        ScenarioConfig::t1(4, 10.0, 7),
+        ScenarioConfig::t2(2, 12.0, 21),
+    ];
+    assert_mega_agrees(&cfgs, "goldens");
+}
+
+#[test]
+fn fault_suite_agrees_with_per_world_runs_across_intensities() {
+    // Faults exercise paths a clean run never touches: cancels from
+    // link-down flushes, same-tick cascades from burst loss, long-horizon
+    // churn timers. Mixing intensities in one engine also proves the
+    // injectors' RNG streams stay private to their sessions.
+    let cfgs: Vec<ScenarioConfig> = [0.0, 0.5, 1.0]
+        .iter()
+        .map(|&intensity| {
+            let mut cfg = ScenarioConfig::t1(2, 12.0, 7);
+            cfg.faults = FaultPlan::suite(intensity);
+            cfg
+        })
+        .collect();
+    assert_mega_agrees(&cfgs, "fault suite");
+}
+
+#[test]
+fn staggered_starts_do_not_change_any_session() {
+    // Sessions running at global offsets compute in local time: shifting
+    // WHEN a session runs must not shift WHAT it computes, even while
+    // other sessions' events interleave with it at every offset.
+    let cfgs = vec![
+        (ScenarioConfig::t1(2, 8.0, 7), 0.0),
+        (ScenarioConfig::t1(2, 8.0, 21), 0.35),
+        (ScenarioConfig::t2(2, 9.0, 7), 1.2),
+    ];
+    for kind in SchedulerKind::ALL {
+        let staggered = run_scenarios_mega_staggered(&cfgs, kind);
+        for (i, ((cfg, offset), out)) in cfgs.iter().zip(&staggered).enumerate() {
+            let solo = run_scenario_with(cfg, kind);
+            assert_eq!(
+                hash_outcome(&solo),
+                hash_outcome(out),
+                "session {i} at offset {offset} under {} diverged",
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn campaign_smoke_grid_agrees_across_executors() {
+    // The full cross product: {per-cell, mega} × {cold, warm} ×
+    // {1, 8} threads × both schedulers × steal-chunk sizes must give one
+    // fingerprint. Chunk 1 degenerates to one-session-at-a-time batches
+    // (maximum engine reuse churn); chunk 32 swallows the whole grid into
+    // a single batch per worker.
+    let spec = CampaignSpec::grid(&[TestKind::T1, TestKind::T2], &[2, 4], &[7, 21], 6.0);
+    let reference = run_campaign_opts(&spec, CampaignOptions::new(1).cold());
+    let fp = reference.fingerprint();
+    for kind in SchedulerKind::ALL {
+        for threads in [1, 8] {
+            for warm in [false, true] {
+                for chunk in [1, 5, 32] {
+                    let mut opts = CampaignOptions::new(threads)
+                        .sched(kind)
+                        .mega()
+                        .mega_chunk(chunk);
+                    if !warm {
+                        opts = opts.cold();
+                    }
+                    let got = run_campaign_opts(&spec, opts);
+                    assert_eq!(
+                        got.fingerprint(),
+                        fp,
+                        "mega campaign diverged under {} threads={threads} warm={warm} chunk={chunk}",
+                        kind.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn faulted_campaign_mega_matches_per_cell_cell_by_cell() {
+    let spec = CampaignSpec::faults_grid(&[TestKind::T1], &[2], &[0.0, 1.0], &[7], 12.0);
+    let per_cell = run_campaign_opts(&spec, CampaignOptions::new(2));
+    let mega = run_campaign_opts(&spec, CampaignOptions::new(2).mega());
+    assert_eq!(per_cell.fingerprint(), mega.fingerprint());
+    for (a, b) in per_cell.sessions.iter().zip(&mega.sessions) {
+        assert_eq!(a.trace_hash, b.trace_hash, "cell {} diverged", a.spec.label());
+        assert_eq!(a.fault_transitions, b.fault_transitions);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+}

@@ -10,19 +10,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/8 build (release) =="
+echo "== 1/9 build (release) =="
 cargo build --release
 
-echo "== 2/8 tests =="
+echo "== 2/9 tests =="
 cargo test -q
 
-echo "== 3/8 clippy (deny warnings) =="
+echo "== 3/9 clippy (deny warnings) =="
 cargo clippy --all-targets -- -D warnings
 
-echo "== 4/8 campaign smoke sweep =="
+echo "== 4/9 campaign smoke sweep =="
 cargo run --release -p laqa-bench --bin campaign -- --smoke
 
-echo "== 5/8 observability inertness (fingerprints with --obs on vs off) =="
+echo "== 5/9 observability inertness (fingerprints with --obs on vs off) =="
 # The smoke sweep prints one fingerprint line per replay check; enabling
 # the laqa-obs instrumentation must not change a single bit of any of
 # them (see crates/sim/tests/obs_inertness.rs for the in-tree half).
@@ -41,7 +41,7 @@ fi
 echo "fingerprints identical with obs on/off: $fp_off"
 cargo run --release -p laqa-bench --bin laqa -- obs-report --dir "$obs_dir"
 
-echo "== 6/8 fault-injection smoke (seed-replay fingerprint) =="
+echo "== 6/9 fault-injection smoke (seed-replay fingerprint) =="
 # The fault sweep must be a pure function of its seeds: two consecutive
 # runs of the same grid (which also each self-check across thread
 # counts) must print the same campaign fingerprint.
@@ -57,7 +57,7 @@ if [ -z "$fault_fp_a" ] || [ "$fault_fp_a" != "$fault_fp_b" ]; then
 fi
 echo "fault campaign replays bit-identically: $fault_fp_a"
 
-echo "== 7/8 scheduler differential harness + bench smoke =="
+echo "== 7/9 scheduler differential harness + bench smoke =="
 # The timer wheel must replay every workload bit-identically to the
 # BinaryHeap reference oracle (crates/sim/tests/sched_differential.rs),
 # and the perf harness re-checks fingerprint agreement while measuring.
@@ -68,7 +68,7 @@ cargo test -q --release -p laqa-sim --test sched_differential
 cargo run --release -p laqa-bench --bin sched -- --smoke \
   --out target/bench-sched-smoke.json
 
-echo "== 8/8 warm-world campaign executor bench + regression gate =="
+echo "== 8/9 warm-world campaign executor bench + regression gate =="
 # Sweeps {cold,warm} x {heap,wheel} x {1,2,8,16} threads over one grid and
 # exits non-zero unless every cell reproduces the same fingerprint bit for
 # bit (including the streaming run_campaign_fold cross-check), or if
@@ -76,5 +76,16 @@ echo "== 8/8 warm-world campaign executor bench + regression gate =="
 # --out is redirected so the smoke run never clobbers BENCH_campaign.json.
 cargo run --release -p laqa-bench --bin campaign_bench -- --smoke \
   --check BENCH_campaign.json --out target/bench-campaign-smoke.json
+
+echo "== 9/9 megasession differential harness + mega bench gate =="
+# Every scenario multiplexed on the shared-wheel MegaEngine must replay
+# bit-identically to its isolated per-world run
+# (crates/sim/tests/mega_differential.rs), and the campaign bench re-runs
+# the executor sweep with mega cells: fingerprint divergence between the
+# mega and per-cell executors, or a >20% mega events/sec regression
+# against the checked-in baseline, fails the step.
+cargo test -q --release -p laqa-sim --test mega_differential
+cargo run --release -p laqa-bench --bin campaign_bench -- --smoke --mega \
+  --check BENCH_campaign.json --out target/bench-campaign-mega-smoke.json
 
 echo "verify OK"
