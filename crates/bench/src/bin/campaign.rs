@@ -15,19 +15,27 @@
 //! campaign --faults --smoke  # seconds-long fault sweep + replay check
 //! options: --threads N  --duration S  --kmax 2,3,4  --seeds 7,21  --out DIR
 //!          --intensity 0,0.5,1   # fault-suite intensities (with --faults)
-//!          --obs DIR      # enable laqa-obs and export the snapshot to DIR
+//!          --obs DIR      # enable laqa-obs + the flight recorder and
+//!                         # export snapshot + flight trace to DIR
+//!          --mega         # run the sweep on the megasession executor
+//!                         # (fingerprints identical to per-cell)
 //!          --sched heap|wheel    # event-scheduler implementation (default wheel;
 //!                                # fingerprints are identical either way)
 //! ```
 //!
-//! `--obs` turns the workspace-wide instrumentation on for the run and
-//! writes `metrics.json` / `spans.json` / `events.json` to DIR afterwards
-//! (render with `laqa obs-report --dir DIR`). Observability is inert:
-//! fingerprints are bit-identical with and without it.
+//! `--obs` turns the workspace-wide instrumentation (and the flight
+//! recorder) on for the run and writes `metrics.json` / `spans.json` /
+//! `events.json` / `flight.json` to DIR afterwards (render with
+//! `laqa obs-report --dir DIR`, convert the flight trace with
+//! `laqa obs-trace --dir DIR`). Observability is inert: fingerprints are
+//! bit-identical with and without it.
 
 use laqa_bench::cli::Args;
 use laqa_bench::outdir;
-use laqa_sim::{run_campaign, CampaignResult, CampaignSpec, SessionResult, TestKind};
+use laqa_sim::{
+    run_campaign, run_campaign_opts, CampaignOptions, CampaignResult, CampaignSpec, SessionResult,
+    TestKind,
+};
 use laqa_trace::{pct, Table};
 
 fn main() {
@@ -65,6 +73,7 @@ fn main() {
     let obs_dir = args.options.get("obs").map(std::path::PathBuf::from);
     if obs_dir.is_some() {
         laqa_obs::set_enabled(true);
+        laqa_obs::flight::set_enabled(true);
     }
     let result = if args.flag("faults") {
         cmd_faults(&args)
@@ -85,9 +94,11 @@ fn main() {
     }
 }
 
-/// Write the accumulated obs snapshot to `dir` (metrics/spans/events JSON).
+/// Write the accumulated obs snapshot to `dir` (metrics/spans/events
+/// JSON) plus the flight-recorder trace (`flight.json`).
 fn export_obs(dir: &std::path::Path) -> Result<(), AnyError> {
     laqa_obs::set_enabled(false);
+    laqa_obs::flight::set_enabled(false);
     let snap = laqa_obs::snapshot();
     snap.write_dir(dir)?;
     println!(
@@ -99,10 +110,32 @@ fn export_obs(dir: &std::path::Path) -> Result<(), AnyError> {
         snap.events.len(),
         dir.display(),
     );
+    let flight = laqa_obs::flight::snapshot_flight();
+    if !flight.records.is_empty() {
+        std::fs::write(dir.join("flight.json"), flight.to_json().to_compact())?;
+        println!(
+            "obs: wrote flight.json ({} records on {} tracks, {} evicted) — \
+             convert with `laqa obs-trace --dir {}`",
+            flight.records.len(),
+            flight.session_ids().len(),
+            flight.evicted,
+            dir.display(),
+        );
+    }
     Ok(())
 }
 
 type AnyError = Box<dyn std::error::Error>;
+
+/// Run the sweep on the executor `--mega` selects (per-cell warm by
+/// default, megasession with `--mega`) using the ambient scheduler.
+fn run_sweep(args: &Args, spec: &CampaignSpec, threads: usize) -> CampaignResult {
+    let mut opts = CampaignOptions::new(threads);
+    if args.flag("mega") {
+        opts = opts.mega();
+    }
+    run_campaign_opts(spec, opts)
+}
 
 fn default_threads() -> usize {
     std::thread::available_parallelism()
@@ -154,7 +187,7 @@ fn check_replay(spec: &CampaignSpec, reference: &CampaignResult, threads: usize)
 fn cmd_smoke(args: &Args) -> Result<(), AnyError> {
     let duration: f64 = args.get("duration", 8.0)?;
     let spec = CampaignSpec::grid(&[TestKind::T1], &[2, 4], &[7, 21], duration);
-    let result = run_campaign(&spec, 2);
+    let result = run_sweep(args, &spec, 2);
     println!("{}", result.table());
     check_replay(&spec, &result, 1)?;
     println!("smoke ok: {} sessions in {:.2}s", spec.len(), result.wall_secs);
@@ -184,7 +217,7 @@ fn cmd_faults(args: &Args) -> Result<(), AnyError> {
          intensities {intensities:?}",
         spec.len()
     );
-    let result = run_campaign(&spec, threads);
+    let result = run_sweep(args, &spec, threads);
     println!("{}", result.table());
 
     let mut tbl = Table::new(
@@ -291,7 +324,7 @@ fn cmd_tables(args: &Args) -> Result<(), AnyError> {
         "running {} sessions ({duration:.0}s simulated each) on {threads} threads...",
         spec.len()
     );
-    let result = run_campaign(&spec, threads);
+    let result = run_sweep(args, &spec, threads);
     println!("{}", result.table());
 
     let headers: Vec<String> = k_values.iter().map(|k| format!("K_max={k}")).collect();

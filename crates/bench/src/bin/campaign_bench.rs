@@ -121,6 +121,48 @@ fn measure(spec: &CampaignSpec, opts: CampaignOptions, mode: &'static str, reps:
     best.expect("reps >= 1")
 }
 
+/// One extra instrumented rep with laqa-obs enabled, run outside the
+/// timed best-of reps: proves the instrumentation is inert (fingerprint
+/// unchanged vs. the timed cells) and harvests the latency histograms the
+/// hot paths feed — scheduler dispatch time, timer-wheel slack,
+/// per-session campaign wall time, and the mega executor's batch shape.
+fn quantile_probe(
+    spec: &CampaignSpec,
+    threads: usize,
+    mega: bool,
+    fp0: u64,
+) -> Result<Vec<laqa_obs::HistogramSnapshot>, AnyError> {
+    laqa_obs::reset();
+    laqa_obs::set_enabled(true);
+    let warm = run_campaign_opts(spec, CampaignOptions::new(threads));
+    if warm.fingerprint() != fp0 {
+        return Err(format!(
+            "OBS NOT INERT: instrumented per-cell fingerprint {:016x} != {fp0:016x}",
+            warm.fingerprint()
+        )
+        .into());
+    }
+    if mega {
+        let mg = run_campaign_opts(spec, CampaignOptions::new(threads).mega());
+        if mg.fingerprint() != fp0 {
+            return Err(format!(
+                "OBS NOT INERT: instrumented mega fingerprint {:016x} != {fp0:016x}",
+                mg.fingerprint()
+            )
+            .into());
+        }
+    }
+    laqa_obs::set_enabled(false);
+    let snap = laqa_obs::snapshot();
+    laqa_obs::reset();
+    Ok(snap.histograms)
+}
+
+/// Look up one quantile of a named histogram from the probe's snapshot.
+fn probe_quantile(hists: &[laqa_obs::HistogramSnapshot], name: &str, q: f64) -> Option<f64> {
+    hists.iter().find(|h| h.name == name)?.quantile(q)
+}
+
 /// Steady-state probe: allocations charged to a warm pool's successive
 /// sessions. The first pays world construction; the second still pays the
 /// geometry memo's two-touch admission clones (every key now on its
@@ -233,6 +275,10 @@ fn run(args: &Args) -> Result<(), AnyError> {
 
     let (cold_first, warm_second, warm_third) = steady_state_allocs(duration);
 
+    eprintln!("measuring instrumented quantile rep (obs enabled, untimed)...");
+    let probe_threads = *thread_counts.iter().max().unwrap_or(&1);
+    let hists = quantile_probe(&spec, probe_threads, mega, fp0)?;
+
     // 64-session single-thread probe: the per-cell executor vs one
     // MegaEngine multiplexing the whole grid in a single chunk. Reported
     // as an honest ratio — the per-cell path is already warm-pooled and
@@ -334,6 +380,38 @@ fn run(args: &Args) -> Result<(), AnyError> {
          admission) {warm_second}, third (steady) {warm_third}"
     );
 
+    // Quantile table from the instrumented rep. Dispatch/slack/event are
+    // nanoseconds, session wall is milliseconds, batch size is events.
+    let probe_names = [
+        "sched.dispatch_ns",
+        "sched.wheel_slack_ns",
+        "campaign.session_wall_ms",
+        "mega.session_event_ns",
+        "mega.batch_size",
+    ];
+    println!(
+        "{:<26} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "latency histogram", "count", "p50", "p90", "p99", "p999"
+    );
+    for name in probe_names {
+        let Some(h) = hists.iter().find(|h| h.name == name) else {
+            continue;
+        };
+        let fmt = |q: f64| match h.quantile(q) {
+            Some(v) => format!("{v:.1}"),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:<26} {:>10} {:>12} {:>12} {:>12} {:>12}",
+            h.name,
+            h.count,
+            fmt(0.5),
+            fmt(0.9),
+            fmt(0.99),
+            fmt(0.999)
+        );
+    }
+
     if let Some(path) = args.options.get("check") {
         let baseline = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
@@ -424,6 +502,28 @@ fn run(args: &Args) -> Result<(), AnyError> {
         "  \"steady_state_allocs\": {{\"first_session\": {cold_first}, \
          \"second_session_warm\": {warm_second}, \"third_session_steady\": {warm_third}}},\n"
     ));
+    // p99 latencies from the instrumented rep — tracked for trend-spotting
+    // only, never gated: they are wall-clock noise on shared hardware.
+    {
+        let q = |name: &str| probe_quantile(&hists, name, 0.99);
+        let mut fields: Vec<String> = Vec::new();
+        let mut push = |key: &str, v: Option<f64>| {
+            if let Some(v) = v {
+                fields.push(format!("\"{key}\": {v:.1}"));
+            }
+        };
+        push("sched_dispatch_p99_ns", q("sched.dispatch_ns"));
+        push("sched_wheel_slack_p99_ns", q("sched.wheel_slack_ns"));
+        push("campaign_session_wall_p99_ms", q("campaign.session_wall_ms"));
+        push("mega_session_event_p99_ns", q("mega.session_event_ns"));
+        push("mega_batch_size_p99", q("mega.batch_size"));
+        if !fields.is_empty() {
+            json.push_str(&format!(
+                "  \"latency_p99\": {{{}}},\n",
+                fields.join(", ")
+            ));
+        }
+    }
     json.push_str(&format!("  \"fingerprint\": \"{fp0:016x}\",\n"));
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {

@@ -7,6 +7,7 @@
 //! laqa bands  [--deficit D] [--layers N] [--c C] [--slope S]
 //!             [--exp-base B --exp-factor F]
 //! laqa obs-report [--dir DIR]
+//! laqa obs-trace  [--dir DIR] [--out FILE]
 //! ```
 
 use laqa_bench::cli::Args;
@@ -31,6 +32,7 @@ fn main() {
         "states" => cmd_states(&args),
         "bands" => cmd_bands(&args),
         "obs-report" => cmd_obs_report(&args),
+        "obs-trace" => cmd_obs_trace(&args),
         "help" | "--help" => {
             usage();
             Ok(())
@@ -56,6 +58,8 @@ subcommands:
   states      print the monotone buffer-state path for an operating point
   bands       print the optimal per-layer buffer bands for a deficit
   obs-report  render an observability snapshot written by campaign --obs DIR
+  obs-trace   convert a flight-recorder trace (flight.json in --obs DIR)
+              to Chrome trace-event JSON for Perfetto / chrome://tracing
 
 the real-socket streaming session lives in the standalone laqa-net
 crate (registry deps): cargo run --manifest-path crates/net/Cargo.toml
@@ -125,6 +129,53 @@ fn cmd_obs_report(args: &Args) -> Result<(), AnyError> {
     print!("{}", snap.render());
     if snap.is_empty() {
         println!("(snapshot is empty — was the run executed with --obs and obs enabled?)");
+    }
+    Ok(())
+}
+
+/// Convert the `flight.json` flight-recorder trace written by
+/// `campaign --obs DIR` into Chrome trace-event JSON, then re-parse and
+/// validate the written file (span balance, one non-empty track per
+/// session) so a malformed or empty export fails loudly — this is the
+/// gate `verify.sh` step 10 runs.
+fn cmd_obs_trace(args: &Args) -> Result<(), AnyError> {
+    let dir: String = args.get("dir", "target/obs".to_string())?;
+    let out: String = args.get("out", format!("{dir}/trace.json"))?;
+    let flight_path = std::path::Path::new(&dir).join("flight.json");
+    let text = std::fs::read_to_string(&flight_path).map_err(|e| {
+        format!(
+            "reading {}: {e} (was the run executed with --obs so the flight recorder exported?)",
+            flight_path.display()
+        )
+    })?;
+    let raw = laqa_trace::parse_json(&text).map_err(|e| format!("parsing flight.json: {e}"))?;
+    let trace = laqa_obs::FlightTrace::from_json(&raw)?;
+    let chrome = trace.to_chrome();
+    std::fs::write(&out, chrome.to_compact()).map_err(|e| format!("writing {out}: {e}"))?;
+
+    // Validate what actually landed on disk, end to end.
+    let back = laqa_trace::parse_json(&std::fs::read_to_string(&out)?)
+        .map_err(|e| format!("re-parsing {out}: {e}"))?;
+    let stats = laqa_trace::validate_chrome(&back).map_err(|e| format!("invalid export: {e}"))?;
+
+    let mut tbl = Table::new("trace tracks", &["track", "events"]);
+    for t in stats.tracks.values() {
+        tbl.row(vec![t.name.clone(), t.events.to_string()]);
+    }
+    println!("{}", tbl.render());
+    println!(
+        "wrote {out}: {} events ({} spans, {} instants, {} counter samples) on {} tracks, {} records evicted",
+        stats.events,
+        stats.spans,
+        stats.instants,
+        stats.counters,
+        stats.tracks.len(),
+        trace.evicted,
+    );
+    if stats.session_tracks() == 0 {
+        return Err("export has no non-empty session track — \
+                    was the flight recorder enabled during the run?"
+            .into());
     }
     Ok(())
 }

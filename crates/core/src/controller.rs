@@ -220,6 +220,9 @@ impl QaController {
             0.0
         };
         laqa_obs::counter!("qa.backoffs").inc();
+        if laqa_obs::flight::enabled() {
+            laqa_obs::flight::instant("qa.backoff", now, post_rate);
+        }
         let phase_before = self.phase;
         self.peak_rate = self.last_rate.max(post_rate);
         self.drain_seq = None; // floors must be re-derived at the new peak
@@ -305,6 +308,9 @@ impl QaController {
                         now,
                         "rate" => rate,
                     );
+                    if laqa_obs::flight::enabled() {
+                        laqa_obs::flight::instant("qa.base_stall", now, rate);
+                    }
                 } else {
                     top_underflow = true;
                 }
@@ -468,6 +474,12 @@ impl QaController {
         if self.phase == Phase::Filling {
             self.peak_rate = self.peak_rate.max(rate);
         }
+        if laqa_obs::flight::enabled() {
+            // Buffer-level series: the paper's fill/drain trajectories,
+            // one sample per allocation period.
+            laqa_obs::flight::sample("qa.buf_base", now, self.bufs[0]);
+            laqa_obs::flight::sample("qa.buf_total", now, self.total_buffer());
+        }
         TickReport {
             phase: self.phase,
             n_active: self.n_active,
@@ -536,6 +548,11 @@ impl QaController {
     fn note_phase_transition(&mut self, now: f64, before: Phase) {
         if before != self.phase {
             laqa_obs::counter!("qa.phase_transitions").inc();
+            if laqa_obs::flight::enabled() {
+                // Opens the new QA-state span on this session's timeline
+                // track (the exporter closes the previous one here).
+                laqa_obs::flight::state(self.phase.label(), now);
+            }
             laqa_obs::event!(
                 laqa_obs::Level::Info,
                 "qa.phase",
@@ -558,6 +575,9 @@ impl QaController {
             n_active: self.n_active,
         });
         laqa_obs::counter!("qa.layer_adds").inc();
+        if laqa_obs::flight::enabled() {
+            laqa_obs::flight::instant("qa.layer_add", now, self.n_active as f64);
+        }
         laqa_obs::event!(
             laqa_obs::Level::Info,
             "qa.layer_add",
@@ -592,6 +612,9 @@ impl QaController {
             reason,
         });
         laqa_obs::counter!("qa.layer_drops").inc();
+        if laqa_obs::flight::enabled() {
+            laqa_obs::flight::instant("qa.layer_drop", now, layer as f64);
+        }
         match reason {
             DropReason::InsufficientTotalBuffer => {
                 laqa_obs::counter!("qa.layer_drops.insufficient_total_buffer").inc()

@@ -16,8 +16,24 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Events retained per thread before the oldest are evicted.
+/// Default events retained per thread before the oldest are evicted.
+/// Override with the `LAQA_OBS_RING` environment variable (see
+/// [`ring_capacity`]).
 pub const RING_CAPACITY: usize = 4096;
+
+static CAPACITY: OnceLock<usize> = OnceLock::new();
+
+fn parse_capacity(raw: Option<&str>) -> usize {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|v| v.max(16))
+        .unwrap_or(RING_CAPACITY)
+}
+
+/// Per-thread ring capacity: the `LAQA_OBS_RING` environment variable
+/// (read once, clamped to at least 16), else [`RING_CAPACITY`].
+pub fn ring_capacity() -> usize {
+    *CAPACITY.get_or_init(|| parse_capacity(std::env::var("LAQA_OBS_RING").ok().as_deref()))
+}
 
 /// Event severity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -134,7 +150,7 @@ struct Ring {
 impl Ring {
     fn new() -> Self {
         Ring {
-            events: VecDeque::with_capacity(RING_CAPACITY),
+            events: VecDeque::with_capacity(ring_capacity().min(RING_CAPACITY)),
             next_seq: 0,
             evicted: 0,
         }
@@ -172,7 +188,7 @@ pub fn log_event(level: Level, target: &'static str, time: f64, fields: Vec<(&'s
         return;
     }
     with_thread_ring(|ring| {
-        if ring.events.len() >= RING_CAPACITY {
+        if ring.events.len() >= ring_capacity() {
             ring.events.pop_front();
             ring.evicted += 1;
         }
@@ -190,7 +206,8 @@ pub fn log_event(level: Level, target: &'static str, time: f64, fields: Vec<(&'s
 
 /// Merge every thread's ring into one deterministically ordered log.
 /// Returns `(events, total_evicted)`; eviction counts make silent
-/// truncation visible in reports.
+/// truncation visible in reports (snapshots surface the total as the
+/// `obs.ring_evicted` counter).
 pub(crate) fn merged() -> (Vec<LogEvent>, u64) {
     let mut out = Vec::new();
     let mut evicted = 0;
@@ -262,15 +279,23 @@ mod tests {
         let _g = TEST_LOCK.lock().unwrap();
         crate::reset();
         crate::set_enabled(true);
-        for i in 0..(RING_CAPACITY + 10) {
+        for i in 0..(ring_capacity() + 10) {
             event!(Level::Debug, "ev.test.flood", 0.0, "i" => i);
         }
         crate::set_enabled(false);
         let (events, evicted) = merged();
-        assert_eq!(events.len(), RING_CAPACITY);
+        assert_eq!(events.len(), ring_capacity());
         assert_eq!(evicted, 10);
         // Oldest were evicted: the first surviving seq is 10.
         assert_eq!(events.first().unwrap().seq, 10);
+    }
+
+    #[test]
+    fn capacity_parses_with_floor_and_default() {
+        assert_eq!(parse_capacity(None), RING_CAPACITY);
+        assert_eq!(parse_capacity(Some("8192")), 8192);
+        assert_eq!(parse_capacity(Some("1")), 16);
+        assert_eq!(parse_capacity(Some("not-a-number")), RING_CAPACITY);
     }
 
     #[test]

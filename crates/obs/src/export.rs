@@ -80,10 +80,23 @@ pub struct Snapshot {
 
 impl Snapshot {
     /// Freeze the current state of every registry.
+    ///
+    /// Ring truncation is made visible rather than silent: nonzero
+    /// eviction totals surface as the synthetic `obs.ring_evicted`
+    /// (event rings) and `obs.flight_evicted` (flight-recorder rings)
+    /// counters.
     pub fn collect() -> Snapshot {
         let (raw_events, evicted) = events::merged();
+        let mut counters = registry::snapshot_counters();
+        if evicted > 0 {
+            counters.insert("obs.ring_evicted".to_string(), evicted);
+        }
+        let flight_evicted = crate::flight::total_evicted();
+        if flight_evicted > 0 {
+            counters.insert("obs.flight_evicted".to_string(), flight_evicted);
+        }
         Snapshot {
-            counters: registry::snapshot_counters(),
+            counters,
             gauges: registry::snapshot_gauges(),
             histograms: registry::snapshot_histograms(),
             spans: span::snapshot_spans(),
@@ -363,23 +376,22 @@ impl Snapshot {
         }
 
         if !self.histograms.is_empty() {
-            let mut hists = Table::new("Histograms", &["histogram", "count", "mean", "buckets"]);
+            let fmt_q = |h: &HistogramSnapshot, q: f64| {
+                h.quantile(q)
+                    .map_or_else(|| "-".into(), |v| format!("{v:.4}"))
+            };
+            let mut hists = Table::new(
+                "Histograms",
+                &["histogram", "count", "mean", "p50", "p90", "p99"],
+            );
             for h in &self.histograms {
-                let mut buckets = String::new();
-                for (i, c) in h.counts.iter().enumerate() {
-                    if i > 0 {
-                        buckets.push(' ');
-                    }
-                    match h.bounds.get(i) {
-                        Some(b) => buckets.push_str(&format!("<={b}:{c}")),
-                        None => buckets.push_str(&format!("inf:{c}")),
-                    }
-                }
                 hists.row(vec![
                     h.name.clone(),
                     h.count.to_string(),
                     h.mean().map_or_else(|| "-".into(), |m| format!("{m:.4}")),
-                    buckets,
+                    fmt_q(h, 0.50),
+                    fmt_q(h, 0.90),
+                    fmt_q(h, 0.99),
                 ]);
             }
             out.push_str(&hists.render());
@@ -480,5 +492,43 @@ mod tests {
         assert!(text.contains("export.render.span"));
         assert!(text.contains("== Events (1 kept, 0 evicted) =="));
         assert!(text.contains("[warn ]"));
+    }
+
+    #[test]
+    fn render_shows_quantile_columns() {
+        let _g = TEST_LOCK.lock().unwrap();
+        crate::reset();
+        crate::set_enabled(true);
+        for v in [1.0, 2.0, 3.0, 40.0] {
+            histogram!("export.render.hist", &[2.0, 8.0, 32.0]).observe(v);
+        }
+        crate::set_enabled(false);
+        let text = crate::snapshot().render();
+        assert!(text.contains("p50"));
+        assert!(text.contains("p99"));
+        assert!(!text.contains("<=2:"));
+    }
+
+    #[test]
+    fn ring_evictions_surface_as_counter() {
+        let _g = TEST_LOCK.lock().unwrap();
+        crate::reset();
+        crate::set_enabled(true);
+        for i in 0..(crate::events::ring_capacity() + 3) {
+            crate::event!(Level::Debug, "export.evict.flood", 0.0, "i" => i);
+        }
+        crate::flight::set_enabled(true);
+        for i in 0..(crate::flight::ring_capacity() + 2) {
+            crate::flight::instant("export.evict.fl", i as f64, 0.0);
+        }
+        crate::flight::set_enabled(false);
+        crate::set_enabled(false);
+        let snap = crate::snapshot();
+        assert_eq!(snap.counter("obs.ring_evicted"), Some(3));
+        assert_eq!(snap.counter("obs.flight_evicted"), Some(2));
+        crate::reset();
+        let snap = crate::snapshot();
+        assert_eq!(snap.counter("obs.ring_evicted"), None);
+        assert_eq!(snap.counter("obs.flight_evicted"), None);
     }
 }

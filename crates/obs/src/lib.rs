@@ -14,6 +14,10 @@
 //! * a bounded **per-thread ring-buffer event log** ([`events`]) with
 //!   levels and `key=value` fields, merged deterministically by
 //!   `(sim-time, seq)` at export;
+//! * a **flight recorder** ([`flight`]) — per-session timeline traces
+//!   (QA state spans, layer add/drop and backoff instants, buffer-level
+//!   samples) behind its own enable flag, exportable as Chrome
+//!   trace-event JSON for Perfetto via `laqa obs-trace`;
 //! * **exporters** ([`export`]) that render everything through
 //!   `laqa-trace` — JSON files for `campaign --obs <dir>` and aligned
 //!   text tables for `laqa obs-report`.
@@ -51,12 +55,14 @@
 
 pub mod events;
 pub mod export;
+pub mod flight;
 pub mod registry;
 pub mod span;
 
 pub use events::{log_event, Level, LogEvent, Value};
 pub use export::Snapshot;
-pub use registry::{Counter, Gauge, Histogram};
+pub use flight::{FlightKind, FlightRecord, FlightTrace};
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, LOG_MS_BOUNDS, LOG_NS_BOUNDS};
 pub use span::{Span, SpanGuard};
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -80,12 +86,14 @@ pub fn snapshot() -> Snapshot {
     Snapshot::collect()
 }
 
-/// Zero all counters/gauges/histograms/spans and clear the event rings.
-/// Intended for tests and for isolating consecutive `--obs` exports.
+/// Zero all counters/gauges/histograms/spans and clear the event and
+/// flight-recorder rings. Intended for tests and for isolating
+/// consecutive `--obs` exports.
 pub fn reset() {
     registry::reset_metrics();
     span::reset_spans();
     events::clear();
+    flight::clear();
 }
 
 #[cfg(test)]

@@ -8,21 +8,72 @@
 //! return after a single relaxed atomic load.
 //!
 //! If two sites declare the same metric name, snapshots merge them
-//! (counters and histogram buckets sum; for gauges the last registered
-//! cell wins).
+//! (counters and histogram buckets sum; for gauges the **last written**
+//! cell wins — each `set` takes a global write stamp, so the snapshot
+//! reflects the most recent value regardless of which call site stored
+//! it or in what order the sites first registered).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Powers-of-two nanosecond ladder for latency histograms: 16 ns up to
+/// ~8.6 s (2^33 ns), 31 buckets including overflow. Wide enough for both
+/// sub-microsecond dispatch latencies and multi-second timer-wheel slack.
+pub const LOG_NS_BOUNDS: &[f64] = &[
+    16.0,
+    32.0,
+    64.0,
+    128.0,
+    256.0,
+    512.0,
+    1024.0,
+    2048.0,
+    4096.0,
+    8192.0,
+    16384.0,
+    32768.0,
+    65536.0,
+    131072.0,
+    262144.0,
+    524288.0,
+    1048576.0,
+    2097152.0,
+    4194304.0,
+    8388608.0,
+    16777216.0,
+    33554432.0,
+    67108864.0,
+    134217728.0,
+    268435456.0,
+    536870912.0,
+    1073741824.0,
+    2147483648.0,
+    4294967296.0,
+    8589934592.0,
+];
+
+/// Powers-of-two millisecond ladder for wall-time histograms: 0.25 ms up
+/// to ~65.5 s.
+pub const LOG_MS_BOUNDS: &[f64] = &[
+    0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0,
+    8192.0, 16384.0, 32768.0, 65536.0,
+];
 
 pub(crate) struct CounterCell {
     name: &'static str,
     value: AtomicU64,
 }
 
+/// Strictly increasing stamp handed to every gauge write so duplicate
+/// gauge names merge by most-recent-write, not registration order.
+static GAUGE_STAMP: AtomicU64 = AtomicU64::new(0);
+
 pub(crate) struct GaugeCell {
     name: &'static str,
     bits: AtomicU64,
+    /// Stamp of this cell's latest `set` (0 = never written).
+    stamp: AtomicU64,
 }
 
 pub(crate) struct HistogramCell {
@@ -114,6 +165,7 @@ impl Gauge {
             let cell = Arc::new(GaugeCell {
                 name: self.name,
                 bits: AtomicU64::new(0f64.to_bits()),
+                stamp: AtomicU64::new(0),
             });
             store().gauges.lock().expect("obs store").push(cell.clone());
             cell
@@ -126,7 +178,10 @@ impl Gauge {
         if !crate::enabled() {
             return;
         }
-        self.cell().bits.store(v.to_bits(), Ordering::Relaxed);
+        let cell = self.cell();
+        cell.bits.store(v.to_bits(), Ordering::Relaxed);
+        let stamp = GAUGE_STAMP.fetch_add(1, Ordering::Relaxed) + 1;
+        cell.stamp.store(stamp, Ordering::Relaxed);
     }
 
     /// Current value (reads regardless of the enabled flag).
@@ -227,6 +282,41 @@ impl HistogramSnapshot {
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum / self.count as f64)
     }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the bucket counts,
+    /// Prometheus-style: find the bucket holding the `q·count`-th
+    /// observation and interpolate linearly between its edges (the first
+    /// bucket's lower edge is 0). An estimate landing in the open-ended
+    /// overflow bucket reports that bucket's lower edge — the largest
+    /// finite bound — so tails are never extrapolated past what was
+    /// measured. `None` when the histogram is empty or `q` is out of
+    /// range.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = q * self.count as f64;
+        let mut cum = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let prev = cum;
+            cum += c as f64;
+            if cum >= target {
+                return Some(match self.bounds.get(i) {
+                    Some(&hi) => {
+                        let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                        let frac = ((target - prev) / c as f64).clamp(0.0, 1.0);
+                        lo + (hi - lo) * frac
+                    }
+                    None => self.bounds.last().copied().unwrap_or(f64::NAN),
+                });
+            }
+        }
+        // Unreachable: the cumulative count reaches `count >= target`.
+        None
+    }
 }
 
 /// Snapshot all counters (merged by name, summed).
@@ -238,16 +328,20 @@ pub(crate) fn snapshot_counters() -> BTreeMap<String, u64> {
     out
 }
 
-/// Snapshot all gauges (merged by name, last registered wins).
+/// Snapshot all gauges. Duplicate names merge by **most recent write**:
+/// the cell with the highest write stamp supplies the value (cells that
+/// were never written all carry stamp 0 and report the 0.0 default).
 pub(crate) fn snapshot_gauges() -> BTreeMap<String, f64> {
-    let mut out = BTreeMap::new();
+    let mut out: BTreeMap<String, (u64, f64)> = BTreeMap::new();
     for cell in store().gauges.lock().expect("obs store").iter() {
-        out.insert(
-            cell.name.to_string(),
-            f64::from_bits(cell.bits.load(Ordering::Relaxed)),
-        );
+        let stamp = cell.stamp.load(Ordering::Relaxed);
+        let value = f64::from_bits(cell.bits.load(Ordering::Relaxed));
+        let entry = out.entry(cell.name.to_string()).or_insert((stamp, value));
+        if stamp > entry.0 {
+            *entry = (stamp, value);
+        }
     }
-    out
+    out.into_iter().map(|(k, (_, v))| (k, v)).collect()
 }
 
 /// Snapshot all histograms (merged by name when bounds agree).
@@ -295,6 +389,7 @@ pub(crate) fn reset_metrics() {
     }
     for cell in s.gauges.lock().expect("obs store").iter() {
         cell.bits.store(0f64.to_bits(), Ordering::Relaxed);
+        cell.stamp.store(0, Ordering::Relaxed);
     }
     for cell in s.histograms.lock().expect("obs store").iter() {
         for c in &cell.counts {
@@ -394,5 +489,64 @@ mod tests {
         crate::set_enabled(false);
         let counters = super::snapshot_counters();
         assert_eq!(counters.get("registry.test.dup"), Some(&5));
+    }
+
+    #[test]
+    fn duplicate_gauge_names_merge_by_last_write_not_registration() {
+        let _g = TEST_LOCK.lock().unwrap();
+        crate::reset();
+        crate::set_enabled(true);
+        // Two call sites share one name; writes interleave. The snapshot
+        // must report the most recent write even though it landed in the
+        // FIRST-registered cell.
+        gauge!("registry.test.dupg").set(1.0);
+        gauge!("registry.test.dupg").set(2.0); // second site registers later
+        gauge!("registry.test.dupg").set(3.0); // back to the first site
+        crate::set_enabled(false);
+        let gauges = super::snapshot_gauges();
+        assert_eq!(gauges.get("registry.test.dupg"), Some(&3.0));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let snap = super::HistogramSnapshot {
+            name: "q".into(),
+            bounds: vec![10.0, 20.0, 40.0],
+            // 10 observations in (10, 20], 10 in (20, 40].
+            counts: vec![0, 10, 10, 0],
+            count: 20,
+            sum: 0.0,
+        };
+        // p50 sits exactly at the first bucket's upper edge.
+        assert!((snap.quantile(0.5).unwrap() - 20.0).abs() < 1e-9);
+        // p25 is halfway through the (10, 20] bucket.
+        assert!((snap.quantile(0.25).unwrap() - 15.0).abs() < 1e-9);
+        // p75 is halfway through the (20, 40] bucket.
+        assert!((snap.quantile(0.75).unwrap() - 30.0).abs() < 1e-9);
+        assert!((snap.quantile(1.0).unwrap() - 40.0).abs() < 1e-9);
+        // q=0 reports the populated range's lower edge.
+        assert!((snap.quantile(0.0).unwrap() - 10.0).abs() < 1e-9);
+        assert_eq!(snap.quantile(1.5), None);
+        assert_eq!(snap.quantile(-0.1), None);
+    }
+
+    #[test]
+    fn quantile_in_overflow_bucket_reports_largest_bound() {
+        let snap = super::HistogramSnapshot {
+            name: "q".into(),
+            bounds: vec![1.0, 2.0],
+            counts: vec![1, 0, 9], // tail lives in the overflow bucket
+            count: 10,
+            sum: 0.0,
+        };
+        assert!((snap.quantile(0.99).unwrap() - 2.0).abs() < 1e-9);
+        let empty = super::HistogramSnapshot {
+            name: "q".into(),
+            bounds: vec![1.0],
+            counts: vec![0, 0],
+            count: 0,
+            sum: 0.0,
+        };
+        assert_eq!(empty.quantile(0.5), None);
     }
 }

@@ -339,6 +339,9 @@ impl RapSender {
                 cause: BackoffCause::Timeout,
             });
             laqa_obs::counter!("rap.backoffs_timeout").inc();
+            if laqa_obs::flight::enabled() {
+                laqa_obs::flight::instant("rap.backoff_timeout", now, rate);
+            }
             laqa_obs::event!(
                 laqa_obs::Level::Warn,
                 "rap.timeout",
@@ -385,6 +388,9 @@ impl RapSender {
                 cause,
             });
             laqa_obs::counter!("rap.backoffs_loss").inc();
+            if laqa_obs::flight::enabled() {
+                laqa_obs::flight::instant("rap.backoff_loss", now, rate);
+            }
             laqa_obs::event!(
                 laqa_obs::Level::Info,
                 "rap.backoff",

@@ -508,11 +508,8 @@ pub fn run_session_pooled(
 /// Distill a finished scenario into its [`SessionResult`] row.
 fn outcome_to_result(spec: &SessionSpec, out: ScenarioOutcome, wall_secs: f64) -> SessionResult {
     laqa_obs::counter!("campaign.sessions").inc();
-    laqa_obs::histogram!(
-        "campaign.session_wall_ms",
-        &[50.0, 200.0, 1000.0, 5000.0, 20000.0]
-    )
-    .observe(wall_secs * 1e3);
+    laqa_obs::histogram!("campaign.session_wall_ms", laqa_obs::LOG_MS_BOUNDS)
+        .observe(wall_secs * 1e3);
     SessionResult {
         spec: spec.clone(),
         efficiency: out.metrics.efficiency(),
@@ -641,6 +638,11 @@ fn worker_loop(
             break;
         };
         laqa_obs::counter!("campaign.steals").inc();
+        if laqa_obs::flight::enabled() {
+            // Timeline records from this cell land on the track of its
+            // grid index, regardless of which worker stole it.
+            laqa_obs::flight::set_session(i as u64);
+        }
         let result = match pool.as_mut() {
             Some(pool) => run_session_pooled(session, opts.sched, pool),
             None => run_session_with(session, opts.sched),
@@ -700,7 +702,10 @@ fn mega_worker_loop(
                 None => World::with_scheduler(cfg.seed, opts.sched),
             };
             let geometry = pool.as_ref().and_then(WorldPool::geometry);
-            let (world, handles) = build_scenario(&cfg, world, geometry);
+            let (mut world, handles) = build_scenario(&cfg, world, geometry);
+            // Same track id as the per-cell executor uses, so flight
+            // timelines line up across executors.
+            world.set_flight_id(i as u64);
             let sid = engine.add_world(world, t0, cfg.duration);
             t_end = t_end.max(t0 + cfg.duration);
             admitted.push((i, cfg, handles, sid));

@@ -68,6 +68,11 @@ pub(crate) struct SessionCore {
     /// Events dispatched so far — a plain (always-on, deterministic)
     /// counter used for run throughput summaries.
     pub(crate) events_processed: u64,
+    /// Track id for the `laqa_obs::flight` recorder: the campaign/mega
+    /// executors set it to the session's grid index so timeline records
+    /// are attributed to the same track no matter which worker or
+    /// executor ran the session. Never read by simulation logic.
+    pub(crate) flight_id: u64,
 }
 
 impl SessionCore {
@@ -80,6 +85,7 @@ impl SessionCore {
             next_uid: 0,
             rng: SimRng::seed_from_u64(seed),
             events_processed: 0,
+            flight_id: 0,
         }
     }
 }
@@ -372,6 +378,7 @@ impl World {
                 next_uid: 0,
                 rng: SimRng::seed_from_u64(seed),
                 events_processed: 0,
+                flight_id: 0,
             },
             queue,
             seq: 0,
@@ -432,6 +439,13 @@ impl World {
         ns_to_secs(self.core.now_ns)
     }
 
+    /// Attribute this world's `laqa_obs::flight` timeline records to
+    /// track `id` (the campaign executors pass the session's grid index).
+    /// Purely observational — never read by simulation logic.
+    pub fn set_flight_id(&mut self, id: u64) {
+        self.core.flight_id = id;
+    }
+
     /// Total events dispatched by [`World::run_until`] so far.
     pub fn events_processed(&self) -> u64 {
         self.core.events_processed
@@ -487,19 +501,26 @@ impl World {
             self.core.now_ns = time_ns;
             self.core.events_processed += 1;
             let _step = laqa_obs::span!("engine.step");
-            if laqa_obs::enabled() {
+            let timed = if laqa_obs::enabled() {
                 laqa_obs::counter!("engine.events").inc();
                 laqa_obs::histogram!(
                     "engine.queue_depth",
                     &[8.0, 32.0, 128.0, 512.0, 2048.0, 8192.0]
                 )
                 .observe(self.queue.len() as f64);
-            }
+                Some(std::time::Instant::now())
+            } else {
+                None
+            };
             let mut queue = QueueRef::Solo {
                 queue: &mut self.queue,
                 seq: &mut self.seq,
             };
             dispatch_event(&mut self.core, &mut self.agents, &mut queue, event);
+            if let Some(t0) = timed {
+                laqa_obs::histogram!("sched.dispatch_ns", laqa_obs::LOG_NS_BOUNDS)
+                    .observe(t0.elapsed().as_nanos() as f64);
+            }
         }
         self.core.now_ns = self.core.now_ns.max(end_ns);
     }
@@ -573,6 +594,11 @@ pub(crate) fn dispatch_event(
             }
         }
         Event::Timer { agent, token } => {
+            // Flight-record timer fires only (LinkDone/Arrive would swamp
+            // the bounded rings at per-packet volume).
+            if laqa_obs::flight::enabled() {
+                laqa_obs::flight::instant("timer.fire", ns_to_secs(core.now_ns), token as f64);
+            }
             dispatch_agent(agents, core, queue, agent, |a, ctx| a.on_timer(ctx, token));
         }
     }

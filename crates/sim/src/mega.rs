@@ -350,9 +350,20 @@ impl MegaEngine {
                 if laqa_obs::enabled() {
                     laqa_obs::histogram!(
                         "mega.batch_size",
-                        &[1.0, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0]
+                        &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0]
                     )
                     .observe(batch.len() as f64);
+                }
+                if laqa_obs::flight::enabled() {
+                    // Batch dispatches belong to the engine, not any one
+                    // session; their order reflects executor scheduling
+                    // (see the flight module docs on HOST_TRACK).
+                    laqa_obs::flight::set_session(laqa_obs::flight::HOST_TRACK);
+                    laqa_obs::flight::instant(
+                        "mega.batch",
+                        ns_to_secs(time_ns),
+                        batch.len() as f64,
+                    );
                 }
                 for ev in batch.drain(..) {
                     self.dispatch(time_ns, ev);
@@ -392,6 +403,14 @@ impl MegaEngine {
             // session before it was retired): lazily cancelled.
             self.token_recycles += 1;
             laqa_obs::counter!("mega.token_recycles").inc();
+            if laqa_obs::flight::enabled() {
+                laqa_obs::flight::set_session(laqa_obs::flight::HOST_TRACK);
+                laqa_obs::flight::instant(
+                    "mega.stale_drop",
+                    ns_to_secs(time_ns),
+                    ev.session as f64,
+                );
+            }
             return;
         }
         debug_assert!(
@@ -406,6 +425,11 @@ impl MegaEngine {
         let offset_ns = self.table.offsets_ns[i];
         let core = &mut self.table.cores[i];
         core.now_ns = time_ns - offset_ns;
+        if laqa_obs::flight::enabled() {
+            // Timeline records from this dispatch (QA transitions, timer
+            // fires, ...) land on the session's own track.
+            laqa_obs::flight::set_session(core.flight_id);
+        }
         let agents = &mut self.table.agents[i];
         let mut queue = QueueRef::Mega {
             queue: &mut self.queue,
@@ -426,7 +450,12 @@ impl MegaEngine {
             }
             MegaEventKind::Engine(event) => {
                 core.events_processed += 1;
+                let timed = laqa_obs::enabled().then(std::time::Instant::now);
                 dispatch_event(core, agents, &mut queue, event);
+                if let Some(t0) = timed {
+                    laqa_obs::histogram!("mega.session_event_ns", laqa_obs::LOG_NS_BOUNDS)
+                        .observe(t0.elapsed().as_nanos() as f64);
+                }
             }
         }
     }

@@ -186,9 +186,12 @@ pub fn run_scenarios_mega_staggered(
     engine.reserve(cfgs.len(), cfgs.len() * 64);
     let mut admitted = Vec::with_capacity(cfgs.len());
     let mut t_end = 0.0f64;
-    for (cfg, offset) in cfgs {
+    for (i, (cfg, offset)) in cfgs.iter().enumerate() {
         let world = World::with_scheduler(cfg.seed, sched);
-        let (world, handles) = build_scenario(cfg, world, None);
+        let (mut world, handles) = build_scenario(cfg, world, None);
+        // Flight-recorder track = input index, matching how the campaign
+        // executors label cells by grid index.
+        world.set_flight_id(i as u64);
         let sid = engine.add_world(world, *offset, cfg.duration);
         t_end = t_end.max(offset + cfg.duration);
         admitted.push((cfg, handles, sid));

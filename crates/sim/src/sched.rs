@@ -453,6 +453,14 @@ impl<T> Scheduler<T> for TimerWheelScheduler<T> {
     fn schedule(&mut self, time_ns: u64, seq: u64, item: T) -> EventKey {
         debug_assert_ne!(seq, DEAD_SEQ, "sequence space exhausted");
         let tick = time_ns >> GRAN_SHIFT;
+        if laqa_obs::enabled() {
+            // Wheel slack: how far ahead of the cursor the event lands.
+            // The distribution says which insert path dominates — within
+            // the active tick (~0), the 4096-slot window (< ~8.6 s), or
+            // the BTreeMap overflow tail.
+            laqa_obs::histogram!("sched.wheel_slack_ns", laqa_obs::LOG_NS_BOUNDS)
+                .observe(time_ns.saturating_sub(self.cursor_tick << GRAN_SHIFT) as f64);
+        }
         let idx;
         if tick <= self.cursor_tick {
             // At (or — for clamped times — behind) the active tick: merge

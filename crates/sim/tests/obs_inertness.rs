@@ -54,6 +54,18 @@ fn fingerprints_identical_with_obs_on_and_off() {
         "no engine.step spans"
     );
     assert!(!snap.events.is_empty(), "no events logged");
+    let dispatch = snap
+        .histogram("sched.dispatch_ns")
+        .expect("no sched.dispatch_ns histogram");
+    assert!(dispatch.count > 0, "no dispatch latency observations");
+    assert!(
+        dispatch.quantile(0.99).is_some(),
+        "dispatch p99 unavailable despite observations"
+    );
+    assert!(
+        snap.histogram("sched.wheel_slack_ns").map_or(0, |h| h.count) > 0,
+        "no sched.wheel_slack_ns observations"
+    );
 
     // Per-session metrics are deterministic even though wall time is not.
     for (a, b) in off.sessions.iter().zip(on.sessions.iter()) {
@@ -112,5 +124,47 @@ fn fingerprints_identical_with_obs_on_and_off() {
         mega_snap.counter("campaign.sessions"),
         Some(spec.len() as u64),
         "one campaign.sessions increment per mega session"
+    );
+    assert!(
+        mega_snap
+            .histogram("mega.session_event_ns")
+            .map_or(0, |h| h.count)
+            > 0,
+        "no mega.session_event_ns observations"
+    );
+
+    // Flight recorder: same contract one level up. With the recorder (and
+    // obs) live on both executors the fingerprints still cannot move, and
+    // the trace must carry the per-session timeline sites.
+    laqa_obs::reset();
+    laqa_obs::set_enabled(true);
+    laqa_obs::flight::set_enabled(true);
+    let flight_on = run_campaign(&spec, 2);
+    let flight_mega = run_campaign_opts(&spec, mega_opts);
+    laqa_obs::flight::set_enabled(false);
+    laqa_obs::set_enabled(false);
+    let flight = laqa_obs::flight::snapshot_flight();
+    laqa_obs::reset();
+
+    assert_eq!(
+        off.fingerprint(),
+        flight_on.fingerprint(),
+        "enabling the flight recorder changed the campaign fingerprint"
+    );
+    assert_eq!(
+        off.fingerprint(),
+        flight_mega.fingerprint(),
+        "enabling the flight recorder changed the mega campaign fingerprint"
+    );
+    assert!(!flight.records.is_empty(), "no flight records");
+    let has = |name: &str| flight.records.iter().any(|r| r.name == name);
+    assert!(has("qa.buf_base"), "no base-buffer samples in flight trace");
+    assert!(has("timer.fire"), "no timer.fire instants in flight trace");
+    assert!(
+        flight
+            .records
+            .iter()
+            .any(|r| r.kind == laqa_obs::FlightKind::State),
+        "no QA phase state records in flight trace"
     );
 }

@@ -340,13 +340,20 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so this
-                    // char boundary arithmetic is safe).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("bad utf-8"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume the whole run up to the next quote or escape
+                    // in one slice. The input is a &str (valid UTF-8), and
+                    // both delimiters are ASCII so they can never land
+                    // inside a multi-byte sequence — the run is always
+                    // char-boundary aligned. One validation per run keeps
+                    // parsing linear; per-character validation of the tail
+                    // made multi-megabyte trace files take minutes.
+                    let start = self.pos;
+                    while !matches!(self.peek(), None | Some(b'"' | b'\\')) {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("bad utf-8"))?;
+                    out.push_str(run);
                 }
             }
         }

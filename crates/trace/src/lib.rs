@@ -5,12 +5,14 @@
 //! for collecting a run's series and writing CSVs, [`table`] for the
 //! paper-style aligned text tables, [`summary`] for machine-readable run
 //! summaries, [`json`] for the self-contained JSON reader/writer behind
-//! them, and [`hash`] for stable 64-bit trace fingerprints used by the
-//! campaign engine's reproducibility checks.
+//! them, [`chrome`] for Chrome trace-event (Perfetto) documents and their
+//! zero-dependency validator, and [`hash`] for stable 64-bit trace
+//! fingerprints used by the campaign engine's reproducibility checks.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod chrome;
 pub mod gnuplot;
 pub mod hash;
 pub mod json;
@@ -20,6 +22,7 @@ pub mod stats;
 pub mod summary;
 pub mod table;
 
+pub use chrome::{validate as validate_chrome, ChromeStats, ChromeTrace};
 pub use gnuplot::{render_script, write_figure, Panel};
 pub use hash::TraceHasher;
 pub use json::{parse as parse_json, JsonError, JsonValue};
