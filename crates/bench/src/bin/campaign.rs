@@ -15,6 +15,10 @@
 //! campaign --faults --smoke  # seconds-long fault sweep + replay check
 //! options: --threads N  --duration S  --kmax 2,3,4  --seeds 7,21  --out DIR
 //!          --intensity 0,0.5,1   # fault-suite intensities (with --faults)
+//!          --transport rap,bbr,nada,tcp  # QA-flow congestion controllers:
+//!                         # every selected transport runs the full grid,
+//!                         # turning the sweep into the QA × transport
+//!                         # interop matrix (default rap only)
 //!          --obs DIR      # enable laqa-obs + the flight recorder and
 //!                         # export snapshot + flight trace to DIR
 //!          --mega         # run the sweep on the megasession executor
@@ -34,9 +38,87 @@ use laqa_bench::cli::Args;
 use laqa_bench::outdir;
 use laqa_sim::{
     run_campaign, run_campaign_opts, CampaignOptions, CampaignResult, CampaignSpec, SessionResult,
-    TestKind,
+    TestKind, Transport,
 };
 use laqa_trace::{pct, Table};
+
+/// Parse `--transport rap,bbr,nada,tcp` (default: RAP only).
+fn parse_transports(args: &Args) -> Result<Vec<Transport>, AnyError> {
+    parse_list(args, "transport", &[Transport::Rap])
+}
+
+/// Expand a sweep across the selected transports: every session of the
+/// base grid runs once per transport, transport-major so each
+/// controller's cells stay contiguous in the output table. A plain
+/// `[Rap]` selection returns the grid untouched (byte-identical labels
+/// and fingerprints to the pre-interop sweeps).
+fn expand_transports(mut spec: CampaignSpec, transports: &[Transport]) -> CampaignSpec {
+    if transports == [Transport::Rap] {
+        return spec;
+    }
+    let base = std::mem::take(&mut spec.sessions);
+    spec.sessions = transports
+        .iter()
+        .flat_map(|&transport| {
+            base.iter().cloned().map(move |mut s| {
+                s.transport = transport;
+                s
+            })
+        })
+        .collect();
+    spec
+}
+
+/// Per-transport interop summary: the hardening metrics the QA ×
+/// transport matrix is judged on (recovery time after drops, layer-change
+/// rate, base-layer starvation), one row per transport.
+fn interop_table(result: &CampaignResult, transports: &[Transport]) -> String {
+    let mut tbl = Table::new(
+        "interop matrix: QA metrics by transport (mean over cells)",
+        &[
+            "transport", "eff", "chg/s", "recovery", "starved B", "stalls", "backoffs",
+            "underflows",
+        ],
+    );
+    for &t in transports {
+        let cells: Vec<&SessionResult> = result
+            .sessions
+            .iter()
+            .filter(|s| s.spec.transport == t)
+            .collect();
+        if cells.is_empty() {
+            continue;
+        }
+        let n = cells.len() as f64;
+        let mean = |f: &dyn Fn(&SessionResult) -> f64| cells.iter().map(|s| f(s)).sum::<f64>() / n;
+        let effs: Vec<f64> = cells.iter().filter_map(|s| s.efficiency).collect();
+        let eff = if effs.is_empty() {
+            "-".to_string()
+        } else {
+            format!("{:.4}", effs.iter().sum::<f64>() / effs.len() as f64)
+        };
+        let recoveries: Vec<f64> = cells.iter().filter_map(|s| s.recovery_secs_mean).collect();
+        let recovery = if recoveries.is_empty() {
+            "-".to_string()
+        } else {
+            format!(
+                "{:.2}s",
+                recoveries.iter().sum::<f64>() / recoveries.len() as f64
+            )
+        };
+        tbl.row(vec![
+            t.label().to_string(),
+            eff,
+            format!("{:.3}", mean(&|s| s.layer_change_rate)),
+            recovery,
+            format!("{:.0}", mean(&|s| s.base_starved_bytes)),
+            format!("{:.1}", mean(&|s| s.stalls as f64)),
+            format!("{:.1}", mean(&|s| s.backoffs as f64)),
+            format!("{:.1}", mean(&|s| s.rx_underflows as f64)),
+        ]);
+    }
+    tbl.render()
+}
 
 fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
@@ -56,7 +138,8 @@ fn main() {
         eprintln!(
             "error: unexpected argument '{}' — this binary takes options only \
              (--smoke, --scaling, --faults, --threads N, --duration S, --kmax a,b, \
-             --seeds a,b, --intensity a,b, --out DIR, --obs DIR)",
+             --seeds a,b, --intensity a,b, --transport rap,bbr,nada,tcp, --out DIR, \
+             --obs DIR)",
             args.command
         );
         std::process::exit(2);
@@ -186,9 +269,16 @@ fn check_replay(spec: &CampaignSpec, reference: &CampaignResult, threads: usize)
 /// Seconds-long sweep wired into `scripts/verify.sh`.
 fn cmd_smoke(args: &Args) -> Result<(), AnyError> {
     let duration: f64 = args.get("duration", 8.0)?;
-    let spec = CampaignSpec::grid(&[TestKind::T1], &[2, 4], &[7, 21], duration);
+    let transports = parse_transports(args)?;
+    let spec = expand_transports(
+        CampaignSpec::grid(&[TestKind::T1], &[2, 4], &[7, 21], duration),
+        &transports,
+    );
     let result = run_sweep(args, &spec, 2);
     println!("{}", result.table());
+    if transports.len() > 1 {
+        println!("{}", interop_table(&result, &transports));
+    }
     check_replay(&spec, &result, 1)?;
     println!("smoke ok: {} sessions in {:.2}s", spec.len(), result.wall_secs);
     Ok(())
@@ -211,7 +301,11 @@ fn cmd_faults(args: &Args) -> Result<(), AnyError> {
     let default_seeds: &[u64] = if smoke { &[7] } else { &[7, 21, 42] };
     let seeds: Vec<u64> = parse_list(args, "seeds", default_seeds)?;
     let k_values: Vec<u32> = parse_list(args, "kmax", &[2])?;
-    let spec = CampaignSpec::faults_grid(&[TestKind::T1], &k_values, &intensities, &seeds, duration);
+    let transports = parse_transports(args)?;
+    let spec = expand_transports(
+        CampaignSpec::faults_grid(&[TestKind::T1], &k_values, &intensities, &seeds, duration),
+        &transports,
+    );
     println!(
         "faults_suite: {} sessions ({duration:.0}s each) on {threads} threads, \
          intensities {intensities:?}",
@@ -256,6 +350,9 @@ fn cmd_faults(args: &Args) -> Result<(), AnyError> {
         ]);
     }
     println!("{}", tbl.render());
+    if transports.len() > 1 {
+        println!("{}", interop_table(&result, &transports));
+    }
     check_replay(&spec, &result, if threads == 1 { 2 } else { 1 })?;
 
     if let Some(dir) = args.options.get("out") {
@@ -319,7 +416,11 @@ fn cmd_tables(args: &Args) -> Result<(), AnyError> {
     let duration: f64 = args.get("duration", 90.0)?;
     let seeds: Vec<u64> = parse_list(args, "seeds", &[7, 21, 42, 77, 99])?;
     let k_values: Vec<u32> = parse_list(args, "kmax", &[2, 3, 4, 5, 8])?;
-    let spec = CampaignSpec::grid(&TestKind::ALL, &k_values, &seeds, duration);
+    let transports = parse_transports(args)?;
+    let spec = expand_transports(
+        CampaignSpec::grid(&TestKind::ALL, &k_values, &seeds, duration),
+        &transports,
+    );
     println!(
         "running {} sessions ({duration:.0}s simulated each) on {threads} threads...",
         spec.len()
@@ -331,33 +432,57 @@ fn cmd_tables(args: &Args) -> Result<(), AnyError> {
     let mut header_refs: Vec<&str> = vec!["test"];
     header_refs.extend(headers.iter().map(String::as_str));
 
-    let mut t1 = Table::new(
-        "Table 1: buffering efficiency e (mean over drop events)",
-        &header_refs,
-    );
-    for &test in &TestKind::ALL {
-        let mut row = vec![test.label().to_string()];
-        for &k in &k_values {
-            row.push(pct(result.mean_metric(test, k, |s| s.efficiency)));
+    // With several transports each gets its own Table 1/2 pair (a
+    // cross-transport mean would compare nothing meaningful); the plain
+    // RAP sweep keeps the exact titles the paper uses.
+    let print_tables = |sub: &CampaignResult, suffix: &str| {
+        let mut t1 = Table::new(
+            &*format!("Table 1{suffix}: buffering efficiency e (mean over drop events)"),
+            &header_refs,
+        );
+        for &test in &TestKind::ALL {
+            let mut row = vec![test.label().to_string()];
+            for &k in &k_values {
+                row.push(pct(sub.mean_metric(test, k, |s| s.efficiency)));
+            }
+            t1.row(row);
         }
-        t1.row(row);
-    }
-    println!("{}", t1.render());
+        println!("{}", t1.render());
 
-    let mut t2 = Table::new(
-        "Table 2: avoidable drops / quality changes (mean per run)",
-        &header_refs,
-    );
-    for &test in &TestKind::ALL {
-        let mut row = vec![test.label().to_string()];
-        for &k in &k_values {
-            let avoid = pct(result.mean_metric(test, k, |s| s.avoidable_drops));
-            let changes = mean_over(&result, test, k, |s| s.quality_changes as f64);
-            row.push(format!("{avoid} / {changes:.1}"));
+        let mut t2 = Table::new(
+            &*format!("Table 2{suffix}: avoidable drops / quality changes (mean per run)"),
+            &header_refs,
+        );
+        for &test in &TestKind::ALL {
+            let mut row = vec![test.label().to_string()];
+            for &k in &k_values {
+                let avoid = pct(sub.mean_metric(test, k, |s| s.avoidable_drops));
+                let changes = mean_over(sub, test, k, |s| s.quality_changes as f64);
+                row.push(format!("{avoid} / {changes:.1}"));
+            }
+            t2.row(row);
         }
-        t2.row(row);
+        println!("{}", t2.render());
+    };
+    if transports.len() > 1 {
+        for &t in &transports {
+            let sub = CampaignResult {
+                sessions: result
+                    .sessions
+                    .iter()
+                    .filter(|s| s.spec.transport == t)
+                    .cloned()
+                    .collect(),
+                threads: result.threads,
+                wall_secs: 0.0,
+                merge_secs: 0.0,
+            };
+            print_tables(&sub, &format!(" [{}]", t.label()));
+        }
+        println!("{}", interop_table(&result, &transports));
+    } else {
+        print_tables(&result, "");
     }
-    println!("{}", t2.render());
 
     let dir = match args.options.get("out") {
         Some(d) => std::path::PathBuf::from(d),

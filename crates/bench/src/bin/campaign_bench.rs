@@ -21,7 +21,7 @@
 use laqa_bench::cli::Args;
 use laqa_sim::{
     run_campaign_fold, run_campaign_opts, run_session_pooled, CampaignOptions, CampaignSpec,
-    SchedulerKind, SessionSpec, TestKind, WorldPool,
+    SchedulerKind, SessionSpec, TestKind, Transport, WorldPool,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -60,6 +60,9 @@ type AnyError = Box<dyn std::error::Error>;
 /// One measured cell: a (world mode, scheduler, thread count) triple.
 struct Cell {
     mode: &'static str,
+    /// QA-flow congestion controller ("rap" for the whole gated grid;
+    /// other labels only appear in the interop probe's cells).
+    transport: &'static str,
     sched: SchedulerKind,
     threads: usize,
     fingerprint: u64,
@@ -85,6 +88,7 @@ fn measure_rep(spec: &CampaignSpec, opts: CampaignOptions, mode: &'static str) -
     let result = run_campaign_opts(spec, opts);
     Cell {
         mode,
+        transport: "rap",
         sched: opts.sched,
         threads: opts.threads,
         fingerprint: result.fingerprint(),
@@ -176,6 +180,7 @@ fn steady_state_allocs(duration: f64) -> (u64, u64, u64) {
         seed: 7,
         duration,
         fault_intensity: None,
+        transport: Transport::Rap,
     };
     let mut pool = WorldPool::new();
     let mut session = || {
@@ -187,6 +192,37 @@ fn steady_state_allocs(duration: f64) -> (u64, u64, u64) {
     let second = session();
     let third = session();
     (first, second, third)
+}
+
+/// QA × transport interop probe: a small T1 grid run once per transport
+/// on the warm executor, replayed on a second thread count to prove each
+/// controller's trace is deterministic. Reported in its own JSON block,
+/// deliberately OUTSIDE the executor fingerprint gate — different
+/// congestion controllers legitimately produce different traces, so
+/// their fingerprints must never be folded into the `fp0` assertion.
+fn interop_probe(duration: f64, reps: usize) -> Result<Vec<Cell>, AnyError> {
+    let mut out = Vec::new();
+    for &t in Transport::ALL.iter() {
+        let mut spec = CampaignSpec::grid(&[TestKind::T1], &[2], &[7, 21], duration);
+        for s in &mut spec.sessions {
+            s.transport = t;
+        }
+        eprintln!("measuring interop/{} ({} sessions)...", t.label(), spec.len());
+        let mut cell = measure(&spec, CampaignOptions::new(1), "interop", reps);
+        cell.transport = t.label();
+        let replay = measure_rep(&spec, CampaignOptions::new(2), "interop");
+        if replay.fingerprint != cell.fingerprint {
+            return Err(format!(
+                "INTEROP DIVERGENCE: {} fingerprint {:016x} at 2 threads != {:016x} at 1",
+                t.label(),
+                replay.fingerprint,
+                cell.fingerprint
+            )
+            .into());
+        }
+        out.push(cell);
+    }
+    Ok(out)
 }
 
 fn default_out() -> std::path::PathBuf {
@@ -309,6 +345,8 @@ fn run(args: &Args) -> Result<(), AnyError> {
         mega64 = Some((per_cell, mega_wide));
     }
 
+    let interop = interop_probe(duration, reps)?;
+
     println!(
         "{:<6} {:>6} {:>3} {:>12} {:>10} {:>12} {:>14} {:>10}",
         "mode", "sched", "thr", "events", "wall (s)", "events/s", "allocs/sess", "merge (ms)"
@@ -379,6 +417,14 @@ fn run(args: &Args) -> Result<(), AnyError> {
         "steady-state allocs: first (cold) session {cold_first}, second (warm, memo \
          admission) {warm_second}, third (steady) {warm_third}"
     );
+    for c in &interop {
+        println!(
+            "interop {:>4}: fingerprint {:016x}, {:.0} events/s (deterministic at 1 and 2 threads)",
+            c.transport,
+            c.fingerprint,
+            c.events_per_sec()
+        );
+    }
 
     // Quantile table from the instrumented rep. Dispatch/slack/event are
     // nanoseconds, session wall is milliseconds, batch size is events.
@@ -525,13 +571,32 @@ fn run(args: &Args) -> Result<(), AnyError> {
         }
     }
     json.push_str(&format!("  \"fingerprint\": \"{fp0:016x}\",\n"));
+    // Per-transport interop fingerprints live in their own block: unlike
+    // `cells`, these are *expected* to differ from `fingerprint` and from
+    // each other (different congestion controllers, different traces).
+    json.push_str("  \"interop\": [\n");
+    for (i, c) in interop.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"transport\": \"{}\", \"fingerprint\": \"{:016x}\", \"sessions\": {}, \
+             \"events\": {}, \"events_per_sec\": {:.1}}}{}\n",
+            c.transport,
+            c.fingerprint,
+            c.sessions,
+            c.events,
+            c.events_per_sec(),
+            if i + 1 < interop.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"scheduler\": \"{}\", \"threads\": {}, \
+            "    {{\"mode\": \"{}\", \"transport\": \"{}\", \"scheduler\": \"{}\", \
+             \"threads\": {}, \
              \"events\": {}, \"wall_secs\": {:.6}, \"merge_secs\": {:.6}, \
              \"events_per_sec\": {:.1}, \"allocs_per_session\": {}}}{}\n",
             c.mode,
+            c.transport,
             c.sched.label(),
             c.threads,
             c.events,

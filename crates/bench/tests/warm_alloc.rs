@@ -24,7 +24,7 @@
 
 use laqa_sim::{
     run_campaign_opts, run_session_pooled, run_session_with, CampaignOptions, CampaignSpec,
-    SchedulerKind, SessionSpec, TestKind, WorldPool,
+    SchedulerKind, SessionSpec, TestKind, Transport, WorldPool,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -74,6 +74,7 @@ fn warm_and_mega_sessions_stay_under_alloc_budgets() {
         // the geometry-memo assertions below would pass vacuously.
         duration: 8.0,
         fault_intensity: None,
+        transport: Transport::Rap,
     };
     let mut pool = WorldPool::new();
 

@@ -15,7 +15,7 @@
 //! while the total buffering is below the recovery deficit at the current
 //! (post-backoff) rate. The base layer is never dropped.
 
-use crate::geometry::{recovery_buffer, sustainable_layers};
+use crate::geometry::{recovery_buffer_with, sustainable_layers};
 use crate::states::StateSequence;
 
 /// Result of evaluating the add conditions.
@@ -95,11 +95,36 @@ pub fn drop_count(
 
 /// The recovery buffer the §2.2 rule compares against when `n` layers are
 /// playing and the *current* rate is `rate` (post-backoff, so no further
-/// halving is applied — the deficit is `n·C − rate`).
+/// decrease is applied — the deficit is `n·C − rate`).
+///
+/// Equivalent to [`required_recovery_buffer_with`] at the paper's AIMD
+/// halving factor `0.5` (bit-identical: `x * 2.0 ≡ x / 0.5`).
 pub fn required_recovery_buffer(n: usize, layer_rate: f64, rate: f64, slope: f64) -> f64 {
-    // recovery_buffer halves its rate argument (it models a future backoff
-    // from a filling-phase rate); here the backoff already happened.
-    recovery_buffer(n as f64 * layer_rate, rate * 2.0, slope)
+    required_recovery_buffer_with(n, layer_rate, rate, slope, 0.5)
+}
+
+/// [`required_recovery_buffer`] generalized to an arbitrary decrease
+/// factor: the pre-backoff peak is reconstructed as `rate / factor` so the
+/// recovery geometry un-does exactly the decrease the controller applied.
+/// Analytically the result is the deficit triangle at the post-backoff
+/// `rate` for every factor; threading the factor keeps the peak
+/// reconstruction honest (and bit-exact at the 0.5 default).
+pub fn required_recovery_buffer_with(
+    n: usize,
+    layer_rate: f64,
+    rate: f64,
+    slope: f64,
+    decrease_factor: f64,
+) -> f64 {
+    // recovery_buffer_with scales its rate argument by the factor (it
+    // models a future backoff from a filling-phase rate); here the backoff
+    // already happened, so the peak is first reconstructed.
+    recovery_buffer_with(
+        n as f64 * layer_rate,
+        rate / decrease_factor,
+        slope,
+        decrease_factor,
+    )
 }
 
 #[cfg(test)]
@@ -197,5 +222,51 @@ mod tests {
     #[test]
     fn required_recovery_buffer_zero_when_rate_covers() {
         assert_eq!(required_recovery_buffer(2, C, 25_000.0, S), 0.0);
+    }
+
+    #[test]
+    fn required_recovery_buffer_with_half_is_bit_identical() {
+        for n in 1..=6usize {
+            for &rate in &[0.0, 5_000.0, 10_000.0, 23_456.78, 40_000.0] {
+                let old = required_recovery_buffer(n, C, rate, S);
+                let new = required_recovery_buffer_with(n, C, rate, S, 0.5);
+                assert_eq!(old.to_bits(), new.to_bits(), "n={n} rate={rate}");
+            }
+        }
+    }
+
+    #[test]
+    fn required_recovery_buffer_factor_invariant_at_post_rate() {
+        // The §2.2 comparison operates on the *post-backoff* rate: whatever
+        // factor produced it, the deficit (and so the requirement) is the
+        // same up to float dust from the peak reconstruction round-trip.
+        for &f in &[0.7, 0.85] {
+            for n in 1..=5usize {
+                for &rate in &[5_000.0, 12_500.0, 30_000.0] {
+                    let want = crate::geometry::triangle_area(
+                        crate::geometry::deficit(n as f64 * C, rate),
+                        S,
+                    );
+                    let got = required_recovery_buffer_with(n, C, rate, S, f);
+                    assert!(
+                        (got - want).abs() <= 1e-9 * want.max(1.0),
+                        "f={f} n={n} rate={rate}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gentler_factor_backoffs_shed_fewer_layers() {
+        // Same peak (52 KB/s, 4 layers, no buffer), three controllers: the
+        // harder the backoff, the more layers the drop rule sheds.
+        let peak = 52_000.0;
+        let drops_at = |f: f64| drop_count(4, C, peak * f, S, 0.0);
+        let d50 = drops_at(0.5);
+        let d70 = drops_at(0.7);
+        let d85 = drops_at(0.85);
+        assert!(d50 >= d70 && d70 >= d85, "{d50} {d70} {d85}");
+        assert!(d50 > d85, "halving from 52 KB/s must shed more than a 0.85 backoff");
     }
 }

@@ -29,6 +29,8 @@ pub enum ConfigError {
     NegativeStartupBuffer,
     /// `underflow_slack_bytes` must be finite and non-negative.
     NegativeUnderflowSlack,
+    /// `decrease_factor` must be finite and strictly inside `(0, 1)`.
+    BadDecreaseFactor,
 }
 
 impl fmt::Display for ConfigError {
@@ -53,6 +55,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::NegativeUnderflowSlack => {
                 write!(f, "underflow_slack_bytes must be finite and >= 0")
+            }
+            ConfigError::BadDecreaseFactor => {
+                write!(f, "decrease_factor must be finite and in (0, 1)")
             }
         }
     }
@@ -105,6 +110,14 @@ pub struct QaConfig {
     /// consumption rate oscillates by up to a couple of packets around
     /// zero, which is jitter, not starvation. Typically 2–4 packet sizes.
     pub underflow_slack_bytes: f64,
+    /// Multiplicative decrease factor of the underlying congestion
+    /// controller: a backoff from rate `R` lands at `R · decrease_factor`.
+    /// The paper assumes clean AIMD halvings (`0.5`, the default, which
+    /// also keeps every pre-existing trajectory bit-identical); gentler
+    /// controllers (BBR-style 0.85, NADA-style variable γ) thread their
+    /// nominal factor here so the deficit-triangle geometry anticipates
+    /// the backoffs they actually perform. Must lie strictly in `(0, 1)`.
+    pub decrease_factor: f64,
 }
 
 impl Default for QaConfig {
@@ -121,6 +134,7 @@ impl Default for QaConfig {
             epsilon_bytes: 1.0,
             startup_buffer_secs: 0.5,
             underflow_slack_bytes: 2_000.0,
+            decrease_factor: 0.5,
         }
     }
 }
@@ -151,6 +165,12 @@ impl QaConfig {
         }
         if !(self.underflow_slack_bytes.is_finite() && self.underflow_slack_bytes >= 0.0) {
             return Err(ConfigError::NegativeUnderflowSlack);
+        }
+        if !(self.decrease_factor.is_finite()
+            && self.decrease_factor > 0.0
+            && self.decrease_factor < 1.0)
+        {
+            return Err(ConfigError::BadDecreaseFactor);
         }
         Ok(self)
     }
@@ -233,6 +253,28 @@ mod tests {
             ..QaConfig::default()
         };
         assert_eq!(cfg.validated().unwrap_err(), ConfigError::HorizonBelowKMax);
+    }
+
+    #[test]
+    fn rejects_decrease_factor_outside_unit_interval() {
+        for bad in [0.0, 1.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            let cfg = QaConfig {
+                decrease_factor: bad,
+                ..QaConfig::default()
+            };
+            assert_eq!(
+                cfg.validated().unwrap_err(),
+                ConfigError::BadDecreaseFactor,
+                "factor {bad} must be rejected"
+            );
+        }
+        for ok in [0.1, 0.5, 0.7, 0.85, 0.99] {
+            let cfg = QaConfig {
+                decrease_factor: ok,
+                ..QaConfig::default()
+            };
+            assert!(cfg.validated().is_ok(), "factor {ok} must validate");
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! debited by the layer's consumption rate once playout has started. Lost
 //! packets are simply never credited.
 
-use crate::adddrop::{check_add, drop_count, required_recovery_buffer, AddInputs};
+use crate::adddrop::{check_add, drop_count, required_recovery_buffer_with, AddInputs};
 use crate::config::{ConfigError, QaConfig};
 use crate::draining::plan_draining;
 use crate::filling::allocate_filling;
@@ -172,6 +172,12 @@ impl QaController {
     /// exporter).
     pub fn metrics_mut(&mut self) -> &mut MetricsCollector {
         &mut self.metrics
+    }
+
+    /// Current additive-increase slope estimate `S` (bytes/s²) the drop
+    /// rule's recovery triangle uses.
+    pub fn slope(&self) -> f64 {
+        self.slope
     }
 
     /// Update the additive-increase slope estimate `S` (bytes/s²). RAP's
@@ -503,21 +509,26 @@ impl QaController {
     /// change a trajectory.
     fn rebuild_seq(&self, seq: &mut StateSequence, rate: f64, n_active: usize) {
         if let Some(cache) = &self.geo_cache {
-            cache.lock().expect("geometry cache poisoned").rebuild_memoized(
-                seq,
-                rate,
-                n_active,
-                self.cfg.layer_rate,
-                self.slope,
-                self.cfg.fill_horizon_backoffs,
-            );
+            cache
+                .lock()
+                .expect("geometry cache poisoned")
+                .rebuild_memoized_with(
+                    seq,
+                    rate,
+                    n_active,
+                    self.cfg.layer_rate,
+                    self.slope,
+                    self.cfg.fill_horizon_backoffs,
+                    self.cfg.decrease_factor,
+                );
         } else {
-            seq.rebuild(
+            seq.rebuild_with(
                 rate,
                 n_active,
                 self.cfg.layer_rate,
                 self.slope,
                 self.cfg.fill_horizon_backoffs,
+                self.cfg.decrease_factor,
             );
         }
     }
@@ -593,8 +604,13 @@ impl QaController {
         let layer = self.n_active - 1;
         let buf_total = self.total_buffer();
         let buf_drop = self.bufs[layer].max(0.0);
-        let required =
-            required_recovery_buffer(self.n_active, self.cfg.layer_rate, rate, self.slope);
+        let required = required_recovery_buffer_with(
+            self.n_active,
+            self.cfg.layer_rate,
+            rate,
+            self.slope,
+            self.cfg.decrease_factor,
+        );
         self.n_active -= 1;
         // The stranded data still plays out, but it no longer contributes
         // to recovery; account it out of the buffer pool (§5 efficiency).
@@ -996,6 +1012,36 @@ mod tests {
             "quality should be stable after warm-up"
         );
         assert_eq!(ctl.metrics().stalls(), 0);
+    }
+
+    #[test]
+    fn gentler_decrease_factor_adds_layers_sooner() {
+        // A controller told its transport backs off to 0.85·R anticipates
+        // far smaller deficit triangles than one bracing for halvings, so
+        // at the same steady rate it clears the §3.1 add condition first.
+        let ticks_to_two_layers = |factor: f64| -> usize {
+            let mut ctl = QaController::new(QaConfig {
+                decrease_factor: factor,
+                ..cfg()
+            })
+            .unwrap();
+            ctl.set_slope(25_000.0);
+            let mut now = 0.0;
+            for i in 0..5000 {
+                drive(&mut ctl, &mut now, 25_000.0, 0.1);
+                if ctl.n_active() == 2 {
+                    return i;
+                }
+            }
+            usize::MAX
+        };
+        let t50 = ticks_to_two_layers(0.5);
+        let t85 = ticks_to_two_layers(0.85);
+        assert!(t50 < usize::MAX, "0.5 controller must eventually add");
+        assert!(
+            t85 < t50,
+            "0.85 controller should add sooner: {t85} vs {t50} ticks"
+        );
     }
 
     #[test]

@@ -228,31 +228,36 @@ mod tests {
         // The crucial efficiency property: with buffers equal to the exact
         // single-backoff band allocation, the planner must cover every
         // period of the draining phase with zero shortfall — thin upper
-        // bands must not be burned early.
-        for n in 2..=6usize {
-            for &mult in &[1.2f64, 1.5, 1.9] {
-                let rate = mult * n as f64 * C;
-                let sq = StateSequence::build(rate, n, C, S, 1);
-                let mut bufs = crate::geometry::band_allocation(
-                    crate::geometry::deficit(n as f64 * C, rate / 2.0),
-                    C,
-                    S,
-                    n,
-                );
-                let dt = 0.05;
-                let mut cur = rate / 2.0;
-                while cur < n as f64 * C {
-                    let plan = plan_draining(&sq, &bufs, cur, dt, 1.0);
-                    assert!(
-                        plan.shortfall < 1.0,
-                        "n={n} mult={mult} rate={cur}: shortfall {}",
-                        plan.shortfall
+        // bands must not be burned early. Parameterized over the decrease
+        // factor: the post-backoff rate is `rate · f`, and the property
+        // must hold for gentle (0.7, 0.85) backoffs as well as the paper's
+        // AIMD halving.
+        for &factor in &[0.5f64, 0.7, 0.85] {
+            for n in 2..=6usize {
+                for &mult in &[1.2f64, 1.5, 1.9] {
+                    let rate = mult * n as f64 * C;
+                    let sq = StateSequence::build_with(rate, n, C, S, 1, factor);
+                    let mut bufs = crate::geometry::band_allocation(
+                        crate::geometry::deficit(n as f64 * C, rate * factor),
+                        C,
+                        S,
+                        n,
                     );
-                    for i in 0..n {
-                        bufs[i] -= plan.drain[i];
-                        assert!(bufs[i] > -1e-6);
+                    let dt = 0.05;
+                    let mut cur = rate * factor;
+                    while cur < n as f64 * C {
+                        let plan = plan_draining(&sq, &bufs, cur, dt, 1.0);
+                        assert!(
+                            plan.shortfall < 1.0,
+                            "f={factor} n={n} mult={mult} rate={cur}: shortfall {}",
+                            plan.shortfall
+                        );
+                        for i in 0..n {
+                            bufs[i] -= plan.drain[i];
+                            assert!(bufs[i] > -1e-6, "f={factor} n={n} mult={mult}");
+                        }
+                        cur += S * dt;
                     }
-                    cur += S * dt;
                 }
             }
         }

@@ -65,8 +65,28 @@ pub fn triangle_area(deficit_rate: f64, slope: f64) -> f64 {
 /// Buffer required to survive a single backoff from transmission rate
 /// `rate_at_backoff` while playing `consumption` bytes/s (§2.1 condition 2,
 /// with the post-backoff rate `rate_at_backoff/2`).
+///
+/// Equivalent to [`recovery_buffer_with`] at the paper's AIMD halving
+/// factor `0.5` (bit-identical: `x / 2.0 ≡ x * 0.5` for every f64).
 pub fn recovery_buffer(consumption: f64, rate_at_backoff: f64, slope: f64) -> f64 {
-    triangle_area(deficit(consumption, rate_at_backoff / 2.0), slope)
+    recovery_buffer_with(consumption, rate_at_backoff, slope, 0.5)
+}
+
+/// [`recovery_buffer`] generalized to an arbitrary multiplicative decrease
+/// factor: a backoff from `rate_at_backoff` lands at
+/// `rate_at_backoff · decrease_factor` (gentler controllers use factors
+/// above ½, so they leave a smaller deficit and need less buffer).
+pub fn recovery_buffer_with(
+    consumption: f64,
+    rate_at_backoff: f64,
+    slope: f64,
+    decrease_factor: f64,
+) -> f64 {
+    debug_assert!(
+        decrease_factor > 0.0 && decrease_factor < 1.0,
+        "decrease_factor must be in (0,1), got {decrease_factor}"
+    );
+    triangle_area(deficit(consumption, rate_at_backoff * decrease_factor), slope)
 }
 
 /// Number of *buffering layers* `n_b = ceil(d₀/C)`: how many of the lowest
@@ -350,6 +370,62 @@ mod tests {
         assert_eq!(sustainable_layers(3, C, 0.0, S, 0.0), 1);
         assert_eq!(sustainable_layers(1, C, 0.0, S, 0.0), 1);
         assert_eq!(sustainable_layers(0, C, 0.0, S, 0.0), 0);
+    }
+
+    #[test]
+    fn recovery_buffer_with_half_is_bit_identical() {
+        for &consumption in &[0.0, 10_000.0, 30_000.0, 55_000.0, 123_456.789] {
+            for &rate in &[0.0, 7_000.0, 20_000.0, 40_000.0, 99_999.25] {
+                let old = recovery_buffer(consumption, rate, S);
+                let new = recovery_buffer_with(consumption, rate, S, 0.5);
+                assert_eq!(
+                    old.to_bits(),
+                    new.to_bits(),
+                    "c={consumption} r={rate}: {old} vs {new}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gentler_decrease_factor_needs_less_recovery_buffer() {
+        // A 0.85 backoff from 40 KB/s lands at 34 KB/s (deficit 0 for 3
+        // layers); 0.7 lands at 28 KB/s (deficit 2 KB/s); 0.5 at 20 KB/s
+        // (deficit 10 KB/s). Requirement must fall monotonically in f.
+        let b50 = recovery_buffer_with(30_000.0, 40_000.0, S, 0.5);
+        let b70 = recovery_buffer_with(30_000.0, 40_000.0, S, 0.7);
+        let b85 = recovery_buffer_with(30_000.0, 40_000.0, S, 0.85);
+        assert!(b50 > b70, "{b50} vs {b70}");
+        assert!(b70 > b85, "{b70} vs {b85}");
+        assert!((b70 - 2_000.0f64.powi(2) / (2.0 * S)).abs() < 1e-9);
+        assert_eq!(b85, 0.0, "34 KB/s covers 30 KB/s consumption");
+    }
+
+    #[test]
+    fn factor_derived_bands_keep_base_largest_and_strand_nothing() {
+        // The satellite invariant: for deficits produced by non-half
+        // backoffs, the optimal allocation still puts the largest band in
+        // the base layer (non-increasing shares) and puts *nothing* in the
+        // layers above the deficit — exactly the layers the §2.2 drop rule
+        // sheds first, so a drop strands no buffered data.
+        for &f in &[0.7, 0.85] {
+            for n in 2..=6usize {
+                let rate = n as f64 * C * 1.3;
+                let d0 = deficit(n as f64 * C, rate * f);
+                let shares = band_allocation(d0, C, S, n);
+                for w in shares.windows(2) {
+                    assert!(w[0] >= w[1], "f={f} n={n}: {shares:?}");
+                }
+                for (i, &s) in shares.iter().enumerate() {
+                    if i as f64 * C >= d0 {
+                        assert_eq!(s, 0.0, "f={f} n={n} layer {i} stranded: {shares:?}");
+                    }
+                }
+                let total: f64 = shares.iter().sum();
+                let area = triangle_area(d0, S);
+                assert!((total - area).abs() < 1e-6 * area.max(1.0));
+            }
+        }
     }
 
     #[test]

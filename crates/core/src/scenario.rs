@@ -58,12 +58,23 @@ impl std::fmt::Display for Scenario {
 /// Minimum number of backoffs `k₁ ≥ 1` required to bring `rate` strictly
 /// below `consumption` (Appendix A.4). Saturates at 64 (rate underflows to
 /// zero long before).
+///
+/// Equivalent to [`min_backoffs_below_with`] at the paper's AIMD halving
+/// factor `0.5` (bit-identical: `x / 2.0 ≡ x * 0.5`).
 pub fn min_backoffs_below(rate: f64, consumption: f64) -> u32 {
+    min_backoffs_below_with(rate, consumption, 0.5)
+}
+
+/// [`min_backoffs_below`] generalized to an arbitrary multiplicative
+/// decrease factor: each backoff scales the rate by `decrease_factor`, so
+/// gentler controllers need *more* backoffs to fall below consumption.
+pub fn min_backoffs_below_with(rate: f64, consumption: f64, decrease_factor: f64) -> u32 {
     debug_assert!(consumption > 0.0);
+    debug_assert!(decrease_factor > 0.0 && decrease_factor < 1.0);
     let mut k = 1u32;
-    let mut r = rate / 2.0;
+    let mut r = rate * decrease_factor;
     while r >= consumption && k < 64 {
-        r /= 2.0;
+        r *= decrease_factor;
         k += 1;
     }
     k
@@ -81,24 +92,43 @@ pub fn buf_total(
     layer_rate: f64,
     slope: f64,
 ) -> f64 {
+    buf_total_with(scenario, k, rate, n_active, layer_rate, slope, 0.5)
+}
+
+/// [`buf_total`] generalized to an arbitrary multiplicative decrease
+/// factor `f`: `k` back-to-back backoffs take the rate to `R·f^k`
+/// (Scenario 1), and each spread Scenario-2 backoff from the consumption
+/// rate leaves a recurring triangle of height `n_a·C·(1−f)`. Bit-identical
+/// to the ungeneralized form at `f = 0.5` (`x / 2^k ≡ x · 0.5^k` and
+/// `x / 2 ≡ x · (1 − 0.5)` for every f64).
+#[allow(clippy::too_many_arguments)]
+pub fn buf_total_with(
+    scenario: Scenario,
+    k: u32,
+    rate: f64,
+    n_active: usize,
+    layer_rate: f64,
+    slope: f64,
+    decrease_factor: f64,
+) -> f64 {
     let consumption = n_active as f64 * layer_rate;
     if consumption <= 0.0 || k == 0 {
         return 0.0;
     }
-    let k1 = min_backoffs_below(rate, consumption);
+    let k1 = min_backoffs_below_with(rate, consumption, decrease_factor);
     if k < k1 {
         // Not enough backoffs to create a draining phase at all.
         return 0.0;
     }
     match scenario {
         Scenario::One => {
-            let post = rate / 2f64.powi(k as i32);
+            let post = rate * decrease_factor.powi(k as i32);
             triangle_area(deficit(consumption, post), slope)
         }
         Scenario::Two => {
-            let post = rate / 2f64.powi(k1 as i32);
+            let post = rate * decrease_factor.powi(k1 as i32);
             let first = triangle_area(deficit(consumption, post), slope);
-            let recurring = triangle_area(consumption / 2.0, slope);
+            let recurring = triangle_area(consumption * (1.0 - decrease_factor), slope);
             first + (k - k1) as f64 * recurring
         }
     }
@@ -123,9 +153,34 @@ pub fn per_layer(
     layer_rate: f64,
     slope: f64,
 ) -> Vec<f64> {
+    per_layer_with(scenario, k, rate, n_active, layer_rate, slope, 0.5)
+}
+
+/// [`per_layer`] generalized to an arbitrary decrease factor (see
+/// [`buf_total_with`]); bit-identical to the ungeneralized form at `0.5`.
+#[allow(clippy::too_many_arguments)]
+pub fn per_layer_with(
+    scenario: Scenario,
+    k: u32,
+    rate: f64,
+    n_active: usize,
+    layer_rate: f64,
+    slope: f64,
+    decrease_factor: f64,
+) -> Vec<f64> {
     let mut out = Vec::new();
     let mut tmp = Vec::new();
-    per_layer_into(scenario, k, rate, n_active, layer_rate, slope, &mut out, &mut tmp);
+    per_layer_into_with(
+        scenario,
+        k,
+        rate,
+        n_active,
+        layer_rate,
+        slope,
+        decrease_factor,
+        &mut out,
+        &mut tmp,
+    );
     out
 }
 
@@ -144,6 +199,23 @@ pub fn per_layer_into(
     out: &mut Vec<f64>,
     tmp: &mut Vec<f64>,
 ) {
+    per_layer_into_with(scenario, k, rate, n_active, layer_rate, slope, 0.5, out, tmp);
+}
+
+/// [`per_layer_into`] generalized to an arbitrary decrease factor (see
+/// [`buf_total_with`]); bit-identical to the ungeneralized form at `0.5`.
+#[allow(clippy::too_many_arguments)]
+pub fn per_layer_into_with(
+    scenario: Scenario,
+    k: u32,
+    rate: f64,
+    n_active: usize,
+    layer_rate: f64,
+    slope: f64,
+    decrease_factor: f64,
+    out: &mut Vec<f64>,
+    tmp: &mut Vec<f64>,
+) {
     out.clear();
     let consumption = n_active as f64 * layer_rate;
     if n_active == 0 {
@@ -153,21 +225,27 @@ pub fn per_layer_into(
         out.resize(n_active, 0.0);
         return;
     }
-    let k1 = min_backoffs_below(rate, consumption);
+    let k1 = min_backoffs_below_with(rate, consumption, decrease_factor);
     if k < k1 {
         out.resize(n_active, 0.0);
         return;
     }
     match scenario {
         Scenario::One => {
-            let post = rate / 2f64.powi(k as i32);
+            let post = rate * decrease_factor.powi(k as i32);
             band_allocation_into(deficit(consumption, post), layer_rate, slope, n_active, out);
         }
         Scenario::Two => {
-            let post = rate / 2f64.powi(k1 as i32);
+            let post = rate * decrease_factor.powi(k1 as i32);
             band_allocation_into(deficit(consumption, post), layer_rate, slope, n_active, out);
             if k > k1 {
-                band_allocation_into(consumption / 2.0, layer_rate, slope, n_active, tmp);
+                band_allocation_into(
+                    consumption * (1.0 - decrease_factor),
+                    layer_rate,
+                    slope,
+                    n_active,
+                    tmp,
+                );
                 let mult = (k - k1) as f64;
                 for (s, r) in out.iter_mut().zip(tmp.iter()) {
                     *s += mult * r;
@@ -304,6 +382,82 @@ mod tests {
                 let t = buf_total(scenario, k, 80_000.0, 4, C, S);
                 assert!(t >= prev, "{scenario} k={k}: {t} < {prev}");
                 prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn half_factor_variants_are_bit_identical() {
+        for &scenario in &Scenario::ALL {
+            for k in 1..=8u32 {
+                for n in 1..=5usize {
+                    for &rate in &[15_000.0, 40_000.0, 90_000.0, 131_072.0, 200_000.0] {
+                        let t_old = buf_total(scenario, k, rate, n, C, S);
+                        let t_new = buf_total_with(scenario, k, rate, n, C, S, 0.5);
+                        assert_eq!(
+                            t_old.to_bits(),
+                            t_new.to_bits(),
+                            "{scenario} k={k} n={n} rate={rate}"
+                        );
+                        let p_old = per_layer(scenario, k, rate, n, C, S);
+                        let p_new = per_layer_with(scenario, k, rate, n, C, S, 0.5);
+                        for (a, b) in p_old.iter().zip(p_new.iter()) {
+                            assert_eq!(a.to_bits(), b.to_bits());
+                        }
+                        assert_eq!(
+                            min_backoffs_below(rate, n as f64 * C),
+                            min_backoffs_below_with(rate, n as f64 * C, 0.5)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gentler_factor_needs_more_backoffs_below_consumption() {
+        // 130 KB/s over 30 KB/s: halving needs 3 backoffs; at 0.85 the rate
+        // shrinks ~15% per backoff and needs 10.
+        assert_eq!(min_backoffs_below_with(130_000.0, 30_000.0, 0.5), 3);
+        assert_eq!(min_backoffs_below_with(130_000.0, 30_000.0, 0.7), 5);
+        assert_eq!(min_backoffs_below_with(130_000.0, 30_000.0, 0.85), 10);
+    }
+
+    #[test]
+    fn gentler_factor_shrinks_scenario_totals() {
+        // Same k back-to-back backoffs: a gentler controller retains more
+        // rate, so both the Scenario-1 triangle and the Scenario-2
+        // recurring triangles shrink monotonically with the factor.
+        let rate = 40_000.0;
+        let n = 3;
+        for &scenario in &Scenario::ALL {
+            let t50 = buf_total_with(scenario, 4, rate, n, C, S, 0.5);
+            let t70 = buf_total_with(scenario, 4, rate, n, C, S, 0.7);
+            let t85 = buf_total_with(scenario, 4, rate, n, C, S, 0.85);
+            assert!(t50 > t70 && t70 > t85, "{scenario}: {t50} {t70} {t85}");
+        }
+    }
+
+    #[test]
+    fn per_layer_with_sums_to_total_for_nonhalf_factors() {
+        for &f in &[0.7, 0.85] {
+            for &scenario in &Scenario::ALL {
+                for k in 1..=8u32 {
+                    for n in 1..=6usize {
+                        for &rate in &[15_000.0, 40_000.0, 90_000.0] {
+                            let shares = per_layer_with(scenario, k, rate, n, C, S, f);
+                            let total: f64 = shares.iter().sum();
+                            let expect = buf_total_with(scenario, k, rate, n, C, S, f);
+                            assert!(
+                                (total - expect).abs() < 1e-6 * expect.max(1.0),
+                                "f={f} {scenario} k={k} n={n} rate={rate}: {total} vs {expect}"
+                            );
+                            for w in shares.windows(2) {
+                                assert!(w[0] >= w[1] - 1e-9, "f={f}: {shares:?}");
+                            }
+                        }
+                    }
+                }
             }
         }
     }

@@ -18,7 +18,7 @@
 //! state" and keeps the path drain-free; the pre-clamp targets are kept
 //! available for the ablation benchmarks.
 
-use crate::scenario::{min_backoffs_below, per_layer_into, Scenario};
+use crate::scenario::{min_backoffs_below_with, per_layer_into_with, Scenario};
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
@@ -86,8 +86,21 @@ impl StateSequence {
     /// can stand in for the Scenario 2 one of equal total, §4), then the
     /// running per-layer maximum is applied.
     pub fn build(rate: f64, n_active: usize, layer_rate: f64, slope: f64, k_horizon: u32) -> Self {
+        Self::build_with(rate, n_active, layer_rate, slope, k_horizon, 0.5)
+    }
+
+    /// [`build`](Self::build) generalized to an arbitrary multiplicative
+    /// decrease factor (bit-identical at `0.5`, the AIMD halving).
+    pub fn build_with(
+        rate: f64,
+        n_active: usize,
+        layer_rate: f64,
+        slope: f64,
+        k_horizon: u32,
+        decrease_factor: f64,
+    ) -> Self {
         let mut seq = StateSequence::default();
-        seq.rebuild(rate, n_active, layer_rate, slope, k_horizon);
+        seq.rebuild_with(rate, n_active, layer_rate, slope, k_horizon, decrease_factor);
         seq
     }
 
@@ -105,9 +118,23 @@ impl StateSequence {
         slope: f64,
         k_horizon: u32,
     ) {
+        self.rebuild_with(rate, n_active, layer_rate, slope, k_horizon, 0.5);
+    }
+
+    /// [`rebuild`](Self::rebuild) generalized to an arbitrary multiplicative
+    /// decrease factor (bit-identical at `0.5`, the AIMD halving).
+    pub fn rebuild_with(
+        &mut self,
+        rate: f64,
+        n_active: usize,
+        layer_rate: f64,
+        slope: f64,
+        k_horizon: u32,
+        decrease_factor: f64,
+    ) {
         let consumption = n_active as f64 * layer_rate;
         let k1 = if consumption > 0.0 {
-            min_backoffs_below(rate, consumption)
+            min_backoffs_below_with(rate, consumption, decrease_factor)
         } else {
             1
         };
@@ -125,7 +152,17 @@ impl StateSequence {
                     continue;
                 }
                 let mut raw = pool.pop().unwrap_or_default();
-                per_layer_into(scenario, k, rate, n_active, layer_rate, slope, &mut raw, &mut tmp);
+                per_layer_into_with(
+                    scenario,
+                    k,
+                    rate,
+                    n_active,
+                    layer_rate,
+                    slope,
+                    decrease_factor,
+                    &mut raw,
+                    &mut tmp,
+                );
                 if raw.iter().sum::<f64>() <= 0.0 {
                     pool.push(raw);
                     continue; // k < k1: no draining phase, nothing to protect.
@@ -261,6 +298,7 @@ struct GeoKey {
     layer_rate_bits: u64,
     slope_bits: u64,
     k_horizon: u32,
+    decrease_factor_bits: u64,
 }
 
 /// Memo cache for [`StateSequence`] derivations, keyed by the exact
@@ -344,12 +382,30 @@ impl GeometryCache {
         slope: f64,
         k_horizon: u32,
     ) {
+        self.rebuild_memoized_with(seq, rate, n_active, layer_rate, slope, k_horizon, 0.5);
+    }
+
+    /// [`rebuild_memoized`](Self::rebuild_memoized) generalized to an
+    /// arbitrary decrease factor; the factor's bit pattern is part of the
+    /// memo key so sessions with different controllers never share entries.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rebuild_memoized_with(
+        &mut self,
+        seq: &mut StateSequence,
+        rate: f64,
+        n_active: usize,
+        layer_rate: f64,
+        slope: f64,
+        k_horizon: u32,
+        decrease_factor: f64,
+    ) {
         let key = GeoKey {
             rate_bits: rate.to_bits(),
             n_active,
             layer_rate_bits: layer_rate.to_bits(),
             slope_bits: slope.to_bits(),
             k_horizon,
+            decrease_factor_bits: decrease_factor.to_bits(),
         };
         if let Some(cached) = self.map.get(&key) {
             self.hits += 1;
@@ -359,7 +415,7 @@ impl GeometryCache {
         }
         self.misses += 1;
         laqa_obs::counter!("qa.geometry_cache.misses").inc();
-        seq.rebuild(rate, n_active, layer_rate, slope, k_horizon);
+        seq.rebuild_with(rate, n_active, layer_rate, slope, k_horizon, decrease_factor);
         if self.map.len() < Self::MAX_ENTRIES && self.seen_once.remove(&key) {
             self.map.insert(key, seq.clone());
         } else if self.map.len() < Self::MAX_ENTRIES {
@@ -514,6 +570,60 @@ mod tests {
         for st in &s.states {
             assert_eq!(st.per_layer.len(), 1);
             assert!(st.per_layer[0] > 0.0);
+        }
+    }
+
+    #[test]
+    fn build_with_half_is_bit_identical_to_build() {
+        for &rate in &[15_000.0, 40_000.0, 70_000.0, 130_000.0] {
+            for n in 1..=5usize {
+                let a = StateSequence::build(rate, n, C, S, 6);
+                let b = StateSequence::build_with(rate, n, C, S, 6, 0.5);
+                assert_eq!(a.k1, b.k1);
+                assert_eq!(a.states.len(), b.states.len());
+                for (sa, sb) in a.states.iter().zip(&b.states) {
+                    assert_eq!(sa.scenario, sb.scenario);
+                    assert_eq!(sa.k, sb.k);
+                    for (x, y) in sa.per_layer.iter().zip(&sb.per_layer) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                    for (x, y) in sa.raw_per_layer.iter().zip(&sb.raw_per_layer) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonhalf_factor_sequence_stays_sorted_and_monotone() {
+        for &f in &[0.7, 0.85] {
+            let s = StateSequence::build_with(40_000.0, 4, C, S, 6, f);
+            assert!(!s.states.is_empty(), "f={f}");
+            for w in s.states.windows(2) {
+                assert!(w[0].raw_total() <= w[1].raw_total() + 1e-9, "f={f}");
+                for i in 0..4 {
+                    assert!(w[0].per_layer[i] <= w[1].per_layer[i] + 1e-9, "f={f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn geometry_cache_keys_on_decrease_factor() {
+        let mut cache = GeometryCache::new();
+        let mut seq = StateSequence::default();
+        // Two misses at f=0.5 admit the entry; a lookup at f=0.85 with the
+        // same (rate, n, C, S, k) must miss and rebuild, not alias.
+        cache.rebuild_memoized(&mut seq, 40_000.0, 3, C, S, 5);
+        cache.rebuild_memoized(&mut seq, 40_000.0, 3, C, S, 5);
+        assert_eq!(cache.len(), 1);
+        cache.rebuild_memoized_with(&mut seq, 40_000.0, 3, C, S, 5, 0.85);
+        assert_eq!(cache.stats().0, 0, "factor change must not hit");
+        let fresh = StateSequence::build_with(40_000.0, 3, C, S, 5, 0.85);
+        assert_eq!(seq.states.len(), fresh.states.len());
+        for (a, b) in seq.states.iter().zip(&fresh.states) {
+            assert_eq!(a.per_layer, b.per_layer);
         }
     }
 

@@ -1,0 +1,636 @@
+//! A BBR-style model-based controller behind the [`RateController`] trait.
+//!
+//! Where RAP probes with a blind AIMD sawtooth, this sender builds an
+//! explicit model of the path — a windowed **max-filter over delivery-rate
+//! samples** (the bottleneck bandwidth estimate `BtlBw`) and a windowed
+//! **min-filter over RTT samples** (`RTprop`) — and paces at
+//! `pacing_gain · BtlBw`. The gain follows the classic probe cycle: one
+//! round at 1.25× to look for newly-free bandwidth, one at 0.75× to drain
+//! the queue the probe built, then six rounds at 1× to cruise.
+//!
+//! The QA layer's contract is honoured as follows:
+//!
+//! * **rate** — the paced rate `gain · BtlBw`, clamped to
+//!   `[min, max_rate]`;
+//! * **slope** — the local linearization `packet_size / srtt²`: a probe
+//!   round lifts the estimate by at most a packet-per-RTT-ish amount per
+//!   round for a paced flow sharing a drop-tail bottleneck, so the RAP
+//!   slope is the right planning number (and keeps the deficit-triangle
+//!   geometry finite);
+//! * **backoff** — loss clusters discount the bandwidth model by
+//!   [`LOSS_BETA`] (once per congestion event, same cluster suppression as
+//!   RAP) and report the realized post/pre ratio; a timeout collapses the
+//!   model to the floor rate. The nominal decrease factor surfaced to the
+//!   QA geometry is therefore `LOSS_BETA`.
+//!
+//! Everything is deterministic: filters are pure functions of the ACK
+//! stream and the polled clock.
+
+use crate::controller::RateController;
+use crate::history::{PacketRecord, TransmissionHistory};
+use crate::receiver::AckInfo;
+use crate::rtt::RttEstimator;
+use crate::sender::{BackoffCause, RapEvent};
+use std::collections::VecDeque;
+
+/// Multiplicative discount applied to the bandwidth model on a loss
+/// cluster — the controller's nominal decrease factor.
+pub const LOSS_BETA: f64 = 0.85;
+
+/// Pacing-gain cycle after startup: probe up, drain, cruise ×6.
+const GAIN_CYCLE: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+
+/// Startup pacing gain (fast initial ramp, ~2/ln2 in real BBR).
+const STARTUP_GAIN: f64 = 2.0;
+
+/// Rounds without ≥ [`FULL_BW_THRESH`] bandwidth growth before startup
+/// exits into the steady-state cycle.
+const FULL_BW_ROUNDS: u32 = 3;
+
+/// Per-round growth that still counts as "filling the pipe".
+const FULL_BW_THRESH: f64 = 1.25;
+
+/// BBR-style sender configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BbrConfig {
+    /// Payload bytes per packet.
+    pub packet_size: f64,
+    /// Initial transmission rate (bytes/s) before the model has samples.
+    pub initial_rate: f64,
+    /// Initial RTT guess (seconds).
+    pub initial_rtt: f64,
+    /// Packets after a hole before it is declared lost.
+    pub reorder_threshold: u64,
+    /// Rate ceiling (bytes/s), `INFINITY` for none.
+    pub max_rate: f64,
+    /// Bandwidth max-filter window (probe rounds).
+    pub btlbw_rounds: u64,
+    /// Min-RTT filter window (seconds).
+    pub rtprop_window: f64,
+}
+
+impl Default for BbrConfig {
+    fn default() -> Self {
+        BbrConfig {
+            packet_size: 1_000.0,
+            initial_rate: 2_000.0,
+            initial_rtt: 0.2,
+            reorder_threshold: 3,
+            max_rate: f64::INFINITY,
+            btlbw_rounds: 10,
+            rtprop_window: 10.0,
+        }
+    }
+}
+
+/// BBR-style delivery-rate-model sender. Paced, like RAP; drive it with
+/// the same loop (see [`RateController`]).
+#[derive(Debug, Clone)]
+pub struct BbrSender {
+    cfg: BbrConfig,
+    rtt: RttEstimator,
+    history: TransmissionHistory,
+    /// Windowed max over delivery-rate samples: `(round, sample)` kept
+    /// monotone decreasing in `sample`.
+    bw_filter: VecDeque<(u64, f64)>,
+    /// Model fallback when the filter is empty (initial rate, or the
+    /// floor after a timeout collapse).
+    fallback_bw: f64,
+    /// Windowed min over RTT samples: `(time, rtt)` kept monotone
+    /// increasing in `rtt`.
+    rtprop_filter: VecDeque<(f64, f64)>,
+    /// Cumulative acked bytes (delivery-rate numerator).
+    delivered: f64,
+    /// Recent `(time, delivered)` checkpoints spanning about one SRTT.
+    delivery_samples: VecDeque<(f64, f64)>,
+    /// Probe-round counter (advances once per SRTT).
+    round: u64,
+    next_round: f64,
+    /// Startup state: true until the bandwidth estimate plateaus.
+    startup: bool,
+    full_bw: f64,
+    full_bw_count: u32,
+    /// A loss happened during startup: exit it at the next round
+    /// boundary. Exiting inside the loss handler would change the pacing
+    /// gain mid-backoff and corrupt the reported post/pre ratio.
+    loss_ends_startup: bool,
+    /// Index into [`GAIN_CYCLE`] once out of startup.
+    cycle_idx: usize,
+    next_seq: u64,
+    next_send: f64,
+    recovery_seq: Option<u64>,
+    last_progress: f64,
+    timeouts_in_row: u32,
+    events: Vec<RapEvent>,
+}
+
+impl BbrSender {
+    /// New sender whose clock starts at `now`.
+    pub fn new(cfg: BbrConfig, now: f64) -> Self {
+        let rtt = RttEstimator::new(cfg.initial_rtt);
+        let srtt = rtt.srtt();
+        BbrSender {
+            history: TransmissionHistory::new(cfg.reorder_threshold),
+            rtt,
+            bw_filter: VecDeque::new(),
+            fallback_bw: cfg.initial_rate.max(cfg.packet_size),
+            rtprop_filter: VecDeque::new(),
+            delivered: 0.0,
+            delivery_samples: VecDeque::new(),
+            round: 0,
+            next_round: now + srtt,
+            startup: true,
+            full_bw: 0.0,
+            full_bw_count: 0,
+            loss_ends_startup: false,
+            cycle_idx: 0,
+            next_seq: 0,
+            next_send: now,
+            recovery_seq: None,
+            last_progress: now,
+            timeouts_in_row: 0,
+            events: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Floor rate: one packet per second, same as RAP's AIMD floor.
+    fn min_rate(&self) -> f64 {
+        self.cfg.packet_size
+    }
+
+    /// Bottleneck-bandwidth estimate (bytes/s): the filter max, or the
+    /// fallback before any sample exists.
+    pub fn btlbw(&self) -> f64 {
+        self.bw_filter
+            .front()
+            .map_or(self.fallback_bw, |&(_, s)| s)
+    }
+
+    /// Path propagation-delay estimate (seconds): the windowed RTT min,
+    /// or the initial guess before any sample exists.
+    pub fn rtprop(&self) -> f64 {
+        self.rtprop_filter
+            .front()
+            .map_or(self.cfg.initial_rtt, |&(_, r)| r)
+    }
+
+    /// Smoothed RTT (seconds).
+    pub fn srtt(&self) -> f64 {
+        self.rtt.srtt()
+    }
+
+    /// Current pacing gain.
+    fn gain(&self) -> f64 {
+        if self.startup {
+            STARTUP_GAIN
+        } else {
+            GAIN_CYCLE[self.cycle_idx]
+        }
+    }
+
+    fn paced_rate(&self) -> f64 {
+        (self.gain() * self.btlbw()).clamp(self.min_rate(), self.cfg.max_rate)
+    }
+
+    /// Consecutive timeouts without intervening ACK progress.
+    pub fn timeouts_in_row(&self) -> u32 {
+        self.timeouts_in_row
+    }
+
+    /// Configured packet size (bytes).
+    pub fn packet_size(&self) -> f64 {
+        self.cfg.packet_size
+    }
+
+    /// The configuration this sender was built with.
+    pub fn config(&self) -> &BbrConfig {
+        &self.cfg
+    }
+
+    fn timeout_deadline(&self) -> f64 {
+        if self.history.outstanding() == 0 {
+            return f64::INFINITY;
+        }
+        self.last_progress + self.rtt.rto()
+    }
+
+    /// Record an RTT sample into both the smoothed estimator and the
+    /// windowed min-filter.
+    fn sample_rtt(&mut self, now: f64, sample: f64) {
+        self.rtt.sample(sample);
+        while self
+            .rtprop_filter
+            .back()
+            .is_some_and(|&(_, r)| r >= sample)
+        {
+            self.rtprop_filter.pop_back();
+        }
+        self.rtprop_filter.push_back((now, sample));
+        while self
+            .rtprop_filter
+            .front()
+            .is_some_and(|&(t, _)| t < now - self.cfg.rtprop_window)
+            && self.rtprop_filter.len() > 1
+        {
+            self.rtprop_filter.pop_front();
+        }
+    }
+
+    /// Fold a delivery-rate sample into the windowed max-filter.
+    fn push_bw_sample(&mut self, sample: f64) {
+        if !(sample.is_finite() && sample > 0.0) {
+            return;
+        }
+        while self.bw_filter.back().is_some_and(|&(_, s)| s <= sample) {
+            self.bw_filter.pop_back();
+        }
+        self.bw_filter.push_back((self.round, sample));
+        self.expire_bw();
+    }
+
+    fn expire_bw(&mut self) {
+        while self
+            .bw_filter
+            .front()
+            .is_some_and(|&(r, _)| self.round.saturating_sub(r) > self.cfg.btlbw_rounds)
+            && self.bw_filter.len() > 1
+        {
+            self.bw_filter.pop_front();
+        }
+    }
+
+    /// Update the delivery-rate estimate after `delivered` grew.
+    fn sample_delivery_rate(&mut self, now: f64) {
+        self.delivery_samples.push_back((now, self.delivered));
+        let horizon = now - self.rtt.srtt().max(1e-3);
+        while self.delivery_samples.len() > 2
+            && self.delivery_samples[1].0 <= horizon
+        {
+            self.delivery_samples.pop_front();
+        }
+        if let (Some(&(t0, d0)), Some(&(t1, d1))) =
+            (self.delivery_samples.front(), self.delivery_samples.back())
+        {
+            if t1 > t0 {
+                self.push_bw_sample((d1 - d0) / (t1 - t0));
+            }
+        }
+    }
+
+    fn advance_round(&mut self, at: f64) {
+        self.round += 1;
+        self.expire_bw();
+        let rate_before = self.paced_rate();
+        if self.startup && self.loss_ends_startup {
+            // The pipe is demonstrably full; drain the queue the probe
+            // built, then cruise.
+            self.startup = false;
+            self.cycle_idx = 1;
+        } else if self.startup {
+            let bw = self.btlbw();
+            if bw >= self.full_bw * FULL_BW_THRESH {
+                self.full_bw = bw;
+                self.full_bw_count = 0;
+            } else {
+                self.full_bw_count += 1;
+                if self.full_bw_count >= FULL_BW_ROUNDS {
+                    self.startup = false;
+                    self.cycle_idx = 0;
+                }
+            }
+        } else {
+            self.cycle_idx = (self.cycle_idx + 1) % GAIN_CYCLE.len();
+        }
+        let rate = self.paced_rate();
+        if rate > rate_before {
+            self.events.push(RapEvent::RateIncrease { time: at, rate });
+        }
+    }
+
+    fn handle_losses(
+        &mut self,
+        now: f64,
+        losses: Vec<crate::history::LostPacket>,
+        cause: BackoffCause,
+    ) {
+        if losses.is_empty() {
+            return;
+        }
+        let mut new_event = false;
+        for l in &losses {
+            self.events.push(RapEvent::PacketLost {
+                time: now,
+                seq: l.seq,
+                size: l.record.size,
+                tag: l.record.tag,
+            });
+            if self.recovery_seq.is_none_or(|r| l.seq > r) {
+                new_event = true;
+            }
+        }
+        if new_event {
+            let pre_rate = self.paced_rate();
+            // Discount the whole model, not just the current max — the
+            // shadowed samples would otherwise resurface undiscounted as
+            // the front expires.
+            for (_, s) in self.bw_filter.iter_mut() {
+                *s *= LOSS_BETA;
+            }
+            self.fallback_bw = (self.fallback_bw * LOSS_BETA).max(self.min_rate());
+            self.loss_ends_startup = true;
+            self.recovery_seq = self.next_seq.checked_sub(1);
+            self.events.push(RapEvent::Backoff {
+                time: now,
+                rate: self.paced_rate(),
+                pre_rate,
+                slope: RateController::slope(self),
+                cause,
+            });
+        }
+    }
+}
+
+impl RateController for BbrSender {
+    fn rate(&self) -> f64 {
+        self.paced_rate()
+    }
+
+    fn slope(&self) -> f64 {
+        let srtt = self.rtt.srtt().max(1e-6);
+        self.cfg.packet_size / (srtt * srtt)
+    }
+
+    fn next_send_time(&self, _now: f64) -> f64 {
+        self.next_send
+    }
+
+    fn next_timer(&self) -> f64 {
+        self.next_round.min(self.timeout_deadline())
+    }
+
+    fn register_send(&mut self, now: f64, size: f64, tag: u32) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.history.on_send(
+            seq,
+            PacketRecord {
+                send_time: now,
+                size,
+                tag,
+            },
+        );
+        let ipg = self.cfg.packet_size / self.paced_rate();
+        // Pace from the scheduled time (same rule as RAP) so owner-loop
+        // jitter does not accumulate rate error.
+        self.next_send = self.next_send.max(now - ipg) + ipg;
+        if self.history.outstanding() == 1 {
+            self.last_progress = now;
+        }
+        seq
+    }
+
+    fn on_ack(&mut self, now: f64, ack: AckInfo) {
+        self.last_progress = now;
+        self.timeouts_in_row = 0;
+        self.rtt.reset_backoff();
+        let mut resolved: Vec<(u64, PacketRecord)> = Vec::new();
+        if let Some(record) = self.history.mark_received(ack.ack_seq) {
+            let sample = now - record.send_time;
+            self.sample_rtt(now, sample);
+            resolved.push((ack.ack_seq, record));
+        }
+        if ack.cum_seq != u64::MAX {
+            resolved.extend(self.history.mark_received_upto(ack.cum_seq));
+        }
+        if ack.highest >= 1 {
+            let valid = if ack.highest >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << ack.highest) - 1
+            };
+            let mut bits = ack.mask & valid;
+            while bits != 0 {
+                let i = u64::from(bits.trailing_zeros());
+                bits &= bits - 1;
+                if let Some(r) = self.history.mark_received(ack.highest - 1 - i) {
+                    resolved.push((ack.highest - 1 - i, r));
+                }
+            }
+        }
+        for (seq, record) in resolved {
+            self.delivered += record.size;
+            self.events.push(RapEvent::PacketAcked {
+                time: now,
+                seq,
+                size: record.size,
+                tag: record.tag,
+            });
+        }
+        self.sample_delivery_rate(now);
+        let losses = self.history.detect_losses();
+        self.handle_losses(now, losses, BackoffCause::Loss);
+    }
+
+    fn poll_timers(&mut self, now: f64) {
+        if now >= self.timeout_deadline() {
+            let losses = self.history.flush_all_as_lost();
+            for l in &losses {
+                self.events.push(RapEvent::PacketLost {
+                    time: now,
+                    seq: l.seq,
+                    size: l.record.size,
+                    tag: l.record.tag,
+                });
+            }
+            self.rtt.on_timeout();
+            self.timeouts_in_row = self.timeouts_in_row.saturating_add(1);
+            let pre_rate = self.paced_rate();
+            // Collapse the model: the path stopped answering, so nothing
+            // it learned is trustworthy. Cruise gain (not startup) so the
+            // post-collapse rate is the floor itself — re-entering startup
+            // here would make the "backoff" *raise* the rate when the
+            // model was already at the floor.
+            self.bw_filter.clear();
+            self.fallback_bw = self.min_rate();
+            self.delivery_samples.clear();
+            self.startup = false;
+            self.cycle_idx = 2;
+            self.full_bw = 0.0;
+            self.full_bw_count = 0;
+            self.loss_ends_startup = false;
+            self.recovery_seq = self.next_seq.checked_sub(1);
+            self.last_progress = now;
+            self.events.push(RapEvent::Backoff {
+                time: now,
+                rate: self.paced_rate(),
+                pre_rate,
+                slope: RateController::slope(self),
+                cause: BackoffCause::Timeout,
+            });
+        }
+        while now >= self.next_round {
+            let at = self.next_round;
+            self.advance_round(at);
+            self.next_round += self.rtt.srtt().max(1e-3);
+        }
+    }
+
+    fn drain_events_into(&mut self, out: &mut Vec<RapEvent>) {
+        out.append(&mut self.events);
+    }
+
+    fn restart(&mut self, start_at: f64) {
+        *self = BbrSender::new(self.cfg.clone(), start_at);
+    }
+
+    fn decrease_factor(&self) -> f64 {
+        LOSS_BETA
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::RapReceiverState;
+
+    fn sender(max_rate: f64) -> BbrSender {
+        BbrSender::new(
+            BbrConfig {
+                initial_rate: 10_000.0,
+                initial_rtt: 0.1,
+                max_rate,
+                ..BbrConfig::default()
+            },
+            0.0,
+        )
+    }
+
+    /// Echo path with one-way delay `owd` dropping every `loss_every`-th
+    /// packet (0 = lossless). Returns (sender, backoff list as
+    /// `(pre, post)` pairs).
+    fn run(
+        mut s: BbrSender,
+        dur: f64,
+        owd: f64,
+        loss_every: u64,
+    ) -> (BbrSender, Vec<(f64, f64)>) {
+        let mut rx = RapReceiverState::new();
+        let mut now = 0.0;
+        let mut pipe: Vec<(f64, u64)> = Vec::new();
+        let mut backoffs = Vec::new();
+        let mut events = Vec::new();
+        while now < dur {
+            s.poll_timers(now);
+            while !pipe.is_empty() && pipe[0].0 <= now {
+                let (_, seq) = pipe.remove(0);
+                s.on_ack(now, rx.on_data(seq));
+            }
+            while now >= RateController::next_send_time(&s, now) {
+                let seq = RateController::register_send(&mut s, now, 1_000.0, 0);
+                if loss_every == 0 || seq % loss_every != loss_every - 1 {
+                    pipe.push((now + 2.0 * owd, seq));
+                }
+            }
+            s.drain_events_into(&mut events);
+            for e in events.drain(..) {
+                if let RapEvent::Backoff { rate, pre_rate, .. } = e {
+                    backoffs.push((pre_rate, rate));
+                }
+            }
+            now += 0.001;
+        }
+        (s, backoffs)
+    }
+
+    #[test]
+    fn learns_the_path_without_loss() {
+        // Unlimited echo path: startup must ramp the model well past the
+        // initial rate, and rtprop must find the 40 ms path RTT.
+        let (s, backoffs) = run(sender(f64::INFINITY), 3.0, 0.02, 0);
+        assert!(s.btlbw() > 100_000.0, "btlbw {}", s.btlbw());
+        assert!((s.rtprop() - 0.04).abs() < 0.02, "rtprop {}", s.rtprop());
+        assert!(backoffs.is_empty());
+    }
+
+    #[test]
+    fn respects_max_rate_bound() {
+        let (s, _) = run(sender(50_000.0), 3.0, 0.02, 0);
+        assert!(RateController::rate(&s) <= 50_000.0 + 1e-9);
+    }
+
+    #[test]
+    fn loss_discounts_model_once_per_cluster() {
+        let mut s = sender(f64::INFINITY);
+        let mut rx = RapReceiverState::new();
+        for i in 0..10u64 {
+            RateController::register_send(&mut s, i as f64 * 0.01, 1_000.0, 0);
+        }
+        // Lose 3 and 5 from the same flight: one congestion event.
+        for seq in (0..10u64).filter(|q| *q != 3 && *q != 5) {
+            s.on_ack(0.3, rx.on_data(seq));
+        }
+        let mut events = Vec::new();
+        s.drain_events_into(&mut events);
+        let backoffs: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                RapEvent::Backoff { rate, pre_rate, .. } => Some((*pre_rate, *rate)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(backoffs.len(), 1, "cluster suppression");
+        let (pre, post) = backoffs[0];
+        let ratio = post / pre;
+        assert!(
+            (ratio - LOSS_BETA).abs() < 1e-9,
+            "realized factor {ratio} vs nominal {LOSS_BETA}"
+        );
+    }
+
+    #[test]
+    fn every_backoff_ratio_in_unit_interval() {
+        let (s, backoffs) = run(sender(f64::INFINITY), 10.0, 0.02, 40);
+        assert!(!backoffs.is_empty(), "periodic loss must back off");
+        for (pre, post) in backoffs {
+            assert!(pre > 0.0 && post > 0.0);
+            let ratio = post / pre;
+            assert!(
+                ratio > 0.0 && ratio <= 1.0,
+                "ratio {ratio} out of (0, 1]"
+            );
+        }
+        assert!(RateController::rate(&s) >= s.packet_size());
+    }
+
+    #[test]
+    fn timeout_collapses_to_floor() {
+        let mut s = sender(f64::INFINITY);
+        for i in 0..5u64 {
+            RateController::register_send(&mut s, i as f64 * 0.01, 1_000.0, 0);
+        }
+        s.poll_timers(30.0);
+        assert_eq!(RateController::rate(&s), s.packet_size());
+        let mut events = Vec::new();
+        s.drain_events_into(&mut events);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            RapEvent::Backoff {
+                cause: BackoffCause::Timeout,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let (a, _) = run(sender(f64::INFINITY), 5.0, 0.02, 60);
+        let (b, _) = run(sender(f64::INFINITY), 5.0, 0.02, 60);
+        assert_eq!(a.btlbw().to_bits(), b.btlbw().to_bits());
+        assert_eq!(
+            RateController::rate(&a).to_bits(),
+            RateController::rate(&b).to_bits()
+        );
+    }
+}

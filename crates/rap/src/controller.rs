@@ -1,0 +1,286 @@
+//! The [`RateController`] abstraction: what the quality-adaptation layer
+//! actually consumes of a congestion controller.
+//!
+//! The paper's QA machinery (§3–§4) needs remarkably little from the
+//! transport underneath it: the current transmission rate, the additive
+//! slope of its increase phase (for the deficit-triangle geometry), backoff
+//! notifications carrying the *realized* decrease, and a way to pace or
+//! clock packets out. This trait captures exactly that surface so the QA
+//! agent can run unchanged over RAP (rate-paced AIMD), a TCP-like windowed
+//! sender, a BBR-style delivery-rate prober, or a NADA-style delay-gradient
+//! controller.
+//!
+//! # Pacing vs ACK-clocking
+//!
+//! The one genuine impedance mismatch between those families is *when a
+//! packet may leave*. Paced senders own a future deadline; ACK-clocked
+//! senders can only answer "now or not now". [`next_send_time`] bridges
+//! both: it takes the current time and returns the earliest permissible
+//! transmission instant — a paced sender ignores `now` and returns its
+//! deadline, an ACK-clocked sender returns `now` while the window has room
+//! and `INFINITY` once it is exhausted. The owner's loop
+//! `while now >= ctl.next_send_time(now) { send }` is then correct for
+//! every controller.
+//!
+//! [`next_send_time`]: RateController::next_send_time
+
+use crate::receiver::AckInfo;
+use crate::sender::{RapEvent, RapSender};
+use crate::window::WindowSender;
+
+/// A congestion controller usable underneath the quality-adaptation layer.
+///
+/// Implementations must be deterministic: the same sequence of calls with
+/// the same arguments must produce the same state and events, bit for bit
+/// — the simulator's replay fingerprints depend on it.
+pub trait RateController {
+    /// Current transmission rate (bytes/s).
+    fn rate(&self) -> f64;
+
+    /// Additive-increase slope `S` (bytes/s²) the QA geometry should plan
+    /// with. For controllers whose probing is not strictly additive this
+    /// is the local linearization of the increase phase.
+    fn slope(&self) -> f64;
+
+    /// Earliest time a packet may be transmitted. Paced controllers ignore
+    /// `now`; ACK-clocked controllers return `now` while the window has
+    /// room and `f64::INFINITY` otherwise (see module docs).
+    fn next_send_time(&self, now: f64) -> f64;
+
+    /// Next timer deadline (increase step, probe-cycle advance, or timeout
+    /// clock) the owner should poll at.
+    fn next_timer(&self) -> f64;
+
+    /// Register a transmission of `size` bytes tagged `tag`; returns the
+    /// sequence number to put on the wire.
+    fn register_send(&mut self, now: f64, size: f64, tag: u32) -> u64;
+
+    /// Process an arriving ACK.
+    fn on_ack(&mut self, now: f64, ack: AckInfo);
+
+    /// Poll internal timers. Call at least as often as
+    /// [`next_timer`](Self::next_timer) suggests.
+    fn poll_timers(&mut self, now: f64);
+
+    /// Drain accumulated protocol events into `out`, preserving both
+    /// buffers' capacity.
+    fn drain_events_into(&mut self, out: &mut Vec<RapEvent>);
+
+    /// Reset to the freshly-constructed state with the clock at
+    /// `start_at` (delayed flow start, fault-recovery restart).
+    fn restart(&mut self, start_at: f64);
+
+    /// The rate the per-tick QA allocation should plan with. Defaults to
+    /// the instantaneous [`rate`](Self::rate); controllers whose
+    /// instantaneous rate is jumpy (ACK-clocked windows in slow start)
+    /// override this with a smoothed variant.
+    fn tick_rate(&self) -> f64 {
+        self.rate()
+    }
+
+    /// Nominal multiplicative decrease factor of this controller: a
+    /// backoff from rate `R` lands near `R · decrease_factor`. The QA
+    /// layer threads this into its recovery geometry
+    /// (`QaConfig::decrease_factor`). Must lie strictly in `(0, 1)`.
+    fn decrease_factor(&self) -> f64 {
+        0.5
+    }
+}
+
+impl RateController for RapSender {
+    fn rate(&self) -> f64 {
+        RapSender::rate(self)
+    }
+
+    fn slope(&self) -> f64 {
+        RapSender::slope(self)
+    }
+
+    fn next_send_time(&self, _now: f64) -> f64 {
+        RapSender::next_send_time(self)
+    }
+
+    fn next_timer(&self) -> f64 {
+        RapSender::next_timer(self)
+    }
+
+    fn register_send(&mut self, now: f64, size: f64, tag: u32) -> u64 {
+        RapSender::register_send(self, now, size, tag)
+    }
+
+    fn on_ack(&mut self, now: f64, ack: AckInfo) {
+        RapSender::on_ack(self, now, ack)
+    }
+
+    fn poll_timers(&mut self, now: f64) {
+        RapSender::poll_timers(self, now)
+    }
+
+    fn drain_events_into(&mut self, out: &mut Vec<RapEvent>) {
+        RapSender::drain_events_into(self, out)
+    }
+
+    fn restart(&mut self, start_at: f64) {
+        *self = RapSender::new(self.config().clone(), start_at);
+    }
+}
+
+impl RateController for WindowSender {
+    fn rate(&self) -> f64 {
+        WindowSender::rate(self)
+    }
+
+    fn slope(&self) -> f64 {
+        WindowSender::slope(self)
+    }
+
+    fn next_send_time(&self, now: f64) -> f64 {
+        if self.can_send() {
+            now
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn next_timer(&self) -> f64 {
+        WindowSender::next_timer(self)
+    }
+
+    fn register_send(&mut self, now: f64, size: f64, tag: u32) -> u64 {
+        WindowSender::register_send(self, now, size, tag)
+    }
+
+    fn on_ack(&mut self, now: f64, ack: AckInfo) {
+        WindowSender::on_ack(self, now, ack)
+    }
+
+    fn poll_timers(&mut self, now: f64) {
+        WindowSender::poll_timers(self, now)
+    }
+
+    fn drain_events_into(&mut self, out: &mut Vec<RapEvent>) {
+        WindowSender::drain_events_into(self, out)
+    }
+
+    fn restart(&mut self, start_at: f64) {
+        *self = WindowSender::new(self.config().clone(), start_at);
+    }
+
+    fn tick_rate(&self) -> f64 {
+        self.smoothed_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::RapReceiverState;
+    use crate::sender::RapConfig;
+    use crate::window::WindowConfig;
+
+    /// Drive any controller through a lossless echo path for `dur` seconds
+    /// with one-way delay `owd`, using only the trait surface.
+    fn run_clean<T: RateController>(ctl: &mut T, dur: f64, owd: f64) {
+        let mut rx = RapReceiverState::new();
+        let mut now = 0.0;
+        let mut pipe: Vec<(f64, u64)> = Vec::new();
+        while now < dur {
+            ctl.poll_timers(now);
+            while !pipe.is_empty() && pipe[0].0 <= now {
+                let (_, seq) = pipe.remove(0);
+                ctl.on_ack(now, rx.on_data(seq));
+            }
+            while now >= ctl.next_send_time(now) {
+                let seq = ctl.register_send(now, 1_000.0, 0);
+                pipe.push((now + 2.0 * owd, seq));
+            }
+            now += 0.001;
+        }
+    }
+
+    #[test]
+    fn rap_behind_trait_matches_direct_driving() {
+        // The exact driving loop from the sender's own tests, expressed
+        // through the trait, must leave the sender in the same state.
+        let cfg = RapConfig {
+            initial_rate: 10_000.0,
+            initial_rtt: 0.1,
+            ..RapConfig::default()
+        };
+        let mut via_trait = RapSender::new(cfg.clone(), 0.0);
+        run_clean(&mut via_trait, 2.0, 0.05);
+
+        let mut direct = RapSender::new(cfg, 0.0);
+        let mut rx = RapReceiverState::new();
+        let mut now = 0.0;
+        let mut pipe: Vec<(f64, u64)> = Vec::new();
+        while now < 2.0 {
+            direct.poll_timers(now);
+            while !pipe.is_empty() && pipe[0].0 <= now {
+                let (_, seq) = pipe.remove(0);
+                direct.on_ack(now, rx.on_data(seq));
+            }
+            while now >= direct.next_send_time() {
+                let seq = direct.register_send(now, 1_000.0, 0);
+                pipe.push((now + 0.1, seq));
+            }
+            now += 0.001;
+        }
+        assert_eq!(via_trait.rate().to_bits(), direct.rate().to_bits());
+        assert_eq!(
+            RateController::slope(&via_trait).to_bits(),
+            direct.slope().to_bits()
+        );
+        assert_eq!(via_trait.srtt().to_bits(), direct.srtt().to_bits());
+    }
+
+    #[test]
+    fn window_sender_clocks_on_acks() {
+        let mut w = WindowSender::new(
+            WindowConfig {
+                initial_rtt: 0.05,
+                ..WindowConfig::default()
+            },
+            0.0,
+        );
+        // Window open → send now; exhausted → never.
+        assert_eq!(RateController::next_send_time(&w, 1.0), 1.0);
+        let cap = w.cwnd().floor() as usize;
+        for _ in 0..cap {
+            RateController::register_send(&mut w, 1.0, 1_000.0, 0);
+        }
+        assert_eq!(RateController::next_send_time(&w, 1.0), f64::INFINITY);
+        run_clean(&mut w, 2.0, 0.02);
+        assert!(w.rate() > 100_000.0, "window must open: {}", w.rate());
+        assert!(w.tick_rate() > 0.0 && w.tick_rate().is_finite());
+    }
+
+    #[test]
+    fn restart_resets_to_fresh_state() {
+        let mut s = RapSender::new(RapConfig::default(), 0.0);
+        run_clean(&mut s, 1.0, 0.02);
+        let mut drained = Vec::new();
+        RateController::drain_events_into(&mut s, &mut drained);
+        RateController::restart(&mut s, 5.0);
+        let fresh = RapSender::new(RapConfig::default(), 5.0);
+        assert_eq!(s.rate().to_bits(), fresh.rate().to_bits());
+        assert_eq!(
+            RateController::next_send_time(&s, 5.0).to_bits(),
+            fresh.next_send_time().to_bits()
+        );
+        let mut w = WindowSender::new(WindowConfig::default(), 0.0);
+        run_clean(&mut w, 1.0, 0.02);
+        RateController::restart(&mut w, 5.0);
+        let fresh = WindowSender::new(WindowConfig::default(), 0.0);
+        assert_eq!(w.cwnd().to_bits(), fresh.cwnd().to_bits());
+    }
+
+    #[test]
+    fn nominal_decrease_factors_in_unit_interval() {
+        let s = RapSender::new(RapConfig::default(), 0.0);
+        let w = WindowSender::new(WindowConfig::default(), 0.0);
+        for f in [s.decrease_factor(), w.decrease_factor()] {
+            assert!(f > 0.0 && f < 1.0, "nominal factor {f}");
+        }
+    }
+}

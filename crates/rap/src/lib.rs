@@ -17,7 +17,14 @@
 //! * [`finegrain`] — the optional delay-based fine-grain adaptation (the
 //!   paper evaluates the variant without it; kept for ablation);
 //! * [`window`] — an ACK-clocked (TCP-like) AIMD sender with the same
-//!   event interface, for the paper's "other AIMD schemes" future work.
+//!   event interface, for the paper's "other AIMD schemes" future work;
+//! * [`controller`] — the [`controller::RateController`] trait: the exact
+//!   surface the quality-adaptation layer consumes, so any of the senders
+//!   here (and the [`bbr`]/[`nada`] controllers) can sit underneath it;
+//! * [`bbr`] — a BBR-style delivery-rate-model sender (windowed max
+//!   bandwidth filter, min-RTT filter, pacing-gain probe cycle);
+//! * [`nada`] — a NADA-style delay-gradient sender (unified delay+loss
+//!   congestion signal with a proportional rate update).
 //!
 //! The same state machines drive both the packet-level simulator
 //! (`laqa-sim`) and the real tokio/UDP transport (`laqa-net`).
@@ -26,16 +33,22 @@
 #![deny(unsafe_code)]
 
 pub mod aimd;
+pub mod bbr;
+pub mod controller;
 pub mod finegrain;
 pub mod history;
+pub mod nada;
 pub mod receiver;
 pub mod rtt;
 pub mod sender;
 pub mod window;
 
 pub use aimd::AimdState;
+pub use bbr::{BbrConfig, BbrSender};
+pub use controller::RateController;
 pub use finegrain::FineGrain;
 pub use history::{LostPacket, PacketRecord, TransmissionHistory};
+pub use nada::{NadaConfig, NadaSender};
 pub use receiver::{AckInfo, RapReceiverState};
 pub use rtt::RttEstimator;
 pub use sender::{BackoffCause, RapConfig, RapEvent, RapSender};

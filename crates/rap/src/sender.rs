@@ -81,6 +81,16 @@ pub enum RapEvent {
         time: f64,
         /// Rate after the decrease (bytes/s).
         rate: f64,
+        /// Rate immediately before the decrease (bytes/s), so consumers
+        /// can recover the *actual* decrease factor `rate / pre_rate` —
+        /// controllers other than RAP do not halve, and even RAP's floor
+        /// clamp makes the realized factor differ from the nominal ½.
+        pre_rate: f64,
+        /// Additive-increase slope at the moment of the backoff
+        /// (bytes/s²). The QA drop rule runs against the slope *now*, not
+        /// the one sampled at the last allocation tick; an SRTT swing
+        /// inside a tick would otherwise skew the recovery geometry.
+        slope: f64,
         /// What triggered it.
         cause: BackoffCause,
     },
@@ -193,6 +203,11 @@ impl RapSender {
     /// Configured packet size (bytes).
     pub fn packet_size(&self) -> f64 {
         self.cfg.packet_size
+    }
+
+    /// The configuration this sender was built with.
+    pub fn config(&self) -> &RapConfig {
+        &self.cfg
     }
 
     /// Earliest time the next packet may be transmitted.
@@ -330,12 +345,15 @@ impl RapSender {
             }
             self.rtt.on_timeout();
             self.timeouts_in_row = self.timeouts_in_row.saturating_add(1);
+            let pre_rate = self.aimd.rate();
             let rate = self.aimd.collapse();
             self.recovery_seq = self.next_seq.checked_sub(1);
             self.last_progress = now;
             self.events.push(RapEvent::Backoff {
                 time: now,
                 rate,
+                pre_rate,
+                slope: self.aimd.slope(self.rtt.srtt()),
                 cause: BackoffCause::Timeout,
             });
             laqa_obs::counter!("rap.backoffs_timeout").inc();
@@ -379,12 +397,15 @@ impl RapSender {
             }
         }
         if new_event {
+            let pre_rate = self.aimd.rate();
             let rate = self.aimd.backoff();
             // Everything already in flight belongs to this congestion event.
             self.recovery_seq = self.next_seq.checked_sub(1);
             self.events.push(RapEvent::Backoff {
                 time: now,
                 rate,
+                pre_rate,
+                slope: self.aimd.slope(self.rtt.srtt()),
                 cause,
             });
             laqa_obs::counter!("rap.backoffs_loss").inc();

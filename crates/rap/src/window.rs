@@ -60,14 +60,23 @@ pub struct WindowSender {
     recovery_seq: Option<u64>,
     last_progress: f64,
     timeouts_in_row: u32,
+    /// EWMA of the derived rate. `cwnd/srtt` jumps a whole packet's worth
+    /// per ACK in slow start; the QA allocation tick wants something
+    /// steadier than that, so the trait's `tick_rate` reads this instead.
+    smoothed_rate: f64,
     events: Vec<RapEvent>,
 }
+
+/// EWMA gain for the smoothed tick rate.
+const RATE_SMOOTHING: f64 = 0.25;
 
 impl WindowSender {
     /// New sender whose clock starts at `now`.
     pub fn new(cfg: WindowConfig, now: f64) -> Self {
+        let cwnd = cfg.initial_cwnd.max(1.0);
+        let smoothed_rate = cwnd * cfg.packet_size / cfg.initial_rtt.max(1e-6);
         WindowSender {
-            cwnd: cfg.initial_cwnd.max(1.0),
+            cwnd,
             ssthresh: cfg.initial_ssthresh,
             rtt: RttEstimator::new(cfg.initial_rtt),
             history: TransmissionHistory::new(cfg.reorder_threshold),
@@ -75,6 +84,7 @@ impl WindowSender {
             recovery_seq: None,
             last_progress: now,
             timeouts_in_row: 0,
+            smoothed_rate,
             events: Vec::new(),
             cfg,
         }
@@ -93,6 +103,12 @@ impl WindowSender {
     /// Derived transmission rate (bytes/s): `cwnd · pkt / srtt`.
     pub fn rate(&self) -> f64 {
         self.cwnd * self.cfg.packet_size / self.rtt.srtt().max(1e-6)
+    }
+
+    /// EWMA-smoothed transmission rate (bytes/s) — a steadier signal than
+    /// [`rate`](Self::rate) for per-tick consumers like the QA allocator.
+    pub fn smoothed_rate(&self) -> f64 {
+        self.smoothed_rate
     }
 
     /// AIMD slope `S = pkt/srtt²` (bytes/s²) — one packet per RTT gained
@@ -115,6 +131,11 @@ impl WindowSender {
     /// Configured packet size.
     pub fn packet_size(&self) -> f64 {
         self.cfg.packet_size
+    }
+
+    /// The configuration this sender was built with.
+    pub fn config(&self) -> &WindowConfig {
+        &self.cfg
     }
 
     /// Next timer deadline (timeout clock) the owner should poll at.
@@ -189,6 +210,7 @@ impl WindowSender {
             }
             self.cwnd = self.cwnd.min(self.cfg.max_cwnd);
         }
+        self.smoothed_rate += RATE_SMOOTHING * (self.rate() - self.smoothed_rate);
         let losses = self.history.detect_losses();
         self.handle_losses(now, losses);
     }
@@ -206,13 +228,18 @@ impl WindowSender {
             }
             self.rtt.on_timeout();
             self.timeouts_in_row = self.timeouts_in_row.saturating_add(1);
+            let pre_rate = self.rate();
             self.ssthresh = (self.cwnd / 2.0).max(2.0);
             self.cwnd = 1.0;
             self.recovery_seq = self.next_seq.checked_sub(1);
             self.last_progress = now;
+            let rate = self.rate();
+            self.smoothed_rate = rate;
             self.events.push(RapEvent::Backoff {
                 time: now,
-                rate: self.rate(),
+                rate,
+                pre_rate,
+                slope: self.slope(),
                 cause: BackoffCause::Timeout,
             });
         }
@@ -235,12 +262,17 @@ impl WindowSender {
             }
         }
         if new_event {
+            let pre_rate = self.rate();
             self.ssthresh = (self.cwnd / 2.0).max(2.0);
             self.cwnd = self.ssthresh;
             self.recovery_seq = self.next_seq.checked_sub(1);
+            let rate = self.rate();
+            self.smoothed_rate = rate;
             self.events.push(RapEvent::Backoff {
                 time: now,
-                rate: self.rate(),
+                rate,
+                pre_rate,
+                slope: self.slope(),
                 cause: BackoffCause::Loss,
             });
         }

@@ -6,7 +6,7 @@ use crate::engine::{Agent, Ctx};
 use crate::packet::{AgentId, Packet, PacketKind, Route};
 use laqa_core::{QaConfig, QaController};
 use laqa_layered::{LayeredEncoding, LayeredReceiver};
-use laqa_rap::{RapConfig, RapEvent, RapReceiverState, RapSender};
+use laqa_rap::{RapConfig, RapEvent, RapReceiverState, RapSender, RateController};
 use laqa_trace::TimeSeries;
 use std::any::Any;
 
@@ -49,10 +49,13 @@ impl QaTraces {
     }
 }
 
-/// Quality-adaptive RAP video source.
-pub struct QaSourceAgent {
-    rap: RapSender,
-    rap_config: RapConfig,
+/// Quality-adaptive video source, generic over the congestion controller
+/// underneath (see [`RateController`]). The default `RapSender`
+/// instantiation is the paper's QA-over-RAP system; any other controller
+/// implementing the trait (BBR-style, NADA-style, ACK-clocked window)
+/// drives the identical quality-adaptation machinery.
+pub struct QaSourceAgent<T: RateController = RapSender> {
+    rap: T,
     qa: QaController,
     /// Sink agent.
     pub dst: AgentId,
@@ -72,6 +75,12 @@ pub struct QaSourceAgent {
     /// "opportunity for selective retransmission of the more important
     /// information"); `0` disables it (the paper's evaluation setting).
     pub retransmit_protect: usize,
+    /// When set, a backoff's drop rule runs against the slope the sender
+    /// observed *at the backoff* instead of the (up to one tick stale)
+    /// slope from the last allocation tick. Off by default: the paper's
+    /// trajectories — and every seed-pinned golden — were produced with
+    /// the per-tick slope refresh only.
+    pub fresh_slope_on_backoff: bool,
     /// Pending retransmissions: (layer, size).
     retx_queue: std::collections::VecDeque<(usize, f64)>,
     /// Recorded traces (figure panels).
@@ -86,8 +95,9 @@ pub struct QaSourceAgent {
     ev_scratch: Vec<RapEvent>,
 }
 
-impl QaSourceAgent {
-    /// New QA source; `tick_dt` is the allocation period (seconds).
+impl QaSourceAgent<RapSender> {
+    /// New QA-over-RAP source; `tick_dt` is the allocation period
+    /// (seconds).
     pub fn new(
         dst: AgentId,
         route: impl Into<Route>,
@@ -97,10 +107,40 @@ impl QaSourceAgent {
         tick_dt: f64,
     ) -> Self {
         let packet_size = rap_cfg.packet_size as u32;
+        Self::with_controller(
+            dst,
+            route,
+            flow,
+            RapSender::new(rap_cfg, 0.0),
+            packet_size,
+            qa_cfg,
+            tick_dt,
+        )
+    }
+
+    /// The RAP sender, for post-run inspection.
+    pub fn rap(&self) -> &RapSender {
+        &self.rap
+    }
+}
+
+impl<T: RateController + 'static> QaSourceAgent<T> {
+    /// New QA source over an arbitrary congestion controller. The
+    /// controller should be constructed with its clock at `0.0`; a
+    /// delayed `start_at` restarts it at the join time via
+    /// [`RateController::restart`].
+    pub fn with_controller(
+        dst: AgentId,
+        route: impl Into<Route>,
+        flow: u32,
+        controller: T,
+        packet_size: u32,
+        qa_cfg: QaConfig,
+        tick_dt: f64,
+    ) -> Self {
         let max_layers = qa_cfg.max_layers;
         QaSourceAgent {
-            rap: RapSender::new(rap_cfg.clone(), 0.0),
-            rap_config: rap_cfg,
+            rap: controller,
             qa: QaController::new(qa_cfg).expect("valid QA config"),
             dst,
             route: route.into(),
@@ -111,6 +151,7 @@ impl QaSourceAgent {
             armed_at: f64::NEG_INFINITY,
             start_at: 0.0,
             retransmit_protect: 0,
+            fresh_slope_on_backoff: false,
             retx_queue: std::collections::VecDeque::new(),
             traces: QaTraces::new(max_layers),
             sent_per_layer: vec![0; max_layers],
@@ -118,6 +159,11 @@ impl QaSourceAgent {
             backoffs: 0,
             ev_scratch: Vec::new(),
         }
+    }
+
+    /// The congestion controller, for post-run inspection.
+    pub fn controller(&self) -> &T {
+        &self.rap
     }
 
     /// The controller (metrics, buffers) for post-run inspection.
@@ -132,18 +178,19 @@ impl QaSourceAgent {
         &mut self.qa
     }
 
-    /// The RAP sender, for post-run inspection.
-    pub fn rap(&self) -> &RapSender {
-        &self.rap
-    }
-
     fn drain_events(&mut self, now: f64) {
         let mut events = std::mem::take(&mut self.ev_scratch);
         self.rap.drain_events_into(&mut events);
         for e in events.drain(..) {
             match e {
-                RapEvent::Backoff { rate, .. } => {
+                RapEvent::Backoff { rate, slope, .. } => {
                     self.backoffs += 1;
+                    if self.fresh_slope_on_backoff {
+                        // The drop rule compares buffering against a
+                        // recovery triangle whose slope is S; use the
+                        // value the sender saw at the backoff itself.
+                        self.qa.set_slope(slope);
+                    }
                     self.qa.on_backoff(now, rate);
                 }
                 RapEvent::PacketAcked { size, tag, .. } => {
@@ -162,7 +209,7 @@ impl QaSourceAgent {
 
     fn record_tick(&mut self, now: f64, report: &laqa_core::TickReport) {
         let c = self.qa.config().layer_rate;
-        self.traces.tx_rate.push(now, self.rap.rate());
+        self.traces.tx_rate.push(now, self.rap.tick_rate());
         self.traces
             .consumption
             .push(now, report.n_active as f64 * c);
@@ -189,11 +236,11 @@ impl QaSourceAgent {
         while ctx.now + 1e-12 >= self.next_tick {
             let now = self.next_tick;
             self.qa.set_slope(self.rap.slope());
-            let report = self.qa.tick(now, self.rap.rate(), self.tick_dt);
+            let report = self.qa.tick(now, self.rap.tick_rate(), self.tick_dt);
             self.record_tick(now, &report);
             self.next_tick += self.tick_dt;
         }
-        while ctx.now >= self.rap.next_send_time() {
+        while ctx.now >= self.rap.next_send_time(ctx.now) {
             let size = self.packet_size as f64;
             // Retransmissions of protected layers take priority over new
             // data; they ride the same paced budget.
@@ -230,7 +277,7 @@ impl QaSourceAgent {
     fn arm(&mut self, ctx: &mut Ctx) {
         let next = self
             .rap
-            .next_send_time()
+            .next_send_time(ctx.now)
             .min(self.rap.next_timer())
             .min(self.next_tick)
             .max(ctx.now + 1e-6);
@@ -244,10 +291,10 @@ impl QaSourceAgent {
     }
 }
 
-impl Agent for QaSourceAgent {
+impl<T: RateController + 'static> Agent for QaSourceAgent<T> {
     fn start(&mut self, ctx: &mut Ctx) {
         if self.start_at > 0.0 {
-            self.rap = RapSender::new(self.rap_config.clone(), self.start_at);
+            self.rap.restart(self.start_at);
             self.next_tick = self.start_at;
             ctx.set_timer_at(self.start_at, 0);
         } else {
@@ -473,6 +520,41 @@ mod tests {
         assert!(
             starved_on <= starved_off,
             "retransmission should not increase base starvation: {starved_on} vs {starved_off}"
+        );
+    }
+
+    /// Drive a timeout backoff through the drain path with a deliberately
+    /// wrong tick-time slope planted in the QA controller; returns the QA
+    /// slope after the backoff plus the sender's own slope.
+    fn backoff_slope(fresh: bool) -> (f64, f64, u64) {
+        let mut src =
+            QaSourceAgent::new(0, vec![], 1, RapConfig::default(), QaConfig::default(), 0.1);
+        src.fresh_slope_on_backoff = fresh;
+        src.rap.restart(0.0);
+        let _ = src.rap.register_send(0.0, 1000.0, 0);
+        // Way past the RTO: the sender times out and queues a Backoff
+        // event carrying the slope it saw at that instant.
+        src.rap.poll_timers(10.0);
+        src.qa.set_slope(999_999.0);
+        src.drain_events(10.0);
+        (src.qa.slope(), src.rap.slope(), src.backoffs)
+    }
+
+    #[test]
+    fn fresh_slope_opt_in_refreshes_drop_rule_slope_at_backoff() {
+        // Default (off): the QA machine keeps whatever slope the last tick
+        // installed — the historical, golden-pinned behaviour.
+        let (stale, _, backoffs) = backoff_slope(false);
+        assert!(backoffs > 0, "the timeout must actually produce a backoff");
+        assert_eq!(stale, 999_999.0, "default keeps the tick-time slope");
+        // Opt-in: the Backoff event's own slope overwrites the stale one,
+        // so the drop rule's recovery triangle uses the value the sender
+        // saw at the backoff itself.
+        let (fresh, sender_slope, _) = backoff_slope(true);
+        assert_ne!(fresh, 999_999.0, "opt-in must replace the stale slope");
+        assert!(
+            (fresh - sender_slope).abs() < 1e-9,
+            "fresh slope {fresh} should match the sender's {sender_slope}"
         );
     }
 

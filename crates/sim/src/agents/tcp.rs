@@ -60,13 +60,41 @@ pub struct TcpAgent {
 }
 
 impl TcpAgent {
-    /// New greedy TCP source starting at `start_at` seconds.
+    /// Historical RTT-estimator seed (seconds) used by [`TcpAgent::new`].
+    ///
+    /// Every seed-pinned golden in the repo was produced with this value,
+    /// so `new` keeps it regardless of the scenario's actual path RTT;
+    /// topology-aware construction goes through
+    /// [`TcpAgent::with_rtt_seed`]. Before the first RTT sample the
+    /// estimator's RTO from this seed is `0.2 + 4·0.1 = 0.6 s` — on paths
+    /// whose RTT exceeds that, the very first ACK loses the race against
+    /// the retransmission timer and the flow opens with a spurious
+    /// timeout.
+    pub const LEGACY_RTT_SEED: f64 = 0.2;
+
+    /// New greedy TCP source starting at `start_at` seconds, with the
+    /// RTT estimator at the legacy [`TcpAgent::LEGACY_RTT_SEED`].
     pub fn new(
         dst: AgentId,
         route: impl Into<Route>,
         flow: u32,
         packet_size: u32,
         start_at: f64,
+    ) -> Self {
+        Self::with_rtt_seed(dst, route, flow, packet_size, start_at, Self::LEGACY_RTT_SEED)
+    }
+
+    /// New greedy TCP source whose RTT estimator is seeded from the
+    /// configured path RTT (e.g. [`crate::topology::DumbbellConfig::rtt`])
+    /// instead of the fixed legacy default, so long-delay paths do not
+    /// open with a spurious retransmission timeout.
+    pub fn with_rtt_seed(
+        dst: AgentId,
+        route: impl Into<Route>,
+        flow: u32,
+        packet_size: u32,
+        start_at: f64,
+        rtt_seed: f64,
     ) -> Self {
         TcpAgent {
             dst,
@@ -80,7 +108,7 @@ impl TcpAgent {
             cum: 0,
             dup_acks: 0,
             recovery: None,
-            rtt: RttEstimator::new(0.2),
+            rtt: RttEstimator::new(rtt_seed),
             timed: None,
             rto_recover: 0,
             rto_epoch: 0,
@@ -395,6 +423,50 @@ mod tests {
         let max = goodputs.iter().cloned().fold(0.0, f64::max);
         let min = goodputs.iter().cloned().fold(f64::MAX, f64::min);
         assert!(max / min.max(1.0) < 3.0, "unfair: {goodputs:?}");
+    }
+
+    #[test]
+    fn rtt_seed_avoids_spurious_timeouts_on_long_delay_paths() {
+        // A clean 600 ms-RTT path: ACKs take three times the legacy
+        // seed's pre-sample RTO (0.6 s), so a 0.2-seeded flow fires a
+        // spurious retransmission timeout before its first ACK can land.
+        // Seeding from the configured path RTT must eliminate that.
+        let run = |seed: Option<f64>| {
+            let mut w = World::new(11);
+            let fwd = w.add_link(LinkConfig {
+                bandwidth: 1_000_000.0,
+                delay: 0.3, // one-way; RTT = 0.6 s
+                queue_packets: 10_000,
+                ..LinkConfig::default()
+            });
+            let rev = w.add_link(LinkConfig {
+                delay: 0.3,
+                ..LinkConfig::uncongested()
+            });
+            let sink = w.add_agent(Box::new(TcpSinkAgent::new(1, vec![rev], 0)));
+            let agent = match seed {
+                Some(s) => TcpAgent::with_rtt_seed(sink, vec![fwd], 0, 1_000, 0.0, s),
+                None => TcpAgent::new(sink, vec![fwd], 0, 1_000, 0.0),
+            };
+            let src = w.add_agent(Box::new(agent));
+            w.run_until(20.0);
+            let a: &TcpAgent = w.agent(src).unwrap();
+            let s: &TcpSinkAgent = w.agent(sink).unwrap();
+            (a.timeouts, a.retransmits, s.delivered)
+        };
+        let (timeouts_legacy, retx_legacy, _) = run(None);
+        let (timeouts_seeded, retx_seeded, delivered_seeded) = run(Some(0.6));
+        assert!(
+            timeouts_legacy > 0,
+            "legacy 0.2 s seed must misfire on a 600 ms path"
+        );
+        assert_eq!(
+            timeouts_seeded, 0,
+            "path-RTT seed must not time out on a clean path"
+        );
+        assert_eq!(retx_seeded, 0, "no loss, no retransmissions");
+        assert!(retx_legacy > 0, "spurious RTO forces go-back-N resends");
+        assert!(delivered_seeded > 100, "flow must still make progress");
     }
 
     #[test]

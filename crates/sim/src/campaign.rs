@@ -38,7 +38,7 @@ use crate::faults::FaultPlan;
 use crate::mega::MegaEngine;
 use crate::scenarios::{
     build_scenario, extract_outcome, run_scenario_pooled, run_scenario_with, ScenarioConfig,
-    ScenarioOutcome, WorldPool,
+    ScenarioOutcome, Transport, WorldPool,
 };
 use crate::sched::{ambient_scheduler, SchedulerKind};
 
@@ -80,6 +80,12 @@ pub struct SessionSpec {
     /// Fault-suite intensity in `(0, 1]`; `None` runs the scenario with
     /// no fault injection at all (see [`FaultPlan::suite`]).
     pub fault_intensity: Option<f64>,
+    /// Congestion controller under the QA flow (the interop-matrix axis).
+    /// [`Transport::Rap`] reproduces the paper's system — and the label,
+    /// scenario and fingerprint of every pre-existing RAP cell,
+    /// byte-identical.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub transport: Transport,
 }
 
 impl SessionSpec {
@@ -92,16 +98,22 @@ impl SessionSpec {
         if let Some(i) = self.fault_intensity {
             cfg.faults = FaultPlan::suite(i);
         }
-        cfg
+        cfg.with_transport(self.transport)
     }
 
     /// Stable label, e.g. `T1/k3/seed42` (`T1/k3/seed42/f060` with a
-    /// fault suite at intensity 0.60).
+    /// fault suite at intensity 0.60; non-RAP transports append their
+    /// label, e.g. `T1/k3/seed42/bbr` — RAP cells keep the historical
+    /// byte-identical label).
     pub fn label(&self) -> String {
         let base = format!("{}/k{}/seed{}", self.test.label(), self.k_max, self.seed);
-        match self.fault_intensity {
+        let base = match self.fault_intensity {
             Some(i) => format!("{base}/f{:03}", (i * 100.0).round() as u32),
             None => base,
+        };
+        match self.transport {
+            Transport::Rap => base,
+            t => format!("{base}/{}", t.label()),
         }
     }
 }
@@ -128,7 +140,40 @@ impl CampaignSpec {
                         seed,
                         duration,
                         fault_intensity: None,
+                        transport: Transport::Rap,
                     });
+                }
+            }
+        }
+        CampaignSpec { sessions }
+    }
+
+    /// QA × transport interop matrix: `tests × transports × k_values ×
+    /// seeds`, with an optional fault suite applied to every cell. Each
+    /// transport's cells run the same workloads and seeds, so rows are
+    /// directly comparable across controllers.
+    pub fn interop_grid(
+        tests: &[TestKind],
+        transports: &[Transport],
+        k_values: &[u32],
+        seeds: &[u64],
+        duration: f64,
+        fault_intensity: Option<f64>,
+    ) -> Self {
+        let mut sessions = Vec::new();
+        for &test in tests {
+            for &transport in transports {
+                for &k_max in k_values {
+                    for &seed in seeds {
+                        sessions.push(SessionSpec {
+                            test,
+                            k_max,
+                            seed,
+                            duration,
+                            fault_intensity,
+                            transport,
+                        });
+                    }
                 }
             }
         }
@@ -156,6 +201,7 @@ impl CampaignSpec {
                             seed,
                             duration,
                             fault_intensity: (intensity > 0.0).then_some(intensity),
+                            transport: Transport::Rap,
                         });
                     }
                 }
@@ -264,6 +310,11 @@ impl SessionResult {
         }
         if let Some(i) = self.spec.fault_intensity {
             s.param("fault_intensity", i);
+        }
+        if self.spec.transport != Transport::Rap {
+            // RAP rows keep their historical parameter set byte-identical;
+            // only interop cells carry the transport column.
+            s.param("transport", self.spec.transport.label());
         }
         if let Some(r) = self.recovery_secs_mean {
             s.metric("recovery_secs_mean", r);
@@ -911,6 +962,7 @@ mod tests {
             seed: 7,
             duration: 4.0,
             fault_intensity: None,
+            transport: Transport::Rap,
         };
         let a = run_session(&spec);
         let b = run_session(&spec);

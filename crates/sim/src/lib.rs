@@ -48,7 +48,7 @@ pub use mega::{MegaEngine, MegaSessionView, SessionId};
 pub use packet::{AgentId, LinkId, Packet, PacketKind, Route};
 pub use scenarios::{
     run_scenario, run_scenario_pooled, run_scenario_with, run_scenarios_mega,
-    run_scenarios_mega_staggered, ScenarioConfig, ScenarioOutcome, WorldPool,
+    run_scenarios_mega_staggered, ScenarioConfig, ScenarioOutcome, Transport, WorldPool,
 };
 pub use sched::{
     ambient_scheduler, set_ambient_scheduler, AnyScheduler, EventKey, HeapScheduler, Scheduler,

@@ -16,8 +16,69 @@ use crate::sched::SchedulerKind;
 use crate::topology::{Dumbbell, DumbbellConfig};
 use laqa_core::{MetricsCollector, QaConfig};
 use laqa_layered::LayeredEncoding;
-use laqa_rap::RapConfig;
+use laqa_rap::{
+    BbrConfig, BbrSender, NadaConfig, NadaSender, RapConfig, RapSender, RateController,
+    WindowConfig, WindowSender,
+};
 use laqa_trace::TimeSeries;
+
+/// Which congestion controller drives the QA flow (the interop axis of
+/// the QA × transport matrix). Background cross-traffic is unaffected:
+/// the 9 RAP and 10 TCP competitors stay the same in every cell, so the
+/// axis isolates how the quality-adaptation machinery behaves over each
+/// controller family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Transport {
+    /// Rate-paced AIMD (the paper's RAP). The default; every seed-pinned
+    /// golden runs this transport.
+    #[default]
+    Rap,
+    /// BBR-style delivery-rate-model pacing (`laqa_rap::BbrSender`).
+    Bbr,
+    /// NADA-style delay-gradient pacing (`laqa_rap::NadaSender`).
+    Nada,
+    /// ACK-clocked TCP-like AIMD window (`laqa_rap::WindowSender`).
+    Tcp,
+}
+
+impl Transport {
+    /// All transports, in matrix order.
+    pub const ALL: [Transport; 4] =
+        [Transport::Rap, Transport::Bbr, Transport::Nada, Transport::Tcp];
+
+    /// Short label used in session labels and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Transport::Rap => "rap",
+            Transport::Bbr => "bbr",
+            Transport::Nada => "nada",
+            Transport::Tcp => "tcp",
+        }
+    }
+
+    /// Nominal multiplicative decrease factor of this transport's backoff
+    /// (what [`QaConfig::decrease_factor`] should be for its geometry to
+    /// anticipate real backoffs).
+    pub fn nominal_decrease(&self) -> f64 {
+        match self {
+            Transport::Rap | Transport::Tcp => 0.5,
+            Transport::Bbr => laqa_rap::bbr::LOSS_BETA,
+            Transport::Nada => laqa_rap::nada::NOMINAL_GAMMA,
+        }
+    }
+}
+
+impl std::str::FromStr for Transport {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Transport::ALL
+            .into_iter()
+            .find(|t| t.label() == s)
+            .ok_or_else(|| format!("unknown transport {s:?} (expected rap|bbr|nada|tcp)"))
+    }
+}
 
 /// Scenario parameters (defaults = the paper's T1 at `K_max = 2`).
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +113,9 @@ pub struct ScenarioConfig {
     /// and T2) adds no agent at all, so baseline trajectories — and every
     /// seed-pinned golden built on them — stay bit-identical.
     pub faults: FaultPlan,
+    /// Congestion controller driving the QA flow. [`Transport::Rap`] (the
+    /// default) reproduces the paper's system exactly.
+    pub transport: Transport,
 }
 
 impl ScenarioConfig {
@@ -95,7 +159,18 @@ impl ScenarioConfig {
             qa_start: 5.0,
             retransmit_protect: 0,
             faults: FaultPlan::none(),
+            transport: Transport::Rap,
         }
+    }
+
+    /// Switch the QA flow onto `transport` and thread the transport's
+    /// nominal decrease factor into the QA geometry. For
+    /// [`Transport::Rap`] this is the identity (factor 0.5 is the
+    /// default), so RAP configs stay bit-identical.
+    pub fn with_transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self.qa.decrease_factor = transport.nominal_decrease();
+        self
     }
 
     /// The paper's T2: T1 plus a CBR burst at half the bottleneck from
@@ -281,6 +356,9 @@ pub fn run_scenario_pooled(
 pub(crate) struct ScenarioHandles {
     qa_sink: AgentId,
     qa_src: AgentId,
+    /// Which [`QaSourceAgent`] instantiation sits at `qa_src` (extraction
+    /// must downcast to the matching concrete type).
+    transport: Transport,
     rap_sinks: Vec<AgentId>,
     tcp_sinks: Vec<AgentId>,
     injector: Option<AgentId>,
@@ -385,20 +463,106 @@ pub(crate) fn build_scenario(
         );
         assert_eq!(d.world.add_agent(Box::new(sink)), qa_sink_id);
         let fwd = d.forward_route();
-        let mut src = QaSourceAgent::new(
-            qa_sink_id,
-            fwd,
-            0,
-            cfg.rap.clone(),
-            cfg.qa.clone(),
-            cfg.tick_dt,
-        );
-        src.start_at = cfg.qa_start;
-        src.retransmit_protect = cfg.retransmit_protect;
-        if let Some(cache) = geometry {
-            src.qa_mut().set_geometry_cache(cache.clone());
+        // Finalize whichever QaSourceAgent<T> instantiation the transport
+        // selects; identical wiring for every controller family.
+        fn finish_qa_src<T: RateController + 'static>(
+            world: &mut World,
+            mut src: QaSourceAgent<T>,
+            cfg: &ScenarioConfig,
+            geometry: Option<&laqa_core::SharedGeometryCache>,
+            expect_id: AgentId,
+        ) {
+            src.start_at = cfg.qa_start;
+            src.retransmit_protect = cfg.retransmit_protect;
+            if let Some(cache) = geometry {
+                src.qa_mut().set_geometry_cache(cache.clone());
+            }
+            assert_eq!(world.add_agent(Box::new(src)), expect_id);
         }
-        assert_eq!(d.world.add_agent(Box::new(src)), qa_src_id);
+        match cfg.transport {
+            Transport::Rap => {
+                let src = QaSourceAgent::new(
+                    qa_sink_id,
+                    fwd,
+                    0,
+                    cfg.rap.clone(),
+                    cfg.qa.clone(),
+                    cfg.tick_dt,
+                );
+                finish_qa_src(&mut d.world, src, cfg, geometry, qa_src_id);
+            }
+            Transport::Bbr => {
+                let bbr = BbrSender::new(
+                    BbrConfig {
+                        packet_size: cfg.rap.packet_size,
+                        initial_rate: cfg.rap.initial_rate,
+                        initial_rtt: cfg.rap.initial_rtt,
+                        reorder_threshold: cfg.rap.reorder_threshold,
+                        max_rate: cfg.rap.max_rate,
+                        ..BbrConfig::default()
+                    },
+                    0.0,
+                );
+                let src = QaSourceAgent::with_controller(
+                    qa_sink_id,
+                    fwd,
+                    0,
+                    bbr,
+                    pkt,
+                    cfg.qa.clone(),
+                    cfg.tick_dt,
+                );
+                finish_qa_src(&mut d.world, src, cfg, geometry, qa_src_id);
+            }
+            Transport::Nada => {
+                let nada = NadaSender::new(
+                    NadaConfig {
+                        packet_size: cfg.rap.packet_size,
+                        initial_rate: cfg.rap.initial_rate,
+                        initial_rtt: cfg.rap.initial_rtt,
+                        reorder_threshold: cfg.rap.reorder_threshold,
+                        max_rate: cfg.rap.max_rate,
+                        ..NadaConfig::default()
+                    },
+                    0.0,
+                );
+                let src = QaSourceAgent::with_controller(
+                    qa_sink_id,
+                    fwd,
+                    0,
+                    nada,
+                    pkt,
+                    cfg.qa.clone(),
+                    cfg.tick_dt,
+                );
+                finish_qa_src(&mut d.world, src, cfg, geometry, qa_src_id);
+            }
+            Transport::Tcp => {
+                let window = WindowSender::new(
+                    WindowConfig {
+                        packet_size: cfg.rap.packet_size,
+                        initial_rtt: cfg.rap.initial_rtt,
+                        reorder_threshold: cfg.rap.reorder_threshold,
+                        // Flow-control cap equivalent to RAP's max_rate at
+                        // a generous queueing-inclusive RTT of 0.5 s; the
+                        // floor keeps the window usable on fast paths.
+                        max_cwnd: (cfg.rap.max_rate * 0.5 / cfg.rap.packet_size).max(8.0),
+                        ..WindowConfig::default()
+                    },
+                    0.0,
+                );
+                let src = QaSourceAgent::with_controller(
+                    qa_sink_id,
+                    fwd,
+                    0,
+                    window,
+                    pkt,
+                    cfg.qa.clone(),
+                    cfg.tick_dt,
+                );
+                finish_qa_src(&mut d.world, src, cfg, geometry, qa_src_id);
+            }
+        }
     }
 
     let mut rap_sinks = Vec::new();
@@ -498,6 +662,7 @@ pub(crate) fn build_scenario(
         ScenarioHandles {
             qa_sink: qa_sink_id,
             qa_src: qa_src_id,
+            transport: cfg.transport,
             rap_sinks,
             tcp_sinks,
             injector: injector_id,
@@ -553,18 +718,37 @@ pub(crate) fn extract_outcome<S: OutcomeSource>(
         .map(|m| m.series[0].clone())
         .unwrap_or_default();
     let events_processed = world.events_processed();
-    let src: &QaSourceAgent = world.agent(handles.qa_src).unwrap();
+    // The QA source's concrete type depends on the transport; downcast to
+    // the matching instantiation and pull out the identical field set.
+    fn qa_src_parts<S: OutcomeSource, T: RateController + 'static>(
+        world: &S,
+        id: AgentId,
+    ) -> (QaTraces, MetricsCollector, u64, Vec<f64>) {
+        let src: &QaSourceAgent<T> = world.agent(id).unwrap();
+        (
+            src.traces.clone(),
+            src.qa().metrics().clone(),
+            src.backoffs,
+            src.qa().buffers().to_vec(),
+        )
+    }
+    let (traces, metrics, backoffs, final_buffers) = match handles.transport {
+        Transport::Rap => qa_src_parts::<S, RapSender>(world, handles.qa_src),
+        Transport::Bbr => qa_src_parts::<S, BbrSender>(world, handles.qa_src),
+        Transport::Nada => qa_src_parts::<S, NadaSender>(world, handles.qa_src),
+        Transport::Tcp => qa_src_parts::<S, WindowSender>(world, handles.qa_src),
+    };
     ScenarioOutcome {
-        traces: src.traces.clone(),
-        metrics: src.qa().metrics().clone(),
+        traces,
+        metrics,
         rx_buffers,
         rx_underflows,
         rx_base_underflows,
-        backoffs: src.backoffs,
+        backoffs,
         bottleneck: bottleneck_stats,
         rap_throughput,
         tcp_goodput,
-        final_buffers: src.qa().buffers().to_vec(),
+        final_buffers,
         queue_trace,
         events_processed,
         fault_stats,

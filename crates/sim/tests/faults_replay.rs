@@ -5,6 +5,7 @@
 //! simulated.
 
 use laqa_sim::campaign::{run_campaign, run_session, CampaignSpec, SessionSpec, TestKind};
+use laqa_sim::Transport;
 use laqa_sim::faults::FaultPlan;
 use laqa_sim::{hash_outcome, run_scenario, ScenarioConfig};
 
@@ -124,6 +125,7 @@ fn fault_session_result_reports_recovery_metrics() {
         seed: 7,
         duration: 30.0,
         fault_intensity: Some(1.0),
+        transport: Transport::Rap,
     };
     let r = run_session(&spec);
     assert!(r.fault_transitions > 0);

@@ -10,19 +10,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/10 build (release) =="
+echo "== 1/11 build (release) =="
 cargo build --release
 
-echo "== 2/10 tests =="
+echo "== 2/11 tests =="
 cargo test -q
 
-echo "== 3/10 clippy (deny warnings) =="
+echo "== 3/11 clippy (deny warnings) =="
 cargo clippy --all-targets -- -D warnings
 
-echo "== 4/10 campaign smoke sweep =="
+echo "== 4/11 campaign smoke sweep =="
 cargo run --release -p laqa-bench --bin campaign -- --smoke
 
-echo "== 5/10 observability inertness (fingerprints with --obs on vs off) =="
+echo "== 5/11 observability inertness (fingerprints with --obs on vs off) =="
 # The smoke sweep prints one fingerprint line per replay check; enabling
 # the laqa-obs instrumentation must not change a single bit of any of
 # them (see crates/sim/tests/obs_inertness.rs for the in-tree half).
@@ -41,7 +41,7 @@ fi
 echo "fingerprints identical with obs on/off: $fp_off"
 cargo run --release -p laqa-bench --bin laqa -- obs-report --dir "$obs_dir"
 
-echo "== 6/10 fault-injection smoke (seed-replay fingerprint) =="
+echo "== 6/11 fault-injection smoke (seed-replay fingerprint) =="
 # The fault sweep must be a pure function of its seeds: two consecutive
 # runs of the same grid (which also each self-check across thread
 # counts) must print the same campaign fingerprint.
@@ -57,7 +57,7 @@ if [ -z "$fault_fp_a" ] || [ "$fault_fp_a" != "$fault_fp_b" ]; then
 fi
 echo "fault campaign replays bit-identically: $fault_fp_a"
 
-echo "== 7/10 scheduler differential harness + bench smoke =="
+echo "== 7/11 scheduler differential harness + bench smoke =="
 # The timer wheel must replay every workload bit-identically to the
 # BinaryHeap reference oracle (crates/sim/tests/sched_differential.rs),
 # and the perf harness re-checks fingerprint agreement while measuring.
@@ -68,7 +68,7 @@ cargo test -q --release -p laqa-sim --test sched_differential
 cargo run --release -p laqa-bench --bin sched -- --smoke \
   --out target/bench-sched-smoke.json
 
-echo "== 8/10 warm-world campaign executor bench + regression gate =="
+echo "== 8/11 warm-world campaign executor bench + regression gate =="
 # Sweeps {cold,warm} x {heap,wheel} x {1,2,8,16} threads over one grid and
 # exits non-zero unless every cell reproduces the same fingerprint bit for
 # bit (including the streaming run_campaign_fold cross-check), or if
@@ -77,7 +77,7 @@ echo "== 8/10 warm-world campaign executor bench + regression gate =="
 cargo run --release -p laqa-bench --bin campaign_bench -- --smoke \
   --check BENCH_campaign.json --out target/bench-campaign-smoke.json
 
-echo "== 9/10 megasession differential harness + mega bench gate =="
+echo "== 9/11 megasession differential harness + mega bench gate =="
 # Every scenario multiplexed on the shared-wheel MegaEngine must replay
 # bit-identically to its isolated per-world run
 # (crates/sim/tests/mega_differential.rs), and the campaign bench re-runs
@@ -88,7 +88,7 @@ cargo test -q --release -p laqa-sim --test mega_differential
 cargo run --release -p laqa-bench --bin campaign_bench -- --smoke --mega \
   --check BENCH_campaign.json --out target/bench-campaign-mega-smoke.json
 
-echo "== 10/10 flight-recorder trace export (mega faults run -> Perfetto JSON) =="
+echo "== 10/11 flight-recorder trace export (mega faults run -> Perfetto JSON) =="
 # A fault-suite smoke sweep on the megasession executor with the flight
 # recorder live must (a) leave the campaign fingerprint untouched vs the
 # plain run in step 6, and (b) export a timeline that `laqa obs-trace`
@@ -108,5 +108,37 @@ fi
 echo "fault campaign unchanged under mega executor + flight recorder: $flight_fp"
 cargo run --release -p laqa-bench --bin laqa -- obs-trace --dir "$flight_dir" \
   --out "$flight_dir/trace.json"
+
+echo "== 11/11 QA x transport interop smoke =="
+# The pluggable-RateController matrix: the same smoke grid runs under
+# all four transports (RAP, BBR-style, NADA-style, TCP baseline).
+# Gates: (a) the multi-transport sweep replays bit-identically across
+# thread counts (the campaign binary exits non-zero otherwise), (b) the
+# RAP rows' per-session trace hashes are byte-identical to the RAP-only
+# sweep — the trait seam and the transport axis must be invisible to
+# the default transport — and (c) every transport shows up in the
+# interop matrix summary. Non-RAP transports are sanity-gated (present
+# and deterministic), not fingerprint-pinned: their traces are expected
+# to evolve with their controllers.
+plain=$(cargo run --release -p laqa-bench --bin campaign -- --smoke)
+interop=$(cargo run --release -p laqa-bench --bin campaign -- --smoke \
+  --transport rap,bbr,nada,tcp)
+for row in 'T1/k2/seed7 ' 'T1/k2/seed21 ' 'T1/k4/seed7 ' 'T1/k4/seed21 '; do
+  h_plain=$(grep -F "$row" <<<"$plain" | grep -oE '[0-9a-f]{16}' | tail -1)
+  h_interop=$(grep -F "$row" <<<"$interop" | grep -oE '[0-9a-f]{16}' | tail -1)
+  if [ -z "$h_plain" ] || [ "$h_plain" != "$h_interop" ]; then
+    echo "FAIL: RAP session ${row% } trace hash changed under the transport axis" >&2
+    echo "  rap-only sweep : $h_plain" >&2
+    echo "  interop sweep  : $h_interop" >&2
+    exit 1
+  fi
+done
+for t in rap bbr nada tcp; do
+  if ! grep -qE "^ *$t " <<<"$interop"; then
+    echo "FAIL: transport $t missing from the interop matrix summary" >&2
+    exit 1
+  fi
+done
+echo "interop smoke ok: RAP rows bit-identical, all four transports deterministic"
 
 echo "verify OK"
