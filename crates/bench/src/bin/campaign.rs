@@ -19,6 +19,13 @@
 //!                         # every selected transport runs the full grid,
 //!                         # turning the sweep into the QA × transport
 //!                         # interop matrix (default rap only)
+//!          --trace lte,bloat,diurnal,bonded  # hostile-network (TraceLink)
+//!                         # axis: every selected trace family runs the full
+//!                         # grid on a schedule-driven bottleneck (LTE-style
+//!                         # capacity swings, on-off bufferbloat with a deep
+//!                         # standing buffer, diurnal ramps, or a bonded
+//!                         # two-path bottleneck). Composes with --transport
+//!                         # and --faults (default: steady links)
 //!          --obs DIR      # enable laqa-obs + the flight recorder and
 //!                         # export snapshot + flight trace to DIR
 //!          --mega         # run the sweep on the megasession executor
@@ -38,13 +45,19 @@ use laqa_bench::cli::Args;
 use laqa_bench::outdir;
 use laqa_sim::{
     run_campaign, run_campaign_opts, CampaignOptions, CampaignResult, CampaignSpec, SessionResult,
-    TestKind, Transport,
+    TestKind, TraceKind, Transport,
 };
 use laqa_trace::{pct, Table};
 
 /// Parse `--transport rap,bbr,nada,tcp` (default: RAP only).
 fn parse_transports(args: &Args) -> Result<Vec<Transport>, AnyError> {
     parse_list(args, "transport", &[Transport::Rap])
+}
+
+/// Parse `--trace lte,bloat,diurnal,bonded` (default: no trace axis —
+/// steady links, byte-identical to the historical sweeps).
+fn parse_traces(args: &Args) -> Result<Vec<TraceKind>, AnyError> {
+    parse_list(args, "trace", &[])
 }
 
 /// Expand a sweep across the selected transports: every session of the
@@ -67,6 +80,79 @@ fn expand_transports(mut spec: CampaignSpec, transports: &[Transport]) -> Campai
         })
         .collect();
     spec
+}
+
+/// Expand a sweep across the selected trace families, trace-major (each
+/// family's cells stay contiguous, mirroring [`expand_transports`]). An
+/// empty selection returns the grid untouched — steady links, with the
+/// historical labels and fingerprints.
+fn expand_traces(mut spec: CampaignSpec, traces: &[TraceKind]) -> CampaignSpec {
+    if traces.is_empty() {
+        return spec;
+    }
+    let base = std::mem::take(&mut spec.sessions);
+    spec.sessions = traces
+        .iter()
+        .flat_map(|&trace| {
+            base.iter().cloned().map(move |mut s| {
+                s.trace = Some(trace);
+                s
+            })
+        })
+        .collect();
+    spec
+}
+
+/// Per-trace-family hostile summary: how fast quality recovers after the
+/// link turns on the session, and what the damage cost — recovery time,
+/// base-layer starvation, discarded bytes — plus the trace activity
+/// itself (schedule points applied, second-leg bytes on bonded cells).
+fn hostile_table(result: &CampaignResult, traces: &[TraceKind]) -> String {
+    let mut tbl = Table::new(
+        "hostile grid: QA damage by trace family (mean over cells)",
+        &[
+            "trace", "chg/s", "recovery", "starved B", "discarded B", "stalls", "trace pts",
+            "bond B",
+        ],
+    );
+    for &t in traces {
+        let cells: Vec<&SessionResult> = result
+            .sessions
+            .iter()
+            .filter(|s| s.spec.trace == Some(t))
+            .collect();
+        if cells.is_empty() {
+            continue;
+        }
+        let n = cells.len() as f64;
+        let mean = |f: &dyn Fn(&SessionResult) -> f64| cells.iter().map(|s| f(s)).sum::<f64>() / n;
+        let recoveries: Vec<f64> = cells.iter().filter_map(|s| s.recovery_secs_mean).collect();
+        let recovery = if recoveries.is_empty() {
+            "-".to_string()
+        } else {
+            format!(
+                "{:.2}s",
+                recoveries.iter().sum::<f64>() / recoveries.len() as f64
+            )
+        };
+        let bond: Vec<u64> = cells.iter().filter_map(|s| s.bond_leg_bytes).collect();
+        let bond = if bond.is_empty() {
+            "-".to_string()
+        } else {
+            format!("{:.0}", bond.iter().sum::<u64>() as f64 / bond.len() as f64)
+        };
+        tbl.row(vec![
+            t.label().to_string(),
+            format!("{:.3}", mean(&|s| s.layer_change_rate)),
+            recovery,
+            format!("{:.0}", mean(&|s| s.base_starved_bytes)),
+            format!("{:.0}", mean(&|s| s.discarded_bytes)),
+            format!("{:.1}", mean(&|s| s.stalls as f64)),
+            format!("{:.0}", mean(&|s| s.trace_changes as f64)),
+            bond,
+        ]);
+    }
+    tbl.render()
 }
 
 /// Per-transport interop summary: the hardening metrics the QA ×
@@ -138,8 +224,8 @@ fn main() {
         eprintln!(
             "error: unexpected argument '{}' — this binary takes options only \
              (--smoke, --scaling, --faults, --threads N, --duration S, --kmax a,b, \
-             --seeds a,b, --intensity a,b, --transport rap,bbr,nada,tcp, --out DIR, \
-             --obs DIR)",
+             --seeds a,b, --intensity a,b, --transport rap,bbr,nada,tcp, \
+             --trace lte,bloat,diurnal,bonded, --out DIR, --obs DIR)",
             args.command
         );
         std::process::exit(2);
@@ -270,14 +356,21 @@ fn check_replay(spec: &CampaignSpec, reference: &CampaignResult, threads: usize)
 fn cmd_smoke(args: &Args) -> Result<(), AnyError> {
     let duration: f64 = args.get("duration", 8.0)?;
     let transports = parse_transports(args)?;
-    let spec = expand_transports(
-        CampaignSpec::grid(&[TestKind::T1], &[2, 4], &[7, 21], duration),
-        &transports,
+    let traces = parse_traces(args)?;
+    let spec = expand_traces(
+        expand_transports(
+            CampaignSpec::grid(&[TestKind::T1], &[2, 4], &[7, 21], duration),
+            &transports,
+        ),
+        &traces,
     );
     let result = run_sweep(args, &spec, 2);
     println!("{}", result.table());
     if transports.len() > 1 {
         println!("{}", interop_table(&result, &transports));
+    }
+    if !traces.is_empty() {
+        println!("{}", hostile_table(&result, &traces));
     }
     check_replay(&spec, &result, 1)?;
     println!("smoke ok: {} sessions in {:.2}s", spec.len(), result.wall_secs);
@@ -302,9 +395,13 @@ fn cmd_faults(args: &Args) -> Result<(), AnyError> {
     let seeds: Vec<u64> = parse_list(args, "seeds", default_seeds)?;
     let k_values: Vec<u32> = parse_list(args, "kmax", &[2])?;
     let transports = parse_transports(args)?;
-    let spec = expand_transports(
-        CampaignSpec::faults_grid(&[TestKind::T1], &k_values, &intensities, &seeds, duration),
-        &transports,
+    let traces = parse_traces(args)?;
+    let spec = expand_traces(
+        expand_transports(
+            CampaignSpec::faults_grid(&[TestKind::T1], &k_values, &intensities, &seeds, duration),
+            &transports,
+        ),
+        &traces,
     );
     println!(
         "faults_suite: {} sessions ({duration:.0}s each) on {threads} threads, \
@@ -352,6 +449,9 @@ fn cmd_faults(args: &Args) -> Result<(), AnyError> {
     println!("{}", tbl.render());
     if transports.len() > 1 {
         println!("{}", interop_table(&result, &transports));
+    }
+    if !traces.is_empty() {
+        println!("{}", hostile_table(&result, &traces));
     }
     check_replay(&spec, &result, if threads == 1 { 2 } else { 1 })?;
 
@@ -417,9 +517,13 @@ fn cmd_tables(args: &Args) -> Result<(), AnyError> {
     let seeds: Vec<u64> = parse_list(args, "seeds", &[7, 21, 42, 77, 99])?;
     let k_values: Vec<u32> = parse_list(args, "kmax", &[2, 3, 4, 5, 8])?;
     let transports = parse_transports(args)?;
-    let spec = expand_transports(
-        CampaignSpec::grid(&TestKind::ALL, &k_values, &seeds, duration),
-        &transports,
+    let traces = parse_traces(args)?;
+    let spec = expand_traces(
+        expand_transports(
+            CampaignSpec::grid(&TestKind::ALL, &k_values, &seeds, duration),
+            &transports,
+        ),
+        &traces,
     );
     println!(
         "running {} sessions ({duration:.0}s simulated each) on {threads} threads...",
@@ -482,6 +586,9 @@ fn cmd_tables(args: &Args) -> Result<(), AnyError> {
         println!("{}", interop_table(&result, &transports));
     } else {
         print_tables(&result, "");
+    }
+    if !traces.is_empty() {
+        println!("{}", hostile_table(&result, &traces));
     }
 
     let dir = match args.options.get("out") {

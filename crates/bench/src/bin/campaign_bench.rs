@@ -181,6 +181,7 @@ fn steady_state_allocs(duration: f64) -> (u64, u64, u64) {
         duration,
         fault_intensity: None,
         transport: Transport::Rap,
+        trace: None,
     };
     let mut pool = WorldPool::new();
     let mut session = || {
@@ -216,6 +217,42 @@ fn interop_probe(duration: f64, reps: usize) -> Result<Vec<Cell>, AnyError> {
                 "INTEROP DIVERGENCE: {} fingerprint {:016x} at 2 threads != {:016x} at 1",
                 t.label(),
                 replay.fingerprint,
+                cell.fingerprint
+            )
+            .into());
+        }
+        out.push(cell);
+    }
+    Ok(out)
+}
+
+/// Hostile-network probe: the smoke grid re-run once per trace family
+/// (LTE swings, bufferbloat, diurnal ramp, bonded two-path) on the warm
+/// executor, replayed at 2 threads and on the mega executor to prove
+/// trace-driven cells stay deterministic. Like the interop block this is
+/// deliberately OUTSIDE the `fp0` executor gate — a schedule-driven
+/// bottleneck legitimately produces a different trajectory per family, so
+/// these fingerprints must never be folded into the executor assertion.
+/// (`Cell::transport` carries the trace label here.)
+fn hostile_probe(duration: f64, reps: usize) -> Result<Vec<Cell>, AnyError> {
+    let mut out = Vec::new();
+    for &t in laqa_sim::TraceKind::ALL.iter() {
+        let mut spec = CampaignSpec::grid(&[TestKind::T1], &[2], &[7, 21], duration);
+        for s in &mut spec.sessions {
+            s.trace = Some(t);
+        }
+        eprintln!("measuring hostile/{} ({} sessions)...", t.label(), spec.len());
+        let mut cell = measure(&spec, CampaignOptions::new(1), "hostile", reps);
+        cell.transport = t.label();
+        let replay = measure_rep(&spec, CampaignOptions::new(2), "hostile");
+        let mega = measure_rep(&spec, CampaignOptions::new(1).mega(), "hostile");
+        if replay.fingerprint != cell.fingerprint || mega.fingerprint != cell.fingerprint {
+            return Err(format!(
+                "HOSTILE DIVERGENCE: {} fingerprints {:016x} (2 threads) / {:016x} (mega) \
+                 != {:016x} (1 thread)",
+                t.label(),
+                replay.fingerprint,
+                mega.fingerprint,
                 cell.fingerprint
             )
             .into());
@@ -346,6 +383,7 @@ fn run(args: &Args) -> Result<(), AnyError> {
     }
 
     let interop = interop_probe(duration, reps)?;
+    let hostile = hostile_probe(duration, reps)?;
 
     println!(
         "{:<6} {:>6} {:>3} {:>12} {:>10} {:>12} {:>14} {:>10}",
@@ -420,6 +458,15 @@ fn run(args: &Args) -> Result<(), AnyError> {
     for c in &interop {
         println!(
             "interop {:>4}: fingerprint {:016x}, {:.0} events/s (deterministic at 1 and 2 threads)",
+            c.transport,
+            c.fingerprint,
+            c.events_per_sec()
+        );
+    }
+    for c in &hostile {
+        println!(
+            "hostile {:>7}: fingerprint {:016x}, {:.0} events/s \
+             (deterministic at 1/2 threads and mega)",
             c.transport,
             c.fingerprint,
             c.events_per_sec()
@@ -585,6 +632,23 @@ fn run(args: &Args) -> Result<(), AnyError> {
             c.events,
             c.events_per_sec(),
             if i + 1 < interop.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    // Hostile (TraceLink) fingerprints: same contract as `interop` —
+    // outside the fp0 gate, expected to differ per trace family, pinned
+    // here so schedule or striping drift shows up in review.
+    json.push_str("  \"hostile\": [\n");
+    for (i, c) in hostile.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"trace\": \"{}\", \"fingerprint\": \"{:016x}\", \"sessions\": {}, \
+             \"events\": {}, \"events_per_sec\": {:.1}}}{}\n",
+            c.transport,
+            c.fingerprint,
+            c.sessions,
+            c.events,
+            c.events_per_sec(),
+            if i + 1 < hostile.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");

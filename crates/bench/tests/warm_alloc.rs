@@ -75,6 +75,7 @@ fn warm_and_mega_sessions_stay_under_alloc_budgets() {
         duration: 8.0,
         fault_intensity: None,
         transport: Transport::Rap,
+        trace: None,
     };
     let mut pool = WorldPool::new();
 

@@ -38,7 +38,7 @@ use crate::faults::FaultPlan;
 use crate::mega::MegaEngine;
 use crate::scenarios::{
     build_scenario, extract_outcome, run_scenario_pooled, run_scenario_with, ScenarioConfig,
-    ScenarioOutcome, Transport, WorldPool,
+    ScenarioOutcome, TraceKind, Transport, WorldPool,
 };
 use crate::sched::{ambient_scheduler, SchedulerKind};
 
@@ -86,6 +86,12 @@ pub struct SessionSpec {
     /// byte-identical.
     #[cfg_attr(feature = "serde", serde(default))]
     pub transport: Transport,
+    /// Hostile link-condition trace on the bottleneck (the `hostile_grid`
+    /// axis). `None` — the default, and what every pre-existing spec
+    /// deserializes to — keeps the static dumbbell and its fingerprints
+    /// byte-identical.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub trace: Option<TraceKind>,
 }
 
 impl SessionSpec {
@@ -98,22 +104,31 @@ impl SessionSpec {
         if let Some(i) = self.fault_intensity {
             cfg.faults = FaultPlan::suite(i);
         }
-        cfg.with_transport(self.transport)
+        let cfg = cfg.with_transport(self.transport);
+        match self.trace {
+            Some(trace) => cfg.with_trace(trace),
+            None => cfg,
+        }
     }
 
     /// Stable label, e.g. `T1/k3/seed42` (`T1/k3/seed42/f060` with a
     /// fault suite at intensity 0.60; non-RAP transports append their
-    /// label, e.g. `T1/k3/seed42/bbr` — RAP cells keep the historical
-    /// byte-identical label).
+    /// label, e.g. `T1/k3/seed42/bbr`, and hostile-trace cells theirs,
+    /// e.g. `T1/k3/seed42/bbr/lte` — RAP no-trace cells keep the
+    /// historical byte-identical label).
     pub fn label(&self) -> String {
         let base = format!("{}/k{}/seed{}", self.test.label(), self.k_max, self.seed);
         let base = match self.fault_intensity {
             Some(i) => format!("{base}/f{:03}", (i * 100.0).round() as u32),
             None => base,
         };
-        match self.transport {
+        let base = match self.transport {
             Transport::Rap => base,
             t => format!("{base}/{}", t.label()),
+        };
+        match self.trace {
+            Some(trace) => format!("{base}/{}", trace.label()),
+            None => base,
         }
     }
 }
@@ -141,6 +156,7 @@ impl CampaignSpec {
                         duration,
                         fault_intensity: None,
                         transport: Transport::Rap,
+                        trace: None,
                     });
                 }
             }
@@ -172,6 +188,7 @@ impl CampaignSpec {
                             duration,
                             fault_intensity,
                             transport,
+                            trace: None,
                         });
                     }
                 }
@@ -202,7 +219,46 @@ impl CampaignSpec {
                             duration,
                             fault_intensity: (intensity > 0.0).then_some(intensity),
                             transport: Transport::Rap,
+                            trace: None,
                         });
+                    }
+                }
+            }
+        }
+        CampaignSpec { sessions }
+    }
+
+    /// Hostile-network corpus: `tests × traces × transports × k_values ×
+    /// seeds`, with an optional fault suite composed on top of every cell
+    /// (faults mutate the same links the traces drive; the trace's next
+    /// schedule point overwrites whatever a fault set — see
+    /// `tests/faults_replay.rs` for the pinned precedence). Trace-major
+    /// ordering keeps each corpus condition's cells contiguous in tables.
+    pub fn hostile_grid(
+        tests: &[TestKind],
+        traces: &[TraceKind],
+        transports: &[Transport],
+        k_values: &[u32],
+        seeds: &[u64],
+        duration: f64,
+        fault_intensity: Option<f64>,
+    ) -> Self {
+        let mut sessions = Vec::new();
+        for &test in tests {
+            for &trace in traces {
+                for &transport in transports {
+                    for &k_max in k_values {
+                        for &seed in seeds {
+                            sessions.push(SessionSpec {
+                                test,
+                                k_max,
+                                seed,
+                                duration,
+                                fault_intensity,
+                                transport,
+                                trace: Some(trace),
+                            });
+                        }
                     }
                 }
             }
@@ -261,6 +317,14 @@ pub struct SessionResult {
     pub discarded_bytes: f64,
     /// Fault transitions injected (0 without a fault plan).
     pub fault_transitions: u64,
+    /// Link-condition schedule points applied by [`crate::TraceDriver`]s
+    /// (0 for steady-link cells).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub trace_changes: u64,
+    /// Bytes the second path of a bonded cell carried (`None` unless the
+    /// cell runs [`TraceKind::Bonded`]).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub bond_leg_bytes: Option<u64>,
     /// FNV-1a fingerprint of the session's event trace (see
     /// [`hash_outcome`]).
     pub trace_hash: u64,
@@ -292,6 +356,14 @@ impl SessionResult {
         h.f64(self.base_starved_bytes);
         h.f64(self.discarded_bytes);
         h.u64(self.fault_transitions);
+        // Gated exactly like `hash_outcome`: steady-link cells keep their
+        // historical campaign fingerprints byte-identical.
+        if self.trace_changes != 0 {
+            h.u64(self.trace_changes);
+        }
+        if let Some(b) = self.bond_leg_bytes {
+            h.u64(b);
+        }
         h.u64(self.trace_hash);
     }
 
@@ -315,6 +387,13 @@ impl SessionResult {
             // RAP rows keep their historical parameter set byte-identical;
             // only interop cells carry the transport column.
             s.param("transport", self.spec.transport.label());
+        }
+        if let Some(trace) = self.spec.trace {
+            s.param("trace", trace.label());
+            s.metric("trace_changes", self.trace_changes as f64);
+        }
+        if let Some(b) = self.bond_leg_bytes {
+            s.metric("bond_leg_bytes", b as f64);
         }
         if let Some(r) = self.recovery_secs_mean {
             s.metric("recovery_secs_mean", r);
@@ -469,6 +548,18 @@ pub fn hash_outcome(out: &ScenarioOutcome) -> u64 {
     h.u64(out.fault_stats.churn_packets);
     h.f64(out.base_starved_bytes);
     h.f64(out.discarded_bytes);
+    // Hostile-corpus fields hash only when present, so every pre-existing
+    // (untraced, unbonded) outcome keeps its historical digest.
+    if out.trace_changes != 0 {
+        h.u64(out.trace_changes);
+    }
+    if let Some(leg) = out.bond_leg {
+        h.u64(leg.enqueued);
+        h.u64(leg.dropped);
+        h.u64(leg.random_losses);
+        h.u64(leg.bytes_out);
+        h.u64(leg.peak_queue as u64);
+    }
     h.finish()
 }
 
@@ -578,6 +669,8 @@ fn outcome_to_result(spec: &SessionSpec, out: ScenarioOutcome, wall_secs: f64) -
         base_starved_bytes: out.base_starved_bytes,
         discarded_bytes: out.discarded_bytes,
         fault_transitions: out.fault_stats.transitions(),
+        trace_changes: out.trace_changes,
+        bond_leg_bytes: out.bond_leg.map(|l| l.bytes_out),
         trace_hash: hash_outcome(&out),
         wall_secs,
         events_processed: out.events_processed,
@@ -963,6 +1056,7 @@ mod tests {
             duration: 4.0,
             fault_intensity: None,
             transport: Transport::Rap,
+            trace: None,
         };
         let a = run_session(&spec);
         let b = run_session(&spec);

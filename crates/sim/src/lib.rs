@@ -28,6 +28,7 @@ pub mod topology;
 
 /// Protocol agents (RAP, TCP, CBR, quality-adaptive streaming pair).
 pub mod agents {
+    pub mod bond;
     pub mod cbr;
     pub mod monitor;
     pub mod qa;
@@ -43,12 +44,14 @@ pub use campaign::{
 };
 pub use engine::{Agent, Ctx, World, WorldSalvage};
 pub use faults::{FaultInjector, FaultPlan, FaultStats, FaultWiring};
-pub use link::{Link, LinkConfig, LinkStats, QueueKind, RedConfig};
+pub use link::{
+    Link, LinkConfig, LinkStats, LinkTraceState, QueueKind, RedConfig, TraceDriver, TraceSchedule,
+};
 pub use mega::{MegaEngine, MegaSessionView, SessionId};
 pub use packet::{AgentId, LinkId, Packet, PacketKind, Route};
 pub use scenarios::{
     run_scenario, run_scenario_pooled, run_scenario_with, run_scenarios_mega,
-    run_scenarios_mega_staggered, ScenarioConfig, ScenarioOutcome, Transport, WorldPool,
+    run_scenarios_mega_staggered, ScenarioConfig, ScenarioOutcome, TraceKind, Transport, WorldPool,
 };
 pub use sched::{
     ambient_scheduler, set_ambient_scheduler, AnyScheduler, EventKey, HeapScheduler, Scheduler,

@@ -8,6 +8,8 @@
 //! loss models non-congestive (wireless/bit-error) drops.
 
 use crate::packet::Packet;
+use crate::rng::SimRng;
+use laqa_trace::LinkTracePoint;
 use std::collections::VecDeque;
 
 /// Random Early Detection parameters (Floyd/Jacobson '93, simplified:
@@ -86,6 +88,275 @@ impl LinkConfig {
     }
 }
 
+/// A piecewise link-condition schedule: the *TraceLink* machinery.
+///
+/// Each [`LinkTracePoint`] names a time and the bandwidth (plus optional
+/// delay and loss) the link switches to at that time — step changes, the
+/// way recorded cellular traces and shaped links actually behave. Points
+/// are strictly increasing in time; an optional `period` makes the
+/// schedule loop forever (point times then repeat every period).
+///
+/// Schedules are *pre-materialized*: the seeded generators below draw
+/// from their own salted [`SimRng`] at construction, so a schedule is a
+/// plain value and replaying it never consumes world RNG. Advancement is
+/// driven off the event scheduler by a [`TraceDriver`] agent, which makes
+/// trace-driven runs bit-identical across heap-vs-wheel schedulers and
+/// solo-vs-mega executors (pinned by `tests/trace_differential.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSchedule {
+    points: Vec<LinkTracePoint>,
+    period: Option<f64>,
+}
+
+/// Seed salts decoupling each generator's stream from the world RNG and
+/// from each other (same idiom as the fault injector's salted stream).
+const LTE_SALT: u64 = 0x17E5_EEDC_E111_0000;
+const BLOAT_SALT: u64 = 0xB10A_75EE_DBAD_0000;
+/// Salt distinguishing the second path of a bonded pair.
+pub const BOND_PATH_SALT: u64 = 0xB0D0_5A17_0000_0000;
+
+impl TraceSchedule {
+    /// Schedule from explicit points. Validates what
+    /// [`laqa_trace::parse_link_trace`] validates (strictly increasing
+    /// non-negative times, positive bandwidth, loss in `[0, 1]`) plus
+    /// that a looping `period` strictly exceeds the last point's time.
+    pub fn from_points(
+        points: Vec<LinkTracePoint>,
+        period: Option<f64>,
+    ) -> Result<Self, String> {
+        if points.is_empty() {
+            return Err("trace schedule needs at least one point".into());
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for p in &points {
+            if !(p.at >= 0.0 && p.at > prev) {
+                return Err(format!("point times must strictly increase (at {})", p.at));
+            }
+            if !(p.bandwidth.is_finite() && p.bandwidth > 0.0) {
+                return Err(format!("bandwidth must be positive, got {}", p.bandwidth));
+            }
+            if let Some(d) = p.delay {
+                if !(d.is_finite() && d >= 0.0) {
+                    return Err(format!("delay must be non-negative, got {d}"));
+                }
+            }
+            if let Some(l) = p.loss {
+                if !(0.0..=1.0).contains(&l) {
+                    return Err(format!("loss must be in [0, 1], got {l}"));
+                }
+            }
+            prev = p.at;
+        }
+        if let Some(period) = period {
+            if !(period.is_finite() && period > prev) {
+                return Err(format!(
+                    "loop period {period} must exceed the last point time {prev}"
+                ));
+            }
+        }
+        Ok(TraceSchedule { points, period })
+    }
+
+    /// Schedule parsed from a recorded trace file (the
+    /// [`laqa_trace::linktrace`] format).
+    pub fn from_recorded(text: &str, period: Option<f64>) -> Result<Self, String> {
+        Self::from_points(laqa_trace::parse_link_trace(text)?, period)
+    }
+
+    /// LTE-style capacity trace: a multiplicative random walk around
+    /// `nominal_bw` with dwell times uniform in 100 ms – 1 s (the
+    /// fast-fading swing cadence of cellular schedulers), clamped to
+    /// `[0.25, 1.5]×nominal`. Deterministic per seed; two calls with the
+    /// same arguments produce identical schedules.
+    pub fn lte(seed: u64, nominal_bw: f64, duration: f64) -> Self {
+        let mut rng = SimRng::seed_from_u64(seed ^ LTE_SALT);
+        let mut points = Vec::new();
+        let mut t = 0.0;
+        let mut factor = 1.0f64;
+        while t < duration {
+            points.push(LinkTracePoint {
+                at: t,
+                bandwidth: nominal_bw * factor,
+                delay: None,
+                loss: None,
+            });
+            t += 0.1 + 0.9 * rng.next_f64();
+            // Swing by up to ±2x per step, then clamp to the walk band.
+            factor = (factor * (-0.7 + 1.4 * rng.next_f64()).exp()).clamp(0.25, 1.5);
+        }
+        TraceSchedule {
+            points,
+            period: None,
+        }
+    }
+
+    /// On-off bufferbloat trace: alternate full capacity (dwell 1–3 s)
+    /// and a choked 30 % capacity (dwell 0.5–2 s). Paired with a deep
+    /// standing drop-tail buffer (the scenario layer configures that),
+    /// the choked phases fill the queue and inflate RTT by seconds — the
+    /// classic bufferbloat signature. Deterministic per seed.
+    pub fn bufferbloat(seed: u64, nominal_bw: f64, duration: f64) -> Self {
+        let mut rng = SimRng::seed_from_u64(seed ^ BLOAT_SALT);
+        let mut points = Vec::new();
+        let mut t = 0.0;
+        let mut choked = false;
+        while t < duration {
+            points.push(LinkTracePoint {
+                at: t,
+                bandwidth: if choked {
+                    nominal_bw * 0.3
+                } else {
+                    nominal_bw
+                },
+                delay: None,
+                loss: None,
+            });
+            t += if choked {
+                0.5 + 1.5 * rng.next_f64()
+            } else {
+                1.0 + 2.0 * rng.next_f64()
+            };
+            choked = !choked;
+        }
+        TraceSchedule {
+            points,
+            period: None,
+        }
+    }
+
+    /// Diurnal capacity ramp: one full cosine period over `period_secs`,
+    /// dipping to 40 % of `nominal_bw` mid-cycle, sampled at 48 steps and
+    /// looping forever. Fully deterministic (no seed).
+    pub fn diurnal(nominal_bw: f64, period_secs: f64) -> Self {
+        const STEPS: usize = 48;
+        let points = (0..STEPS)
+            .map(|i| {
+                let phase = i as f64 / STEPS as f64;
+                let dip = 0.5 - 0.5 * (std::f64::consts::TAU * phase).cos();
+                LinkTracePoint {
+                    at: phase * period_secs,
+                    bandwidth: nominal_bw * (1.0 - 0.6 * dip),
+                    delay: None,
+                    loss: None,
+                }
+            })
+            .collect();
+        TraceSchedule {
+            points,
+            period: Some(period_secs),
+        }
+    }
+
+    /// The schedule's points (strictly increasing times within a cycle).
+    pub fn points(&self) -> &[LinkTracePoint] {
+        &self.points
+    }
+
+    /// Loop period, if the schedule repeats.
+    pub fn period(&self) -> Option<f64> {
+        self.period
+    }
+
+    /// The point in effect at time `t` (step interpolation): the last
+    /// point with `at <= t`, clamped to the first point before it takes
+    /// effect. Looping schedules evaluate at `t mod period`, so
+    /// `sample(t + period) == sample(t)` — the wrap is seamless by
+    /// construction.
+    pub fn sample(&self, t: f64) -> LinkTracePoint {
+        let t = match self.period {
+            Some(p) => t.rem_euclid(p),
+            None => t,
+        };
+        match self.points.iter().rev().find(|p| p.at <= t) {
+            Some(p) => *p,
+            None => self.points[0],
+        }
+    }
+}
+
+/// Replay cursor of a [`TraceSchedule`] attached to a [`Link`].
+///
+/// The cursor counts points applied since the last (re)wind; for looping
+/// schedules it keeps increasing across cycles (`cursor / len` is the
+/// cycle number). It lives *on the link* — not in the driver agent — so
+/// warm-pool salvage can prove it is rewound: [`Link::reset`] discards
+/// it, which is what keeps a recycled link shell from replaying the
+/// previous session's schedule mid-trace (pinned by
+/// `crates/bench/tests/warm_trace.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkTraceState {
+    schedule: TraceSchedule,
+    cursor: u64,
+}
+
+impl LinkTraceState {
+    /// Fresh state with the cursor at the first point.
+    pub fn new(schedule: TraceSchedule) -> Self {
+        LinkTraceState {
+            schedule,
+            cursor: 0,
+        }
+    }
+
+    /// The schedule being replayed.
+    pub fn schedule(&self) -> &TraceSchedule {
+        &self.schedule
+    }
+
+    /// Points applied since the last (re)wind.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Rewind to the first point (what a fresh session must see).
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Absolute time (seconds) the next point takes effect, or `None`
+    /// when a non-looping schedule is exhausted.
+    pub fn next_change_at(&self) -> Option<f64> {
+        let n = self.schedule.points.len() as u64;
+        match self.schedule.period {
+            None => self
+                .schedule
+                .points
+                .get(self.cursor as usize)
+                .map(|p| p.at),
+            Some(period) => {
+                let cycle = self.cursor / n;
+                let idx = (self.cursor % n) as usize;
+                Some(cycle as f64 * period + self.schedule.points[idx].at)
+            }
+        }
+    }
+
+    /// Apply the point under the cursor to `cfg` and advance. Returns
+    /// `false` when the schedule is exhausted. Bandwidth is always
+    /// overwritten; delay and loss only when the point carries them —
+    /// which is also the fault-composition precedence rule: whatever a
+    /// `FaultInjector` set on the link holds only until the trace's next
+    /// schedule point reasserts its own value (last writer wins; see
+    /// `tests/faults_replay.rs`).
+    pub fn apply_next(&mut self, cfg: &mut LinkConfig) -> bool {
+        let n = self.schedule.points.len() as u64;
+        let idx = match self.schedule.period {
+            None if self.cursor >= n => return false,
+            _ => (self.cursor % n) as usize,
+        };
+        let p = self.schedule.points[idx];
+        cfg.bandwidth = p.bandwidth;
+        if let Some(d) = p.delay {
+            cfg.delay = d;
+        }
+        if let Some(l) = p.loss {
+            cfg.loss_rate = l.clamp(0.0, 1.0);
+        }
+        self.cursor += 1;
+        true
+    }
+}
+
 /// Runtime state of a link.
 #[derive(Debug)]
 pub struct Link {
@@ -99,6 +370,9 @@ pub struct Link {
     pub red_avg: f64,
     /// Counters.
     pub stats: LinkStats,
+    /// Trace-replay cursor when this is a trace-driven link (see
+    /// [`TraceSchedule`]); `None` for ordinary static links.
+    pub trace: Option<LinkTraceState>,
 }
 
 /// Per-link counters.
@@ -125,6 +399,7 @@ impl Link {
             busy: false,
             red_avg: 0.0,
             stats: LinkStats::default(),
+            trace: None,
         }
     }
 
@@ -137,6 +412,19 @@ impl Link {
         self.busy = false;
         self.red_avg = 0.0;
         self.stats = LinkStats::default();
+        // Warm-pool correctness for stateful (trace-driven) links: a
+        // salvaged shell must not carry the previous session's schedule
+        // or a mid-trace cursor into the next session — the new session
+        // attaches its own schedule (rewound by construction) if it wants
+        // one. `crates/bench/tests/warm_trace.rs` pins warm == cold.
+        self.trace = None;
+    }
+
+    /// Attach a trace schedule, making this a trace-driven link. The
+    /// replay cursor starts at the first point; a [`TraceDriver`] agent
+    /// advances it off the event scheduler.
+    pub fn set_trace(&mut self, schedule: TraceSchedule) {
+        self.trace = Some(LinkTraceState::new(schedule));
     }
 
     /// Offer a packet to the link. `u_loss` and `u_red` are uniform
@@ -190,6 +478,64 @@ impl Link {
     /// Current queue length in packets (including the one in service).
     pub fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+}
+
+/// Agent that advances one trace-driven link's schedule off the event
+/// scheduler: it arms a timer for each schedule point and applies the
+/// point when the timer fires (through [`crate::engine::Ctx`], with the
+/// same runtime-mutation semantics as fault injection — bandwidth read at
+/// serialize start, delay at serialize finish).
+///
+/// Driving the schedule through ordinary timer events — rather than
+/// polling link state on some side channel — is what makes trace replay
+/// bit-identical across heap-vs-wheel schedulers, warm-vs-cold pools and
+/// solo-vs-mega executors: the `(time, seq)` event order fully determines
+/// when each point lands relative to every packet.
+///
+/// The driver draws no world RNG (schedules are pre-materialized), so
+/// attaching it perturbs nothing but the link parameters it writes.
+pub struct TraceDriver {
+    /// The trace-driven link this driver advances.
+    pub link: crate::packet::LinkId,
+    /// Schedule points applied so far (diagnostics + outcome hashing).
+    pub changes: u64,
+}
+
+const TOK_TRACE: u64 = 0x7_ACE;
+
+impl TraceDriver {
+    /// Driver for `link` (which must have a schedule attached via
+    /// [`Link::set_trace`] before the world starts).
+    pub fn new(link: crate::packet::LinkId) -> Self {
+        TraceDriver { link, changes: 0 }
+    }
+}
+
+impl crate::engine::Agent for TraceDriver {
+    fn start(&mut self, ctx: &mut crate::engine::Ctx) {
+        if let Some(at) = ctx.link_trace_next(self.link) {
+            ctx.set_timer_at(at, TOK_TRACE);
+        }
+    }
+
+    fn on_packet(&mut self, _ctx: &mut crate::engine::Ctx, _pkt: Packet) {
+        // Nothing routes to the driver; ignore strays defensively.
+    }
+
+    fn on_timer(&mut self, ctx: &mut crate::engine::Ctx, _token: u64) {
+        self.changes += ctx.apply_link_trace(self.link);
+        if let Some(at) = ctx.link_trace_next(self.link) {
+            ctx.set_timer_at(at, TOK_TRACE);
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 
@@ -376,5 +722,101 @@ mod tests {
         let red = RedConfig::for_queue(100);
         assert_eq!(red.min_th, 25.0);
         assert_eq!(red.max_th, 75.0);
+    }
+
+    #[test]
+    fn trace_schedule_rejects_degenerate_inputs() {
+        use laqa_trace::LinkTracePoint;
+        let p = |at, bandwidth| LinkTracePoint {
+            at,
+            bandwidth,
+            delay: None,
+            loss: None,
+        };
+        assert!(TraceSchedule::from_points(vec![], None).is_err(), "empty");
+        assert!(
+            TraceSchedule::from_points(vec![p(0.0, 1e5), p(0.0, 2e5)], None).is_err(),
+            "non-increasing times"
+        );
+        assert!(
+            TraceSchedule::from_points(vec![p(0.0, 0.0)], None).is_err(),
+            "non-positive bandwidth"
+        );
+        assert!(
+            TraceSchedule::from_points(vec![p(0.0, 1e5), p(5.0, 2e5)], Some(4.0)).is_err(),
+            "period must cover the last point"
+        );
+        assert!(TraceSchedule::from_points(vec![p(0.0, 1e5), p(5.0, 2e5)], Some(6.0)).is_ok());
+    }
+
+    #[test]
+    fn trace_sample_steps_and_wraps() {
+        use laqa_trace::LinkTracePoint;
+        let p = |at, bandwidth| LinkTracePoint {
+            at,
+            bandwidth,
+            delay: None,
+            loss: None,
+        };
+        let s = TraceSchedule::from_points(vec![p(1.0, 1e5), p(2.0, 5e4)], Some(4.0)).unwrap();
+        // Before the first point the first point's value holds.
+        assert_eq!(s.sample(0.0).bandwidth, 1e5);
+        assert_eq!(s.sample(1.5).bandwidth, 1e5);
+        assert_eq!(s.sample(2.0).bandwidth, 5e4);
+        assert_eq!(s.sample(3.9).bandwidth, 5e4);
+        // Wraps: t + period lands on the same step.
+        assert_eq!(s.sample(4.0).bandwidth, s.sample(0.0).bandwidth);
+        assert_eq!(s.sample(5.5).bandwidth, s.sample(1.5).bandwidth);
+    }
+
+    #[test]
+    fn trace_state_applies_in_order_and_rewinds() {
+        use laqa_trace::LinkTracePoint;
+        let pts = vec![
+            LinkTracePoint {
+                at: 0.0,
+                bandwidth: 1e5,
+                delay: Some(0.02),
+                loss: None,
+            },
+            LinkTracePoint {
+                at: 1.0,
+                bandwidth: 5e4,
+                delay: None,
+                loss: Some(0.01),
+            },
+        ];
+        let s = TraceSchedule::from_points(pts, Some(2.0)).unwrap();
+        let mut st = LinkTraceState::new(s);
+        let mut cfg = LinkConfig::default();
+        assert_eq!(st.next_change_at(), Some(0.0));
+        assert!(st.apply_next(&mut cfg));
+        assert_eq!(cfg.bandwidth, 1e5);
+        assert_eq!(cfg.delay, 0.02);
+        assert_eq!(st.next_change_at(), Some(1.0));
+        assert!(st.apply_next(&mut cfg));
+        assert_eq!(cfg.bandwidth, 5e4);
+        // Sparse columns leave the previous value in place.
+        assert_eq!(cfg.delay, 0.02);
+        assert_eq!(cfg.loss_rate, 0.01);
+        // Looping: the next cycle starts one period later.
+        assert_eq!(st.next_change_at(), Some(2.0));
+        st.rewind();
+        assert_eq!(st.cursor(), 0);
+        assert_eq!(st.next_change_at(), Some(0.0));
+    }
+
+    #[test]
+    fn link_reset_discards_trace_state() {
+        // Warm-pool contract: a recycled link shell must not carry the
+        // previous session's schedule or mid-trace cursor
+        // (crates/bench/tests/warm_trace.rs pins the end-to-end version).
+        let mut l = Link::new(LinkConfig::default());
+        l.set_trace(TraceSchedule::lte(7, 1e5, 10.0));
+        let mut cfg = LinkConfig::default();
+        l.trace.as_mut().unwrap().apply_next(&mut cfg);
+        assert!(l.trace.as_ref().unwrap().cursor() > 0);
+        l.reset(LinkConfig::default());
+        assert!(l.trace.is_none(), "reset must clear trace-replay state");
     }
 }

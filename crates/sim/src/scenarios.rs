@@ -9,7 +9,7 @@ use crate::agents::qa::{QaSinkAgent, QaSourceAgent, QaTraces};
 use crate::agents::rap::{RapFlowAgent, RapSinkAgent};
 use crate::agents::tcp::{TcpAgent, TcpSinkAgent};
 use crate::engine::{World, WorldSalvage};
-use crate::link::LinkStats;
+use crate::link::{LinkStats, TraceDriver, TraceSchedule, BOND_PATH_SALT};
 use crate::mega::{MegaEngine, MegaSessionView};
 use crate::packet::{AgentId, LinkId};
 use crate::sched::SchedulerKind;
@@ -80,6 +80,62 @@ impl std::str::FromStr for Transport {
     }
 }
 
+/// Which hostile link-condition trace drives the bottleneck (the
+/// `hostile_grid` campaign axis). `None` on a [`ScenarioConfig`] keeps
+/// the paper's static dumbbell — and every pre-existing label, scenario
+/// and fingerprint — byte-identical. Schedules are generated per
+/// `(kind, seed)` by [`crate::link::TraceSchedule`]'s constructors and
+/// advanced by [`crate::link::TraceDriver`] agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TraceKind {
+    /// LTE-style capacity random walk (100 ms – 1 s swings).
+    Lte,
+    /// On-off choke against a deep standing drop-tail buffer
+    /// (bufferbloat: the choked phases fill the queue and inflate RTT).
+    Bloat,
+    /// Slow deterministic capacity ramp (one cosine cycle per run,
+    /// looping).
+    Diurnal,
+    /// Two bonded forward paths with independent LTE-style schedules and
+    /// a deterministic round-robin striping relay
+    /// ([`crate::agents::bond::BondAgent`]).
+    Bonded,
+}
+
+impl TraceKind {
+    /// All trace kinds, in corpus order.
+    pub const ALL: [TraceKind; 4] = [
+        TraceKind::Lte,
+        TraceKind::Bloat,
+        TraceKind::Diurnal,
+        TraceKind::Bonded,
+    ];
+
+    /// Short label used in session labels and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceKind::Lte => "lte",
+            TraceKind::Bloat => "bloat",
+            TraceKind::Diurnal => "diurnal",
+            TraceKind::Bonded => "bonded",
+        }
+    }
+}
+
+impl std::str::FromStr for TraceKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        TraceKind::ALL
+            .into_iter()
+            .find(|t| t.label() == s)
+            .ok_or_else(|| {
+                format!("unknown trace {s:?} (expected lte|bloat|diurnal|bonded)")
+            })
+    }
+}
+
 /// Scenario parameters (defaults = the paper's T1 at `K_max = 2`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
@@ -116,6 +172,10 @@ pub struct ScenarioConfig {
     /// Congestion controller driving the QA flow. [`Transport::Rap`] (the
     /// default) reproduces the paper's system exactly.
     pub transport: Transport,
+    /// Hostile link-condition trace on the bottleneck. `None` (the
+    /// default for T1 and T2) attaches no schedule and no driver agent,
+    /// so baseline trajectories stay bit-identical.
+    pub trace: Option<TraceKind>,
 }
 
 impl ScenarioConfig {
@@ -160,6 +220,7 @@ impl ScenarioConfig {
             retransmit_protect: 0,
             faults: FaultPlan::none(),
             transport: Transport::Rap,
+            trace: None,
         }
     }
 
@@ -170,6 +231,18 @@ impl ScenarioConfig {
     pub fn with_transport(mut self, transport: Transport) -> Self {
         self.transport = transport;
         self.qa.decrease_factor = transport.nominal_decrease();
+        self
+    }
+
+    /// Put the bottleneck on a hostile link-condition trace (and, for
+    /// [`TraceKind::Bloat`], deepen the drop-tail queue into the standing
+    /// buffer that makes choke phases bloat instead of drop): ~4x the
+    /// paper's queue, over a second of buffering at nominal rate.
+    pub fn with_trace(mut self, kind: TraceKind) -> Self {
+        self.trace = Some(kind);
+        if kind == TraceKind::Bloat {
+            self.dumbbell.queue_packets = 600;
+        }
         self
     }
 
@@ -221,6 +294,12 @@ pub struct ScenarioOutcome {
     /// Receiver bytes written off by layer drops (satellite of the §5
     /// efficiency metric; see `LayerBuffer::discarded_bytes`).
     pub discarded_bytes: f64,
+    /// Trace schedule points applied across all trace-driven links (zero
+    /// when the scenario ran without a trace).
+    pub trace_changes: u64,
+    /// Counters of the second bonded forward path, when the scenario was
+    /// bonded (the primary path's counters are in `bottleneck`).
+    pub bond_leg: Option<LinkStats>,
 }
 
 /// Build and run a scenario, returning the collected outcome. Uses the
@@ -364,6 +443,10 @@ pub(crate) struct ScenarioHandles {
     injector: Option<AgentId>,
     monitor: AgentId,
     bottleneck: LinkId,
+    /// Trace drivers advancing the traced links (empty without a trace).
+    trace_drivers: Vec<AgentId>,
+    /// Second bonded forward path (bonded scenarios only).
+    bond_leg: Option<LinkId>,
 }
 
 /// Read-only access to a finished session's state, abstracting over a
@@ -429,6 +512,10 @@ pub(crate) fn build_scenario(
     geometry: Option<&laqa_core::SharedGeometryCache>,
 ) -> (World, ScenarioHandles) {
     let mut d = Dumbbell::with_world(cfg.dumbbell, world);
+    // The bonded corpus adds its second forward bottleneck *before* any
+    // per-flow access links, so link numbering in every other scenario —
+    // and therefore every pre-existing golden — is untouched.
+    let bond_leg = (cfg.trace == Some(TraceKind::Bonded)).then(|| d.add_bond_path());
     let pkt = cfg.rap.packet_size as u32;
     // Deterministic per-seed jitter for flow start times (phase effects in
     // drop-tail queues are otherwise identical across seeds).
@@ -448,6 +535,13 @@ pub(crate) fn build_scenario(
     //   then CBR sink + source (if any).
     let qa_sink_id = 0;
     let qa_src_id = 1;
+    // Bonded scenarios interpose the striping relay between the QA source
+    // and sink: the source addresses packets to the relay (created at the
+    // predicted id right after the source), which re-routes each one onto
+    // a bonded leg toward the real sink. ACKs flow sink → source directly,
+    // so only the forward data path is striped.
+    let bond_relay_id = bond_leg.map(|_| qa_src_id + 1);
+    let qa_dst = bond_relay_id.unwrap_or(qa_sink_id);
     {
         let rev = d.reverse_route();
         let encoding =
@@ -462,7 +556,11 @@ pub(crate) fn build_scenario(
             cfg.tick_dt,
         );
         assert_eq!(d.world.add_agent(Box::new(sink)), qa_sink_id);
-        let fwd = d.forward_route();
+        let fwd = if bond_leg.is_some() {
+            d.access_route() // relay picks the bottleneck leg per packet
+        } else {
+            d.forward_route()
+        };
         // Finalize whichever QaSourceAgent<T> instantiation the transport
         // selects; identical wiring for every controller family.
         fn finish_qa_src<T: RateController + 'static>(
@@ -482,7 +580,7 @@ pub(crate) fn build_scenario(
         match cfg.transport {
             Transport::Rap => {
                 let src = QaSourceAgent::new(
-                    qa_sink_id,
+                    qa_dst,
                     fwd,
                     0,
                     cfg.rap.clone(),
@@ -504,7 +602,7 @@ pub(crate) fn build_scenario(
                     0.0,
                 );
                 let src = QaSourceAgent::with_controller(
-                    qa_sink_id,
+                    qa_dst,
                     fwd,
                     0,
                     bbr,
@@ -527,7 +625,7 @@ pub(crate) fn build_scenario(
                     0.0,
                 );
                 let src = QaSourceAgent::with_controller(
-                    qa_sink_id,
+                    qa_dst,
                     fwd,
                     0,
                     nada,
@@ -552,7 +650,7 @@ pub(crate) fn build_scenario(
                     0.0,
                 );
                 let src = QaSourceAgent::with_controller(
-                    qa_sink_id,
+                    qa_dst,
                     fwd,
                     0,
                     window,
@@ -563,6 +661,17 @@ pub(crate) fn build_scenario(
                 finish_qa_src(&mut d.world, src, cfg, geometry, qa_src_id);
             }
         }
+    }
+
+    if let Some(leg_b) = bond_leg {
+        let relay = d.world.add_agent(Box::new(crate::agents::bond::BondAgent::new(
+            qa_sink_id,
+            vec![
+                crate::packet::Route::from(vec![d.bottleneck()]),
+                crate::packet::Route::from(vec![leg_b]),
+            ],
+        )));
+        assert_eq!(Some(relay), bond_relay_id, "relay id predicted above");
     }
 
     let mut rap_sinks = Vec::new();
@@ -657,6 +766,39 @@ pub(crate) fn build_scenario(
         vec![bottleneck],
         cfg.tick_dt * 4.0,
     )));
+
+    // Trace-driven links last: attach each schedule (pre-materialized
+    // from its own salted RNG — no world RNG is consumed) and add one
+    // driver agent per traced link. Baseline scenarios skip this entirely.
+    let mut trace_drivers = Vec::new();
+    if let Some(kind) = cfg.trace {
+        let nominal = cfg.dumbbell.bottleneck_bw;
+        let mut traced: Vec<(LinkId, TraceSchedule)> = Vec::new();
+        match kind {
+            TraceKind::Lte => {
+                traced.push((bottleneck, TraceSchedule::lte(cfg.seed, nominal, cfg.duration)));
+            }
+            TraceKind::Bloat => traced.push((
+                bottleneck,
+                TraceSchedule::bufferbloat(cfg.seed, nominal, cfg.duration),
+            )),
+            TraceKind::Diurnal => traced.push((
+                bottleneck,
+                TraceSchedule::diurnal(nominal, cfg.duration.max(1.0)),
+            )),
+            TraceKind::Bonded => {
+                traced.push((bottleneck, TraceSchedule::lte(cfg.seed, nominal, cfg.duration)));
+                traced.push((
+                    bond_leg.expect("bonded scenarios create the second leg"),
+                    TraceSchedule::lte(cfg.seed ^ BOND_PATH_SALT, nominal, cfg.duration),
+                ));
+            }
+        }
+        for (link, schedule) in traced {
+            d.world.set_link_trace(link, schedule);
+            trace_drivers.push(d.world.add_agent(Box::new(TraceDriver::new(link))));
+        }
+    }
     (
         d.world,
         ScenarioHandles {
@@ -668,6 +810,8 @@ pub(crate) fn build_scenario(
             injector: injector_id,
             monitor: monitor_id,
             bottleneck,
+            trace_drivers,
+            bond_leg,
         },
     )
 }
@@ -718,6 +862,13 @@ pub(crate) fn extract_outcome<S: OutcomeSource>(
         .map(|m| m.series[0].clone())
         .unwrap_or_default();
     let events_processed = world.events_processed();
+    let trace_changes = handles
+        .trace_drivers
+        .iter()
+        .filter_map(|&id| world.agent::<TraceDriver>(id))
+        .map(|t| t.changes)
+        .sum();
+    let bond_leg = handles.bond_leg.map(|l| world.link_stats(l));
     // The QA source's concrete type depends on the transport; downcast to
     // the matching instantiation and pull out the identical field set.
     fn qa_src_parts<S: OutcomeSource, T: RateController + 'static>(
@@ -754,6 +905,8 @@ pub(crate) fn extract_outcome<S: OutcomeSource>(
         fault_stats,
         base_starved_bytes,
         discarded_bytes,
+        trace_changes,
+        bond_leg,
     }
 }
 

@@ -61,6 +61,7 @@ pub struct Dumbbell {
     cfg: DumbbellConfig,
     fwd_bottleneck: LinkId,
     rev_bottleneck: LinkId,
+    bond_path: Option<LinkId>,
 }
 
 impl Dumbbell {
@@ -99,7 +100,33 @@ impl Dumbbell {
             cfg,
             fwd_bottleneck,
             rev_bottleneck,
+            bond_path: None,
         }
+    }
+
+    /// Add a second, parallel forward bottleneck — the other leg of a
+    /// *bonded* pair (two variable paths feeding one session, per the
+    /// bonded-cellular designs the hostile corpus models). Same
+    /// configuration as the primary bottleneck; callers attach an
+    /// independent trace schedule to each leg. Must be called before any
+    /// per-flow routes so the link numbering of non-bonded scenarios is
+    /// untouched. Returns the new leg's link id.
+    pub fn add_bond_path(&mut self) -> LinkId {
+        let id = self.world.add_link(LinkConfig {
+            bandwidth: self.cfg.bottleneck_bw,
+            delay: self.cfg.bottleneck_delay,
+            queue_packets: self.cfg.queue_packets,
+            queue_kind: self.cfg.queue_kind,
+            loss_rate: self.cfg.loss_rate,
+        });
+        self.bond_path = Some(id);
+        id
+    }
+
+    /// The second bonded forward bottleneck, if [`Dumbbell::add_bond_path`]
+    /// created one.
+    pub fn bond_path(&self) -> Option<LinkId> {
+        self.bond_path
     }
 
     /// The shared forward bottleneck link.
@@ -127,6 +154,21 @@ impl Dumbbell {
             ..LinkConfig::default()
         });
         Route::from(vec![access, self.fwd_bottleneck])
+    }
+
+    /// Create a fresh access link and return the route `[access]` alone —
+    /// for a flow whose bottleneck hop is decided per-packet downstream
+    /// (the bonded-path relay): the source sends to the relay over its
+    /// access link, and the relay picks which bonded leg each packet
+    /// takes.
+    pub fn access_route(&mut self) -> Route {
+        let access = self.world.add_link(LinkConfig {
+            bandwidth: self.cfg.access_bw,
+            delay: self.cfg.access_delay,
+            queue_packets: 10_000,
+            ..LinkConfig::default()
+        });
+        Route::from(vec![access])
     }
 
     /// Reverse route `[rev_bottleneck, rev_access]` for one flow's ACKs.

@@ -126,6 +126,7 @@ fn fault_session_result_reports_recovery_metrics() {
         duration: 30.0,
         fault_intensity: Some(1.0),
         transport: Transport::Rap,
+        trace: None,
     };
     let r = run_session(&spec);
     assert!(r.fault_transitions > 0);
@@ -135,4 +136,85 @@ fn fault_session_result_reports_recovery_metrics() {
         "a 30 s full-suite run must drop and re-add at least once"
     );
     assert!(r.recovery_secs_mean.unwrap() > 0.0);
+}
+
+#[test]
+fn fault_mutations_and_trace_schedules_compose_deterministically() {
+    // Campaign level: the full suite at 1.0 on an LTE trace must replay
+    // bit-identically and keep both perturbation sources active.
+    let spec = SessionSpec {
+        test: TestKind::T1,
+        k_max: 2,
+        seed: 5,
+        duration: 12.0,
+        fault_intensity: Some(1.0),
+        transport: Transport::Rap,
+        trace: Some(laqa_sim::TraceKind::Lte),
+    };
+    let a = run_session(&spec);
+    let b = run_session(&spec);
+    assert_eq!(
+        a.trace_hash, b.trace_hash,
+        "faults-on-trace must replay bit-identically"
+    );
+    assert!(a.fault_transitions > 0, "the suite must fire");
+    assert!(a.trace_changes > 0, "the trace must keep applying points");
+    assert!(a.stalls <= 4, "composition must stay survivable");
+}
+
+#[test]
+fn trace_points_reassert_link_params_over_fault_mutations() {
+    // The pinned precedence rule: last writer wins. A fault that rewrites
+    // the link's bandwidth between schedule points holds exactly until the
+    // trace's next point reasserts its own absolute value — the trace
+    // never "remembers" the fault, and the fault never survives a point.
+    use laqa_sim::{Agent, Ctx, LinkConfig, LinkId, Packet, TraceDriver, TraceSchedule, World};
+    use laqa_trace::LinkTracePoint;
+
+    struct Meddler {
+        link: LinkId,
+    }
+    impl Agent for Meddler {
+        fn start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer_at(1.0, 0);
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx, _pkt: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Ctx, _token: u64) {
+            // Stand-in for a FaultInjector degradation transition.
+            ctx.set_link_bandwidth(self.link, 12_345.0);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    let pt = |at, bandwidth| LinkTracePoint {
+        at,
+        bandwidth,
+        delay: None,
+        loss: None,
+    };
+    let mut w = World::new(7);
+    let link = w.add_link(LinkConfig::default());
+    let schedule =
+        TraceSchedule::from_points(vec![pt(0.0, 100_000.0), pt(1.5, 50_000.0)], None).unwrap();
+    w.set_link_trace(link, schedule);
+    w.add_agent(Box::new(TraceDriver::new(link)));
+    w.add_agent(Box::new(Meddler { link }));
+
+    w.run_until(1.2);
+    assert_eq!(
+        w.link_config(link).bandwidth,
+        12_345.0,
+        "between schedule points the fault's value must hold"
+    );
+    w.run_until(2.0);
+    assert_eq!(
+        w.link_config(link).bandwidth,
+        50_000.0,
+        "the next schedule point must reassert the trace's value"
+    );
 }

@@ -25,6 +25,7 @@ fn spec_for(transport: Transport) -> SessionSpec {
         duration: 10.0,
         fault_intensity: None,
         transport,
+        trace: None,
     }
 }
 

@@ -1,0 +1,171 @@
+//! Zero-dependency parser for recorded link-condition traces.
+//!
+//! The format is deliberately the least structured thing that can carry a
+//! piecewise link schedule — the same shape as the public cellular traces
+//! (Mahimahi/Pantheon-style capacity logs) after a one-line awk pass:
+//!
+//! ```text
+//! # time_secs  bandwidth_Bps  [delay_secs|-]  [loss|-]
+//! 0.0   100000
+//! 0.5    40000  0.030
+//! 1.25  120000  -      0.02
+//! ```
+//!
+//! One schedule point per line: the time the point takes effect (strictly
+//! increasing, first point at `t >= 0`), the link bandwidth in bytes per
+//! second, and optionally a propagation delay (seconds) and a random-loss
+//! probability. A `-` (or an omitted trailing column) leaves that knob at
+//! whatever the link currently has — recorded traces usually only know
+//! capacity. Blank lines and `#` comments are skipped.
+//!
+//! This module only parses; the simulator's `TraceSchedule` (in
+//! `laqa_sim::link`) owns interpolation, looping and replay semantics.
+
+/// One parsed schedule point of a recorded link trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkTracePoint {
+    /// Time the point takes effect (seconds from trace start).
+    pub at: f64,
+    /// Link bandwidth from `at` onward (bytes/s).
+    pub bandwidth: f64,
+    /// Propagation delay from `at` onward (seconds); `None` keeps the
+    /// link's current delay.
+    pub delay: Option<f64>,
+    /// Random per-packet loss probability from `at` onward; `None` keeps
+    /// the link's current loss rate.
+    pub loss: Option<f64>,
+}
+
+/// Parse a recorded link trace (see the module docs for the format).
+///
+/// Returns the points in file order. Errors (with a 1-based line number)
+/// on malformed numbers, non-increasing times, negative times or delays,
+/// non-positive bandwidths, and loss probabilities outside `[0, 1]`.
+pub fn parse_link_trace(text: &str) -> Result<Vec<LinkTracePoint>, String> {
+    let mut points: Vec<LinkTracePoint> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let mut cols = line.split_whitespace();
+        let Some(t_col) = cols.next() else {
+            continue; // blank or comment-only line
+        };
+        let at = parse_field(t_col, "time", lineno)?;
+        if at < 0.0 {
+            return Err(format!("line {lineno}: negative time {at}"));
+        }
+        if let Some(prev) = points.last() {
+            if at <= prev.at {
+                return Err(format!(
+                    "line {lineno}: time {at} not after previous point {}",
+                    prev.at
+                ));
+            }
+        }
+        let bw_col = cols
+            .next()
+            .ok_or_else(|| format!("line {lineno}: missing bandwidth column"))?;
+        let bandwidth = parse_field(bw_col, "bandwidth", lineno)?;
+        if bandwidth <= 0.0 {
+            return Err(format!(
+                "line {lineno}: bandwidth must be positive, got {bandwidth}"
+            ));
+        }
+        let delay = parse_optional(cols.next(), "delay", lineno)?;
+        if let Some(d) = delay {
+            if d < 0.0 {
+                return Err(format!("line {lineno}: negative delay {d}"));
+            }
+        }
+        let loss = parse_optional(cols.next(), "loss", lineno)?;
+        if let Some(l) = loss {
+            if !(0.0..=1.0).contains(&l) {
+                return Err(format!("line {lineno}: loss {l} outside [0, 1]"));
+            }
+        }
+        if let Some(extra) = cols.next() {
+            return Err(format!("line {lineno}: unexpected column {extra:?}"));
+        }
+        points.push(LinkTracePoint {
+            at,
+            bandwidth,
+            delay,
+            loss,
+        });
+    }
+    if points.is_empty() {
+        return Err("trace contains no schedule points".to_string());
+    }
+    Ok(points)
+}
+
+fn parse_field(col: &str, what: &str, lineno: usize) -> Result<f64, String> {
+    let v: f64 = col
+        .parse()
+        .map_err(|_| format!("line {lineno}: bad {what} {col:?}"))?;
+    if !v.is_finite() {
+        return Err(format!("line {lineno}: {what} must be finite, got {col:?}"));
+    }
+    Ok(v)
+}
+
+fn parse_optional(col: Option<&str>, what: &str, lineno: usize) -> Result<Option<f64>, String> {
+    match col {
+        None | Some("-") => Ok(None),
+        Some(c) => parse_field(c, what, lineno).map(Some),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_and_sparse_rows() {
+        let text = "\
+# capacity trace
+0.0   100000
+0.5    40000  0.030
+
+1.25  120000  -      0.02   # back up, but lossy
+";
+        let pts = parse_link_trace(text).unwrap();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].at, 0.0);
+        assert_eq!(pts[0].bandwidth, 100_000.0);
+        assert_eq!(pts[0].delay, None);
+        assert_eq!(pts[1].delay, Some(0.030));
+        assert_eq!(pts[1].loss, None);
+        assert_eq!(pts[2].delay, None, "- keeps the current delay");
+        assert_eq!(pts[2].loss, Some(0.02));
+    }
+
+    #[test]
+    fn rejects_non_increasing_times() {
+        let err = parse_link_trace("0.0 100\n0.0 200\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(parse_link_trace("1.0 100\n0.5 200\n").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert!(parse_link_trace("").is_err(), "empty trace");
+        assert!(parse_link_trace("0.0\n").is_err(), "missing bandwidth");
+        assert!(parse_link_trace("0.0 -5\n").is_err(), "negative bandwidth");
+        assert!(parse_link_trace("0.0 0\n").is_err(), "zero bandwidth");
+        assert!(parse_link_trace("-1.0 100\n").is_err(), "negative time");
+        assert!(parse_link_trace("0.0 100 0.01 1.5\n").is_err(), "loss > 1");
+        assert!(parse_link_trace("0.0 100 -0.1\n").is_err(), "neg delay");
+        assert!(parse_link_trace("0.0 nan\n").is_err(), "non-finite");
+        assert!(parse_link_trace("0.0 100 0.01 0.0 9\n").is_err(), "extra");
+    }
+
+    #[test]
+    fn first_point_may_start_after_zero() {
+        let pts = parse_link_trace("2.0 5000\n").unwrap();
+        assert_eq!(pts[0].at, 2.0);
+    }
+}
