@@ -1,0 +1,82 @@
+//! Tuning probe for the megasession hot path: runs the 64-session bench
+//! grid through the per-cell and mega executors with the chunk/slice
+//! knobs on the command line and prints the speedup ratio. This is the
+//! loop that found the slice-infinity clamp bug and picked the
+//! run-to-completion default (see DESIGN.md §6i).
+//!
+//!     cargo run --release -p laqa-bench --example mega_probe -- \
+//!         [chunk] [slice_secs|inf] [duration] [reps]
+//!
+//! With MEGA_PROBE_OBS=1 an extra instrumented mega run prints the
+//! laqa-obs histogram/span totals, which is how per-event dispatch cost
+//! is separated from slot-switch and admission overhead.
+
+use laqa_sim::{run_campaign_opts, CampaignOptions, CampaignSpec, TestKind};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let chunk: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(32);
+    let slice: f64 = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(0.268435456);
+    let duration: f64 = args.get(3).map(|s| s.parse().unwrap()).unwrap_or(8.0);
+    let reps: usize = args.get(4).map(|s| s.parse().unwrap()).unwrap_or(3);
+
+    let seeds64: Vec<u64> = (0..16).map(|i| 7 + 14 * i).collect();
+    let wide = CampaignSpec::grid(&[TestKind::T1, TestKind::T2], &[2, 4], &seeds64, duration);
+
+    let measure = |opts: &dyn Fn() -> CampaignOptions, label: &str| -> (f64, u64) {
+        let mut best = f64::INFINITY;
+        let mut events = 0;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let out = run_campaign_opts(&wide, opts());
+            let dt = t0.elapsed().as_secs_f64();
+            events = out.sessions.iter().map(|s| s.events_processed).sum();
+            if dt < best {
+                best = dt;
+            }
+        }
+        println!("{label:10} {:.3}s  {:.0} ev/s", best, events as f64 / best);
+        (best, events)
+    };
+
+    let (pc, _) = measure(&|| CampaignOptions::new(1), "percell");
+    let (mg, _) = measure(
+        &|| CampaignOptions::new(1).mega().mega_chunk(chunk).mega_slice(slice),
+        "mega",
+    );
+    println!("chunk={chunk} slice={slice}: mega/percell = {:.3}x", pc / mg);
+
+    if std::env::var("MEGA_PROBE_OBS").is_ok() {
+        laqa_obs::set_enabled(true);
+        laqa_obs::reset();
+        let t0 = Instant::now();
+        run_campaign_opts(
+            &wide,
+            CampaignOptions::new(1).mega().mega_chunk(chunk).mega_slice(slice),
+        );
+        let wall = t0.elapsed().as_secs_f64();
+        laqa_obs::set_enabled(false);
+        let snap = laqa_obs::snapshot();
+        println!("instrumented mega wall {wall:.3}s");
+        for h in &snap.histograms {
+            if h.count > 0 {
+                println!(
+                    "  hist {:28} count {:>9} total {:>9.1}ms mean {:>8.1}ns",
+                    h.name,
+                    h.count,
+                    h.sum / 1e6,
+                    h.mean().unwrap_or(0.0)
+                );
+            }
+        }
+        for (name, s) in &snap.spans {
+            println!(
+                "  span {:28} count {:>9} total {:>9.1}ms",
+                name,
+                s.count,
+                s.total_ns as f64 / 1e6
+            );
+        }
+    }
+}

@@ -13,9 +13,12 @@
 //! campaign_bench --smoke           # 1 rep, short duration (CI wiring)
 //! campaign_bench --mega            # add megasession-executor cells and
 //!                                  # the 64-session mega-vs-per-cell probe
+//! campaign_bench --profile         # per-dispatch-site time breakdown from
+//!                                  # the instrumented rep (no extra deps)
 //! options: --threads LIST (default 1,2,8,16)  --reps N  --duration S
 //!          --out FILE  --check FILE (>20% events/sec regression gate;
-//!          with --mega also gates the mega executor's events/sec)
+//!          with --mega also gates the mega executor's events/sec and
+//!          the 64-session mega-vs-per-cell speedup ratio)
 //! ```
 
 use laqa_bench::cli::Args;
@@ -65,6 +68,9 @@ struct Cell {
     transport: &'static str,
     sched: SchedulerKind,
     threads: usize,
+    /// Workers the executor actually spawned: `threads` clamped to the
+    /// session count and the host's available parallelism.
+    threads_effective: usize,
     fingerprint: u64,
     events: u64,
     /// Best-of-reps worker wall time (merge excluded; seconds).
@@ -91,6 +97,7 @@ fn measure_rep(spec: &CampaignSpec, opts: CampaignOptions, mode: &'static str) -
         transport: "rap",
         sched: opts.sched,
         threads: opts.threads,
+        threads_effective: result.threads,
         fingerprint: result.fingerprint(),
         events: result.sessions.iter().map(|s| s.events_processed).sum(),
         wall_secs: result.wall_secs,
@@ -135,7 +142,7 @@ fn quantile_probe(
     threads: usize,
     mega: bool,
     fp0: u64,
-) -> Result<Vec<laqa_obs::HistogramSnapshot>, AnyError> {
+) -> Result<laqa_obs::Snapshot, AnyError> {
     laqa_obs::reset();
     laqa_obs::set_enabled(true);
     let warm = run_campaign_opts(spec, CampaignOptions::new(threads));
@@ -159,7 +166,97 @@ fn quantile_probe(
     laqa_obs::set_enabled(false);
     let snap = laqa_obs::snapshot();
     laqa_obs::reset();
-    Ok(snap.histograms)
+    Ok(snap)
+}
+
+/// `--profile`: per-dispatch-site time breakdown from the instrumented
+/// rep's snapshot — counts, total and mean wall time per site, plus the
+/// timer wheel's insert-path split. Zero external dependencies: every
+/// number is already in the laqa-obs registries.
+fn print_profile(snap: &laqa_obs::Snapshot) {
+    println!(
+        "{:<26} {:>12} {:>12} {:>10} {:>7}",
+        "dispatch site", "count", "total (ms)", "mean (ns)", "share"
+    );
+    // Timed sites, one per dispatch path: per-cell engine event dispatch,
+    // mega per-session event dispatch. Spans cover the enclosing scopes.
+    let hist_sites = ["sched.dispatch_ns", "mega.session_event_ns"];
+    let hist_total: f64 = hist_sites
+        .iter()
+        .filter_map(|n| snap.histogram(n))
+        .map(|h| h.sum)
+        .sum();
+    for name in hist_sites {
+        let Some(h) = snap.histogram(name) else {
+            continue;
+        };
+        println!(
+            "{:<26} {:>12} {:>12.3} {:>10.1} {:>6.1}%",
+            name,
+            h.count,
+            h.sum / 1e6,
+            h.mean().unwrap_or(0.0),
+            100.0 * h.sum / hist_total.max(1e-9)
+        );
+    }
+    for (name, s) in &snap.spans {
+        if s.count == 0 {
+            continue;
+        }
+        println!(
+            "{:<26} {:>12} {:>12.3} {:>10.1} {:>7}",
+            name,
+            s.count,
+            s.total_ns as f64 / 1e6,
+            s.mean_ns().unwrap_or(0.0),
+            "-"
+        );
+    }
+    // Wheel insert-path split: which of the three schedule() arms the
+    // workload actually exercises (active-tick merge / slot window /
+    // overflow tree).
+    let paths = [
+        "sched.wheel_insert_active",
+        "sched.wheel_insert_window",
+        "sched.wheel_insert_overflow",
+    ];
+    let inserts: u64 = paths
+        .iter()
+        .map(|n| snap.counter(n).unwrap_or(0))
+        .sum();
+    for name in paths {
+        let n = snap.counter(name).unwrap_or(0);
+        println!(
+            "{:<26} {:>12} {:>12} {:>10} {:>6.1}%",
+            name,
+            n,
+            "-",
+            "-",
+            100.0 * n as f64 / inserts.max(1) as f64
+        );
+    }
+    // Geometry-memo effectiveness: hits avoid a full state-path rebuild;
+    // admissions are the clones the warm path pays for them.
+    let geo = [
+        "qa.geometry_cache.hits",
+        "qa.geometry_cache.misses",
+        "qa.geometry_cache.admissions",
+    ];
+    let lookups: u64 = geo[..2]
+        .iter()
+        .map(|n| snap.counter(n).unwrap_or(0))
+        .sum();
+    for name in geo {
+        let n = snap.counter(name).unwrap_or(0);
+        println!(
+            "{:<26} {:>12} {:>12} {:>10} {:>6.1}%",
+            name,
+            n,
+            "-",
+            "-",
+            100.0 * n as f64 / lookups.max(1) as f64
+        );
+    }
 }
 
 /// Look up one quantile of a named histogram from the probe's snapshot.
@@ -350,14 +447,15 @@ fn run(args: &Args) -> Result<(), AnyError> {
 
     eprintln!("measuring instrumented quantile rep (obs enabled, untimed)...");
     let probe_threads = *thread_counts.iter().max().unwrap_or(&1);
-    let hists = quantile_probe(&spec, probe_threads, mega, fp0)?;
+    let probe_snap = quantile_probe(&spec, probe_threads, mega, fp0)?;
+    let hists = &probe_snap.histograms;
 
     // 64-session single-thread probe: the per-cell executor vs one
     // MegaEngine multiplexing the whole grid in a single chunk. Reported
     // as an honest ratio — the per-cell path is already warm-pooled and
     // allocation-free in steady state, so the mega executor's win here is
     // engine-reuse and batching, not a order-of-magnitude miracle.
-    let mut mega64: Option<(Cell, Cell)> = None;
+    let mut mega64: Option<(Cell, Cell, f64)> = None;
     if mega {
         let seeds64: Vec<u64> = (0..16).map(|i| 7 + 14 * i).collect();
         let wide = CampaignSpec::grid(&[TestKind::T1, TestKind::T2], &[2, 4], &seeds64, duration);
@@ -365,13 +463,61 @@ fn run(args: &Args) -> Result<(), AnyError> {
             "measuring 64-session single-thread probe ({} sessions)...",
             wide.len()
         );
-        let per_cell = measure(&wide, CampaignOptions::new(1), "percell64", reps);
-        let mega_wide = measure(
-            &wide,
-            CampaignOptions::new(1).mega().mega_chunk(wide.len()),
-            "mega64",
-            reps,
+        // Interleave the two executors' reps (A B A B ...) rather than
+        // best-of-N each in sequence: on a frequency-throttled container,
+        // drift between the two measurement windows can swing the
+        // reported ratio by ±10 %, and the ratio is what --check gates.
+        // The gated ratio is the MEDIAN of order-cancelled quads: each
+        // sample runs A B then B A and takes sqrt(ratio_AB * ratio_BA).
+        // The second rep of a pair sits higher on the host's frequency
+        // ramp, which multiplies one pair's ratio by some bias b and the
+        // flipped pair's by 1/b — the geometric mean cancels it exactly.
+        // Sequential best-of (and even one-order interleaving) swung the
+        // reported ratio 0.90–1.08x run to run on this container, enough
+        // to trip the ±10% --check gate on unchanged code. Best-of cells
+        // are still kept for the absolute events/s numbers in the table
+        // and JSON.
+        fn keep_best(best: &mut Option<Cell>, cell: Cell, what: &str) {
+            match best {
+                Some(prev) => {
+                    assert_eq!(prev.fingerprint, cell.fingerprint, "{what}: rep-to-rep divergence");
+                    if cell.wall_secs < prev.wall_secs {
+                        *best = Some(cell);
+                    }
+                }
+                None => *best = Some(cell),
+            }
+        }
+        let pc_opts = CampaignOptions::new(1);
+        // Default chunking (not one giant chunk): retiring a chunk banks
+        // its worlds' storage, so later chunks admit warm — the same
+        // salvage reuse the per-cell pool enjoys.
+        let mg_opts = CampaignOptions::new(1).mega();
+        let _ = measure_rep(&wide, pc_opts, "percell64");
+        let _ = measure_rep(&wide, mg_opts, "mega64");
+        let (mut pc_best, mut mg_best) = (None, None);
+        let mut quad_ratios: Vec<f64> = Vec::new();
+        for _ in 0..reps.max(3) {
+            let pc_a = measure_rep(&wide, pc_opts, "percell64");
+            let mg_a = measure_rep(&wide, mg_opts, "mega64");
+            let mg_b = measure_rep(&wide, mg_opts, "mega64");
+            let pc_b = measure_rep(&wide, pc_opts, "percell64");
+            let r_ab = mg_a.events_per_sec() / pc_a.events_per_sec().max(1e-9);
+            let r_ba = mg_b.events_per_sec() / pc_b.events_per_sec().max(1e-9);
+            quad_ratios.push((r_ab * r_ba).sqrt());
+            keep_best(&mut pc_best, pc_a, "percell64");
+            keep_best(&mut pc_best, pc_b, "percell64");
+            keep_best(&mut mg_best, mg_a, "mega64");
+            keep_best(&mut mg_best, mg_b, "mega64");
+        }
+        quad_ratios.sort_by(|a, b| a.total_cmp(b));
+        let median_ratio = quad_ratios[quad_ratios.len() / 2];
+        eprintln!(
+            "mega64 quad ratios (sorted): [{}] -> median {median_ratio:.3}",
+            quad_ratios.iter().map(|r| format!("{r:.3}")).collect::<Vec<_>>().join(", ")
         );
+        let per_cell = pc_best.expect("reps >= 1");
+        let mega_wide = mg_best.expect("reps >= 1");
         if per_cell.fingerprint != mega_wide.fingerprint {
             return Err(format!(
                 "EXECUTOR DIVERGENCE: 64-session mega fingerprint {:016x} != per-cell {:016x}",
@@ -379,7 +525,7 @@ fn run(args: &Args) -> Result<(), AnyError> {
             )
             .into());
         }
-        mega64 = Some((per_cell, mega_wide));
+        mega64 = Some((per_cell, mega_wide, median_ratio));
     }
 
     let interop = interop_probe(duration, reps)?;
@@ -438,9 +584,10 @@ fn run(args: &Args) -> Result<(), AnyError> {
         let wall: f64 = m.iter().map(|c| c.wall_secs).sum();
         events as f64 / wall.max(1e-9)
     });
-    let mega_vs_percell_64 = mega64
-        .as_ref()
-        .map(|(p, m)| m.events_per_sec() / p.events_per_sec().max(1e-9));
+    // Median of the interleaved per-pair ratios, not best-of vs best-of:
+    // the two best reps can come from different thermal windows, which
+    // is exactly the noise the pairing was built to cancel.
+    let mega_vs_percell_64 = mega64.as_ref().map(|(_, _, r)| *r);
     println!(
         "warm/cold @{base_threads} thread(s) (wheel): {warm_vs_cold:.2}x; \
          warm 8-vs-1 threads: {agg_8_vs_1:.2}x; overall {overall:.0} events/s"
@@ -448,7 +595,7 @@ fn run(args: &Args) -> Result<(), AnyError> {
     if let (Some(mo), Some(ratio)) = (mega_overall, mega_vs_percell_64) {
         println!(
             "mega executor: overall {mo:.0} events/s; \
-             64-session single-thread mega vs per-cell: {ratio:.2}x"
+             64-session single-thread mega vs per-cell: {ratio:.2}x (quad median)"
         );
     }
     println!(
@@ -473,11 +620,11 @@ fn run(args: &Args) -> Result<(), AnyError> {
         );
     }
 
-    // Quantile table from the instrumented rep. Dispatch/slack/event are
+    // Quantile table from the instrumented rep. Dispatch/horizon/event are
     // nanoseconds, session wall is milliseconds, batch size is events.
     let probe_names = [
         "sched.dispatch_ns",
-        "sched.wheel_slack_ns",
+        "sched.wheel_horizon_ns",
         "campaign.session_wall_ms",
         "mega.session_event_ns",
         "mega.batch_size",
@@ -503,6 +650,10 @@ fn run(args: &Args) -> Result<(), AnyError> {
             fmt(0.99),
             fmt(0.999)
         );
+    }
+
+    if args.flag("profile") {
+        print_profile(&probe_snap);
     }
 
     if let Some(path) = args.options.get("check") {
@@ -546,6 +697,28 @@ fn run(args: &Args) -> Result<(), AnyError> {
                 }
             }
         }
+        // Gate the 64-session mega-vs-per-cell speedup: the headline the
+        // mega hot-path work bought. Both sides are medians of interleaved
+        // per-pair ratios (see the probe above). Only enforced when the
+        // baseline recorded the ratio (older baselines predate the key); a
+        // 10% tolerance absorbs shared-hardware noise on the two probes.
+        if let (Some(ratio), Some(base_ratio)) = (
+            mega_vs_percell_64,
+            scan_number(&baseline, "mega_vs_percell_ratio"),
+        ) {
+            if base_ratio > 0.0 {
+                println!(
+                    "mega-vs-percell gate: {ratio:.2}x vs baseline {base_ratio:.2}x"
+                );
+                if ratio < base_ratio * 0.9 {
+                    return Err(format!(
+                        "PERF REGRESSION: mega-vs-percell speedup dropped >10% vs {path} \
+                         ({ratio:.2}x vs {base_ratio:.2}x)"
+                    )
+                    .into());
+                }
+            }
+        }
     }
 
     let out = args
@@ -581,7 +754,7 @@ fn run(args: &Args) -> Result<(), AnyError> {
     if let Some(mo) = mega_overall {
         json.push_str(&format!("  \"mega_events_per_sec\": {mo:.1},\n"));
     }
-    if let (Some((p, m)), Some(ratio)) = (&mega64, mega_vs_percell_64) {
+    if let (Some((p, m, _)), Some(ratio)) = (&mega64, mega_vs_percell_64) {
         json.push_str(&format!(
             "  \"mega_vs_percell_64sessions\": {{\"sessions\": {}, \"threads\": 1, \
              \"percell_events_per_sec\": {:.1}, \"mega_events_per_sec\": {:.1}, \
@@ -590,6 +763,8 @@ fn run(args: &Args) -> Result<(), AnyError> {
             p.events_per_sec(),
             m.events_per_sec()
         ));
+        // Flat copy of the speedup for the `--check` gate's string scan.
+        json.push_str(&format!("  \"mega_vs_percell_ratio\": {ratio:.4},\n"));
     }
     json.push_str(&format!(
         "  \"steady_state_allocs\": {{\"first_session\": {cold_first}, \
@@ -598,7 +773,7 @@ fn run(args: &Args) -> Result<(), AnyError> {
     // p99 latencies from the instrumented rep — tracked for trend-spotting
     // only, never gated: they are wall-clock noise on shared hardware.
     {
-        let q = |name: &str| probe_quantile(&hists, name, 0.99);
+        let q = |name: &str| probe_quantile(hists, name, 0.99);
         let mut fields: Vec<String> = Vec::new();
         let mut push = |key: &str, v: Option<f64>| {
             if let Some(v) = v {
@@ -606,7 +781,10 @@ fn run(args: &Args) -> Result<(), AnyError> {
             }
         };
         push("sched_dispatch_p99_ns", q("sched.dispatch_ns"));
-        push("sched_wheel_slack_p99_ns", q("sched.wheel_slack_ns"));
+        // Renamed from sched_wheel_slack_p99_ns in PR 10: the value is the
+        // arming horizon (how far ahead of the cursor timers land), which
+        // legitimately sits around ~1 s — it was never delivery lateness.
+        push("sched_wheel_horizon_p99_ns", q("sched.wheel_horizon_ns"));
         push("campaign_session_wall_p99_ms", q("campaign.session_wall_ms"));
         push("mega_session_event_p99_ns", q("mega.session_event_ns"));
         push("mega_batch_size_p99", q("mega.batch_size"));
@@ -656,13 +834,14 @@ fn run(args: &Args) -> Result<(), AnyError> {
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"mode\": \"{}\", \"transport\": \"{}\", \"scheduler\": \"{}\", \
-             \"threads\": {}, \
+             \"threads\": {}, \"threads_effective\": {}, \
              \"events\": {}, \"wall_secs\": {:.6}, \"merge_secs\": {:.6}, \
              \"events_per_sec\": {:.1}, \"allocs_per_session\": {}}}{}\n",
             c.mode,
             c.transport,
             c.sched.label(),
             c.threads,
+            c.threads_effective,
             c.events,
             c.wall_secs,
             c.merge_secs,
@@ -692,8 +871,8 @@ fn main() {
     if args.command != "run" {
         eprintln!(
             "error: unexpected argument '{}' — this binary takes options only \
-             (--smoke, --mega, --threads LIST, --duration S, --reps N, --out FILE, \
-             --check FILE)",
+             (--smoke, --mega, --profile, --threads LIST, --duration S, --reps N, \
+             --out FILE, --check FILE)",
             args.command
         );
         std::process::exit(2);

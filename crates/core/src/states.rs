@@ -212,9 +212,10 @@ impl StateSequence {
 
     /// Overwrite `self` with a copy of `src`, recycling every vector `self`
     /// already owns. Equivalent to `self.clone_from(src)` except that no
-    /// allocation happens once `self` has the capacity — the memo-cache hit
-    /// path ([`GeometryCache`]) copies a cached sequence into per-tick
-    /// scratch storage this way.
+    /// allocation happens once `self` has the capacity. (The
+    /// [`GeometryCache`] hit path used to restore sequences this way; it
+    /// now rehydrates from flattened `CachedSeq` entries, but this remains
+    /// the allocation-free way to copy one live sequence into another.)
     pub fn copy_from(&mut self, src: &StateSequence) {
         self.rate = src.rate;
         self.n_active = src.n_active;
@@ -301,6 +302,80 @@ struct GeoKey {
     decrease_factor_bits: u64,
 }
 
+/// Flattened, immutable copy of a derived [`StateSequence`] as stored in
+/// the memo: per-state metadata plus one contiguous buffer holding every
+/// state's raw and clamped per-layer targets. Admitting an entry costs
+/// two allocations, where cloning the full `StateSequence` would pin two
+/// fresh `Vec`s per state — the difference is what pushed warm campaign
+/// cells above the cold baseline's allocs/session before PR 10 (the
+/// `warm_alloc` budgets gate it now).
+#[derive(Debug)]
+struct CachedSeq {
+    rate: f64,
+    n_active: usize,
+    layer_rate: f64,
+    slope: f64,
+    k1: u32,
+    /// `(scenario, k)` per state, in sequence order.
+    meta: Vec<(Scenario, u32)>,
+    /// `2 * n_active` floats per state: raw targets, then clamped.
+    flat: Vec<f64>,
+}
+
+impl CachedSeq {
+    fn from_seq(seq: &StateSequence) -> Self {
+        let n = seq.n_active;
+        let mut meta = Vec::with_capacity(seq.states.len());
+        let mut flat = Vec::with_capacity(2 * n * seq.states.len());
+        for st in &seq.states {
+            debug_assert_eq!(st.raw_per_layer.len(), n);
+            debug_assert_eq!(st.per_layer.len(), n);
+            meta.push((st.scenario, st.k));
+            flat.extend_from_slice(&st.raw_per_layer);
+            flat.extend_from_slice(&st.per_layer);
+        }
+        CachedSeq {
+            rate: seq.rate,
+            n_active: n,
+            layer_rate: seq.layer_rate,
+            slope: seq.slope,
+            k1: seq.k1,
+            meta,
+            flat,
+        }
+    }
+
+    /// Overwrite `seq` with this entry's contents, recycling the vectors
+    /// `seq` already owns — the exact floats [`StateSequence::copy_from`]
+    /// of the original would have written.
+    fn write_into(&self, seq: &mut StateSequence) {
+        seq.rate = self.rate;
+        seq.n_active = self.n_active;
+        seq.layer_rate = self.layer_rate;
+        seq.slope = self.slope;
+        seq.k1 = self.k1;
+        seq.states.truncate(self.meta.len());
+        while seq.states.len() < self.meta.len() {
+            seq.states.push(BufferState {
+                scenario: Scenario::One,
+                k: 0,
+                raw_per_layer: Vec::new(),
+                per_layer: Vec::new(),
+            });
+        }
+        let n = self.n_active;
+        for (i, (st, &(scenario, k))) in seq.states.iter_mut().zip(&self.meta).enumerate() {
+            let base = 2 * n * i;
+            st.scenario = scenario;
+            st.k = k;
+            st.raw_per_layer.clear();
+            st.raw_per_layer.extend_from_slice(&self.flat[base..base + n]);
+            st.per_layer.clear();
+            st.per_layer.extend_from_slice(&self.flat[base + n..base + 2 * n]);
+        }
+    }
+}
+
 /// Memo cache for [`StateSequence`] derivations, keyed by the exact
 /// operating point `(rate, n_active, C, S, k_horizon)`.
 ///
@@ -314,7 +389,7 @@ struct GeoKey {
 /// grids whose operating points never repeat.
 #[derive(Debug, Default)]
 pub struct GeometryCache {
-    map: HashMap<GeoKey, StateSequence>,
+    map: HashMap<GeoKey, CachedSeq>,
     /// Two-touch admission filter: keys missed exactly once so far. A
     /// sequence is cloned into `map` only on its *second* miss — an
     /// operating point seen once and never again (seed-dependent transient
@@ -410,14 +485,15 @@ impl GeometryCache {
         if let Some(cached) = self.map.get(&key) {
             self.hits += 1;
             laqa_obs::counter!("qa.geometry_cache.hits").inc();
-            seq.copy_from(cached);
+            cached.write_into(seq);
             return;
         }
         self.misses += 1;
         laqa_obs::counter!("qa.geometry_cache.misses").inc();
         seq.rebuild_with(rate, n_active, layer_rate, slope, k_horizon, decrease_factor);
         if self.map.len() < Self::MAX_ENTRIES && self.seen_once.remove(&key) {
-            self.map.insert(key, seq.clone());
+            laqa_obs::counter!("qa.geometry_cache.admissions").inc();
+            self.map.insert(key, CachedSeq::from_seq(seq));
         } else if self.map.len() < Self::MAX_ENTRIES {
             if self.seen_once.len() >= Self::MAX_SEEN_ONCE {
                 self.seen_once.clear();

@@ -77,6 +77,7 @@ impl<T> Slab<T> {
 
     /// Store `item`, returning its handle. Recycles a freed slot when one
     /// exists; grows the backing vector otherwise.
+    #[inline]
     pub fn insert(&mut self, item: T) -> u32 {
         self.live += 1;
         if self.free_head != NO_SLOT {
@@ -98,6 +99,7 @@ impl<T> Slab<T> {
     }
 
     /// Borrow the record at `idx`, if live.
+    #[inline]
     pub fn get(&self, idx: u32) -> Option<&T> {
         match self.entries.get(idx as usize) {
             Some(Entry::Occupied(item)) => Some(item),
@@ -106,6 +108,7 @@ impl<T> Slab<T> {
     }
 
     /// Mutably borrow the record at `idx`, if live.
+    #[inline]
     pub fn get_mut(&mut self, idx: u32) -> Option<&mut T> {
         match self.entries.get_mut(idx as usize) {
             Some(Entry::Occupied(item)) => Some(item),
@@ -115,6 +118,7 @@ impl<T> Slab<T> {
 
     /// Remove and return the record at `idx`, if live. The slot goes to
     /// the head of the free list for reuse.
+    #[inline]
     pub fn remove(&mut self, idx: u32) -> Option<T> {
         match self.entries.get_mut(idx as usize) {
             Some(entry @ Entry::Occupied(_)) => {

@@ -723,6 +723,11 @@ pub struct CampaignOptions {
     /// overhead across more concurrent sessions; smaller chunks steal more
     /// fairly.
     pub mega_chunk: usize,
+    /// Simulated-time service quantum for the mega executor's sliced
+    /// service loop (`None` keeps the engine default; ignored unless
+    /// `mega`). Purely a batching knob — every value yields bit-identical
+    /// fingerprints (see [`MegaEngine::set_service_slice`]).
+    pub mega_slice: Option<f64>,
 }
 
 impl CampaignOptions {
@@ -734,6 +739,7 @@ impl CampaignOptions {
             warm: true,
             mega: false,
             mega_chunk: 32,
+            mega_slice: None,
         }
     }
 
@@ -761,6 +767,24 @@ impl CampaignOptions {
         self.mega_chunk = chunk;
         self
     }
+
+    /// Set the mega executor's service slice in simulated seconds (see
+    /// [`CampaignOptions::mega_slice`]).
+    pub fn mega_slice(mut self, slice_secs: f64) -> Self {
+        self.mega_slice = Some(slice_secs);
+        self
+    }
+}
+
+/// Worker threads actually spawned for a request of `requested` threads:
+/// clamped to `[1, sessions]` (a worker with no session to steal is
+/// pure overhead) and to the host's available parallelism — spawning 16
+/// workers on a 1-core host buys no scaling but multiplies the result
+/// buffers the deterministic merge has to walk (the `merge_secs` blowup
+/// the bench recorded before PR 10).
+fn effective_threads(requested: usize, sessions: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    requested.max(1).min(sessions.max(1)).min(cores)
 }
 
 /// Per-worker steal-and-run loop shared by both executors. `deposit` is
@@ -826,6 +850,9 @@ fn mega_worker_loop(
 ) {
     let mut pool = opts.warm.then(WorldPool::new);
     let mut engine = MegaEngine::with_scheduler(opts.sched);
+    if let Some(slice) = opts.mega_slice {
+        engine.set_service_slice(slice);
+    }
     let chunk = opts.mega_chunk.max(1);
     loop {
         let lo = next.fetch_add(chunk, Ordering::Relaxed);
@@ -893,7 +920,7 @@ fn mega_worker_loop(
 /// after the last worker exits. The fingerprint is bit-identical for
 /// every thread count, scheduler kind, and warm/cold setting.
 pub fn run_campaign_opts(spec: &CampaignSpec, opts: CampaignOptions) -> CampaignResult {
-    let threads = opts.threads.max(1).min(spec.sessions.len().max(1));
+    let threads = effective_threads(opts.threads, spec.sessions.len());
     let started = Instant::now();
     let next = AtomicUsize::new(0);
 
@@ -983,7 +1010,7 @@ where
     A: Send,
     F: Fn(&mut A, SessionResult) + Sync,
 {
-    let threads = opts.threads.max(1).min(spec.sessions.len().max(1));
+    let threads = effective_threads(opts.threads, spec.sessions.len());
     let started = Instant::now();
     let next = AtomicUsize::new(0);
     let mut hasher = TraceHasher::new();

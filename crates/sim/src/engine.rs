@@ -25,32 +25,6 @@ pub(crate) enum Event {
     Timer { agent: AgentId, token: u64 },
 }
 
-/// A session-tagged event in the shared megasession queue (see
-/// [`crate::mega::MegaEngine`]): the engine [`Event`] plus the owning
-/// session's slot and epoch. The epoch is the lazy-cancel guard — when a
-/// session is retired its slot's epoch is bumped, so events still in
-/// flight for the old occupant are recognized as stale and dropped
-/// instead of firing into whatever session reuses the slot.
-#[derive(Debug, Clone, PartialEq)]
-pub(crate) struct MegaEvent {
-    /// Session slot in the engine's [`crate::mega::SessionTable`].
-    pub(crate) session: u32,
-    /// The slot's epoch when this event was scheduled.
-    pub(crate) epoch: u32,
-    pub(crate) kind: MegaEventKind,
-}
-
-/// What a [`MegaEvent`] carries.
-#[derive(Debug, Clone, PartialEq)]
-pub(crate) enum MegaEventKind {
-    /// Call `start()` on every agent of the session (the megasession
-    /// analogue of [`World::run_until`]'s lazy start, scheduled at the
-    /// session's global start offset so staggered joins work).
-    Start,
-    /// An ordinary engine event for the session.
-    Engine(Event),
-}
-
 /// Everything one session owns except its agents and its event queue:
 /// local clock, links, RNG, uid and event counters. A solo [`World`]
 /// pairs one of these with its own queue; the megasession engine keeps a
@@ -90,89 +64,77 @@ impl SessionCore {
     }
 }
 
-/// Where a session's events go: a solo world's own queue, or the shared
-/// megasession queue with session/epoch tagging and a global-time offset.
+/// A session's private event queue: the pluggable scheduler plus the
+/// session's own insertion-sequence counter, bundled so every schedule
+/// site pays exactly one direct call — no enum-of-queue-targets
+/// indirection on the hot path (the megasession engine used to route
+/// every insert through a `QueueRef` enum with session/epoch tagging;
+/// since PR 10 each multiplexed session owns one of these outright).
 ///
-/// All times passed through [`QueueRef::schedule`] are *session-local*
+/// All times passed through [`EventQueue::schedule`] are *session-local*
 /// nanoseconds; the clamp to "not before now" happens in local time so a
-/// session behaves bit-identically whether it runs alone (offset 0) or
-/// multiplexed at an arbitrary start offset. The `seq` counter is the
-/// solo world's own in `Solo` and the mega engine's global one in `Mega`
-/// — either way it is strictly increasing over this session's inserts,
-/// which is all the per-session `(time, seq)` dispatch order depends on.
-pub(crate) enum QueueRef<'a> {
-    /// A solo [`World`]'s private queue.
-    Solo {
-        queue: &'a mut AnyScheduler<Event>,
-        seq: &'a mut u64,
-    },
-    /// The shared megasession queue.
-    Mega {
-        queue: &'a mut AnyScheduler<MegaEvent>,
-        seq: &'a mut u64,
-        session: u32,
-        epoch: u32,
-        /// Global time of the session's local zero (its start offset).
-        offset_ns: u64,
-    },
+/// session behaves bit-identically whether it runs alone or multiplexed
+/// at an arbitrary start offset. `seq` is strictly increasing over this
+/// session's inserts, which is all the per-session `(time, seq)`
+/// dispatch order depends on.
+pub(crate) struct EventQueue {
+    pub(crate) sched: AnyScheduler<Event>,
+    pub(crate) seq: u64,
 }
 
-impl QueueRef<'_> {
-    /// Reborrow for a nested dispatch (the enum holds `&mut`s, so a plain
-    /// copy is impossible; this is the standard reborrow dance).
-    pub(crate) fn reborrow(&mut self) -> QueueRef<'_> {
-        match self {
-            QueueRef::Solo { queue, seq } => QueueRef::Solo { queue, seq },
-            QueueRef::Mega {
-                queue,
-                seq,
-                session,
-                epoch,
-                offset_ns,
-            } => QueueRef::Mega {
-                queue,
-                seq,
-                session: *session,
-                epoch: *epoch,
-                offset_ns: *offset_ns,
-            },
+impl EventQueue {
+    pub(crate) fn new(kind: SchedulerKind) -> Self {
+        EventQueue {
+            sched: AnyScheduler::new(kind),
+            seq: 0,
         }
     }
 
-    /// Schedule `event` at session-local `at_ns` (clamped to the session's
-    /// local `now_ns`).
-    fn schedule(&mut self, now_ns: u64, at_ns: u64, event: Event) {
-        let local_ns = at_ns.max(now_ns);
-        match self {
-            QueueRef::Solo { queue, seq } => {
-                queue.schedule(local_ns, **seq, event);
-                **seq += 1;
-            }
-            QueueRef::Mega {
-                queue,
-                seq,
-                session,
-                epoch,
-                offset_ns,
-            } => {
-                let global_ns = local_ns.saturating_add(*offset_ns);
-                queue.schedule(
-                    global_ns,
-                    **seq,
-                    MegaEvent {
-                        session: *session,
-                        epoch: *epoch,
-                        kind: MegaEventKind::Engine(event),
-                    },
-                );
-                **seq += 1;
-            }
-        }
+    /// Schedule `event` at session-local `at_ns` (clamped to `now_ns`).
+    #[inline]
+    pub(crate) fn schedule(&mut self, now_ns: u64, at_ns: u64, event: Event) {
+        self.sched.schedule(at_ns.max(now_ns), self.seq, event);
+        self.seq += 1;
+    }
+
+    #[inline]
+    pub(crate) fn pop_next_at_or_before(&mut self, bound_ns: u64) -> Option<(u64, u64, Event)> {
+        self.sched.pop_next_at_or_before(bound_ns)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.sched.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.sched.len() == 0
+    }
+
+    /// `(time_ns, seq)` of the next event without consuming it.
+    #[inline]
+    pub(crate) fn peek_next(&mut self) -> Option<(u64, u64)> {
+        self.sched.peek_next()
+    }
+
+    pub(crate) fn kind(&self) -> SchedulerKind {
+        self.sched.kind()
+    }
+
+    pub(crate) fn reserve(&mut self, additional: usize) {
+        self.sched.reserve(additional);
+    }
+
+    /// Empty the queue keeping its capacity, and rewind `seq` for the
+    /// next session (salvage path).
+    pub(crate) fn reset(&mut self) {
+        self.sched.reset();
+        self.seq = 0;
     }
 }
 
 /// Put `pkt` onto its next link (or deliver directly when routeless).
-fn route_packet(core: &mut SessionCore, queue: &mut QueueRef<'_>, pkt: Packet) {
+#[inline]
+fn route_packet(core: &mut SessionCore, queue: &mut EventQueue, pkt: Packet) {
     match pkt.next_link() {
         None => {
             // Already at the destination: deliver immediately.
@@ -203,7 +165,7 @@ pub struct Ctx<'a> {
     /// The agent being dispatched.
     pub agent_id: AgentId,
     core: &'a mut SessionCore,
-    queue: QueueRef<'a>,
+    queue: &'a mut EventQueue,
 }
 
 impl<'a> Ctx<'a> {
@@ -215,12 +177,14 @@ impl<'a> Ctx<'a> {
     }
 
     /// Transmit a packet along its route.
+    #[inline]
     pub fn send(&mut self, mut pkt: Packet) {
         pkt.sent_at = self.now;
-        route_packet(self.core, &mut self.queue, pkt);
+        route_packet(self.core, self.queue, pkt);
     }
 
     /// Arm a timer to fire at absolute time `at` seconds.
+    #[inline]
     pub fn set_timer_at(&mut self, at: f64, token: u64) {
         let at_ns = secs_to_ns(at.max(0.0));
         self.queue.schedule(
@@ -345,7 +309,7 @@ pub trait Agent: 'static {
 /// a world built from salvage is observationally identical to a fresh
 /// one (pinned by the warm-vs-cold fingerprint tests).
 pub struct WorldSalvage {
-    pub(crate) queue: AnyScheduler<Event>,
+    pub(crate) queue: EventQueue,
     pub(crate) links: Vec<Link>,
     pub(crate) spare_links: Vec<Link>,
     pub(crate) agents: Vec<Option<Box<dyn Agent>>>,
@@ -358,8 +322,7 @@ pub struct WorldSalvage {
 /// into its session table columns.
 pub struct World {
     pub(crate) core: SessionCore,
-    pub(crate) queue: AnyScheduler<Event>,
-    pub(crate) seq: u64,
+    pub(crate) queue: EventQueue,
     pub(crate) agents: Vec<Option<Box<dyn Agent>>>,
     pub(crate) started: bool,
 }
@@ -377,8 +340,7 @@ impl World {
     pub fn with_scheduler(seed: u64, kind: SchedulerKind) -> Self {
         World {
             core: SessionCore::fresh(seed),
-            queue: AnyScheduler::new(kind),
-            seq: 0,
+            queue: EventQueue::new(kind),
             agents: Vec::new(),
             started: false,
         }
@@ -398,7 +360,7 @@ impl World {
         let queue = if queue.kind() == kind {
             queue
         } else {
-            AnyScheduler::new(kind)
+            EventQueue::new(kind)
         };
         // `links` arrives emptied with capacity; the shells live in
         // `spare_links`. A mismatched topology is harmless — leftover
@@ -415,7 +377,6 @@ impl World {
                 flight_id: 0,
             },
             queue,
-            seq: 0,
             agents,
             started: false,
         }
@@ -528,15 +489,7 @@ impl World {
             return;
         }
         self.started = true;
-        for id in 0..self.agents.len() {
-            let mut queue = QueueRef::Solo {
-                queue: &mut self.queue,
-                seq: &mut self.seq,
-            };
-            dispatch_agent(&mut self.agents, &mut self.core, &mut queue, id, |a, ctx| {
-                a.start(ctx)
-            });
-        }
+        start_agents(&mut self.agents, &mut self.core, &mut self.queue);
     }
 
     /// Run the event loop until simulated time `t_end` seconds (events at
@@ -559,11 +512,7 @@ impl World {
             } else {
                 None
             };
-            let mut queue = QueueRef::Solo {
-                queue: &mut self.queue,
-                seq: &mut self.seq,
-            };
-            dispatch_event(&mut self.core, &mut self.agents, &mut queue, event);
+            dispatch_event(&mut self.core, &mut self.agents, &mut self.queue, event);
             if let Some(t0) = timed {
                 laqa_obs::histogram!("sched.dispatch_ns", laqa_obs::LOG_NS_BOUNDS)
                     .observe(t0.elapsed().as_nanos() as f64);
@@ -579,10 +528,11 @@ impl World {
 /// restored afterwards. Shared verbatim by solo worlds and the
 /// megasession engine — this is what makes a multiplexed session's
 /// dispatch bit-identical to an isolated one.
+#[inline]
 pub(crate) fn dispatch_agent(
     agents: &mut [Option<Box<dyn Agent>>],
     core: &mut SessionCore,
-    queue: &mut QueueRef<'_>,
+    queue: &mut EventQueue,
     id: AgentId,
     f: impl FnOnce(&mut dyn Agent, &mut Ctx),
 ) {
@@ -595,21 +545,35 @@ pub(crate) fn dispatch_agent(
             now: ns_to_secs(core.now_ns),
             agent_id: id,
             core,
-            queue: queue.reborrow(),
+            queue,
         };
         f(agent.as_mut(), &mut ctx);
     }
     agents[id] = Some(agent);
 }
 
+/// Call `start()` on every agent in slot order (the lazy-start sweep a
+/// solo world runs on its first `run_until`; the megasession engine runs
+/// the same sweep when a session's start offset comes due).
+pub(crate) fn start_agents(
+    agents: &mut Vec<Option<Box<dyn Agent>>>,
+    core: &mut SessionCore,
+    queue: &mut EventQueue,
+) {
+    for id in 0..agents.len() {
+        dispatch_agent(agents, core, queue, id, |a, ctx| a.start(ctx));
+    }
+}
+
 /// Process one engine [`Event`] against a session's state. `core.now_ns`
 /// must already be set to the event's (session-local) time. Factored out
 /// of [`World::run_until`] so the megasession engine dispatches the exact
 /// same code path per event.
+#[inline]
 pub(crate) fn dispatch_event(
     core: &mut SessionCore,
     agents: &mut [Option<Box<dyn Agent>>],
-    queue: &mut QueueRef<'_>,
+    queue: &mut EventQueue,
     event: Event,
 ) {
     match event {

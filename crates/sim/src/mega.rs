@@ -1,49 +1,69 @@
-//! Megasession engine: many QA/RAP sessions multiplexed on one shared
-//! event queue (one timer wheel, one packet arena).
+//! Megasession engine: many QA/RAP sessions multiplexed on one engine
+//! with per-session private event queues and time-sliced batched service.
 //!
-//! A campaign of N sessions used to be N independent [`World`]s, each
-//! with its own scheduler, even though the sessions share no state — so
-//! per-session setup (queue construction, wheel cursor scans over sparse
-//! occupancy) was paid N times. [`MegaEngine`] instead absorbs unstarted
-//! worlds into a struct-of-arrays [`SessionTable`] and runs them all on a
-//! single queue whose events carry a `(session, epoch)` tag.
+//! A campaign of N sessions used to be N independent [`World`]s run one
+//! after another, paying per-session executor overhead (steal, build,
+//! extract) N times with no locality between sessions. The first
+//! megasession engine (PR 6) went to the other extreme — one *shared*
+//! queue whose events carried a `(session, epoch)` tag — and measured
+//! 0.53x the warm per-cell executor: every event paid the tag, an epoch
+//! check, an indirect queue hop, and a stable sort to regroup events by
+//! session that the shared queue had just finished interleaving.
 //!
-//! **Equivalence argument.** Sessions share nothing mutable except the
-//! queue and the global insertion-sequence counter. Every event a session
-//! schedules gets a globally increasing `seq`, so the *relative* insertion
-//! order of one session's events is the same as it would be in isolation;
-//! the queue dispatches in `(time, seq)` order, so the subsequence of
-//! dispatches belonging to one session is exactly its isolated dispatch
-//! sequence; each dispatch runs the same shared
-//! [`crate::engine::dispatch_event`] code against per-session state and a
-//! per-session RNG. By induction over dispatches, every session's
-//! trajectory is bit-identical to an isolated run — cross-session
-//! interleaving at equal timestamps is unobservable because no state
-//! crosses sessions. `tests/mega_differential.rs` and
-//! `tests/mega_properties.rs` pin this.
+//! PR 10 replaces the shared queue with the layout the profile asked
+//! for: each session keeps its **own** [`EventQueue`] (exactly the solo
+//! world's, session-local times, private `seq`), and the engine keeps a
+//! hot struct-of-arrays column — [`HotSlot`]: next global fire time,
+//! offset, end, epoch — that the service loop scans to pick the session
+//! with the earliest due event. That session is then serviced for a
+//! whole *time slice* (`service_slice_ns`; by default unbounded, i.e.
+//! up to the `run_until` bound — see [`DEFAULT_SLICE_NS`]): its events
+//! dispatch back-to-back through the same
+//! [`crate::engine::dispatch_event`] code a solo world runs, with the
+//! queue, links, RNG, and agents all cache-resident. No per-event tags,
+//! no epoch checks, no sorting.
 //!
-//! **Batching.** Events due at one timestamp are drained together and
-//! stable-sorted by session slot, so consecutive dispatches hit one
-//! session's cache-warm columns; stability preserves each session's
-//! `seq` order, which is all correctness needs. Events scheduled *during*
-//! the batch for the same timestamp are drained and dispatched in
-//! follow-up rounds before time advances — exactly where the queue would
-//! have placed them (they carry larger seqs than anything drained
-//! earlier).
+//! **Equivalence argument.** Sessions share no mutable state at all —
+//! not even a queue. A session's events live in its own queue with its
+//! own `seq` counter, so the dispatch subsequence it experiences under
+//! any slice schedule is *by construction* the solo `(time, seq)` order;
+//! slicing only chooses how much of that fixed sequence runs before the
+//! engine looks at other sessions, which no session can observe. The
+//! global min-scan merely guarantees every session reaches the run
+//! bound. `tests/mega_differential.rs` and `tests/mega_properties.rs`
+//! pin this, including a slice-length sweep.
 //!
-//! **Teardown.** Retiring a session bumps its slot's epoch; events still
-//! in the shared queue for the old occupant are lazily dropped when they
-//! surface (counted as `mega.token_recycles`), so a reused slot can never
-//! receive a predecessor's timers.
+//! **Teardown.** Retiring a session bumps its slot's epoch (stale
+//! [`SessionId`] handles are rejected) and drops whatever events were
+//! still pending in its private queue — in-flight timers past the
+//! session's end that an isolated `run_until` would have left
+//! unprocessed. Each dropped event is counted as `mega.token_recycles`,
+//! keeping the PR 6 meaning: tokens of a dead session that never fired.
 
 use crate::engine::{
-    dispatch_agent, dispatch_event, Agent, Event, MegaEvent, MegaEventKind, QueueRef, SessionCore,
-    World, WorldSalvage,
+    dispatch_event, start_agents, Agent, EventQueue, SessionCore, World, WorldSalvage,
 };
 use crate::link::{LinkConfig, LinkStats};
 use crate::packet::{AgentId, LinkId};
-use crate::sched::{ambient_scheduler, AnyScheduler, Scheduler, SchedulerKind};
+use crate::sched::{ambient_scheduler, SchedulerKind};
 use crate::time::{ns_to_secs, secs_to_ns};
+
+/// Default service slice: how much simulated time one session is run
+/// before the engine re-scans for the globally earliest session.
+/// Default is run-to-completion (no slicing): each `run_until(t)` call
+/// is itself the natural interleaving quantum — an incremental caller
+/// that steps the engine in small bounds already interleaves sessions
+/// at that cadence — and on the one-shot campaign path, finite slices
+/// only add slot-switch cache refills (a measured 6–8 % at 2^28 ns on
+/// the 64-session probe) without changing a single trajectory bit.
+/// Callers that want finer batching inside one long `run_until` (e.g.
+/// dense `sessions_live`-style gauge updates or flight batches) set it
+/// via [`MegaEngine::set_service_slice`].
+const DEFAULT_SLICE_NS: u64 = u64::MAX;
+
+/// Parked marker for [`HotSlot::next_fire_ns`]: no runnable event (dead
+/// slot, empty queue, or all remaining events past the session's end).
+const PARKED: u64 = u64::MAX;
 
 /// Handle to a session inside a [`MegaEngine`]: its table slot plus the
 /// epoch the slot had when the session was admitted. Stale handles (from
@@ -61,27 +81,44 @@ impl SessionId {
     }
 }
 
-/// Struct-of-arrays session state: column `i` of every vector belongs to
-/// the session in slot `i`. Splitting the columns (instead of a
-/// `Vec<Session>` of structs) lets the dispatch loop borrow one session's
-/// core and agents without touching its neighbours', and keeps the
-/// per-slot bookkeeping (epochs, offsets, liveness) densely packed for
-/// the batch grouping pass.
+/// The hot per-slot scheduling state — everything the service loop's
+/// min-scan touches, packed into one 32-byte row so scanning 64 sessions
+/// reads two cache lines' worth of rows per slice instead of chasing
+/// four parallel vectors.
+struct HotSlot {
+    /// Global time of the session's earliest pending event ([`PARKED`]
+    /// when there is none). For an admitted-but-unstarted session this
+    /// is its start offset (the `start()` sweep is the first service).
+    next_fire_ns: u64,
+    /// Global time of the session's local zero (its start offset).
+    offset_ns: u64,
+    /// Global time past which the session's events are dropped
+    /// (an isolated `run_until` would have left them unprocessed).
+    end_ns: u64,
+    /// Slot reuse guard: bumped on retire, checked on handle use.
+    epoch: u32,
+    /// Whether the `start()` sweep has run.
+    started: bool,
+    /// Slot occupancy.
+    live: bool,
+}
+
+/// Struct-of-arrays session state: index `i` of every column belongs to
+/// the session in slot `i`. The scheduling-relevant state lives in the
+/// dense [`HotSlot`] column; the cold side — engine cores (links, RNG,
+/// counters), agent boxes, and the private queues — is only touched for
+/// the one session being serviced.
 #[derive(Default)]
 struct SessionTable {
+    /// Hot column: scanned every slice.
+    hot: Vec<HotSlot>,
+    /// Per-session private event queues (`None` for dead slots — the
+    /// queue leaves with the retiring session's [`WorldSalvage`]).
+    queues: Vec<Option<EventQueue>>,
     /// Per-session engine state (clock, links, RNG, counters).
     cores: Vec<SessionCore>,
     /// Per-session agent columns.
     agents: Vec<Vec<Option<Box<dyn Agent>>>>,
-    /// Slot reuse guard: bumped on retire, checked on every dispatch.
-    epochs: Vec<u32>,
-    /// Global time of each session's local zero (its start offset).
-    offsets_ns: Vec<u64>,
-    /// Global time past which the session's events are dropped
-    /// (an isolated `run_until` would have left them unprocessed).
-    ends_ns: Vec<u64>,
-    /// Slot occupancy.
-    live: Vec<bool>,
     /// Free slots, reused LIFO.
     free: Vec<u32>,
 }
@@ -116,23 +153,22 @@ impl MegaSessionView<'_> {
     }
 }
 
-/// Multiplexes many sessions on one shared event queue. See the module
-/// docs for the equivalence and teardown story.
+/// Multiplexes many sessions on one engine. See the module docs for the
+/// layout, equivalence, and teardown story.
 pub struct MegaEngine {
     /// Global clock (nanoseconds). Session-local time is
-    /// `now_ns - offsets_ns[slot]`.
+    /// `now_ns - hot[slot].offset_ns`.
     now_ns: u64,
-    /// Global insertion sequence shared by every session.
-    seq: u64,
-    queue: AnyScheduler<MegaEvent>,
+    kind: SchedulerKind,
     table: SessionTable,
-    /// Solo queues taken from absorbed worlds, handed back (reset) with
-    /// the [`WorldSalvage`] of retired sessions so warm pools keep their
-    /// scheduler capacity.
-    spare_queues: Vec<AnyScheduler<Event>>,
-    /// Scratch for one timestamp's batch (capacity reused across ticks).
-    batch: Vec<MegaEvent>,
-    /// Stale events dropped by the epoch guard since construction.
+    /// Service quantum in simulated nanoseconds (see [`DEFAULT_SLICE_NS`]
+    /// and [`MegaEngine::set_service_slice`]).
+    slice_ns: u64,
+    /// Per-session queue reserve applied at [`MegaEngine::add_world`]
+    /// (set by [`MegaEngine::reserve`]) so wheel-slab/heap growth
+    /// happens at admission, never mid-slice.
+    events_hint: usize,
+    /// Events dropped unprocessed when their session retired.
     token_recycles: u64,
     /// Live sessions.
     live_count: usize,
@@ -149,19 +185,18 @@ impl MegaEngine {
     pub fn with_scheduler(kind: SchedulerKind) -> Self {
         MegaEngine {
             now_ns: 0,
-            seq: 0,
-            queue: AnyScheduler::new(kind),
+            kind,
             table: SessionTable::default(),
-            spare_queues: Vec::new(),
-            batch: Vec::new(),
+            slice_ns: DEFAULT_SLICE_NS,
+            events_hint: 0,
             token_recycles: 0,
             live_count: 0,
         }
     }
 
-    /// Which event-scheduler implementation the shared queue runs on.
+    /// Which event-scheduler implementation the sessions' queues run on.
     pub fn scheduler_kind(&self) -> SchedulerKind {
-        self.queue.kind()
+        self.kind
     }
 
     /// Current global simulation time (seconds).
@@ -169,9 +204,28 @@ impl MegaEngine {
         ns_to_secs(self.now_ns)
     }
 
-    /// Stale events dropped by the epoch guard (each one is a timer or
-    /// packet of an already-retired session that surfaced after its slot
-    /// was freed or reused).
+    /// Set the service quantum: how much *simulated* time one session is
+    /// run before the engine re-scans for the globally earliest session.
+    /// Purely a batching knob — any positive value (and the `0.0`
+    /// degenerate case, one timestamp per slice) yields bit-identical
+    /// trajectories, because no state crosses sessions; larger slices
+    /// buy locality, smaller ones interleave sessions more finely.
+    pub fn set_service_slice(&mut self, slice_secs: f64) {
+        assert!(slice_secs >= 0.0, "service slice must be non-negative");
+        // `secs_to_ns` clamps non-finite input to 0 — for this knob that
+        // would silently turn "run to completion" into "one timestamp per
+        // slice", the opposite extreme.
+        self.slice_ns = if slice_secs.is_infinite() {
+            u64::MAX
+        } else {
+            secs_to_ns(slice_secs)
+        };
+    }
+
+    /// Events dropped unprocessed at retire: timers and packets a
+    /// retired session still had pending (typically armed past its own
+    /// end — an isolated `run_until` would have left them unprocessed
+    /// too). The megasession analogue of lazy timer cancellation.
     pub fn token_recycles(&self) -> u64 {
         self.token_recycles
     }
@@ -181,17 +235,16 @@ impl MegaEngine {
         self.live_count
     }
 
-    /// Pre-size the session table for `sessions` more sessions and the
-    /// shared queue (wheel slab / heap array) for `events_hint` more
-    /// in-flight events, so absorbing a batch grows storage once.
+    /// Pre-size the session table for `sessions` more sessions, and
+    /// remember `events_hint` (total, split evenly) as the per-session
+    /// queue reserve applied when worlds are admitted — so wheel-slab /
+    /// heap growth happens at admission, never mid-slice.
     pub fn reserve(&mut self, sessions: usize, events_hint: usize) {
+        self.table.hot.reserve(sessions);
+        self.table.queues.reserve(sessions);
         self.table.cores.reserve(sessions);
         self.table.agents.reserve(sessions);
-        self.table.epochs.reserve(sessions);
-        self.table.offsets_ns.reserve(sessions);
-        self.table.ends_ns.reserve(sessions);
-        self.table.live.reserve(sessions);
-        self.queue.reserve(events_hint);
+        self.events_hint = self.events_hint.max(events_hint / sessions.max(1));
     }
 
     /// Absorb an unstarted [`World`] as a new session that starts (agents'
@@ -201,8 +254,9 @@ impl MegaEngine {
     /// `world.run_until(duration)`.
     ///
     /// The world's own queue must be empty (nothing schedules before
-    /// start); it is banked and handed back with a retired session's
-    /// [`WorldSalvage`]. Slots of retired sessions are reused LIFO.
+    /// start); it becomes the session's private queue and is handed back
+    /// with the session's [`WorldSalvage`] at retire. Slots of retired
+    /// sessions are reused LIFO.
     pub fn add_world(&mut self, world: World, start_at: f64, duration: f64) -> SessionId {
         let start_ns = secs_to_ns(start_at);
         assert!(
@@ -221,43 +275,54 @@ impl MegaEngine {
             agents,
             ..
         } = world;
-        self.spare_queues.push(queue);
+        let mut queue = if queue.kind() == self.kind {
+            queue
+        } else {
+            EventQueue::new(self.kind)
+        };
+        if self.events_hint > 0 {
+            queue.reserve(self.events_hint);
+        }
         let end_ns = start_ns.saturating_add(secs_to_ns(duration.max(0.0)));
         let slot = match self.table.free.pop() {
             Some(slot) => {
                 let i = slot as usize;
+                let epoch = self.table.hot[i].epoch;
+                self.table.hot[i] = HotSlot {
+                    next_fire_ns: start_ns,
+                    offset_ns: start_ns,
+                    end_ns,
+                    epoch,
+                    started: false,
+                    live: true,
+                };
+                self.table.queues[i] = Some(queue);
                 self.table.cores[i] = core;
                 self.table.agents[i] = agents;
-                self.table.offsets_ns[i] = start_ns;
-                self.table.ends_ns[i] = end_ns;
-                self.table.live[i] = true;
                 slot
             }
             None => {
-                let slot = u32::try_from(self.table.cores.len()).expect("session table overflow");
+                let slot = u32::try_from(self.table.hot.len()).expect("session table overflow");
+                self.table.hot.push(HotSlot {
+                    next_fire_ns: start_ns,
+                    offset_ns: start_ns,
+                    end_ns,
+                    epoch: 0,
+                    started: false,
+                    live: true,
+                });
+                self.table.queues.push(Some(queue));
                 self.table.cores.push(core);
                 self.table.agents.push(agents);
-                self.table.epochs.push(0);
-                self.table.offsets_ns.push(start_ns);
-                self.table.ends_ns.push(end_ns);
-                self.table.live.push(true);
                 slot
             }
         };
         self.live_count += 1;
         laqa_obs::gauge!("mega.sessions_live").set(self.live_count as f64);
-        let epoch = self.table.epochs[slot as usize];
-        self.queue.schedule(
-            start_ns,
-            self.seq,
-            MegaEvent {
-                session: slot,
-                epoch,
-                kind: MegaEventKind::Start,
-            },
-        );
-        self.seq += 1;
-        SessionId { slot, epoch }
+        SessionId {
+            slot,
+            epoch: self.table.hot[slot as usize].epoch,
+        }
     }
 
     /// Read-only view of a live session for stats extraction.
@@ -267,7 +332,7 @@ impl MegaEngine {
     pub fn session(&self, sid: SessionId) -> MegaSessionView<'_> {
         let i = sid.slot as usize;
         assert!(
-            self.table.live[i] && self.table.epochs[i] == sid.epoch,
+            self.table.hot[i].live && self.table.hot[i].epoch == sid.epoch,
             "stale session handle: slot {} epoch {}",
             sid.slot,
             sid.epoch
@@ -279,33 +344,37 @@ impl MegaEngine {
     }
 
     /// Retire a session, freeing its slot for reuse and returning its
-    /// engine storage as a [`WorldSalvage`] (with one of the banked solo
-    /// queues) so warm pools recycle exactly what a solo
-    /// [`World::salvage`] would have handed back. Events the session
-    /// still has in the shared queue are invalidated by the epoch bump
-    /// and dropped lazily when they surface.
+    /// engine storage as a [`WorldSalvage`] — including its private
+    /// queue (reset, capacity intact) — so warm pools recycle exactly
+    /// what a solo [`World::salvage`] would have handed back. Events the
+    /// session still had pending are dropped here and counted as token
+    /// recycles.
     pub fn retire(&mut self, sid: SessionId) -> WorldSalvage {
         let i = sid.slot as usize;
         assert!(
-            self.table.live[i] && self.table.epochs[i] == sid.epoch,
+            self.table.hot[i].live && self.table.hot[i].epoch == sid.epoch,
             "retire of a dead or recycled session: slot {} epoch {}",
             sid.slot,
             sid.epoch
         );
-        self.table.epochs[i] = self.table.epochs[i].wrapping_add(1);
-        self.table.live[i] = false;
+        let hot = &mut self.table.hot[i];
+        hot.epoch = hot.epoch.wrapping_add(1);
+        hot.live = false;
+        hot.next_fire_ns = PARKED;
         self.table.free.push(sid.slot);
         self.live_count -= 1;
         laqa_obs::gauge!("mega.sessions_live").set(self.live_count as f64);
 
+        let mut queue = self.table.queues[i].take().expect("live slot has a queue");
+        let dropped = queue.len() as u64;
+        if dropped > 0 {
+            self.token_recycles += dropped;
+            laqa_obs::counter!("mega.token_recycles").add(dropped);
+        }
+        queue.reset();
         let core = std::mem::replace(&mut self.table.cores[i], SessionCore::fresh(0));
         let mut agents = std::mem::take(&mut self.table.agents[i]);
         agents.clear();
-        let mut queue = self
-            .spare_queues
-            .pop()
-            .unwrap_or_else(|| AnyScheduler::new(self.queue.kind()));
-        queue.reset();
         // Mirror World::salvage: link shells move to the spare pool in
         // creation order, the emptied links vector keeps its capacity.
         let SessionCore {
@@ -325,139 +394,119 @@ impl MegaEngine {
 
     /// Run every session's events up to *global* time `t_end` seconds
     /// (events at exactly `t_end` are processed, as in
-    /// [`World::run_until`]). Sessions whose end time has passed drop
-    /// their surfacing events; running past every session's end is
-    /// harmless.
+    /// [`World::run_until`]). Service is sliced: the session with the
+    /// globally earliest pending event runs for up to `slice_ns` of
+    /// simulated time on its own queue, then the scan repeats. Sessions
+    /// whose remaining events all lie past their own end are parked
+    /// unprocessed, exactly as an isolated `run_until(duration)` would
+    /// leave them.
     pub fn run_until(&mut self, t_end: f64) {
         let end_ns = secs_to_ns(t_end);
-        while let Some((time_ns, _, ev)) = self.queue.pop_next_at_or_before(end_ns) {
-            self.now_ns = time_ns;
-            let mut batch = std::mem::take(&mut self.batch);
-            batch.push(ev);
-            // `time_ns` was the queue's minimum, so this drains exactly
-            // the events due at this timestamp, already in seq order.
-            while let Some((_, _, more)) = self.queue.pop_next_at_or_before(time_ns) {
-                batch.push(more);
-            }
-            loop {
-                // Stable grouping by session: per-session seq order (the
-                // only order correctness depends on) is preserved, and
-                // consecutive dispatches reuse one session's cache-warm
-                // state.
-                if batch.len() > 1 {
-                    batch.sort_by_key(|e| e.session);
-                }
-                if laqa_obs::enabled() {
-                    laqa_obs::histogram!(
-                        "mega.batch_size",
-                        &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0]
-                    )
-                    .observe(batch.len() as f64);
-                }
-                if laqa_obs::flight::enabled() {
-                    // Batch dispatches belong to the engine, not any one
-                    // session; their order reflects executor scheduling
-                    // (see the flight module docs on HOST_TRACK).
-                    laqa_obs::flight::set_session(laqa_obs::flight::HOST_TRACK);
-                    laqa_obs::flight::instant(
-                        "mega.batch",
-                        ns_to_secs(time_ns),
-                        batch.len() as f64,
-                    );
-                }
-                for ev in batch.drain(..) {
-                    self.dispatch(time_ns, ev);
-                }
-                // Dispatches may have scheduled more events at this very
-                // timestamp (zero-delay chains); they carry larger seqs
-                // than everything just dispatched, so a follow-up round
-                // is exactly the order an isolated world would use.
-                while let Some((_, _, more)) = self.queue.pop_next_at_or_before(time_ns) {
-                    batch.push(more);
-                }
-                if batch.is_empty() {
-                    break;
+        loop {
+            // Min-scan over the hot column: earliest due session wins,
+            // ties broken by lowest slot (deterministic, and irrelevant
+            // to results — sessions share no state).
+            let mut best = usize::MAX;
+            let mut best_ns = PARKED;
+            for (i, h) in self.table.hot.iter().enumerate() {
+                if h.next_fire_ns < best_ns {
+                    best_ns = h.next_fire_ns;
+                    best = i;
                 }
             }
-            self.batch = batch;
+            if best == usize::MAX || best_ns > end_ns {
+                break;
+            }
+            self.service_slice(best, best_ns, end_ns);
         }
         self.now_ns = self.now_ns.max(end_ns);
         // Sessions that outlived their own end keep their local clock at
         // the last dispatched event; pin it to the session end the way a
         // solo run_until pins `now` to its bound.
-        for i in 0..self.table.cores.len() {
-            if self.table.live[i] {
-                let bound = self.table.ends_ns[i].min(self.now_ns);
-                let local_bound = bound.saturating_sub(self.table.offsets_ns[i]);
+        for (i, h) in self.table.hot.iter().enumerate() {
+            if h.live {
+                let bound = h.end_ns.min(self.now_ns);
+                let local_bound = bound.saturating_sub(h.offset_ns);
                 let core = &mut self.table.cores[i];
                 core.now_ns = core.now_ns.max(local_bound);
             }
         }
     }
 
-    /// Dispatch one tagged event at global `time_ns`.
-    fn dispatch(&mut self, time_ns: u64, ev: MegaEvent) {
-        let i = ev.session as usize;
-        if self.table.epochs[i] != ev.epoch {
-            // Scheduled by a previous occupant of this slot (or by this
-            // session before it was retired): lazily cancelled.
-            self.token_recycles += 1;
-            laqa_obs::counter!("mega.token_recycles").inc();
-            if laqa_obs::flight::enabled() {
-                laqa_obs::flight::set_session(laqa_obs::flight::HOST_TRACK);
-                laqa_obs::flight::instant(
-                    "mega.stale_drop",
-                    ns_to_secs(time_ns),
-                    ev.session as f64,
-                );
-            }
+    /// Service session `i` from its earliest pending event at global
+    /// `fire_ns` up to `min(run bound, session end, fire + slice)`,
+    /// entirely on its own queue, then refresh its hot-column fire time.
+    fn service_slice(&mut self, i: usize, fire_ns: u64, end_ns: u64) {
+        let hot = &mut self.table.hot[i];
+        if fire_ns > hot.end_ns {
+            // Everything left is past this session's end: an isolated
+            // world's run_until(duration) would have stopped here with
+            // those events unprocessed. Park until retire.
+            hot.next_fire_ns = PARKED;
             return;
         }
-        debug_assert!(
-            self.table.live[i],
-            "current-epoch event fired into freed session slot {i}"
-        );
-        if time_ns > self.table.ends_ns[i] {
-            // Past this session's end: an isolated world's run_until
-            // would have left the event sitting unprocessed.
-            return;
-        }
-        let offset_ns = self.table.offsets_ns[i];
+        let bound_ns = end_ns.min(hot.end_ns).min(fire_ns.saturating_add(self.slice_ns));
+        let offset_ns = hot.offset_ns;
+        let local_bound = bound_ns - offset_ns;
         let core = &mut self.table.cores[i];
-        core.now_ns = time_ns - offset_ns;
-        if laqa_obs::flight::enabled() {
-            // Timeline records from this dispatch (QA transitions, timer
-            // fires, ...) land on the session's own track.
+        let agents = &mut self.table.agents[i];
+        let queue = self.table.queues[i].as_mut().expect("live slot has a queue");
+        let flight = laqa_obs::flight::enabled();
+        if flight {
+            // Timeline records from these dispatches (QA transitions,
+            // timer fires, ...) land on the session's own track.
             laqa_obs::flight::set_session(core.flight_id);
         }
-        let agents = &mut self.table.agents[i];
-        let mut queue = QueueRef::Mega {
-            queue: &mut self.queue,
-            seq: &mut self.seq,
-            session: ev.session,
-            epoch: ev.epoch,
-            offset_ns,
-        };
-        match ev.kind {
-            MegaEventKind::Start => {
-                // The solo engine's lazy start, at the session's offset:
-                // one start() sweep over the agent column. Not counted in
-                // events_processed (World::ensure_started doesn't count
-                // either).
-                for id in 0..agents.len() {
-                    dispatch_agent(agents, core, &mut queue, id, |a, ctx| a.start(ctx));
-                }
-            }
-            MegaEventKind::Engine(event) => {
-                core.events_processed += 1;
-                let timed = laqa_obs::enabled().then(std::time::Instant::now);
-                dispatch_event(core, agents, &mut queue, event);
-                if let Some(t0) = timed {
-                    laqa_obs::histogram!("mega.session_event_ns", laqa_obs::LOG_NS_BOUNDS)
-                        .observe(t0.elapsed().as_nanos() as f64);
-                }
+        if !hot.started {
+            // The solo engine's lazy start, at the session's offset: one
+            // start() sweep over the agent column, local clock at zero.
+            // Not counted in events_processed (World::ensure_started
+            // doesn't count either).
+            hot.started = true;
+            core.now_ns = 0;
+            start_agents(agents, core, queue);
+        }
+        let obs = laqa_obs::enabled();
+        let mut serviced = 0u64;
+        while let Some((time_ns, _, event)) = queue.pop_next_at_or_before(local_bound) {
+            core.now_ns = time_ns;
+            core.events_processed += 1;
+            serviced += 1;
+            let timed = obs.then(std::time::Instant::now);
+            dispatch_event(core, agents, queue, event);
+            if let Some(t0) = timed {
+                laqa_obs::histogram!("mega.session_event_ns", laqa_obs::LOG_NS_BOUNDS)
+                    .observe(t0.elapsed().as_nanos() as f64);
             }
         }
+        if obs {
+            // Batch shape: events serviced per slice (was: events per
+            // shared-queue timestamp before the per-session-queue
+            // layout, hence the much larger ladder).
+            laqa_obs::histogram!(
+                "mega.batch_size",
+                &[1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0]
+            )
+            .observe(serviced as f64);
+        }
+        if flight {
+            // Slice dispatches belong to the engine, not any one
+            // session; their order reflects executor scheduling (see
+            // the flight module docs on HOST_TRACK).
+            laqa_obs::flight::set_session(laqa_obs::flight::HOST_TRACK);
+            laqa_obs::flight::instant("mega.batch", ns_to_secs(fire_ns), serviced as f64);
+        }
+        hot.next_fire_ns = match queue.peek_next() {
+            Some((local_ns, _)) => {
+                let global_ns = local_ns.saturating_add(offset_ns);
+                if global_ns > hot.end_ns {
+                    PARKED
+                } else {
+                    global_ns
+                }
+            }
+            None => PARKED,
+        };
     }
 }
 
@@ -583,6 +632,37 @@ mod tests {
     }
 
     #[test]
+    fn slice_length_is_unobservable() {
+        // The batching knob must be pure wall-clock tuning: the 0-length
+        // degenerate slice (one timestamp per service), a tiny 1 ms
+        // slice, and an infinite slice (run each session to the bound in
+        // one go) all reproduce the isolated trajectories.
+        for slice in [0.0, 0.001, f64::INFINITY] {
+            let mut engine = MegaEngine::with_scheduler(SchedulerKind::Wheel);
+            engine.set_service_slice(slice);
+            let mut sids = Vec::new();
+            for seed in [3u64, 7, 11] {
+                let (w, sink) = ping_world(seed, 40);
+                sids.push((seed, engine.add_world(w, 0.0, 2.0), sink));
+            }
+            engine.run_until(2.0);
+            for &(seed, sid, sink) in &sids {
+                let mega = engine
+                    .session(sid)
+                    .agent::<Sink>(sink)
+                    .unwrap()
+                    .arrivals
+                    .clone();
+                assert_eq!(
+                    mega,
+                    solo_arrivals(seed, 40, 2.0),
+                    "seed {seed} diverged under slice {slice}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn staggered_starts_run_in_local_time() {
         // The same seed started at three different global offsets must
         // produce identical local-time trajectories.
@@ -629,11 +709,11 @@ mod tests {
 
     #[test]
     fn stale_tokens_from_freed_sessions_never_reach_reused_slots() {
-        // Session A is retired mid-run with timers and packets still in
-        // the shared queue; session B immediately reuses its slot. A's
-        // in-flight events must be dropped by the epoch guard — B's
-        // trajectory stays bit-identical to an isolated run — and each
-        // drop is counted as a token recycle.
+        // Session A is retired mid-run with timers and packets still
+        // pending in its queue; session B immediately reuses its slot.
+        // A's unprocessed events must be dropped (counted as token
+        // recycles) and B's trajectory must stay bit-identical to an
+        // isolated run — nothing of A may leak through the slot.
         let mut engine = MegaEngine::new();
         let (wa, _) = ping_world(21, 1_000);
         let sid_a = engine.add_world(wa, 0.0, 10.0);
@@ -651,7 +731,7 @@ mod tests {
 
         assert!(
             engine.token_recycles() > 0,
-            "retiring mid-run must leave stale events for the guard to drop"
+            "retiring mid-run must drop the session's pending events"
         );
         let got = engine
             .session(sid_b)
@@ -664,6 +744,23 @@ mod tests {
             solo_arrivals(33, 30, 2.0),
             "reused slot inherited state from the retired session"
         );
+    }
+
+    #[test]
+    fn stale_session_handle_is_rejected() {
+        let mut engine = MegaEngine::new();
+        let (wa, _) = ping_world(21, 10);
+        let sid_a = engine.add_world(wa, 0.0, 1.0);
+        engine.run_until(1.0);
+        let _ = engine.retire(sid_a);
+        let (wb, _) = ping_world(33, 10);
+        let sid_b = engine.add_world(wb, engine.now(), 1.0);
+        assert_eq!(sid_b.slot(), sid_a.slot(), "slot must be reused");
+        assert_ne!(sid_a, sid_b, "epoch bump must invalidate the old handle");
+        let stale = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = engine.session(sid_a);
+        }));
+        assert!(stale.is_err(), "stale handle must be rejected");
     }
 
     #[test]
@@ -718,14 +815,24 @@ mod tests {
 
     #[test]
     fn reserve_is_inert() {
-        let mut a = MegaEngine::new();
-        a.reserve(64, 4096);
-        let mut b = MegaEngine::new();
-        for engine in [&mut a, &mut b] {
-            let (w, _) = ping_world(13, 20);
-            engine.add_world(w, 0.0, 1.0);
+        let run = |reserve: bool| {
+            let mut engine = MegaEngine::new();
+            if reserve {
+                engine.reserve(64, 4096);
+            }
+            let (w, sink) = ping_world(13, 20);
+            let sid = engine.add_world(w, 0.0, 1.0);
             engine.run_until(1.0);
-        }
-        assert_eq!(a.seq, b.seq, "reserve changed the trajectory");
+            (
+                engine.session(sid).events_processed(),
+                engine
+                    .session(sid)
+                    .agent::<Sink>(sink)
+                    .unwrap()
+                    .arrivals
+                    .clone(),
+            )
+        };
+        assert_eq!(run(true), run(false), "reserve changed the trajectory");
     }
 }

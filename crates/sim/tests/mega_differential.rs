@@ -136,6 +136,36 @@ fn campaign_smoke_grid_agrees_across_executors() {
 }
 
 #[test]
+fn service_slice_sweep_agrees_across_executors() {
+    // PR 10's sliced service loop: how long the engine stays on one hot
+    // session before re-scanning the hot column is pure scheduling
+    // policy, so every slice — one-event-per-visit (0.0) through
+    // run-to-completion (infinite) — must reproduce the cold per-cell
+    // fingerprint, under both schedulers and with work-stealing workers.
+    let spec = CampaignSpec::grid(&[TestKind::T1, TestKind::T2], &[2, 4], &[7, 21], 6.0);
+    let fp = run_campaign_opts(&spec, CampaignOptions::new(1).cold()).fingerprint();
+    for kind in SchedulerKind::ALL {
+        for threads in [1, 8] {
+            for slice in [0.0, 0.002, f64::INFINITY] {
+                let got = run_campaign_opts(
+                    &spec,
+                    CampaignOptions::new(threads)
+                        .sched(kind)
+                        .mega()
+                        .mega_slice(slice),
+                );
+                assert_eq!(
+                    got.fingerprint(),
+                    fp,
+                    "mega campaign diverged under {} threads={threads} slice={slice}",
+                    kind.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn faulted_campaign_mega_matches_per_cell_cell_by_cell() {
     let spec = CampaignSpec::faults_grid(&[TestKind::T1], &[2], &[0.0, 1.0], &[7], 12.0);
     let per_cell = run_campaign_opts(&spec, CampaignOptions::new(2));

@@ -8,6 +8,7 @@
 //! fixed grids never visit.
 
 use laqa_check::{cases, Gen};
+use laqa_sim::campaign::{run_campaign_opts, CampaignOptions, CampaignSpec, TestKind};
 use laqa_sim::{
     hash_outcome, run_scenario_with, run_scenarios_mega_staggered, FaultPlan, ScenarioConfig,
     SchedulerKind,
@@ -66,6 +67,49 @@ fn multiplexed_sessions_match_isolated_reruns() {
                 kind.label()
             );
             assert_eq!(solo.events_processed, out.events_processed);
+        }
+    });
+}
+
+#[test]
+fn random_batching_knobs_match_cold_percell_reference() {
+    // Hot/cold-split stress: random grids run with random steal-chunk
+    // and service-slice knobs retire, bank and re-admit sessions through
+    // the hot SoA column in arbitrary patterns — small chunks churn slot
+    // reuse, small slices force constant hot-column re-scans, warm pools
+    // recycle retired storage across chunks. The cold per-cell executor
+    // is the oracle: every knob combination must reproduce it bit for
+    // bit, session by session.
+    cases("mega_hot_cold_split_stress", 6, |g, case| {
+        let both = [TestKind::T1, TestKind::T2];
+        let tests: &[TestKind] = if g.bool(0.5) { &both } else { &both[..1] };
+        let k_values = [*g.pick(&[1u32, 2, 4]), 2];
+        let seeds: Vec<u64> = (0..g.usize_in(2, 4)).map(|_| g.u64_in(1, 1 << 40)).collect();
+        let spec = CampaignSpec::grid(tests, &k_values, &seeds, g.f64_range(5.5, 7.0));
+        let kind = *g.pick(&SchedulerKind::ALL);
+        let threads = *g.pick(&[1usize, 2, 8]);
+        let chunk = g.usize_in(1, 9);
+        let slice = *g.pick(&[0.0, 0.001, 0.05, f64::INFINITY]);
+        let reference = run_campaign_opts(&spec, CampaignOptions::new(1).cold());
+        let mut opts = CampaignOptions::new(threads)
+            .sched(kind)
+            .mega()
+            .mega_chunk(chunk)
+            .mega_slice(slice);
+        if g.bool(0.3) {
+            opts = opts.cold();
+        }
+        let got = run_campaign_opts(&spec, opts);
+        assert_eq!(
+            got.fingerprint(),
+            reference.fingerprint(),
+            "case {case}: mega ({} sched, threads={threads}, chunk={chunk}, \
+             slice={slice}) diverged from the cold per-cell reference",
+            kind.label()
+        );
+        for (a, b) in reference.sessions.iter().zip(&got.sessions) {
+            assert_eq!(a.trace_hash, b.trace_hash, "case {case}: cell {} diverged", a.spec.label());
+            assert_eq!(a.events_processed, b.events_processed);
         }
     });
 }

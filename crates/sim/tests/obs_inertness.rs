@@ -63,8 +63,8 @@ fn fingerprints_identical_with_obs_on_and_off() {
         "dispatch p99 unavailable despite observations"
     );
     assert!(
-        snap.histogram("sched.wheel_slack_ns").map_or(0, |h| h.count) > 0,
-        "no sched.wheel_slack_ns observations"
+        snap.histogram("sched.wheel_horizon_ns").map_or(0, |h| h.count) > 0,
+        "no sched.wheel_horizon_ns observations"
     );
 
     // Per-session metrics are deterministic even though wall time is not.

@@ -15,6 +15,14 @@ fn sweep() -> CampaignSpec {
     CampaignSpec::grid(&TestKind::ALL, &[2, 4], &[7, 21, 42], 6.0)
 }
 
+/// Worker threads the executor actually spawns for a request: clamped to
+/// the session count and the host's parallelism (PR 10 — oversubscribing
+/// a small host buys no scaling, only merge overhead).
+fn clamped(requested: usize, sessions: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    requested.max(1).min(sessions.max(1)).min(cores)
+}
+
 #[test]
 fn fingerprint_identical_across_1_2_and_8_threads() {
     let spec = sweep();
@@ -24,9 +32,10 @@ fn fingerprint_identical_across_1_2_and_8_threads() {
     assert_eq!(one.fingerprint(), two.fingerprint());
     assert_eq!(one.fingerprint(), eight.fingerprint());
     assert_eq!(one.threads, 1);
-    assert_eq!(two.threads, 2);
-    // Thread count is capped at the session count, not the request.
-    assert_eq!(eight.threads, 8.min(spec.len()));
+    assert_eq!(two.threads, clamped(2, spec.len()));
+    // Thread count is capped at the session count and host parallelism,
+    // not the request.
+    assert_eq!(eight.threads, clamped(8, spec.len()));
 }
 
 #[test]
@@ -80,14 +89,18 @@ fn fingerprint_identical_with_16_workers() {
     let one = run_campaign(&spec, 1);
     let sixteen = run_campaign(&spec, 16);
     assert_eq!(one.fingerprint(), sixteen.fingerprint());
-    assert_eq!(sixteen.threads, 16.min(spec.len()));
+    assert_eq!(sixteen.threads, clamped(16, spec.len()));
 }
 
 #[test]
 fn more_threads_than_sessions_clamps_and_replays() {
     let spec = CampaignSpec::grid(&[TestKind::T1], &[2], &[7, 21], 4.0);
     let wide = run_campaign(&spec, 64);
-    assert_eq!(wide.threads, 2, "threads clamp to the session count");
+    assert_eq!(
+        wide.threads,
+        clamped(64, 2),
+        "threads clamp to the session count and host parallelism"
+    );
     assert_eq!(wide.sessions.len(), 2);
     let narrow = run_campaign(&spec, 1);
     assert_eq!(wide.fingerprint(), narrow.fingerprint());

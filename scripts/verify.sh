@@ -10,19 +10,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/12 build (release) =="
+echo "== 1/13 build (release) =="
 cargo build --release
 
-echo "== 2/12 tests =="
+echo "== 2/13 tests =="
 cargo test -q
 
-echo "== 3/12 clippy (deny warnings) =="
+echo "== 3/13 clippy (deny warnings) =="
 cargo clippy --all-targets -- -D warnings
 
-echo "== 4/12 campaign smoke sweep =="
+echo "== 4/13 campaign smoke sweep =="
 cargo run --release -p laqa-bench --bin campaign -- --smoke
 
-echo "== 5/12 observability inertness (fingerprints with --obs on vs off) =="
+echo "== 5/13 observability inertness (fingerprints with --obs on vs off) =="
 # The smoke sweep prints one fingerprint line per replay check; enabling
 # the laqa-obs instrumentation must not change a single bit of any of
 # them (see crates/sim/tests/obs_inertness.rs for the in-tree half).
@@ -41,7 +41,7 @@ fi
 echo "fingerprints identical with obs on/off: $fp_off"
 cargo run --release -p laqa-bench --bin laqa -- obs-report --dir "$obs_dir"
 
-echo "== 6/12 fault-injection smoke (seed-replay fingerprint) =="
+echo "== 6/13 fault-injection smoke (seed-replay fingerprint) =="
 # The fault sweep must be a pure function of its seeds: two consecutive
 # runs of the same grid (which also each self-check across thread
 # counts) must print the same campaign fingerprint.
@@ -57,7 +57,7 @@ if [ -z "$fault_fp_a" ] || [ "$fault_fp_a" != "$fault_fp_b" ]; then
 fi
 echo "fault campaign replays bit-identically: $fault_fp_a"
 
-echo "== 7/12 scheduler differential harness + bench smoke =="
+echo "== 7/13 scheduler differential harness + bench smoke =="
 # The timer wheel must replay every workload bit-identically to the
 # BinaryHeap reference oracle (crates/sim/tests/sched_differential.rs),
 # and the perf harness re-checks fingerprint agreement while measuring.
@@ -68,7 +68,7 @@ cargo test -q --release -p laqa-sim --test sched_differential
 cargo run --release -p laqa-bench --bin sched -- --smoke \
   --out target/bench-sched-smoke.json
 
-echo "== 8/12 warm-world campaign executor bench + regression gate =="
+echo "== 8/13 warm-world campaign executor bench + regression gate =="
 # Sweeps {cold,warm} x {heap,wheel} x {1,2,8,16} threads over one grid and
 # exits non-zero unless every cell reproduces the same fingerprint bit for
 # bit (including the streaming run_campaign_fold cross-check), or if
@@ -77,7 +77,7 @@ echo "== 8/12 warm-world campaign executor bench + regression gate =="
 cargo run --release -p laqa-bench --bin campaign_bench -- --smoke \
   --check BENCH_campaign.json --out target/bench-campaign-smoke.json
 
-echo "== 9/12 megasession differential harness + mega bench gate =="
+echo "== 9/13 megasession differential harness + mega bench gate =="
 # Every scenario multiplexed on the shared-wheel MegaEngine must replay
 # bit-identically to its isolated per-world run
 # (crates/sim/tests/mega_differential.rs), and the campaign bench re-runs
@@ -88,7 +88,7 @@ cargo test -q --release -p laqa-sim --test mega_differential
 cargo run --release -p laqa-bench --bin campaign_bench -- --smoke --mega \
   --check BENCH_campaign.json --out target/bench-campaign-mega-smoke.json
 
-echo "== 10/12 flight-recorder trace export (mega faults run -> Perfetto JSON) =="
+echo "== 10/13 flight-recorder trace export (mega faults run -> Perfetto JSON) =="
 # A fault-suite smoke sweep on the megasession executor with the flight
 # recorder live must (a) leave the campaign fingerprint untouched vs the
 # plain run in step 6, and (b) export a timeline that `laqa obs-trace`
@@ -109,7 +109,7 @@ echo "fault campaign unchanged under mega executor + flight recorder: $flight_fp
 cargo run --release -p laqa-bench --bin laqa -- obs-trace --dir "$flight_dir" \
   --out "$flight_dir/trace.json"
 
-echo "== 11/12 QA x transport interop smoke =="
+echo "== 11/13 QA x transport interop smoke =="
 # The pluggable-RateController matrix: the same smoke grid runs under
 # all four transports (RAP, BBR-style, NADA-style, TCP baseline).
 # Gates: (a) the multi-transport sweep replays bit-identically across
@@ -141,7 +141,7 @@ for t in rap bbr nada tcp; do
 done
 echo "interop smoke ok: RAP rows bit-identical, all four transports deterministic"
 
-echo "== 12/12 hostile-network (TraceLink) smoke =="
+echo "== 12/13 hostile-network (TraceLink) smoke =="
 # The hostile-corpus axis: the smoke grid re-run on schedule-driven
 # bottlenecks (LTE capacity swings, on-off bufferbloat, diurnal ramp,
 # bonded two-path striping). Gates: (a) the hostile sweep replays
@@ -167,5 +167,23 @@ for t in lte bloat diurnal bonded; do
   fi
 done
 echo "hostile smoke ok: all four trace families deterministic: $hostile_fp_a"
+
+echo "== 13/13 mega hot-path throughput gate + profile =="
+# PR 10's headline: one MegaEngine multiplexing the 64-session grid must
+# stay at least as fast as the warm per-cell executor. The bench measures
+# both at the baseline's full duration and --check fails if the
+# mega-vs-per-cell speedup ratio drops below the checked-in baseline's
+# ratio x 0.9 (on top of the absolute events/sec gates). --profile prints
+# the zero-dep per-dispatch-site breakdown (obs histograms + wheel
+# insert-path and geometry-memo counters) so a regression here comes with
+# the numbers needed to localize it.
+mega_out=$(cargo run --release -p laqa-bench --bin campaign_bench -- \
+  --smoke --duration 8 --mega --profile \
+  --check BENCH_campaign.json --out target/bench-campaign-mega-gate.json)
+echo "$mega_out" | tail -20
+if ! grep -q '"mega_vs_percell_ratio"' target/bench-campaign-mega-gate.json; then
+  echo "FAIL: bench output is missing the mega_vs_percell_ratio key" >&2
+  exit 1
+fi
 
 echo "verify OK"
